@@ -1,0 +1,156 @@
+package phoenix
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"phoenix/internal/costmodel"
+	"phoenix/internal/experiments"
+)
+
+// One benchmark per paper table/figure: each runs the corresponding
+// experiment end to end at reduced (Quick) scale. The harness prints the
+// same rows/series the paper reports when run via cmd/phoenix-bench; here
+// the output is discarded and the wall-clock cost of regenerating the
+// artifact is what's measured.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(experiments.Options{Quick: true, Seed: int64(i + 1), Out: io.Discard}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTab1FailureStudy(b *testing.B)      { benchExperiment(b, "tab1") }
+func BenchmarkFig1RedisTimeline(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig9RestartLatency(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkTab3Systems(b *testing.B)           { benchExperiment(b, "tab3") }
+func BenchmarkTab4PortingEffort(b *testing.B)     { benchExperiment(b, "tab4") }
+func BenchmarkTab5BugCatalogue(b *testing.B)      { benchExperiment(b, "tab5") }
+func BenchmarkFig10BugCases(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11VarnishDeadlock(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12RedisMechanisms(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13TrainingProgress(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkTab6FaultTypes(b *testing.B)        { benchExperiment(b, "tab6") }
+func BenchmarkTab7Injection(b *testing.B)         { benchExperiment(b, "tab7") }
+func BenchmarkTab8Overhead(b *testing.B)          { benchExperiment(b, "tab8") }
+func BenchmarkTab9MemoryReuse(b *testing.B)       { benchExperiment(b, "tab9") }
+
+// --- micro-benchmarks of the core mechanisms ---
+
+// BenchmarkPreserveExec measures one PHOENIX restart preserving 16 MiB of
+// heap (the Figure 9 mechanism), in host wall-clock terms.
+func BenchmarkPreserveExec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(int64(i + 1))
+		bld := NewImageBuilder("bench", 0x0010_0000)
+		bld.Var("cfg", 8, SecData)
+		proc, err := m.Spawn(bld.Build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := Init(proc, nil)
+		h, err := rt.OpenHeap(HeapOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := h.Alloc(16 << 20)
+		proc.AS.WriteU64(p, 42)
+		info := h.Alloc(16)
+		proc.AS.WritePtr(info, p)
+		np, err := rt.Restart(RestartPlan{InfoAddr: info, WithHeap: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt2 := Init(np, nil)
+		if !rt2.IsRecoveryMode() {
+			b.Fatal("not in recovery mode")
+		}
+	}
+}
+
+// BenchmarkDictSet measures inserts into the simulated-memory dictionary.
+func BenchmarkDictSet(b *testing.B) {
+	m := NewMachine(1)
+	bld := NewImageBuilder("bench", 0x0010_0000)
+	bld.Var("cfg", 8, SecData)
+	proc, _ := m.Spawn(bld.Build())
+	rt := Init(proc, nil)
+	h, _ := rt.OpenHeap(HeapOptions{})
+	ctx := NewCtx(h, nil, costmodel.Default())
+	d := NewDict(ctx, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Set([]byte(fmt.Sprintf("key-%09d", i)), uint64(i))
+	}
+}
+
+// BenchmarkDictGet measures lookups.
+func BenchmarkDictGet(b *testing.B) {
+	m := NewMachine(1)
+	bld := NewImageBuilder("bench", 0x0010_0000)
+	bld.Var("cfg", 8, SecData)
+	proc, _ := m.Spawn(bld.Build())
+	rt := Init(proc, nil)
+	h, _ := rt.OpenHeap(HeapOptions{})
+	ctx := NewCtx(h, nil, costmodel.Default())
+	d := NewDict(ctx, 1024)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d.Set([]byte(fmt.Sprintf("key-%09d", i)), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Get([]byte(fmt.Sprintf("key-%09d", i%n)))
+	}
+}
+
+// BenchmarkHeapAllocFree measures the simulated malloc.
+func BenchmarkHeapAllocFree(b *testing.B) {
+	m := NewMachine(1)
+	bld := NewImageBuilder("bench", 0x0010_0000)
+	bld.Var("cfg", 8, SecData)
+	proc, _ := m.Spawn(bld.Build())
+	rt := Init(proc, nil)
+	h, _ := rt.OpenHeap(HeapOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := h.Alloc(128)
+		if p == NullPtr {
+			b.Fatal("oom")
+		}
+		h.Free(p)
+	}
+}
+
+// BenchmarkMarkSweep measures the cleanup pass over 10k live chunks.
+func BenchmarkMarkSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := NewMachine(1)
+		bld := NewImageBuilder("bench", 0x0010_0000)
+		bld.Var("cfg", 8, SecData)
+		proc, _ := m.Spawn(bld.Build())
+		rt := Init(proc, nil)
+		h, _ := rt.OpenHeap(HeapOptions{})
+		keep := make([]VAddr, 5000)
+		for j := range keep {
+			keep[j] = h.Alloc(64)
+			h.Alloc(64) // garbage interleaved
+		}
+		b.StartTimer()
+		for _, p := range keep {
+			h.Mark(p)
+		}
+		if freed, _, _ := h.Sweep(); freed != 5000 {
+			b.Fatalf("swept %d", freed)
+		}
+	}
+}

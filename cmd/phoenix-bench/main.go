@@ -1,0 +1,70 @@
+// Command phoenix-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+// paper-vs-measured comparison).
+//
+// Usage:
+//
+//	phoenix-bench                  # run everything at full scale
+//	phoenix-bench -run fig10,tab7 # selected experiments
+//	phoenix-bench -quick          # reduced scale (CI-sized)
+//	phoenix-bench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phoenix/internal/experiments"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick     = flag.Bool("quick", false, "reduced workload sizes")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	if *ablations || *run != "" {
+		all = append(all, experiments.Ablations()...)
+	}
+
+	if *list {
+		all = append(all, experiments.Ablations()...)
+		for _, e := range all {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := false
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		err := e.Run(experiments.Options{Quick: *quick, Seed: *seed, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.ID, err)
+			failed = true
+		}
+		fmt.Printf("--- %s done in %v (wall clock) ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// allocator: component-granular preservation with phx_create_allocator
+// (§3.3) — a server keeps its durable index in one PHOENIX allocator and a
+// rebuildable query cache in another, and chooses at crash time to preserve
+// the index while discarding the cache region wholesale (no mark-and-sweep
+// needed for the discarded component).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phoenix"
+	"phoenix/internal/costmodel"
+)
+
+func main() {
+	m := phoenix.NewMachine(9)
+	b := phoenix.NewImageBuilder("allocator-demo", 0x0010_0000)
+	b.Var("cfg", 8, phoenix.SecData)
+	proc, err := m.Spawn(b.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := phoenix.Init(proc, nil)
+	if _, err := rt.OpenHeap(phoenix.HeapOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two components, two allocator regions (phx_create_allocator).
+	indexAlloc, err := rt.CreateAllocator(phoenix.HeapOptions{Name: "index"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cacheAlloc, err := rt.CreateAllocator(phoenix.HeapOptions{Name: "qcache"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := costmodel.Default()
+	index := phoenix.NewDict(phoenix.NewCtx(indexAlloc, m.Clock, model), 64)
+	qcache := phoenix.NewDict(phoenix.NewCtx(cacheAlloc, m.Clock, model), 64)
+	for i := 0; i < 5000; i++ {
+		index.Set([]byte(fmt.Sprintf("doc-%05d", i)), uint64(i))
+	}
+	for i := 0; i < 2000; i++ {
+		qcache.Set([]byte(fmt.Sprintf("query-%05d", i)), uint64(i*i))
+	}
+	fmt.Printf("index: %d entries (%s region)   query cache: %d entries (%s region)\n",
+		index.Len(), "preserved", qcache.Len(), "to be discarded")
+
+	info := rt.MainHeap().Alloc(16)
+	proc.AS.WritePtr(info, index.Addr())
+	cacheRoot := qcache.Addr()
+
+	// Crash, then restart preserving only the index component.
+	crash := proc.Run(func() { proc.AS.ReadU64(phoenix.NullPtr) })
+	fmt.Printf("crash: %s\n", crash.Reason)
+	np, err := rt.Restart(phoenix.RestartPlan{
+		InfoAddr:   info,
+		WithHeap:   true, // the main heap holds the info block
+		Allocators: []*phoenix.Heap{indexAlloc},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rt2 := phoenix.Init(np, nil)
+	if _, err := rt2.OpenHeap(phoenix.HeapOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	indexAlloc2, err := rt2.CreateAllocator(phoenix.HeapOptions{Name: "index"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered := phoenix.OpenDict(phoenix.NewCtx(indexAlloc2, m.Clock, model), np.AS.ReadPtr(rt2.RecoveryInfo()))
+	fmt.Printf("recovered index: %d entries, valid=%v\n", recovered.Len(), recovered.Validate())
+
+	// The cache region is simply gone — no per-object cleanup was needed.
+	if ci := np.Run(func() { np.AS.ReadU64(cacheRoot) }); ci != nil {
+		fmt.Printf("query cache region discarded wholesale: %s\n", ci.Reason)
+	}
+	fmt.Println("component-granular preservation: keep the expensive index,")
+	fmt.Println("drop the rebuildable cache without any mark-and-sweep pass.")
+}

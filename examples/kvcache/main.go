@@ -1,0 +1,71 @@
+// kvcache: the paper's motivating scenario (Figure 1/12) as a runnable
+// demo — a Redis-like store under a YCSB-style workload hits an infinite
+// loop, and the same failure is recovered four ways: Vanilla restart,
+// Builtin RDB reload, CRIU image restore, and PHOENIX partial preservation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"phoenix/internal/apps/kvstore"
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+func run(mode recovery.Mode) {
+	m := kernel.NewMachine(7)
+	kv := kvstore.New(kvstore.Config{Cleanup: true}, nil)
+	gen := workload.NewYCSB(workload.YCSBConfig{
+		Seed: 7, Records: 30000, ReadFrac: 0.9, InsertFrac: 0.1,
+		ValueSize: 128, ZipfianKeys: true,
+	})
+	cfg := recovery.Config{
+		Mode:            mode,
+		UnsafeRegions:   true,
+		WatchdogTimeout: 2 * time.Second,
+	}
+	if mode != recovery.ModeVanilla {
+		cfg.CheckpointInterval = 2 * time.Second
+	}
+	h := recovery.NewHarness(m, cfg, kv, gen, nil)
+	if err := h.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	keys := make([]string, 30000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%010d", i)
+	}
+	kv.Load(keys, 128)
+
+	// Warm up, then trigger the Redis #12290 infinite loop (R4).
+	if err := h.RunUntil(m.Clock.Now() + 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	kv.ArmBug("R4")
+	if err := h.RunUntil(m.Clock.Now() + 15*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	sum := h.TL.Summarize()
+	rec := "not reached"
+	if sum.Recovered90 {
+		rec = fmt.Sprintf("%.2fs", sum.Recovery90.Seconds())
+	}
+	fmt.Printf("%-8s downtime=%-8.3fs 5s-availability=%-6.2f 90%%-recovery=%s\n",
+		mode, sum.Downtime.Seconds(), sum.FifthSecond, rec)
+}
+
+func main() {
+	fmt.Println("Redis #12290 (infinite loop) recovered four ways:")
+	for _, mode := range []recovery.Mode{
+		recovery.ModeVanilla, recovery.ModeBuiltin, recovery.ModeCRIU, recovery.ModePhoenix,
+	} {
+		run(mode)
+	}
+	fmt.Println("\nPHOENIX keeps the dictionary in memory across the restart:")
+	fmt.Println("downtime stays near the plain-restart floor while availability")
+	fmt.Println("returns to the pre-failure level immediately (no warm-up).")
+}

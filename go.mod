@@ -1,0 +1,3 @@
+module phoenix
+
+go 1.22

@@ -1,0 +1,489 @@
+// Package analysis implements the PHOENIX static analyzer of §3.5: a
+// layered, completeness-over-soundness taint analysis over the mini-IR that
+// finds each function's modification range relative to the preserved state
+// and instruments unsafe-region state transitions (Figure 6).
+//
+// The pipeline:
+//
+//  1. bottom-up function summaries (fixpoint over the call graph): which
+//     parameters each function modifies and what its return value derives
+//     from;
+//  2. forward context propagation from the transaction entry function:
+//     which parameters are bound to preserved state at runtime;
+//  3. per-function modification ranges: the first and last instruction (in
+//     layout order) that writes preserved state, directly or through a
+//     callee;
+//  4. instrumentation: unsafe_enter / unsafe_exit transitions feeding the
+//     runtime state stack that the restart handler consults.
+//
+// Taint is deliberately coarse: any value derived from a preserved pointer
+// (field, load, copy) is preserved-tainted — the paper's "arg and any
+// arg->* are taint" heuristic, trading precision for completeness.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phoenix/internal/ir"
+)
+
+// taint is a bitmask: bit i = derived from parameter i; bit 63 = derived
+// from a preserved global root.
+type taint uint64
+
+const taintGlobal taint = 1 << 63
+
+func paramBit(i int) taint { return 1 << uint(i) }
+
+// Summary describes a function's externally visible memory effects.
+type Summary struct {
+	// ModifiesParam[i] is true if the function (transitively) stores
+	// through a pointer derived from parameter i.
+	ModifiesParam []bool
+	// ModifiesGlobal is true if it stores through a global-derived pointer.
+	ModifiesGlobal bool
+	// ReturnTaint is the taint mask of the return value in terms of the
+	// caller's arguments/global.
+	ReturnTaint taint
+}
+
+// Analyzer carries one analysis run.
+type Analyzer struct {
+	Mod       *ir.Module
+	Summaries map[string]*Summary
+
+	// addressTaken lists functions whose address is taken (funcref): the
+	// candidate targets the analyzer conservatively merges at every icall
+	// site (§3.5's indirect-call treatment).
+	addressTaken []string
+
+	// preservedParams[f] is the set (mask) of f's parameters that may be
+	// bound to preserved state in some call context reachable from the
+	// entry.
+	preservedParams map[string]taint
+
+	// ModRefs[f] lists the instructions that modify preserved state.
+	ModRefs map[string][]ir.InstrRef
+
+	// Externals lists callees not defined in the module; they are assumed
+	// effect-free unless listed in ExternalModifies.
+	Externals []string
+	// ExternalModifies maps an external function to the parameter indices
+	// it modifies (the built-in libc annotations of §3.5).
+	ExternalModifies map[string][]int
+}
+
+// New prepares an analyzer for the module.
+func New(m *ir.Module) *Analyzer {
+	return &Analyzer{
+		Mod:              m,
+		Summaries:        make(map[string]*Summary),
+		preservedParams:  make(map[string]taint),
+		ModRefs:          make(map[string][]ir.InstrRef),
+		ExternalModifies: make(map[string][]int),
+	}
+}
+
+// ComputeSummaries runs the bottom-up fixpoint (step 1). It is idempotent.
+func (a *Analyzer) ComputeSummaries() {
+	a.addressTaken = nil
+	seen := map[string]bool{}
+	for _, name := range a.Mod.Order {
+		a.Mod.Funcs[name].ForEachInstr(func(_ ir.InstrRef, in *ir.Instr) {
+			if in.Op == ir.OpFuncRef && !seen[in.Fn] {
+				seen[in.Fn] = true
+				a.addressTaken = append(a.addressTaken, in.Fn)
+			}
+		})
+	}
+	for _, name := range a.Mod.Order {
+		f := a.Mod.Funcs[name]
+		a.Summaries[name] = &Summary{ModifiesParam: make([]bool, len(f.Params))}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range a.Mod.Order {
+			if a.summarizeOnce(a.Mod.Funcs[name]) {
+				changed = true
+			}
+		}
+	}
+}
+
+// icallCandidates returns the address-taken functions an indirect call with
+// the given arity could reach — merged conservatively per §3.5 ("the
+// current tool conservatively merges all possible callees' effects for each
+// call site").
+func (a *Analyzer) icallCandidates(arity int) []string {
+	var out []string
+	for _, name := range a.addressTaken {
+		if f := a.Mod.Funcs[name]; f != nil && len(f.Params) == arity {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// regTaints computes the flow-insensitive register taint map for f, given
+// per-parameter identity taints. Iterates locally to a fixpoint (mutable
+// registers and loops).
+func (a *Analyzer) regTaints(f *ir.Func) map[string]taint {
+	t := make(map[string]taint)
+	for i, p := range f.Params {
+		t[p] = paramBit(i)
+	}
+	globals := map[string]bool{}
+	for _, g := range a.Mod.Globals {
+		globals[g] = true
+	}
+	operand := func(name string) taint {
+		if globals[name] {
+			return taintGlobal
+		}
+		return t[name]
+	}
+	for changed := true; changed; {
+		changed = false
+		upd := func(dst string, mask taint) {
+			if t[dst]|mask != t[dst] {
+				t[dst] |= mask
+				changed = true
+			}
+		}
+		f.ForEachInstr(func(_ ir.InstrRef, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpBin:
+				upd(in.Dst, operand(in.A)|operand(in.B))
+			case ir.OpLoad:
+				// Coarse: a value loaded from preserved memory is itself
+				// treated as preserved (it may be an interior pointer).
+				upd(in.Dst, operand(in.A))
+			case ir.OpGetField:
+				upd(in.Dst, operand(in.A))
+			case ir.OpCall:
+				sum := a.Summaries[in.Fn]
+				var ret taint
+				if sum != nil {
+					for i, arg := range in.Args {
+						if i < 64 && sum.ReturnTaint&paramBit(i) != 0 {
+							ret |= operand(arg)
+						}
+					}
+					if sum.ReturnTaint&taintGlobal != 0 {
+						ret |= taintGlobal
+					}
+				}
+				if in.Dst != "" {
+					upd(in.Dst, ret)
+				}
+			case ir.OpICall:
+				var ret taint
+				for _, cand := range a.icallCandidates(len(in.Args)) {
+					sum := a.Summaries[cand]
+					if sum == nil {
+						continue
+					}
+					for i, arg := range in.Args {
+						if i < 64 && sum.ReturnTaint&paramBit(i) != 0 {
+							ret |= operand(arg)
+						}
+					}
+					if sum.ReturnTaint&taintGlobal != 0 {
+						ret |= taintGlobal
+					}
+				}
+				if in.Dst != "" {
+					upd(in.Dst, ret)
+				}
+			}
+		})
+	}
+	return t
+}
+
+// summarizeOnce recomputes f's summary; reports whether it changed.
+func (a *Analyzer) summarizeOnce(f *ir.Func) bool {
+	t := a.regTaints(f)
+	globals := map[string]bool{}
+	for _, g := range a.Mod.Globals {
+		globals[g] = true
+	}
+	operand := func(name string) taint {
+		if globals[name] {
+			return taintGlobal
+		}
+		return t[name]
+	}
+	ns := &Summary{ModifiesParam: make([]bool, len(f.Params))}
+	applyMask := func(mask taint) {
+		if mask&taintGlobal != 0 {
+			ns.ModifiesGlobal = true
+		}
+		for i := range f.Params {
+			if mask&paramBit(i) != 0 {
+				ns.ModifiesParam[i] = true
+			}
+		}
+	}
+	f.ForEachInstr(func(_ ir.InstrRef, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpStore:
+			applyMask(operand(in.A))
+		case ir.OpCall:
+			if sum := a.Summaries[in.Fn]; sum != nil {
+				for i, arg := range in.Args {
+					if i < len(sum.ModifiesParam) && sum.ModifiesParam[i] {
+						applyMask(operand(arg))
+					}
+				}
+				if sum.ModifiesGlobal {
+					ns.ModifiesGlobal = true
+				}
+			} else if idxs, ok := a.ExternalModifies[in.Fn]; ok {
+				for _, i := range idxs {
+					if i < len(in.Args) {
+						applyMask(operand(in.Args[i]))
+					}
+				}
+			}
+		case ir.OpICall:
+			for _, cand := range a.icallCandidates(len(in.Args)) {
+				sum := a.Summaries[cand]
+				if sum == nil {
+					continue
+				}
+				for i, arg := range in.Args {
+					if i < len(sum.ModifiesParam) && sum.ModifiesParam[i] {
+						applyMask(operand(arg))
+					}
+				}
+				if sum.ModifiesGlobal {
+					ns.ModifiesGlobal = true
+				}
+			}
+		case ir.OpRet:
+			if in.Val != "" {
+				ns.ReturnTaint |= operand(in.Val)
+			}
+		}
+	})
+	old := a.Summaries[f.Name]
+	changed := old == nil || old.ModifiesGlobal != ns.ModifiesGlobal || old.ReturnTaint != ns.ReturnTaint
+	if old != nil {
+		for i := range ns.ModifiesParam {
+			if ns.ModifiesParam[i] != old.ModifiesParam[i] {
+				changed = true
+			}
+		}
+	}
+	a.Summaries[f.Name] = ns
+	return changed
+}
+
+// PropagateContexts performs step 2: starting from entry (whose
+// entryPreserved parameter indices, plus all globals, carry preserved
+// state), propagate which parameters of reachable functions may be bound to
+// preserved data.
+func (a *Analyzer) PropagateContexts(entry string, entryPreserved []int) error {
+	f, ok := a.Mod.Funcs[entry]
+	if !ok {
+		return fmt.Errorf("analysis: unknown entry function %q", entry)
+	}
+	var mask taint
+	for _, i := range entryPreserved {
+		if i >= len(f.Params) {
+			return fmt.Errorf("analysis: entry preserved param %d out of range", i)
+		}
+		mask |= paramBit(i)
+	}
+	a.preservedParams = map[string]taint{entry: mask}
+	work := []string{entry}
+	for len(work) > 0 {
+		name := work[0]
+		work = work[1:]
+		fn := a.Mod.Funcs[name]
+		if fn == nil {
+			continue
+		}
+		pmask := a.preservedParams[name]
+		t := a.regTaints(fn)
+		globals := map[string]bool{}
+		for _, g := range a.Mod.Globals {
+			globals[g] = true
+		}
+		preservedVal := func(name string) bool {
+			if globals[name] {
+				return true
+			}
+			m := t[name]
+			if m&taintGlobal != 0 {
+				return true
+			}
+			return m&pmask != 0
+		}
+		fn.ForEachInstr(func(_ ir.InstrRef, in *ir.Instr) {
+			var targets []string
+			switch in.Op {
+			case ir.OpCall:
+				if _, defined := a.Mod.Funcs[in.Fn]; defined {
+					targets = []string{in.Fn}
+				}
+			case ir.OpICall:
+				targets = a.icallCandidates(len(in.Args))
+			default:
+				return
+			}
+			var calleeMask taint
+			for i, arg := range in.Args {
+				if i < 64 && preservedVal(arg) {
+					calleeMask |= paramBit(i)
+				}
+			}
+			for _, target := range targets {
+				old := a.preservedParams[target]
+				if old|calleeMask != old || !a.seen(target) {
+					a.preservedParams[target] = old | calleeMask
+					work = append(work, target)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+func (a *Analyzer) seen(fn string) bool {
+	_, ok := a.preservedParams[fn]
+	return ok
+}
+
+// FindModRefs performs step 3: per reachable function, the instructions that
+// modify preserved state.
+func (a *Analyzer) FindModRefs() {
+	a.ModRefs = make(map[string][]ir.InstrRef)
+	for name, pmask := range a.preservedParams {
+		fn := a.Mod.Funcs[name]
+		if fn == nil {
+			continue
+		}
+		t := a.regTaints(fn)
+		globals := map[string]bool{}
+		for _, g := range a.Mod.Globals {
+			globals[g] = true
+		}
+		preservedVal := func(n string) bool {
+			if globals[n] {
+				return true
+			}
+			m := t[n]
+			return m&taintGlobal != 0 || m&pmask != 0
+		}
+		var refs []ir.InstrRef
+		fn.ForEachInstr(func(ref ir.InstrRef, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpStore:
+				if preservedVal(in.A) {
+					refs = append(refs, ref)
+				}
+			case ir.OpCall:
+				if sum := a.Summaries[in.Fn]; sum != nil {
+					for i, arg := range in.Args {
+						if i < len(sum.ModifiesParam) && sum.ModifiesParam[i] && preservedVal(arg) {
+							refs = append(refs, ref)
+							return
+						}
+					}
+					if sum.ModifiesGlobal {
+						refs = append(refs, ref)
+					}
+				} else if idxs, ok := a.ExternalModifies[in.Fn]; ok {
+					for _, i := range idxs {
+						if i < len(in.Args) && preservedVal(in.Args[i]) {
+							refs = append(refs, ref)
+							return
+						}
+					}
+				}
+			case ir.OpICall:
+				for _, cand := range a.icallCandidates(len(in.Args)) {
+					sum := a.Summaries[cand]
+					if sum == nil {
+						continue
+					}
+					for i, arg := range in.Args {
+						if i < len(sum.ModifiesParam) && sum.ModifiesParam[i] && preservedVal(arg) {
+							refs = append(refs, ref)
+							return
+						}
+					}
+					if sum.ModifiesGlobal {
+						refs = append(refs, ref)
+						return
+					}
+				}
+			}
+		})
+		if len(refs) > 0 {
+			a.ModRefs[name] = refs
+		}
+	}
+}
+
+// Run executes the whole pipeline.
+func (a *Analyzer) Run(entry string, entryPreserved []int) error {
+	a.ComputeSummaries()
+	if err := a.PropagateContexts(entry, entryPreserved); err != nil {
+		return err
+	}
+	a.FindModRefs()
+	return nil
+}
+
+// Report renders a human-readable analysis report.
+func (a *Analyzer) Report() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(a.Summaries))
+	for n := range a.Summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sb.WriteString("function summaries:\n")
+	for _, n := range names {
+		s := a.Summaries[n]
+		mods := []string{}
+		for i, m := range s.ModifiesParam {
+			if m {
+				mods = append(mods, fmt.Sprintf("param%d", i))
+			}
+		}
+		if s.ModifiesGlobal {
+			mods = append(mods, "global")
+		}
+		if len(mods) == 0 {
+			mods = append(mods, "none")
+		}
+		fmt.Fprintf(&sb, "  %-24s modifies: %s\n", n, strings.Join(mods, ","))
+	}
+	sb.WriteString("modification ranges:\n")
+	var modNames []string
+	for n := range a.ModRefs {
+		modNames = append(modNames, n)
+	}
+	sort.Strings(modNames)
+	for _, n := range modNames {
+		refs := a.ModRefs[n]
+		first, last := refs[0], refs[0]
+		for _, r := range refs {
+			if r.Less(first) {
+				first = r
+			}
+			if last.Less(r) {
+				last = r
+			}
+		}
+		fmt.Fprintf(&sb, "  %-24s %d modifying instr(s), range b%d:%d .. b%d:%d\n",
+			n, len(refs), first.Block, first.Index, last.Block, last.Index)
+	}
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"testing"
+
+	"phoenix/internal/ir"
+)
+
+// LSMModel is a second application model: a LevelDB-style put path where a
+// write-ahead-log append is an *external* function (the glibc/file-IO case
+// of §3.5's limitations). Without an annotation the analyzer cannot see the
+// WAL write's effect; with the built-in-style annotation the append joins
+// the modification range, as the paper says LevelDB requires manually.
+const LSMModel = `
+global db
+
+func put(key, val) {
+entry:
+  rec = alloc 32
+  store rec, 0, key
+  store rec, 8, val
+  call wal_append(db, rec)
+  n = call mt_insert(db, key, val)
+  ret n
+}
+
+func mt_insert(t, key, val) {
+entry:
+  node = alloc 32
+  store node, 8, key
+  store node, 16, val
+  head = load t, 0
+  store node, 0, head
+  store t, 0, node
+  c = load t, 8
+  c1 = add c, 1
+  store t, 8, c1
+  ret node
+}
+`
+
+func TestExternalUnannotated(t *testing.T) {
+	m := ir.MustParse(LSMModel)
+	ext, err := m.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 1 || ext[0] != "wal_append" {
+		t.Fatalf("externals = %v", ext)
+	}
+	a := New(m)
+	if err := a.Run("put", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Without annotation, put's modification range starts at the mt_insert
+	// call: the WAL append is invisible.
+	refs := a.ModRefs["put"]
+	if len(refs) != 1 {
+		t.Fatalf("put mod refs = %v, want only the mt_insert call", refs)
+	}
+	// mt_insert: three modifying stores through t (head link, node link via
+	// t-derived head?, counter) — node stores excluded.
+	got := len(a.ModRefs["mt_insert"])
+	if got != 2 {
+		t.Fatalf("mt_insert mod refs = %d, want 2 (t head link + counter)", got)
+	}
+}
+
+func TestExternalAnnotated(t *testing.T) {
+	m := ir.MustParse(LSMModel)
+	a := New(m)
+	// The built-in annotation: wal_append(db, rec) modifies the database
+	// state reachable from its first argument (the paper's LevelDB manual
+	// annotation tying file writes to in-memory state).
+	a.ExternalModifies["wal_append"] = []int{0}
+	if err := a.Run("put", nil); err != nil {
+		t.Fatal(err)
+	}
+	refs := a.ModRefs["put"]
+	if len(refs) != 2 {
+		t.Fatalf("annotated put mod refs = %d, want 2 (wal_append + mt_insert)", len(refs))
+	}
+	// The instrumented range must now begin at the wal_append call.
+	nm, placements, err := a.Instrument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var put *Placement
+	for i := range placements {
+		if placements[i].Fn == "put" {
+			put = &placements[i]
+		}
+	}
+	if put == nil || !put.Tight {
+		t.Fatalf("put placement = %+v", put)
+	}
+	// Execute the instrumented module with the external wired in; crash
+	// verdicts must cover the WAL append now.
+	in := ir.NewInterp(nm)
+	appended := 0
+	in.Externals["wal_append"] = func(args []int64) int64 {
+		appended++
+		return 0
+	}
+	if _, err := in.Call("put", 7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if appended != 1 {
+		t.Fatalf("wal_append ran %d times", appended)
+	}
+	// Sweep crash points: any crash while the external WAL call is pending
+	// must be unsafe.
+	sawUnsafeAtCall := false
+	for crashAt := 1; crashAt < 60; crashAt++ {
+		in := ir.NewInterp(nm)
+		in.Externals["wal_append"] = func([]int64) int64 { return 0 }
+		in.CrashAtStep = crashAt
+		_, err := in.Call("put", 7, 70)
+		if err == nil {
+			break
+		}
+		crash, ok := err.(*ir.ErrCrash)
+		if !ok {
+			t.Fatal(err)
+		}
+		if !ir.Safe(crash.Stack) {
+			sawUnsafeAtCall = true
+		}
+	}
+	if !sawUnsafeAtCall {
+		t.Fatal("no crash point inside the annotated region")
+	}
+}
+
+func TestExternalSummaryPropagation(t *testing.T) {
+	// An external's effect must propagate through wrappers: f calls the
+	// annotated external with its own parameter; callers of f with
+	// preserved arguments become modifying.
+	src := `
+global g
+
+func outer() {
+entry:
+  call wrapper(g)
+  ret
+}
+
+func wrapper(p) {
+entry:
+  call ext_mutate(p)
+  ret
+}
+`
+	m := ir.MustParse(src)
+	a := New(m)
+	a.ExternalModifies["ext_mutate"] = []int{0}
+	if err := a.Run("outer", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Summaries["wrapper"].ModifiesParam[0] {
+		t.Fatal("external effect not folded into wrapper's summary")
+	}
+	if len(a.ModRefs["outer"]) != 1 {
+		t.Fatalf("outer mod refs = %v", a.ModRefs["outer"])
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"phoenix/internal/ir"
+)
+
+// DispatchModel exercises indirect calls: a command table dispatches through
+// a function pointer to either a read-only or a modifying handler — the
+// Redis command-table shape §3.5's limitations discuss. The analyzer cannot
+// know which target runs, so it conservatively merges both callees' effects
+// at the icall site.
+const DispatchModel = `
+global table
+
+func dispatch(cmd, key, val) {
+entry:
+  getf = funcref do_get
+  setf = funcref do_set
+  iswrite = eq cmd, 1
+  cbr iswrite, pickset, pickget
+pickset:
+  h = add setf, 0
+  br go
+pickget:
+  h = add getf, 0
+  br go
+go:
+  r = icall h(table, key, val)
+  ret r
+}
+
+func do_get(t, key, val) {
+entry:
+  b = load t, 8
+  v = load b, 0
+  ret v
+}
+
+func do_set(t, key, val) {
+entry:
+  b = load t, 8
+  store b, 0, val
+  c = load t, 16
+  c1 = add c, 1
+  store t, 16, c1
+  ret c1
+}
+`
+
+func TestICallInterp(t *testing.T) {
+	m := ir.MustParse(DispatchModel)
+	in := ir.NewInterp(m)
+	bucket := in.Global("table") + 256
+	in.Store(in.Global("table")+8, bucket)
+	// Write path (cmd=1).
+	if _, err := in.Call("dispatch", 1, 5, 55); err != nil {
+		t.Fatal(err)
+	}
+	if in.Load(bucket) != 55 || in.Load(in.Global("table")+16) != 1 {
+		t.Fatal("indirect set did not apply")
+	}
+	// Read path (cmd=0).
+	got, err := in.Call("dispatch", 0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Fatalf("indirect get = %d", got)
+	}
+}
+
+func TestICallMergedSummaries(t *testing.T) {
+	m := ir.MustParse(DispatchModel)
+	a := New(m)
+	if err := a.Run("dispatch", nil); err != nil {
+		t.Fatal(err)
+	}
+	// do_set modifies t; do_get does not.
+	if !a.Summaries["do_set"].ModifiesParam[0] || a.Summaries["do_get"].ModifiesParam[0] {
+		t.Fatalf("handler summaries wrong: %+v / %+v", a.Summaries["do_set"], a.Summaries["do_get"])
+	}
+	// The icall site merges both: dispatch conservatively modifies global
+	// state even on the read path.
+	if !a.Summaries["dispatch"].ModifiesGlobal {
+		t.Fatal("icall effects not merged into dispatch")
+	}
+	if got := len(a.ModRefs["dispatch"]); got != 1 {
+		t.Fatalf("dispatch mod refs = %d, want the icall site", got)
+	}
+	// Context propagation reaches both candidates.
+	if len(a.ModRefs["do_set"]) == 0 {
+		t.Fatal("do_set not analysed as reachable with preserved state")
+	}
+}
+
+func TestICallInstrumentedVerdicts(t *testing.T) {
+	m := ir.MustParse(DispatchModel)
+	a := New(m)
+	if err := a.Run("dispatch", nil); err != nil {
+		t.Fatal(err)
+	}
+	nm, placements, err := a.Instrument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := map[string]bool{}
+	for _, p := range placements {
+		instrumented[p.Fn] = true
+	}
+	if !instrumented["dispatch"] || !instrumented["do_set"] {
+		t.Fatalf("placements = %+v", placements)
+	}
+	// do_get is read-only yet conservatively reachable; the paper accepts
+	// this imprecision ("callees of the same call site often share similar
+	// modification semantics") — it must NOT be instrumented since it has
+	// no modifying instructions.
+	if instrumented["do_get"] {
+		t.Fatal("read-only handler instrumented")
+	}
+	// Round-trip the instrumented module through the textual format.
+	text := nm.String()
+	if !strings.Contains(text, "icall") || !strings.Contains(text, "funcref") {
+		t.Fatalf("textual form lost indirect ops:\n%s", text)
+	}
+	if _, err := ir.Parse(text); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	// Crash mid-do_set: unsafe (dispatch M + do_set M). Crash in do_get
+	// under dispatch's M region: conservatively unsafe too.
+	sawSafe, sawUnsafe := false, false
+	for crashAt := 1; crashAt < 80; crashAt++ {
+		in := ir.NewInterp(nm)
+		bucket := in.Global("table") + 256
+		in.Store(in.Global("table")+8, bucket)
+		in.CrashAtStep = crashAt
+		_, err := in.Call("dispatch", 1, 5, 55)
+		if err == nil {
+			break
+		}
+		crash, ok := err.(*ir.ErrCrash)
+		if !ok {
+			t.Fatal(err)
+		}
+		if ir.Safe(crash.Stack) {
+			sawSafe = true
+		} else {
+			sawUnsafe = true
+		}
+	}
+	if !sawSafe || !sawUnsafe {
+		t.Fatalf("sweep lacked variety: safe=%v unsafe=%v", sawSafe, sawUnsafe)
+	}
+}
+
+func TestFuncRefValidate(t *testing.T) {
+	if _, err := ir.Parse("func f() {\nentry:\n  x = funcref nope\n  ret\n}"); err == nil {
+		// Parse succeeds; Validate must flag it.
+		m, _ := ir.Parse("func f() {\nentry:\n  x = funcref nope\n  ret\n}")
+		if _, err := m.Validate(); err == nil {
+			t.Fatal("funcref to unknown function validated")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+
+	"phoenix/internal/ir"
+)
+
+// Placement describes where the instrumenter put a function's unsafe-region
+// transitions.
+type Placement struct {
+	Fn string
+	// Tight is true when all modifications sit in one block and the
+	// enter/exit pair brackets exactly the modification range; false means
+	// the conservative whole-function placement was used (enter at function
+	// entry, exit before every return).
+	Tight bool
+	// EnterBlock/EnterIndex locate the inserted unsafe_enter (tight mode).
+	EnterBlock, EnterIndex int
+	// ExitBlock/ExitIndex locate the inserted unsafe_exit (tight mode).
+	ExitBlock, ExitIndex int
+}
+
+// Instrument inserts unsafe_enter/unsafe_exit state transitions into a copy
+// of the module according to the analysis results, and returns the
+// instrumented module plus the placements.
+//
+// Placement policy (conservative in the paper's sense — the instrumented
+// range may only be larger than the true modification range, never smaller):
+//
+//   - if every modifying instruction of a function lies in a single basic
+//     block, the enter/exit pair tightly brackets the first..last modifying
+//     instructions of that block;
+//   - otherwise the whole function body becomes the unsafe region: enter is
+//     the first instruction, and an exit precedes every return.
+func (a *Analyzer) Instrument() (*ir.Module, []Placement, error) {
+	if len(a.ModRefs) == 0 && len(a.preservedParams) == 0 {
+		return nil, nil, fmt.Errorf("analysis: Instrument before Run")
+	}
+	nm := a.Mod.Clone()
+	var placements []Placement
+	for _, name := range nm.Order {
+		refs := a.ModRefs[name]
+		if len(refs) == 0 {
+			continue
+		}
+		f := nm.Funcs[name]
+		first, last := refs[0], refs[0]
+		sameBlock := true
+		for _, r := range refs {
+			if r.Less(first) {
+				first = r
+			}
+			if last.Less(r) {
+				last = r
+			}
+		}
+		for _, r := range refs {
+			if r.Block != first.Block {
+				sameBlock = false
+			}
+		}
+		if sameBlock {
+			b := f.Blocks[first.Block]
+			// Insert exit first so the enter index stays valid.
+			b.Instrs = insertAt(b.Instrs, last.Index+1, ir.Instr{Op: ir.OpUnsafeExit})
+			b.Instrs = insertAt(b.Instrs, first.Index, ir.Instr{Op: ir.OpUnsafeEnter})
+			placements = append(placements, Placement{
+				Fn: name, Tight: true,
+				EnterBlock: first.Block, EnterIndex: first.Index,
+				ExitBlock: last.Block, ExitIndex: last.Index + 2, // after shift by enter
+			})
+			continue
+		}
+		// Conservative whole-function region.
+		entry := f.Entry()
+		entry.Instrs = insertAt(entry.Instrs, 0, ir.Instr{Op: ir.OpUnsafeEnter})
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Instrs); i++ {
+				if b.Instrs[i].Op == ir.OpRet {
+					b.Instrs = insertAt(b.Instrs, i, ir.Instr{Op: ir.OpUnsafeExit})
+					i++
+				}
+			}
+		}
+		placements = append(placements, Placement{Fn: name, Tight: false})
+	}
+	return nm, placements, nil
+}
+
+func insertAt(instrs []ir.Instr, i int, in ir.Instr) []ir.Instr {
+	instrs = append(instrs, ir.Instr{})
+	copy(instrs[i+1:], instrs[i:])
+	instrs[i] = in
+	return instrs
+}

@@ -1,0 +1,122 @@
+package analysis
+
+// KVModel is the mini-IR model of the kvstore request handlers — the
+// analogue of running the paper's compiler pass over Redis's dictionary
+// code (Figure 6's example shape: a handler that calls delete then insert,
+// where insert's last step is linking a list node).
+//
+// Memory layout of the preserved dictionary rooted at the global `table`:
+//
+//	table+8:  bucket cell pointer (the single chain head for this model)
+//	table+16: entry count
+//	entry+0:  next entry
+//	entry+8:  key
+//	entry+16: value
+//
+// The analyzer must find: `link` modifies its t parameter (one store),
+// `insert` modifies t directly (counter) and via link, `delete` modifies t
+// in its unlink block, and `handler`'s modification range spans the delete
+// and insert calls.
+const KVModel = `
+global table
+
+func handler(key, val) {
+entry:
+  e = call lookup(table, key)
+  found = eq e, 0
+  cbr found, insert_new, update
+update:
+  call delete(table, key)
+  n = call insert(table, key, val)
+  br done
+insert_new:
+  n2 = call insert(table, key, val)
+  br done
+done:
+  c = load table, 16
+  ret c
+}
+
+func reader(key) {
+entry:
+  e = call lookup(table, key)
+  miss = eq e, 0
+  cbr miss, out, hit
+hit:
+  v = load e, 16
+  ret v
+out:
+  z = const 0
+  ret z
+}
+
+func lookup(t, key) {
+entry:
+  b = load t, 8
+  e = load b, 0
+  br scan
+scan:
+  miss = eq e, 0
+  cbr miss, out, check
+check:
+  k = load e, 8
+  hit = eq k, key
+  cbr hit, found, next
+next:
+  e = load e, 0
+  br scan
+found:
+  ret e
+out:
+  z = const 0
+  ret z
+}
+
+func delete(t, key) {
+entry:
+  b = load t, 8
+  br scan
+scan:
+  e = load b, 0
+  gone = eq e, 0
+  cbr gone, out, check
+check:
+  k = load e, 8
+  hit = eq k, key
+  cbr hit, unlink, next
+next:
+  b = field e, 0
+  br scan
+unlink:
+  nxt = load e, 0
+  store b, 0, nxt
+  c = load t, 16
+  c1 = sub c, 1
+  store t, 16, c1
+  br out
+out:
+  r = const 0
+  ret r
+}
+
+func insert(t, key, val) {
+entry:
+  node = alloc 32
+  store node, 8, key
+  store node, 16, val
+  c = load t, 16
+  c1 = add c, 1
+  store t, 16, c1
+  call link(t, node)
+  ret node
+}
+
+func link(t, node) {
+entry:
+  b = load t, 8
+  head = load b, 0
+  store node, 0, head
+  store b, 0, node
+  ret
+}
+`

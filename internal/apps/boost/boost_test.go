@@ -1,0 +1,247 @@
+package boost
+
+import (
+	"testing"
+	"time"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+// iterGen produces compute "requests" (one per boosting iteration).
+type iterGen struct{ seq uint64 }
+
+func (g *iterGen) Next() *workload.Request {
+	g.seq++
+	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "iter"}
+}
+
+func boot(t *testing.T, cfg Config, rcfg recovery.Config, seed int64) (*recovery.Harness, *Trainer) {
+	t.Helper()
+	m := kernel.NewMachine(seed)
+	tr := New(cfg, nil)
+	h := recovery.NewHarness(m, rcfg, tr, &iterGen{}, nil)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return h, tr
+}
+
+func smallCfg() Config {
+	return Config{Samples: 400, Features: 4, MaxIters: 64, WorkScale: 10}
+}
+
+func TestTrainingConverges(t *testing.T) {
+	h, tr := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 1)
+	if err := h.RunRequests(5); err != nil {
+		t.Fatal(err)
+	}
+	early := tr.RMSE()
+	if err := h.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	late := tr.RMSE()
+	if late >= early {
+		t.Fatalf("no convergence: rmse %.4f -> %.4f", early, late)
+	}
+	if tr.CompletedIters() != 35 {
+		t.Fatalf("CompletedIters = %d", tr.CompletedIters())
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	h, tr := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeBuiltin, CheckpointInterval: time.Hour}, 2)
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	tr.Checkpoint()
+	before := tr.Dump()
+	// Crash: builtin restart loads the checkpoint.
+	tr.ArmBug("X1")
+	if err := h.RunRequests(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().CkptLoads != 1 {
+		t.Fatalf("checkpoint not loaded: %+v", tr.Stats())
+	}
+	after := tr.Dump()
+	if after["ntrees"] != before["ntrees"] {
+		t.Fatalf("model size after load: %s vs %s", after["ntrees"], before["ntrees"])
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("model tree %s differs after checkpoint load", k)
+		}
+	}
+}
+
+func TestVanillaRecomputesFromScratch(t *testing.T) {
+	h, tr := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 3)
+	if err := h.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	tr.ArmBug("X1")
+	if err := h.RunRequests(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.CompletedIters() > 1 {
+		t.Fatalf("vanilla restart kept %d iterations", tr.CompletedIters())
+	}
+	// Re-running old iterations counts as recompute, not progress.
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Recomputed == 0 {
+		t.Fatal("recomputed iterations not flagged")
+	}
+}
+
+func TestPhoenixResumesMidTraining(t *testing.T) {
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, tr := boot(t, smallCfg(), rcfg, 4)
+	if err := h.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.CompletedIters()
+	tr.ArmBug("X1")
+	if err := h.RunRequests(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.PhoenixRestarts != 1 {
+		t.Fatalf("stats: %+v", h.Stat)
+	}
+	if tr.CompletedIters() < before {
+		t.Fatalf("phoenix lost progress: %d -> %d", before, tr.CompletedIters())
+	}
+	if tr.Stats().Recomputed != 0 {
+		t.Fatalf("phoenix should not recompute: %+v", tr.Stats())
+	}
+}
+
+func TestPhoenixModelMatchesUninterrupted(t *testing.T) {
+	// Ground truth: 30 iterations with no fault.
+	hRef, trRef := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 5)
+	if err := hRef.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	want := trRef.Dump()
+
+	// Faulted run with a PHOENIX recovery in the middle.
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, tr := boot(t, smallCfg(), rcfg, 5)
+	if err := h.RunRequests(15); err != nil {
+		t.Fatal(err)
+	}
+	tr.ArmBug("X1")
+	if err := h.RunRequests(16); err != nil { // crash request + remaining 15
+		t.Fatal(err)
+	}
+	got := tr.Dump()
+	if got["ntrees"] != want["ntrees"] {
+		t.Fatalf("ntrees %s vs %s", got["ntrees"], want["ntrees"])
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("tree %s diverged after phoenix recovery", k)
+		}
+	}
+}
+
+func TestStageReplayWithinIteration(t *testing.T) {
+	// Crash inside the update stage of iteration 7; PHOENIX must resume at
+	// that stage, not redo the whole run.
+	m := kernel.NewMachine(6)
+	tr := New(smallCfg(), nil)
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h := recovery.NewHarness(m, rcfg, tr, &iterGen{}, nil)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunRequests(7); err != nil {
+		t.Fatal(err)
+	}
+	tr.ArmBug("X1") // fires at the top of iteration 7, before its stages
+	if err := h.RunRequests(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.CompletedIters() < 8 {
+		t.Fatalf("iteration 7 not completed after recovery: %d", tr.CompletedIters())
+	}
+}
+
+func TestCRIUResumesFromSnapshot(t *testing.T) {
+	rcfg := recovery.Config{Mode: recovery.ModeCRIU, CheckpointInterval: time.Millisecond, WatchdogTimeout: time.Second}
+	h, tr := boot(t, smallCfg(), rcfg, 7)
+	if err := h.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	tr.ArmBug("X1")
+	if err := h.RunRequests(2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.OtherRestarts != 1 {
+		t.Fatalf("stats: %+v", h.Stat)
+	}
+	// Snapshot-time progress retained (snapshots are taken every
+	// millisecond of simulated time, i.e. at least once per iteration).
+	if tr.CompletedIters() < 15 {
+		t.Fatalf("criu lost too much progress: %d", tr.CompletedIters())
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	_, tr1 := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 8)
+	_, tr2 := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 8)
+	for i := 0; i < 10; i++ {
+		tr1.Handle(&workload.Request{})
+		tr2.Handle(&workload.Request{})
+	}
+	d1, d2 := tr1.Dump(), tr2.Dump()
+	if len(d1) != len(d2) {
+		t.Fatal("dumps differ in size")
+	}
+	for k, v := range d1 {
+		if d2[k] != v {
+			t.Fatalf("nondeterministic training at %s", k)
+		}
+	}
+}
+
+// TestMidPredictCrashRollsBack is the double-apply regression test: a crash
+// halfway through the (non-idempotent) predict stage must roll preds back to
+// the stage vault's pre-image before re-running, so the recovered model is
+// bit-identical to an uninterrupted run.
+func TestMidPredictCrashRollsBack(t *testing.T) {
+	hRef, trRef := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 50)
+	if err := hRef.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	want := trRef.Dump()
+	wantRMSE := trRef.RMSE()
+
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, tr := boot(t, smallCfg(), rcfg, 50)
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	tr.crashMidStage = "predict"
+	if err := h.RunRequests(11); err != nil { // the crashed request + 10 live
+		t.Fatal(err)
+	}
+	if h.Stat.PhoenixRestarts != 1 {
+		t.Fatalf("stats %+v", h.Stat)
+	}
+	got := tr.Dump()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("model diverged at %s after mid-predict crash", k)
+		}
+	}
+	if got["ntrees"] != want["ntrees"] {
+		t.Fatalf("ntrees %s vs %s", got["ntrees"], want["ntrees"])
+	}
+	if gotRMSE := tr.RMSE(); gotRMSE != wantRMSE {
+		t.Fatalf("rmse %.9f vs %.9f: predictions double-applied", gotRMSE, wantRMSE)
+	}
+}

@@ -1,0 +1,177 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+// TestEnduranceManyFailures drives the store through a long run with a
+// failure every few thousand requests, cycling through the bug catalogue,
+// and validates the end-to-end dataset exactly: every present key must
+// carry its ground-truth value, and at most one insert (the in-flight
+// request) may be missing per failure.
+func TestEnduranceManyFailures(t *testing.T) {
+	h, kv := boot(t, Config{}, recovery.ModePhoenix, phoenixCfg(), 99)
+	bugs := []string{"R3", "R1", "R4", "R3", "R1"}
+	const perPhase = 2000
+	totalInserts := 0
+	for phase := 0; phase < len(bugs)+1; phase++ {
+		for i := 0; i < perPhase; i++ {
+			key := fmt.Sprintf("end-%06d", totalInserts)
+			ok, _ := kv.Handle(&workload.Request{Op: workload.OpInsert, Key: key, Value: workload.Value(key, 1, 32)})
+			_ = ok
+			totalInserts++
+		}
+		if phase < len(bugs) {
+			kv.ArmBug(bugs[phase])
+			// Drive through the failure via the harness (recovery included).
+			if err := h.RunRequests(1); err != nil {
+				t.Fatal(err)
+			}
+			// Leave the grace window so each failure gets a fresh PHOENIX
+			// attempt.
+			h.M.Clock.Advance(15 * time.Second)
+		}
+	}
+	if h.Stat.Failures != len(bugs) {
+		t.Fatalf("failures = %d, want %d", h.Stat.Failures, len(bugs))
+	}
+	if h.Stat.PhoenixRestarts != len(bugs) {
+		t.Fatalf("phoenix restarts = %d (stats %+v)", h.Stat.PhoenixRestarts, h.Stat)
+	}
+
+	dump := kv.Dump()
+	present, corrupt := 0, 0
+	for i := 0; i < totalInserts; i++ {
+		key := fmt.Sprintf("end-%06d", i)
+		v, ok := dump[key]
+		if !ok {
+			continue
+		}
+		present++
+		if v != string(workload.Value(key, 1, 32)) {
+			corrupt++
+		}
+	}
+	if corrupt != 0 {
+		t.Fatalf("%d corrupted values after %d failures", corrupt, len(bugs))
+	}
+	// Each failure may lose only work in flight at the crash.
+	if totalInserts-present > len(bugs)*2 {
+		t.Fatalf("lost %d inserts across %d failures", totalInserts-present, len(bugs))
+	}
+	// The store is still fully serviceable.
+	if err := h.RunRequests(1000); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.Failures != len(bugs) {
+		t.Fatal("spurious failure after endurance run")
+	}
+}
+
+// TestEnduranceAlternatingMechanisms checks a PHOENIX deployment that also
+// checkpoints: phoenix restarts and unsafe-region fallbacks interleave, and
+// the RDB keeps fallbacks from losing everything.
+func TestEnduranceAlternatingMechanisms(t *testing.T) {
+	cfg := recovery.Config{
+		Mode: recovery.ModePhoenix, UnsafeRegions: true,
+		WatchdogTimeout: time.Second, CheckpointInterval: 50 * time.Millisecond,
+	}
+	h, kv := boot(t, Config{}, recovery.ModePhoenix, cfg, 101)
+	kv.Load(loadKeys(3000), 64)
+	for round := 0; round < 4; round++ {
+		if err := h.RunRequests(3000); err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 0 {
+			kv.ArmBug("R3") // recoverable
+		} else {
+			kv.ArmBug("R2") // unsafe-region fallback
+		}
+		if err := h.RunRequests(10); err != nil {
+			t.Fatal(err)
+		}
+		h.M.Clock.Advance(15 * time.Second)
+	}
+	if h.Stat.PhoenixRestarts != 2 || h.Stat.UnsafeFallbacks != 2 {
+		t.Fatalf("stats %+v", h.Stat)
+	}
+	// After fallbacks the RDB restores the bulk of the dataset.
+	if kv.Len() < 2500 {
+		t.Fatalf("dataset shrank to %d", kv.Len())
+	}
+	// All values exact.
+	for k, v := range kv.Dump() {
+		if len(k) > 4 && k[:4] == "user" && v != string(workload.Value(k, 1, 64)) {
+			// Inserted keys (non-"user") carry other versions; loaded keys
+			// must be exact.
+			t.Fatalf("key %s corrupted", k)
+		}
+	}
+}
+
+// TestQuickStoreMapEquivalence drives random op streams against the store
+// and a shadow Go map, with periodic PHOENIX crashes; the store must match
+// the shadow exactly except for the single in-flight request per crash.
+func TestQuickStoreMapEquivalence(t *testing.T) {
+	f := func(ops []uint16, crashEvery uint8) bool {
+		h, kv := bootQuick(t, 77)
+		shadow := map[string]string{}
+		interval := int(crashEvery)%37 + 13
+		for i, op := range ops {
+			key := fmt.Sprintf("q%03d", op%97)
+			switch op % 3 {
+			case 0, 1:
+				val := fmt.Sprintf("v%d", op)
+				ok, _ := kv.Handle(&workload.Request{Op: workload.OpInsert, Key: key, Value: []byte(val)})
+				if !ok {
+					return false
+				}
+				shadow[key] = val
+			case 2:
+				kv.Handle(&workload.Request{Op: workload.OpDelete, Key: key})
+				delete(shadow, key)
+			}
+			if i%interval == interval-1 {
+				kv.ArmBug("R3")
+				if err := h.RunRequests(1); err != nil {
+					return false
+				}
+				h.M.Clock.Advance(12 * time.Second) // leave grace window
+			}
+		}
+		dump := kv.Dump()
+		if len(dump) != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			if dump[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bootQuick(t *testing.T, seed int64) (*recovery.Harness, *KV) {
+	t.Helper()
+	m := kernel.NewMachine(seed)
+	kv := New(Config{Cleanup: true, BootCost: time.Millisecond, PhoenixBootCost: time.Millisecond}, nil)
+	gen := workload.NewFillSeq(16)
+	h := recovery.NewHarness(m, recovery.Config{
+		Mode: recovery.ModePhoenix, UnsafeRegions: true, WatchdogTimeout: time.Second,
+	}, kv, gen, nil)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return h, kv
+}

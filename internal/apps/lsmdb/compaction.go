@@ -1,0 +1,89 @@
+package lsmdb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Size-tiered compaction: when the number of sorted runs exceeds
+// CompactionThreshold, merge them all into one run. Compaction reads every
+// input run, merges by key with newest-wins semantics, drops tombstones
+// whose key appears in no older run (after a full merge there are no older
+// runs, so all tombstones die), and writes one output run.
+//
+// Like the flush path, compaction mutates only on-disk state plus the
+// Go-side run index (the MANIFEST analogue); the preserved in-memory state
+// is untouched, so no unsafe region is needed — a crash mid-compaction
+// leaves the old runs in place because the output is swapped in last
+// (write-new-then-unlink, the crash-safe order real LSM stores use).
+
+// CompactionThreshold is the run count that triggers a merge.
+const CompactionThreshold = 4
+
+// maybeCompact merges all runs when the threshold is exceeded.
+func (db *DB) maybeCompact() {
+	if len(db.ssts) < CompactionThreshold {
+		return
+	}
+	db.compact()
+}
+
+// compact merges every current run into one.
+func (db *DB) compact() {
+	if len(db.ssts) <= 1 {
+		return
+	}
+	m := db.rt.Proc().Machine
+
+	// Read all inputs (oldest first so newer entries overwrite).
+	merged := map[string][]byte{}
+	var inputs []string
+	var inputBytes int64
+	for i := len(db.ssts) - 1; i >= 0; i-- {
+		s := db.ssts[i]
+		data, ok := m.Disk.ReadFile(s.name)
+		if !ok {
+			continue
+		}
+		inputBytes += int64(len(data))
+		forEachKV(data, func(k string, v []byte) {
+			merged[k] = v // nil marks a tombstone
+		})
+		inputs = append(inputs, s.name)
+	}
+
+	// Emit in key order, dropping tombstones (full merge ⇒ nothing older).
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		if merged[k] != nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		buf = appendKV(buf, []byte(k), merged[k])
+	}
+	m.Clock.Advance(time.Duration(inputBytes+int64(len(buf))) * m.Model.MarshalPerByte)
+
+	name := fmt.Sprintf("sst-%06d", db.nextSST)
+	db.nextSST++
+	var newRuns []sst
+	if len(keys) > 0 {
+		m.Disk.WriteFile(name, buf)
+		newRuns = []sst{{
+			name: name, min: keys[0], max: keys[len(keys)-1],
+			bytes: int64(len(buf)), records: len(keys),
+		}}
+	}
+	// Swap in the new index, then unlink inputs (crash-safe order).
+	db.ssts = newRuns
+	for _, in := range inputs {
+		m.Disk.Remove(in)
+	}
+	db.stats.Compactions++
+}
+
+// Compact forces a full merge (tests and tools).
+func (db *DB) Compact() { db.compact() }

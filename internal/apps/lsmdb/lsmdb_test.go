@@ -1,0 +1,346 @@
+package lsmdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+func boot(t *testing.T, cfg Config, rcfg recovery.Config, seed int64) (*recovery.Harness, *DB) {
+	t.Helper()
+	m := kernel.NewMachine(seed)
+	db := New(cfg, nil)
+	gen := workload.NewFillSeq(100)
+	h := recovery.NewHarness(m, rcfg, db, gen, nil)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return h, db
+}
+
+func TestFillAndGet(t *testing.T) {
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, recovery.Config{Mode: recovery.ModeBuiltin}, 1)
+	if err := h.RunRequests(1000); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1000 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	ok, eff := db.Handle(&workload.Request{Op: workload.OpRead, Key: fmt.Sprintf("%016d", 42)})
+	if !ok || !eff {
+		t.Fatal("read of inserted key missed")
+	}
+	ok, eff = db.Handle(&workload.Request{Op: workload.OpRead, Key: "nope"})
+	if !ok || eff {
+		t.Fatal("read of absent key hit")
+	}
+}
+
+func TestFlushAndReadFromRun(t *testing.T) {
+	h, db := boot(t, Config{MemtableThreshold: 32 << 10}, recovery.Config{Mode: recovery.ModeBuiltin}, 2)
+	if err := h.RunRequests(2000); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Flushes == 0 || db.SSTCount() == 0 {
+		t.Fatalf("no flush happened: %+v", db.Stats())
+	}
+	// Key 0 flushed to a run; memtable no longer holds it.
+	ok, eff := db.Handle(&workload.Request{Op: workload.OpRead, Key: fmt.Sprintf("%016d", 0)})
+	if !ok || !eff {
+		t.Fatal("read of flushed key missed")
+	}
+	// Dump merges runs and memtable.
+	if n := len(db.Dump()); n != 2000 {
+		t.Fatalf("Dump has %d keys", n)
+	}
+}
+
+func TestTombstones(t *testing.T) {
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, recovery.Config{Mode: recovery.ModeBuiltin}, 3)
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	key := fmt.Sprintf("%016d", 5)
+	db.Handle(&workload.Request{Op: workload.OpDelete, Key: key})
+	ok, eff := db.Handle(&workload.Request{Op: workload.OpRead, Key: key})
+	if !ok || eff {
+		t.Fatal("deleted key still readable")
+	}
+	if _, present := db.Dump()[key]; present {
+		t.Fatal("tombstoned key in dump")
+	}
+}
+
+func TestBuiltinWALReplay(t *testing.T) {
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, recovery.Config{Mode: recovery.ModeBuiltin}, 4)
+	if err := h.RunRequests(500); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Dump()
+	db.ArmBug("L1")
+	if err := h.RunRequests(500); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.Failures != 1 || db.Stats().WALReplays != 1 {
+		t.Fatalf("stats: %+v / %+v", h.Stat, db.Stats())
+	}
+	after := db.Dump()
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("WAL replay lost key %s", k)
+		}
+	}
+}
+
+func TestPhoenixPreservesMemtable(t *testing.T) {
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, UnsafeRegions: true, WatchdogTimeout: time.Second}
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, rcfg, 5)
+	if err := h.RunRequests(500); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Dump()
+	db.ArmBug("L1")
+	if err := h.RunRequests(500); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.PhoenixRestarts != 1 {
+		t.Fatalf("stats: %+v", h.Stat)
+	}
+	if db.Stats().WALReplays != 0 {
+		t.Fatal("phoenix recovery should not replay the WAL")
+	}
+	after := db.Dump()
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("preserved memtable lost key %s", k)
+		}
+	}
+}
+
+func TestPhoenixDowntimeBeatsWALReplay(t *testing.T) {
+	downtime := map[recovery.Mode]time.Duration{}
+	for _, mode := range []recovery.Mode{recovery.ModeBuiltin, recovery.ModePhoenix} {
+		rcfg := recovery.Config{Mode: mode, UnsafeRegions: true, WatchdogTimeout: time.Second}
+		h, db := boot(t, Config{MemtableThreshold: 1 << 30}, rcfg, 6)
+		if err := h.RunRequests(20000); err != nil {
+			t.Fatal(err)
+		}
+		db.ArmBug("L1")
+		if err := h.RunRequests(5000); err != nil {
+			t.Fatal(err)
+		}
+		downtime[mode] = h.TL.Summarize().Downtime
+	}
+	if downtime[recovery.ModePhoenix]*5 > downtime[recovery.ModeBuiltin] {
+		t.Fatalf("phoenix %v vs builtin %v: no clear win",
+			downtime[recovery.ModePhoenix], downtime[recovery.ModeBuiltin])
+	}
+}
+
+func TestHangBugUsesWatchdog(t *testing.T) {
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, UnsafeRegions: true, WatchdogTimeout: 3 * time.Second}
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, rcfg, 7)
+	if err := h.RunRequests(100); err != nil {
+		t.Fatal(err)
+	}
+	db.ArmBug("L2")
+	if err := h.RunRequests(100); err != nil {
+		t.Fatal(err)
+	}
+	d := h.TL.Summarize().Downtime
+	if d < 3*time.Second || d > 4*time.Second {
+		t.Fatalf("downtime %v, want ~watchdog timeout", d)
+	}
+}
+
+func TestCrashInsideUnsafeRegionFallsBack(t *testing.T) {
+	// A crash between WAL append and memtable insert is mid-transaction:
+	// the preserved memtable would miss a logged update.
+	m := kernel.NewMachine(8)
+	db := New(Config{MemtableThreshold: 1 << 30}, nil)
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, UnsafeRegions: true, WatchdogTimeout: time.Second}
+	gen := workload.NewFillSeq(100)
+	h := recovery.NewHarness(m, rcfg, db, gen, nil)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunRequests(200); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the mid-update crash directly.
+	db.rt.UnsafeBegin("ldb")
+	plan, reason := db.PlanRestart(db.rt, &kernel.CrashInfo{Sig: kernel.SIGSEGV}, true)
+	if reason == "" {
+		t.Fatalf("mid-update crash not flagged unsafe (plan=%+v)", plan)
+	}
+	db.rt.UnsafeEnd("ldb")
+	if _, reason := db.PlanRestart(db.rt, &kernel.CrashInfo{Sig: kernel.SIGSEGV}, true); reason != "" {
+		t.Fatalf("safe crash flagged: %s", reason)
+	}
+}
+
+func TestCrossCheckMatchesWALReplay(t *testing.T) {
+	rcfg := recovery.Config{
+		Mode: recovery.ModePhoenix, UnsafeRegions: true, CrossCheck: true,
+		WatchdogTimeout: time.Second,
+	}
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, rcfg, 9)
+	if err := h.RunRequests(1000); err != nil {
+		t.Fatal(err)
+	}
+	db.ArmBug("L1")
+	if err := h.RunRequests(1000); err != nil {
+		t.Fatal(err)
+	}
+	h.M.Clock.Advance(10 * time.Second)
+	v := h.CrossCheckResult()
+	if v == nil {
+		t.Fatal("cross-check never completed")
+	}
+	if !v.Match {
+		t.Fatalf("memtable diverged from WAL replay: %v", v.Diverged)
+	}
+}
+
+func TestWALEncoding(t *testing.T) {
+	recs := []walRecord{
+		{Key: "a", Val: []byte("1")},
+		{Key: "tomb", Val: nil},
+		{Key: "empty", Val: []byte{}},
+	}
+	var data []byte
+	for _, r := range recs {
+		data = append(data, encodeWALRecord(r.Key, r.Val)...)
+	}
+	got, err := decodeWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Key != "a" || got[1].Val != nil || got[2].Val == nil {
+		t.Fatalf("decoded %+v", got)
+	}
+	if _, err := decodeWAL(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated WAL decoded cleanly")
+	}
+}
+
+func TestCompactionMergesRuns(t *testing.T) {
+	h, db := boot(t, Config{MemtableThreshold: 16 << 10}, recovery.Config{Mode: recovery.ModeBuiltin}, 20)
+	if err := h.RunRequests(4000); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Compactions == 0 {
+		t.Fatalf("no compaction after %d flushes", db.Stats().Flushes)
+	}
+	if db.SSTCount() >= CompactionThreshold+1 {
+		t.Fatalf("run count %d not bounded by compaction", db.SSTCount())
+	}
+	// Every inserted key still readable after merges.
+	for _, i := range []int{0, 500, 1500, 3000, 3999} {
+		ok, eff := db.Handle(&workload.Request{Op: workload.OpRead, Key: fmt.Sprintf("%016d", i)})
+		if !ok || !eff {
+			t.Fatalf("key %d lost after compaction", i)
+		}
+	}
+	if n := len(db.Dump()); n != 4000 {
+		t.Fatalf("dump has %d keys after compaction", n)
+	}
+}
+
+func TestCompactionDropsTombstones(t *testing.T) {
+	h, db := boot(t, Config{MemtableThreshold: 1 << 30}, recovery.Config{Mode: recovery.ModeBuiltin}, 21)
+	if err := h.RunRequests(100); err != nil {
+		t.Fatal(err)
+	}
+	key := fmt.Sprintf("%016d", 50)
+	db.Handle(&workload.Request{Op: workload.OpDelete, Key: key})
+	db.flush()
+	db.flush() // no-op (empty memtable)
+	db.Compact()
+	if _, present := db.Dump()[key]; present {
+		t.Fatal("tombstoned key resurrected by compaction")
+	}
+	ok, eff := db.Handle(&workload.Request{Op: workload.OpRead, Key: key})
+	if !ok || eff {
+		t.Fatal("deleted key readable after compaction")
+	}
+	// Old runs unlinked from disk.
+	files := 0
+	for _, name := range h.Proc().Machine.Disk.List() {
+		if len(name) > 4 && name[:4] == "sst-" {
+			files++
+		}
+	}
+	if files != db.SSTCount() {
+		t.Fatalf("disk has %d runs, index has %d", files, db.SSTCount())
+	}
+}
+
+func TestCompactionPreservesNewestValue(t *testing.T) {
+	_, db := boot(t, Config{MemtableThreshold: 1 << 30}, recovery.Config{Mode: recovery.ModeBuiltin}, 22)
+	key := "k-version-test"
+	for v := 1; v <= 3; v++ {
+		db.put(key, []byte(fmt.Sprintf("v%d", v)))
+		db.flush()
+	}
+	db.Compact()
+	if got := db.Dump()[key]; got != "v3" {
+		t.Fatalf("compaction kept %q, want v3", got)
+	}
+}
+
+func TestCrossCheckCatchesMemtableCorruption(t *testing.T) {
+	// A silently corrupted memtable value (injected partial write that did
+	// not crash immediately) diverges from the WAL replay; the cross-check
+	// must detect it and hot-switch to the validated WAL-derived state.
+	m := kernel.NewMachine(30)
+	inj := faultinject.New()
+	db := New(Config{MemtableThreshold: 1 << 30}, inj)
+	rcfg := recovery.Config{
+		Mode: recovery.ModePhoenix, UnsafeRegions: false, CrossCheck: true,
+		WatchdogTimeout: time.Second,
+	}
+	h := recovery.NewHarness(m, rcfg, db, workload.NewFillSeq(64), inj)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunRequests(500); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one memtable insert while the WAL records it (silent divergence).
+	inj.Arm("lsm.put.insert", faultinject.MissingStore)
+	inj.Enable()
+	if err := h.RunRequests(50); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Fired("lsm.put.insert") {
+		t.Fatal("fault did not fire")
+	}
+	db.ArmBug("L1") // crash outside the region
+	if err := h.RunRequests(50); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.PhoenixRestarts != 1 {
+		t.Fatalf("stats %+v", h.Stat)
+	}
+	h.M.Clock.Advance(10 * time.Second)
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	v := h.CrossCheckResult()
+	if v == nil || v.Match {
+		t.Fatalf("cross-check missed the divergence: %+v", v)
+	}
+	if h.Stat.CrossFallbacks != 1 {
+		t.Fatalf("no hot switch: %+v", h.Stat)
+	}
+	// Post-switch, the dropped key is back (WAL replay has it).
+	if len(db.Dump()) < 550 {
+		t.Fatalf("validated state missing keys: %d", len(db.Dump()))
+	}
+}

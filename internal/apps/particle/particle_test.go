@@ -1,0 +1,232 @@
+package particle
+
+import (
+	"testing"
+	"time"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+type stepGen struct{ seq uint64 }
+
+func (g *stepGen) Next() *workload.Request {
+	g.seq++
+	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "step"}
+}
+
+func boot(t *testing.T, cfg Config, rcfg recovery.Config, seed int64) (*recovery.Harness, *Sim) {
+	t.Helper()
+	m := kernel.NewMachine(seed)
+	s := New(cfg, nil)
+	h := recovery.NewHarness(m, rcfg, s, &stepGen{}, nil)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return h, s
+}
+
+func smallCfg() Config {
+	return Config{Particles: 500, Cells: 32, WorkScale: 10}
+}
+
+func TestStepsAdvance(t *testing.T) {
+	h, s := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 1)
+	if err := h.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Step() != 20 || s.Stats().Steps != 20 {
+		t.Fatalf("step = %d, stats %+v", s.Step(), s.Stats())
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	h, s := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 2)
+	e0 := s.Energy()
+	if err := h.RunRequests(100); err != nil {
+		t.Fatal(err)
+	}
+	e1 := s.Energy()
+	if e1 <= 0 || e1 > e0*10 {
+		t.Fatalf("energy unbounded: %.3f -> %.3f", e0, e1)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	h1, s1 := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 3)
+	h2, s2 := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 4)
+	if err := h1.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := s1.Dump(), s2.Dump()
+	for k, v := range d1 {
+		if d2[k] != v {
+			t.Fatalf("nondeterministic state at %s", k)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	h, s := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeBuiltin, CheckpointInterval: time.Hour}, 5)
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	s.Checkpoint()
+	before := s.Dump()
+	s.ArmBug("VP1")
+	if err := h.RunRequests(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CkptLoads != 1 {
+		t.Fatalf("checkpoint not loaded: %+v", s.Stats())
+	}
+	after := s.Dump()
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("state %s differs after checkpoint load", k)
+		}
+	}
+}
+
+func TestPhoenixResumesMidRun(t *testing.T) {
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, s := boot(t, smallCfg(), rcfg, 6)
+	if err := h.RunRequests(25); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Step()
+	s.ArmBug("VP1")
+	if err := h.RunRequests(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.PhoenixRestarts != 1 {
+		t.Fatalf("stats: %+v", h.Stat)
+	}
+	if s.Step() < before {
+		t.Fatalf("phoenix lost steps: %d -> %d", before, s.Step())
+	}
+	if s.Stats().Recomputed != 0 {
+		t.Fatalf("phoenix recomputed: %+v", s.Stats())
+	}
+}
+
+func TestPhoenixStateMatchesUninterrupted(t *testing.T) {
+	hRef, sRef := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 7)
+	if err := hRef.RunRequests(40); err != nil {
+		t.Fatal(err)
+	}
+	want := sRef.Dump()
+
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, s := boot(t, smallCfg(), rcfg, 7)
+	if err := h.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	s.ArmBug("VP1")
+	if err := h.RunRequests(21); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Dump()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("state %s diverged after phoenix recovery", k)
+		}
+	}
+}
+
+func TestVanillaRecomputes(t *testing.T) {
+	h, s := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 8)
+	if err := h.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	s.ArmBug("VP1")
+	if err := h.RunRequests(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Step() > 1 {
+		t.Fatalf("vanilla kept %d steps", s.Step())
+	}
+	if err := h.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Recomputed == 0 {
+		t.Fatal("recompute not flagged")
+	}
+}
+
+func TestBuiltinRecomputesFromCheckpoint(t *testing.T) {
+	rcfg := recovery.Config{Mode: recovery.ModeBuiltin, CheckpointInterval: 5 * time.Millisecond, WatchdogTimeout: time.Second}
+	h, s := boot(t, smallCfg(), rcfg, 9)
+	if err := h.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	s.ArmBug("VP1")
+	if err := h.RunRequests(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CkptLoads != 1 {
+		t.Fatalf("no checkpoint load: %+v", s.Stats())
+	}
+	if s.Step() == 0 {
+		t.Fatal("builtin restart lost everything despite checkpoints")
+	}
+}
+
+// TestMidSolveCrashRollsBack: a crash halfway through the in-place field
+// relaxation must roll the field back to the pre-image; the recovered state
+// must match an uninterrupted run exactly.
+func TestMidSolveCrashRollsBack(t *testing.T) {
+	hRef, sRef := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 60)
+	if err := hRef.RunRequests(30); err != nil {
+		t.Fatal(err)
+	}
+	want := sRef.Dump()
+
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, s := boot(t, smallCfg(), rcfg, 60)
+	if err := h.RunRequests(15); err != nil {
+		t.Fatal(err)
+	}
+	s.crashMidStage = "solve"
+	if err := h.RunRequests(16); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stat.PhoenixRestarts != 1 {
+		t.Fatalf("stats %+v", h.Stat)
+	}
+	got := s.Dump()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("state %s diverged after mid-solve crash (double-applied relaxation)", k)
+		}
+	}
+}
+
+// TestMidPushCrashRollsBack covers the particle-array pre-image.
+func TestMidPushCrashRollsBack(t *testing.T) {
+	hRef, sRef := boot(t, smallCfg(), recovery.Config{Mode: recovery.ModeVanilla}, 61)
+	if err := hRef.RunRequests(20); err != nil {
+		t.Fatal(err)
+	}
+	want := sRef.Dump()
+
+	rcfg := recovery.Config{Mode: recovery.ModePhoenix, WatchdogTimeout: time.Second}
+	h, s := boot(t, smallCfg(), rcfg, 61)
+	if err := h.RunRequests(10); err != nil {
+		t.Fatal(err)
+	}
+	s.crashMidStage = "push"
+	if err := h.RunRequests(11); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Dump()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("state %s diverged after mid-push crash", k)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package bugs encodes the paper's empirical bug data: the 64-case failure
+// study of §2.3 (Table 1) and the 17 reproduced real-world bugs of §4.3
+// (Table 5), and wires each reproduced bug to the scenario implemented in
+// the corresponding application analogue.
+package bugs
+
+// StudyRow is one system's row in the Table 1 failure study.
+type StudyRow struct {
+	System   string
+	Language string
+	Cases    int
+	TempOnly int // failures touching only temporary state
+	BadGlob  int // failures corrupting global state
+	GoodGlob int // failures leaving global state intact
+	Partial  int // failures during partial updates
+	Modify   int // failures inside modifying operations
+}
+
+// Study returns the Table 1 dataset.
+func Study() []StudyRow {
+	return []StudyRow{
+		{"Redis", "C", 17, 12, 3, 2, 2, 6},
+		{"MySQL", "C++", 14, 6, 4, 4, 2, 6},
+		{"Hadoop", "Java", 8, 2, 0, 6, 0, 4},
+		{"MongoDB", "C++", 9, 6, 1, 2, 0, 0},
+		{"Ceph", "C++", 8, 2, 0, 6, 5, 5},
+		{"ElasticSearch", "Java", 8, 7, 0, 1, 0, 0},
+	}
+}
+
+// StudyTotals aggregates the study rows.
+func StudyTotals() StudyRow {
+	t := StudyRow{System: "Total"}
+	for _, r := range Study() {
+		t.Cases += r.Cases
+		t.TempOnly += r.TempOnly
+		t.BadGlob += r.BadGlob
+		t.GoodGlob += r.GoodGlob
+		t.Partial += r.Partial
+		t.Modify += r.Modify
+	}
+	return t
+}
+
+// Outcome is the expected PHOENIX result for a reproduced bug.
+type Outcome int
+
+const (
+	// OutcomeRecover: PHOENIX-mode restart succeeds with preserved state.
+	OutcomeRecover Outcome = iota
+	// OutcomeFallback: the unsafe-region check rejects preservation and the
+	// system falls back to default recovery (R2 in §4.3.2).
+	OutcomeFallback
+)
+
+// Bug is one reproduced real-world case (Table 5).
+type Bug struct {
+	ID       string // e.g. "R4"
+	System   string // app analogue name
+	Case     string // upstream ticket number
+	Desc     string
+	Hang     bool // manifests as a hang (watchdog-terminated)
+	Expected Outcome
+}
+
+// All returns the 17 reproduced bugs in Table 5 order.
+func All() []Bug {
+	return []Bug{
+		{"R1", "kvstore", "761", "OOM due to integer overflow", false, OutcomeRecover},
+		{"R2", "kvstore", "7445", "Unsanitized memory overwrite", false, OutcomeFallback},
+		{"R3", "kvstore", "10070", "Nullptr dereference", false, OutcomeRecover},
+		{"R4", "kvstore", "12290", "Hang due to infinite loop", true, OutcomeRecover},
+		{"L1", "lsmdb", "169", "Race on file operations", false, OutcomeRecover},
+		{"L2", "lsmdb", "245", "Hang due to unreleased lock", true, OutcomeRecover},
+		{"VA1", "webcache-varnish", "2434", "Unsynchronized critical section", false, OutcomeRecover},
+		{"VA2", "webcache-varnish", "2495", "Memory leak", false, OutcomeRecover},
+		{"VA3", "webcache-varnish", "2796", "Deadlock from priority inversion", true, OutcomeRecover},
+		{"VA4", "webcache-varnish", "3319", "Buffer overflow", false, OutcomeRecover},
+		{"S1", "webcache-squid", "1517", "Buffer overflow", false, OutcomeRecover},
+		{"S2", "webcache-squid", "257", "Using closed file descriptor", false, OutcomeRecover},
+		{"S3", "webcache-squid", "3735", "Passing incorrect type", false, OutcomeRecover},
+		{"S4", "webcache-squid", "3869", "Missing null terminator", false, OutcomeRecover},
+		{"S5", "webcache-squid", "4823", "Incorrect length check assertion", false, OutcomeRecover},
+		{"X1", "boost", "3579", "Memory leak", false, OutcomeRecover},
+		{"VP1", "particle", "118", "Out-of-bound, forgot index revert", false, OutcomeRecover},
+	}
+}
+
+// ByID returns the bug with the given ID (ok=false if unknown).
+func ByID(id string) (Bug, bool) {
+	for _, b := range All() {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// ForSystem returns the bugs reproduced against one system.
+func ForSystem(system string) []Bug {
+	var out []Bug
+	for _, b := range All() {
+		if b.System == system {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package bugs
+
+import "testing"
+
+func TestStudyTotalsMatchPaper(t *testing.T) {
+	tot := StudyTotals()
+	if tot.Cases != 64 {
+		t.Fatalf("cases = %d, want 64", tot.Cases)
+	}
+	if tot.TempOnly != 35 || tot.BadGlob != 8 || tot.GoodGlob != 21 {
+		t.Fatalf("state taxonomy %d/%d/%d, want 35/8/21", tot.TempOnly, tot.BadGlob, tot.GoodGlob)
+	}
+	if tot.Partial != 9 || tot.Modify != 21 {
+		t.Fatalf("timing/op taxonomy %d/%d, want 9/21", tot.Partial, tot.Modify)
+	}
+	// Finding 1: 87.5% temporary-only or no corruption.
+	if pct := 100 * (tot.TempOnly + tot.GoodGlob) / tot.Cases; pct != 87 {
+		t.Fatalf("finding-1 percentage = %d, want 87 (87.5%%)", pct)
+	}
+	// Each row's taxonomy partitions its cases.
+	for _, r := range Study() {
+		if r.TempOnly+r.BadGlob+r.GoodGlob != r.Cases {
+			t.Fatalf("%s: state taxonomy does not partition (%d+%d+%d != %d)",
+				r.System, r.TempOnly, r.BadGlob, r.GoodGlob, r.Cases)
+		}
+	}
+}
+
+func TestSeventeenBugs(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("got %d bugs, want 17", len(all))
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.ID] {
+			t.Fatalf("duplicate bug %s", b.ID)
+		}
+		seen[b.ID] = true
+		if b.System == "" || b.Desc == "" || b.Case == "" {
+			t.Fatalf("incomplete bug %+v", b)
+		}
+	}
+	// R2 is the single expected fallback (§4.3.2).
+	fallbacks := 0
+	for _, b := range all {
+		if b.Expected == OutcomeFallback {
+			fallbacks++
+			if b.ID != "R2" {
+				t.Fatalf("unexpected fallback bug %s", b.ID)
+			}
+		}
+	}
+	if fallbacks != 1 {
+		t.Fatalf("fallback count = %d", fallbacks)
+	}
+	// Hang bugs are the three the paper's watchdogs end.
+	hangs := map[string]bool{"R4": true, "L2": true, "VA3": true}
+	for _, b := range all {
+		if b.Hang != hangs[b.ID] {
+			t.Fatalf("bug %s hang flag wrong", b.ID)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	b, ok := ByID("VA3")
+	if !ok || b.System != "webcache-varnish" {
+		t.Fatalf("ByID(VA3) = %+v, %v", b, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) found something")
+	}
+	if got := len(ForSystem("webcache-squid")); got != 5 {
+		t.Fatalf("squid bugs = %d, want 5", got)
+	}
+	if got := len(ForSystem("kvstore")); got != 4 {
+		t.Fatalf("kvstore bugs = %d, want 4", got)
+	}
+}

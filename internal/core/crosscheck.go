@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"phoenix/internal/mem"
+)
+
+// Cross-check validation (§3.6): after a PHOENIX restart the main process
+// resumes serving immediately from the preserved state S_i, while a
+// background process — forked with an isolated snapshot of S_i — runs the
+// application's *default* recovery to rebuild a reference state S_r and
+// compares the two. A match certifies both the speculative output already
+// produced and all future output; a mismatch hot-switches to the validated
+// process, confining any inconsistency to the pre-verdict window.
+
+// StateDump is an application-level, placement-independent representation of
+// recovered state: logical key → logical value. Using data-structure-level
+// dumps rather than byte-wise memory comparison tolerates allocator and
+// layout dynamism (§3.6).
+type StateDump map[string]string
+
+// Verdict is the outcome of a background cross-check.
+type Verdict struct {
+	// Match is true when S_i is equivalent to S_r modulo in-flight requests.
+	Match bool
+	// Diverged lists the logical keys that differed (capped at 16).
+	Diverged []string
+	// CompletedAt is the simulated time the background validation finished —
+	// the end of the speculation window.
+	CompletedAt time.Duration
+	// Reference is the validated state S_r. On a mismatch the system
+	// hot-switches to the background process, whose live state this is.
+	Reference StateDump
+}
+
+// CrossCheckSpec wires an application into the cross-check machinery.
+type CrossCheckSpec struct {
+	// SnapshotDump captures S_i from the forked snapshot. It runs logically
+	// in the background process, against the snapshot address space the
+	// framework forked at Start time.
+	SnapshotDump func(snapshot *mem.AddressSpace) StateDump
+
+	// ReferenceRecover runs the application's default recovery (checkpoint
+	// load + in-memory redo-log replay) off the critical path and returns
+	// the reference dump S_r along with the simulated time the background
+	// recovery consumed. It must not advance the main clock; the framework
+	// schedules the verdict at now + fork cost + that duration.
+	ReferenceRecover func() (StateDump, time.Duration)
+
+	// InFlightKeys are logical keys whose effect may legitimately differ
+	// between S_i and S_r: requests that were in flight at failure time may
+	// be included or excluded by whole (§3.6).
+	InFlightKeys map[string]bool
+
+	// OnVerdict is invoked (on the main timeline) when validation completes.
+	OnVerdict func(Verdict)
+}
+
+// CrossCheck is a scheduled background validation.
+type CrossCheck struct {
+	rt      *Runtime
+	spec    CrossCheckSpec
+	verdict *Verdict
+	started time.Duration
+}
+
+// StartCrossCheck forks the preserved state and schedules the background
+// validation. It must be called right after a PHOENIX-mode restart, before
+// the application mutates preserved state (the fork isolates S_i from
+// subsequent requests). The fork's per-page cost is charged to the main
+// clock; the default-recovery cost runs concurrently and only delays the
+// verdict.
+func (rt *Runtime) StartCrossCheck(spec CrossCheckSpec) *CrossCheck {
+	m := rt.proc.Machine
+	cc := &CrossCheck{rt: rt, spec: spec, started: m.Clock.Now()}
+
+	// Fork: copy every preserved range into an isolated snapshot space.
+	snapshot := mem.NewAddressSpace()
+	pages := 0
+	for _, r := range rt.PreservedRanges() {
+		n := mem.PagesFor(r.Len)
+		start := mem.PageBase(r.Start)
+		if _, err := rt.proc.AS.CopyPages(snapshot, start, n, mem.KindCustom, "fork"); err != nil {
+			// Overlapping ranges can occur when a partial page was copied
+			// separately; tolerate already-mapped regions.
+			continue
+		}
+		pages += n
+	}
+	m.Clock.Advance(time.Duration(pages) * m.Model.ForkPerPage)
+
+	si := spec.SnapshotDump(snapshot)
+	sr, bgDur := spec.ReferenceRecover()
+
+	match, diverged := CompareDumps(si, sr, spec.InFlightKeys)
+	completeAt := m.Clock.Now() + bgDur
+	m.Clock.AfterFunc(bgDur, func() {
+		v := Verdict{Match: match, Diverged: diverged, CompletedAt: completeAt, Reference: sr}
+		cc.verdict = &v
+		if spec.OnVerdict != nil {
+			spec.OnVerdict(v)
+		}
+	})
+	return cc
+}
+
+// Verdict returns the verdict once the background validation has completed
+// on the simulated timeline, or nil while speculation is still open.
+func (cc *CrossCheck) Verdict() *Verdict { return cc.verdict }
+
+// SpeculationWindow returns how long the application ran speculatively
+// before the verdict (zero until complete).
+func (cc *CrossCheck) SpeculationWindow() time.Duration {
+	if cc.verdict == nil {
+		return 0
+	}
+	return cc.verdict.CompletedAt - cc.started
+}
+
+// CompareDumps compares S_i against S_r at the data-structure level,
+// ignoring keys whose requests were in flight at failure time. It returns
+// whether the states match and up to 16 diverged keys.
+func CompareDumps(si, sr StateDump, inflight map[string]bool) (bool, []string) {
+	var diverged []string
+	add := func(k string) {
+		if len(diverged) < 16 {
+			diverged = append(diverged, k)
+		}
+	}
+	for k, v := range si {
+		if inflight[k] {
+			continue
+		}
+		rv, ok := sr[k]
+		if !ok || rv != v {
+			add(k)
+		}
+	}
+	for k := range sr {
+		if inflight[k] {
+			continue
+		}
+		if _, ok := si[k]; !ok {
+			add(k)
+		}
+	}
+	sort.Strings(diverged)
+	return len(diverged) == 0, diverged
+}

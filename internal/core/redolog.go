@@ -1,0 +1,129 @@
+package core
+
+import (
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+	"phoenix/internal/simds"
+)
+
+// RedoLog is the custom in-memory redo log of §3.6. Applications whose
+// default recovery restores an *older* checkpoint append each completed
+// update here; because the log lives in preserved simulated memory, the
+// cross-check's background process can replay it on top of the stale
+// checkpoint to reconstruct a reference state comparable to the preserved
+// one. PHOENIX's state preservation is what makes keeping such a log
+// entirely in memory practical.
+//
+// Layout:
+//
+//	header: 0: head (VAddr), 8: tail (VAddr), 16: count (u64),
+//	        24: since-checkpoint sequence number (u64)
+//	node:   0: next (VAddr), 8: record blob (VAddr)
+type RedoLog struct {
+	c    *simds.Ctx
+	addr mem.VAddr
+}
+
+const (
+	rlHdrSize  = 32
+	rlOffHead  = 0
+	rlOffTail  = 8
+	rlOffCount = 16
+	rlOffSeq   = 24
+	rlNodeSize = 16
+)
+
+// NewRedoLog allocates an empty redo log on the context's heap.
+func NewRedoLog(c *simds.Ctx) *RedoLog {
+	hdr := allocOrDie(c, rlHdrSize)
+	c.AS.WritePtr(hdr+rlOffHead, mem.NullPtr)
+	c.AS.WritePtr(hdr+rlOffTail, mem.NullPtr)
+	c.AS.WriteU64(hdr+rlOffCount, 0)
+	c.AS.WriteU64(hdr+rlOffSeq, 0)
+	return &RedoLog{c: c, addr: hdr}
+}
+
+// OpenRedoLog reattaches to a preserved redo log.
+func OpenRedoLog(c *simds.Ctx, addr mem.VAddr) *RedoLog {
+	return &RedoLog{c: c, addr: addr}
+}
+
+func allocOrDie(c *simds.Ctx, n int) mem.VAddr {
+	p := c.Heap.Alloc(n)
+	if p == mem.NullPtr {
+		panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "redo log: out of memory"})
+	}
+	return p
+}
+
+// Addr returns the log's root address (stored in the recovery info block).
+func (l *RedoLog) Addr() mem.VAddr { return l.addr }
+
+// Len returns the number of records since the last checkpoint.
+func (l *RedoLog) Len() uint64 { return l.c.AS.ReadU64(l.addr + rlOffCount) }
+
+// Seq returns the monotone sequence number of the last appended record.
+func (l *RedoLog) Seq() uint64 { return l.c.AS.ReadU64(l.addr + rlOffSeq) }
+
+// Append records one completed update.
+func (l *RedoLog) Append(record []byte) {
+	n := allocOrDie(l.c, rlNodeSize)
+	blob := l.c.NewBlob(record)
+	l.c.AS.WritePtr(n, mem.NullPtr)
+	l.c.AS.WritePtr(n+8, blob)
+	tail := l.c.AS.ReadPtr(l.addr + rlOffTail)
+	if tail == mem.NullPtr {
+		l.c.AS.WritePtr(l.addr+rlOffHead, n)
+	} else {
+		l.c.AS.WritePtr(tail, n)
+	}
+	l.c.AS.WritePtr(l.addr+rlOffTail, n)
+	l.c.AS.WriteU64(l.addr+rlOffCount, l.Len()+1)
+	l.c.AS.WriteU64(l.addr+rlOffSeq, l.Seq()+1)
+	l.c.Charge(4)
+	l.c.ChargeBytes(len(record))
+}
+
+// Truncate drops all records — called right after the application completes
+// a checkpoint, so the log only ever covers post-checkpoint work.
+func (l *RedoLog) Truncate() {
+	n := l.c.AS.ReadPtr(l.addr + rlOffHead)
+	steps := 0
+	for n != mem.NullPtr {
+		next := l.c.AS.ReadPtr(n)
+		l.c.FreeBlob(l.c.AS.ReadPtr(n + 8))
+		l.c.Heap.Free(n)
+		n = next
+		steps += 2
+	}
+	l.c.AS.WritePtr(l.addr+rlOffHead, mem.NullPtr)
+	l.c.AS.WritePtr(l.addr+rlOffTail, mem.NullPtr)
+	l.c.AS.WriteU64(l.addr+rlOffCount, 0)
+	l.c.Charge(steps + 3)
+}
+
+// Replay visits every record in append order. Records are copies.
+func (l *RedoLog) Replay(fn func(record []byte) bool) {
+	n := l.c.AS.ReadPtr(l.addr + rlOffHead)
+	steps := 0
+	for n != mem.NullPtr {
+		steps++
+		rec := l.c.BlobBytes(l.c.AS.ReadPtr(n + 8))
+		if !fn(rec) {
+			break
+		}
+		n = l.c.AS.ReadPtr(n)
+	}
+	l.c.Charge(steps)
+}
+
+// Mark marks the log header, nodes, and record blobs for the cleanup sweep.
+func (l *RedoLog) Mark() {
+	l.c.Heap.Mark(l.addr)
+	n := l.c.AS.ReadPtr(l.addr + rlOffHead)
+	for n != mem.NullPtr {
+		l.c.Heap.Mark(n)
+		l.c.Heap.Mark(l.c.AS.ReadPtr(n + 8))
+		n = l.c.AS.ReadPtr(n)
+	}
+}

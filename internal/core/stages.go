@@ -1,0 +1,164 @@
+package core
+
+import (
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+)
+
+// Stages implements stage-based progress recovery for computational
+// applications (§3.7, phx_stage). A stage marks a consistent recovery point;
+// its completion record lives in *preserved* simulated memory so a PHOENIX
+// restart knows exactly which stage of which iteration to resume from.
+//
+// Tracker layout in simulated memory (24 bytes):
+//
+//	 0: iteration number (u64)
+//	 8: completed-stage count within the iteration (u64)
+//	16: preserve-done flag (u64) — set once the pending stage's preserve
+//	    hook has saved its pre-image, cleared when the stage commits; it
+//	    tells recovery whether a rollback is meaningful
+//
+// Normal execution per stage: run the PRESERVE hook (saving the pre-image of
+// any state the body mutates in place — typically via a StageVault), run the
+// stage body, then advance the completion record. During recovery:
+//
+//   - stages that completed before the crash are skipped outright — their
+//     effects live in preserved memory and must not be disturbed;
+//   - the first incomplete stage (the one the crash interrupted, possibly
+//     mid-mutation) runs its RESTORE hook once, rolling partially modified
+//     state back to the saved pre-image, and then re-runs normally.
+//
+// Stages whose bodies are idempotent (recompute-from-scratch, or write-once
+// into a dedicated slot) may pass nil hooks — the recommended §3.7 pattern;
+// the hooks exist for bodies that mutate preserved state in place, where a
+// bare re-run would double-apply the partial work.
+type Stages struct {
+	rt   *Runtime
+	as   addrSpace
+	addr mem.VAddr
+
+	// replay state (recovery mode only)
+	replay      bool
+	replayIter  uint64
+	replayStage uint64
+	// rollback is true until the interrupted stage has run its restore
+	// hook.
+	rollback bool
+
+	curIter  uint64
+	curStage uint64
+	inIter   bool
+}
+
+// addrSpace is the minimal accessor interface Stages needs; it keeps the
+// tracker testable against a bare address space.
+type addrSpace interface {
+	ReadU64(mem.VAddr) uint64
+	WriteU64(mem.VAddr, uint64)
+}
+
+// StageTrackerSize is the number of preserved bytes a tracker occupies.
+const StageTrackerSize = 24
+
+// NewStages allocates a stage tracker at addr (typically a heap allocation
+// inside preserved memory, referenced from the recovery info block). On a
+// fresh start the record is zeroed; in recovery mode the preserved record
+// selects the replay target.
+func (rt *Runtime) NewStages(addr mem.VAddr) *Stages {
+	st := &Stages{rt: rt, as: rt.proc.AS, addr: addr}
+	if rt.IsRecoveryMode() {
+		st.replay = true
+		st.rollback = true
+		st.replayIter = st.as.ReadU64(addr)
+		st.replayStage = st.as.ReadU64(addr + 8)
+	} else {
+		st.as.WriteU64(addr, 0)
+		st.as.WriteU64(addr+8, 0)
+		st.as.WriteU64(addr+16, 0)
+	}
+	return st
+}
+
+// Replaying reports whether the tracker is currently skipping completed
+// work.
+func (st *Stages) Replaying() bool { return st.replay }
+
+// BeginIteration opens iteration it. Iterations must be opened in the same
+// order on every incarnation (the usual training/simulation loop does this
+// naturally).
+func (st *Stages) BeginIteration(it uint64) {
+	if st.inIter {
+		panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "phx_stage: nested iteration"})
+	}
+	st.inIter = true
+	st.curIter = it
+	st.curStage = 0
+	if !st.skipping() {
+		st.as.WriteU64(st.addr, it)
+		st.as.WriteU64(st.addr+8, 0)
+	}
+}
+
+// skipping reports whether the current position is strictly behind the
+// preserved replay point.
+func (st *Stages) skipping() bool {
+	if !st.replay {
+		return false
+	}
+	if st.curIter != st.replayIter {
+		return st.curIter < st.replayIter
+	}
+	return st.curStage < st.replayStage
+}
+
+// Run executes one stage (phx_stage(NAME, CODE, PRESERVE_HOOK,
+// RESTORE_HOOK)). In replay, completed stages are skipped; the interrupted
+// stage rolls back via its restore hook and re-runs. Hooks may be nil.
+func (st *Stages) Run(name string, code, preserveHook, restoreHook func()) {
+	if !st.inIter {
+		panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "phx_stage: Run outside iteration"})
+	}
+	if st.skipping() {
+		// Completed before the crash: its effects are preserved; skip.
+		st.curStage++
+		if !st.skipping() {
+			st.replay = false
+		}
+		return
+	}
+	st.replay = false
+	if st.rollback {
+		// This is the stage the crash interrupted: if its preserve hook had
+		// already saved a pre-image in the crashed incarnation (flag set),
+		// undo any partial in-place mutation before re-running. A crash
+		// before the preserve hook left the state untouched — restoring
+		// then would reinstate a stale image, so the flag gates it.
+		st.rollback = false
+		if restoreHook != nil && st.curIter == st.replayIter &&
+			st.curStage == st.replayStage && st.as.ReadU64(st.addr+16) == 1 {
+			restoreHook()
+		}
+	}
+	if preserveHook != nil {
+		preserveHook()
+		st.as.WriteU64(st.addr+16, 1)
+	}
+	code()
+	st.curStage++
+	st.as.WriteU64(st.addr+8, st.curStage)
+	st.as.WriteU64(st.addr+16, 0)
+}
+
+// EndIteration closes the current iteration.
+func (st *Stages) EndIteration() {
+	if !st.inIter {
+		panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "phx_stage: EndIteration outside iteration"})
+	}
+	st.inIter = false
+}
+
+// Position returns the last committed (iteration, completed-stage) pair from
+// preserved memory.
+func (st *Stages) Position() (iter, stage uint64) {
+	return st.as.ReadU64(st.addr), st.as.ReadU64(st.addr + 8)
+}

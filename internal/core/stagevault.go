@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+	"phoenix/internal/simds"
+)
+
+// StageVault backs the SAVE/RESTORE hooks of Figure 8's basic pattern: a
+// preserve hook copies the variables a stage is about to modify into
+// preserved memory, and the restore hook copies them back during recovery.
+//
+// The recommended pattern (§3.7) places stage marks where preserved state is
+// unchanged, making both hooks no-ops; the vault exists for the stages that
+// cannot be structured that way. Slots live in the preserved heap and are
+// keyed by name, so the restarted process reopens the vault from its
+// recovery info and finds the last saved copies.
+//
+// Layout: a dictionary from slot name to a blob holding the saved bytes.
+type StageVault struct {
+	c    *simds.Ctx
+	dict *simds.Dict
+}
+
+// NewStageVault allocates a vault on the context's (preserved) heap.
+func NewStageVault(c *simds.Ctx) *StageVault {
+	return &StageVault{c: c, dict: simds.NewDict(c, 16)}
+}
+
+// OpenStageVault reattaches to a preserved vault.
+func OpenStageVault(c *simds.Ctx, addr mem.VAddr) *StageVault {
+	return &StageVault{c: c, dict: simds.OpenDict(c, addr)}
+}
+
+// Addr returns the vault's root address (for the recovery info block).
+func (v *StageVault) Addr() mem.VAddr { return v.dict.Addr() }
+
+// Save copies n bytes at addr into the named slot, replacing any previous
+// copy (the PRESERVE_HOOK body).
+func (v *StageVault) Save(name string, addr mem.VAddr, n int) {
+	data := v.c.AS.ReadBytes(addr, n)
+	blob := v.c.NewBlob(data)
+	old, existed := v.dict.Set([]byte(name), uint64(blob))
+	if existed && old != 0 {
+		v.c.FreeBlob(mem.VAddr(old))
+	}
+	v.c.ChargeBytes(n)
+}
+
+// Restore copies the named slot's bytes back to addr (the RESTORE_HOOK
+// body). It aborts if the slot does not exist — a restore hook running
+// without its preserve hook is an integration bug.
+func (v *StageVault) Restore(name string, addr mem.VAddr) {
+	blob, ok := v.dict.Get([]byte(name))
+	if !ok {
+		panic(&kernel.Crash{Sig: kernel.SIGABRT,
+			Reason: fmt.Sprintf("phx_stage: restore of unsaved slot %q", name)})
+	}
+	data := v.c.BlobBytes(mem.VAddr(blob))
+	v.c.AS.WriteAt(addr, data)
+	v.c.ChargeBytes(len(data))
+}
+
+// Len returns the saved byte length of the named slot (-1 if absent).
+func (v *StageVault) Len(name string) int {
+	blob, ok := v.dict.Get([]byte(name))
+	if !ok {
+		return -1
+	}
+	return v.c.BlobLen(mem.VAddr(blob))
+}
+
+// Drop removes a slot, freeing its copy.
+func (v *StageVault) Drop(name string) {
+	if old, ok := v.dict.Delete([]byte(name)); ok && old != 0 {
+		v.c.FreeBlob(mem.VAddr(old))
+	}
+}
+
+// Mark extends a cleanup traversal over the vault and its saved copies.
+func (v *StageVault) Mark() {
+	v.dict.Mark(func(val uint64) {
+		if val != 0 {
+			v.c.Heap.Mark(mem.VAddr(val))
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import "sort"
+
+// UnsafeSet tracks per-component unsafe-region counters (§3.5). An unsafe
+// region brackets the instructions that modify preservable state within one
+// transaction; a crash while any counter is non-zero means the preserved
+// state may be mid-update and the restart handler must fall back to default
+// recovery.
+//
+// Components let an application track independent state (e.g. "kv" vs
+// "index") so a crash while modifying one component can still preserve the
+// other — the component granularity of §3.5.
+type UnsafeSet struct {
+	counters map[string]int
+	// entries/exits per component, for diagnostics and Table 7 accounting.
+	entries map[string]uint64
+}
+
+// NewUnsafeSet returns an empty tracker (all components safe).
+func NewUnsafeSet() *UnsafeSet {
+	return &UnsafeSet{counters: make(map[string]int), entries: make(map[string]uint64)}
+}
+
+// UnsafeBegin enters the unsafe region for the component
+// (phx_unsafe_begin(NAME)). Regions nest: each Begin must be paired with an
+// End. When the process runs a PHOENIX-instrumented build, the counter
+// update's cost — PHOENIX's main runtime overhead source (Table 8) — is
+// charged to the simulated clock.
+func (rt *Runtime) UnsafeBegin(name string) {
+	rt.chargeMark()
+	rt.unsafe.Begin(name)
+}
+
+// UnsafeEnd leaves the component's unsafe region (phx_unsafe_end(NAME)).
+func (rt *Runtime) UnsafeEnd(name string) {
+	rt.chargeMark()
+	rt.unsafe.End(name)
+}
+
+func (rt *Runtime) chargeMark() {
+	if rt.instrumented {
+		m := rt.proc.Machine
+		m.Clock.Advance(m.Model.UnsafeMark)
+	}
+}
+
+// SetInstrumented declares whether this incarnation runs the PHOENIX-
+// instrumented build (unsafe-region marks and allocator tracking cost
+// simulated time) or the vanilla build (annotation calls compile away).
+func (rt *Runtime) SetInstrumented(on bool) { rt.instrumented = on }
+
+// Instrumented reports the build flavor.
+func (rt *Runtime) Instrumented() bool { return rt.instrumented }
+
+// IsSafe reports whether the component is outside all of its unsafe regions
+// — the NAME_is_safe check the recovery handler consults.
+func (rt *Runtime) IsSafe(name string) bool { return rt.unsafe.Safe(name) }
+
+// AllSafe reports whether every component is outside its unsafe regions.
+func (rt *Runtime) AllSafe() bool { return rt.unsafe.AllSafe() }
+
+// UnsafeComponents returns the names of components currently inside an
+// unsafe region, sorted (used in fallback diagnostics).
+func (rt *Runtime) UnsafeComponents() []string { return rt.unsafe.Active() }
+
+// Unsafe exposes the underlying set (used by instrumented code and tests).
+func (rt *Runtime) Unsafe() *UnsafeSet { return rt.unsafe }
+
+// Begin increments the component's counter.
+func (u *UnsafeSet) Begin(name string) {
+	u.counters[name]++
+	u.entries[name]++
+}
+
+// End decrements the component's counter. Unbalanced Ends are clamped at
+// zero: after a crash-and-recover inside application code, an End without a
+// matching Begin must not wrap the counter negative.
+func (u *UnsafeSet) End(name string) {
+	if u.counters[name] > 0 {
+		u.counters[name]--
+	}
+}
+
+// Safe reports whether the component's counter is zero.
+func (u *UnsafeSet) Safe(name string) bool { return u.counters[name] == 0 }
+
+// AllSafe reports whether every counter is zero.
+func (u *UnsafeSet) AllSafe() bool {
+	for _, c := range u.counters {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Active returns the sorted names of components with non-zero counters.
+func (u *UnsafeSet) Active() []string {
+	var out []string
+	for name, c := range u.counters {
+		if c != 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns how many times the component's unsafe region has been
+// entered over the process lifetime.
+func (u *UnsafeSet) Entries(name string) uint64 { return u.entries[name] }
+
+// Reset clears all counters (used when execution is reset after a handled
+// fault in tests).
+func (u *UnsafeSet) Reset() {
+	u.counters = make(map[string]int)
+}

@@ -1,0 +1,157 @@
+// Package costmodel centralises the calibrated cost constants that drive the
+// simulated clock.
+//
+// The constants are derived from figures the paper reports on its testbed
+// (Intel Xeon Silver 4114, 480 GB SATA SSD):
+//
+//   - a baseline process restart takes 1.02 ms (§4.1);
+//   - a PHOENIX restart with <4 MB preserved takes ~1.20 ms, i.e. ~180 µs of
+//     fixed PHOENIX bookkeeping on top of the baseline;
+//   - restart latency grows linearly with preserved pages: 32 GB ≈ 220.6 ms,
+//     giving ~26 ns per 4 KiB page of PTE-move work;
+//   - Redis serves a 90/10 YCSB workload at 53.3 K QPS (≈18.8 µs/request);
+//   - loading a 6 GB RDB takes 53.5 s (≈112 MB/s effective unmarshal rate,
+//     dominated by allocation + decoding, not raw SSD bandwidth);
+//   - the SSD streams at ~500 MB/s for sequential page images (CRIU).
+//
+// Every component that advances the simulated clock imports its constants
+// from here so experiments remain mutually consistent and auditable.
+package costmodel
+
+import "time"
+
+// Page is the simulated page size in bytes. It matches x86-64 base pages.
+const Page = 4096
+
+// Model holds the tunable cost constants. A zero Model is not usable; obtain
+// one from Default and adjust fields in tests when needed.
+type Model struct {
+	// ExecBase is the fixed cost of tearing down a process and exec'ing a
+	// fresh image (fork+exec+dynamic linking), per the paper's 1.02 ms
+	// baseline restart.
+	ExecBase time.Duration
+
+	// PhoenixFixed is the additional fixed cost of a PHOENIX-mode restart
+	// (preserve_exec bookkeeping, link-map transfer, runtime re-init).
+	PhoenixFixed time.Duration
+
+	// PTEMove is the per-page cost of moving one page-table entry from the
+	// old address space to the new one during preserve_exec.
+	PTEMove time.Duration
+
+	// PageCopy is the per-page cost of physically copying a page (used when
+	// only part of a page is preserved, and by fork-based snapshots).
+	PageCopy time.Duration
+
+	// DiskSeqReadRate / DiskSeqWriteRate are sequential disk throughputs in
+	// bytes per second.
+	DiskSeqReadRate  int64
+	DiskSeqWriteRate int64
+
+	// DiskLatency is the fixed per-operation disk latency.
+	DiskLatency time.Duration
+
+	// UnmarshalPerByte is the per-byte cost of decoding a persistence image
+	// back into live data structures (RDB-style load). It dominates builtin
+	// recovery per §2.1.
+	UnmarshalPerByte time.Duration
+
+	// UnmarshalPerObject is the per-object allocation+insert cost during a
+	// builtin load.
+	UnmarshalPerObject time.Duration
+
+	// MarshalPerByte is the per-byte cost of encoding data structures into a
+	// persistence image (RDB save, checkpoint write).
+	MarshalPerByte time.Duration
+
+	// LogReplayPerRecord is the per-record cost of WAL replay (LevelDB).
+	LogReplayPerRecord time.Duration
+
+	// ForkPerPage is the per-page cost of forking a process image (used by
+	// cross-check validation's background process and by fork snapshots).
+	ForkPerPage time.Duration
+
+	// FreezeFixed is the stop-the-world cost CRIU pays to freeze the process
+	// before dumping, per snapshot.
+	FreezeFixed time.Duration
+
+	// RequestBase is the base CPU cost of parsing/dispatching one request in
+	// a server app, before data-structure work.
+	RequestBase time.Duration
+
+	// MemOp is the cost of one simulated-memory data-structure step (a node
+	// visit, a hash probe, a pointer chase).
+	MemOp time.Duration
+
+	// ByteTouch is the per-byte cost of reading or writing value payloads.
+	ByteTouch time.Duration
+
+	// GCSweepPerChunk is the per-chunk cost of the PHOENIX mark-and-sweep
+	// cleanup pass after a restart.
+	GCSweepPerChunk time.Duration
+
+	// ComputePerUnit is the cost of one unit of computational work in the
+	// batch apps (one boosting-tree node scan, one particle push).
+	ComputePerUnit time.Duration
+
+	// UnsafeMark is the cost of one unsafe-region state transition (the
+	// counter update / state-stack maintenance the compiler instruments,
+	// §3.5). Together with allocator tracking this is PHOENIX's runtime
+	// overhead source (Table 8).
+	UnsafeMark time.Duration
+}
+
+// Default returns the calibrated model described in the package comment.
+func Default() Model {
+	return Model{
+		ExecBase:           1020 * time.Microsecond,
+		PhoenixFixed:       180 * time.Microsecond,
+		PTEMove:            26 * time.Nanosecond,
+		PageCopy:           400 * time.Nanosecond,
+		DiskSeqReadRate:    500 << 20, // ~500 MiB/s
+		DiskSeqWriteRate:   400 << 20, // ~400 MiB/s
+		DiskLatency:        100 * time.Microsecond,
+		UnmarshalPerByte:   9 * time.Nanosecond, // ~112 MB/s effective
+		UnmarshalPerObject: 350 * time.Nanosecond,
+		MarshalPerByte:     4 * time.Nanosecond,
+		LogReplayPerRecord: 2 * time.Microsecond,
+		ForkPerPage:        150 * time.Nanosecond,
+		FreezeFixed:        3 * time.Millisecond,
+		RequestBase:        12 * time.Microsecond,
+		MemOp:              60 * time.Nanosecond,
+		ByteTouch:          1 * time.Nanosecond,
+		GCSweepPerChunk:    40 * time.Nanosecond,
+		ComputePerUnit:     25 * time.Nanosecond,
+		UnsafeMark:         120 * time.Nanosecond,
+	}
+}
+
+// DiskRead returns the modelled time to read n sequential bytes.
+func (m Model) DiskRead(n int64) time.Duration {
+	return m.DiskLatency + rateTime(n, m.DiskSeqReadRate)
+}
+
+// DiskWrite returns the modelled time to write n sequential bytes.
+func (m Model) DiskWrite(n int64) time.Duration {
+	return m.DiskLatency + rateTime(n, m.DiskSeqWriteRate)
+}
+
+// rateTime converts n bytes at rate bytes/second into a duration.
+func rateTime(n, rate int64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	sec := float64(n) / float64(rate)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// PreserveExec returns the modelled duration of a PHOENIX preserve_exec with
+// the given number of preserved and copied pages.
+func (m Model) PreserveExec(movedPages, copiedPages int) time.Duration {
+	return m.ExecBase + m.PhoenixFixed +
+		time.Duration(movedPages)*m.PTEMove +
+		time.Duration(copiedPages)*m.PageCopy
+}
+
+// Exec returns the modelled duration of a plain restart (no preservation).
+func (m Model) Exec() time.Duration { return m.ExecBase }

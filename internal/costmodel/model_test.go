@@ -1,0 +1,72 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultSane(t *testing.T) {
+	m := Default()
+	if m.ExecBase <= 0 || m.PTEMove <= 0 || m.DiskSeqReadRate <= 0 {
+		t.Fatalf("default model has zero fields: %+v", m)
+	}
+}
+
+func TestPreserveExecShape(t *testing.T) {
+	m := Default()
+	// Figure 9 shape: below 4 MB the fixed cost dominates (~1.2 ms).
+	small := m.PreserveExec(4<<20/Page, 0)
+	if small < time.Millisecond || small > 2*time.Millisecond {
+		t.Fatalf("4MB preserve_exec = %v, want ~1.2ms", small)
+	}
+	// 32 GB should land near the paper's 220 ms.
+	big := m.PreserveExec(32<<30/Page, 0)
+	if big < 150*time.Millisecond || big > 350*time.Millisecond {
+		t.Fatalf("32GB preserve_exec = %v, want ~220ms", big)
+	}
+	// Monotone in pages.
+	if m.PreserveExec(100, 0) >= m.PreserveExec(1000, 0) {
+		t.Fatal("preserve_exec not monotone in moved pages")
+	}
+	// Copying is more expensive than moving.
+	if m.PreserveExec(1000, 0) >= m.PreserveExec(0, 1000) {
+		t.Fatal("page copy should cost more than PTE move")
+	}
+}
+
+func TestExecBaseline(t *testing.T) {
+	m := Default()
+	if m.Exec() != m.ExecBase {
+		t.Fatalf("Exec() = %v, want %v", m.Exec(), m.ExecBase)
+	}
+	if m.PreserveExec(0, 0) <= m.Exec() {
+		t.Fatal("phoenix restart with zero pages should still cost more than plain exec")
+	}
+}
+
+func TestDiskTimes(t *testing.T) {
+	m := Default()
+	r := m.DiskRead(500 << 20)
+	if r < 900*time.Millisecond || r > 1200*time.Millisecond {
+		t.Fatalf("500MB read = %v, want ~1s at 500MB/s", r)
+	}
+	if m.DiskWrite(0) != m.DiskLatency {
+		t.Fatalf("zero-byte write should cost only latency, got %v", m.DiskWrite(0))
+	}
+	if rateTime(100, 0) != 0 {
+		t.Fatal("rateTime with zero rate should be 0")
+	}
+}
+
+func TestUnmarshalDominatesLoad(t *testing.T) {
+	// §2.1: loading a 6 GB RDB takes ~53.5 s, far more than raw disk read.
+	m := Default()
+	const rdb = 6 << 30
+	load := m.DiskRead(rdb) + time.Duration(rdb)*m.UnmarshalPerByte
+	if load < 40*time.Second || load > 80*time.Second {
+		t.Fatalf("6GB builtin load = %v, want ~50-70s", load)
+	}
+	if disk := m.DiskRead(rdb); disk >= load/2 {
+		t.Fatalf("disk read %v should not dominate load %v", disk, load)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"phoenix/internal/recovery"
+)
+
+// TestRegistryComplete checks every paper table/figure has an experiment.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"tab1", "fig1", "fig9", "tab3", "tab4", "tab5",
+		"fig10", "fig11", "fig12", "fig13", "tab6", "tab7", "tab8", "tab9"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) resolved")
+	}
+}
+
+// runQuick executes one experiment at quick scale and returns its output.
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true, Seed: 1, Out: &buf}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestStaticTables(t *testing.T) {
+	if out := runQuick(t, "tab1"); !strings.Contains(out, "87.5%") {
+		t.Fatalf("tab1 missing finding-1 percentage:\n%s", out)
+	}
+	if out := runQuick(t, "tab3"); !strings.Contains(out, "Skiplist") {
+		t.Fatalf("tab3 incomplete:\n%s", out)
+	}
+	if out := runQuick(t, "tab5"); strings.Count(out, "\n") < 17 {
+		t.Fatalf("tab5 incomplete:\n%s", out)
+	}
+	if out := runQuick(t, "tab6"); !strings.Contains(out, "comparison-inversion") {
+		t.Fatalf("tab6 incomplete:\n%s", out)
+	}
+	if out := runQuick(t, "tab4"); !strings.Contains(out, "phx_stage") {
+		t.Fatalf("tab4 incomplete:\n%s", out)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	out := runQuick(t, "fig9")
+	if !strings.Contains(out, "64KiB") || !strings.Contains(out, "1GiB") {
+		t.Fatalf("fig9 sizes missing:\n%s", out)
+	}
+	// Baseline column present and constant.
+	if !strings.Contains(out, "1.02ms") {
+		t.Fatalf("fig9 baseline missing:\n%s", out)
+	}
+}
+
+func TestBuildSystemAllNames(t *testing.T) {
+	for _, sys := range []string{"kvstore", "lsmdb", "webcache-varnish", "webcache-squid", "boost", "particle"} {
+		sh, err := buildSystem(sys, recovery.Config{Mode: recovery.ModeVanilla}, Options{Quick: true, Seed: 1}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if err := sh.h.RunRequests(10); err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if len(sh.dmp()) == 0 && sys != "webcache-varnish" && sys != "webcache-squid" {
+			t.Errorf("%s: empty dump", sys)
+		}
+	}
+	if _, err := buildSystem("nope", recovery.Config{}, Options{Quick: true, Seed: 1}, nil); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+// TestFig12Shape runs the Redis mechanism comparison and checks the ordering
+// claims the paper makes.
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	warm, observe := fig1Windows(Options{Quick: true})
+	results := map[recovery.Mode]time.Duration{}
+	avail := map[recovery.Mode]float64{}
+	for _, mode := range []recovery.Mode{recovery.ModeVanilla, recovery.ModeBuiltin, recovery.ModePhoenix} {
+		cfg := recovery.Config{Mode: mode, UnsafeRegions: true, WatchdogTimeout: 2 * time.Second}
+		if mode != recovery.ModeVanilla {
+			cfg.CheckpointInterval = warm / 2
+		}
+		sh, err := buildBigKV(cfg, Options{Quick: true, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.h.RunUntil(sh.h.M.Clock.Now() + warm + warm/5); err != nil {
+			t.Fatal(err)
+		}
+		sh.arm("R4")
+		if err := sh.h.RunUntil(sh.h.M.Clock.Now() + observe); err != nil {
+			t.Fatal(err)
+		}
+		sum := sh.h.TL.Summarize()
+		results[mode] = sum.Downtime
+		avail[mode] = sum.FifthSecond
+	}
+	// PHOENIX downtime at or below every alternative.
+	if results[recovery.ModePhoenix] > results[recovery.ModeVanilla] ||
+		results[recovery.ModePhoenix] > results[recovery.ModeBuiltin] {
+		t.Fatalf("phoenix downtime not best: %v", results)
+	}
+	// Vanilla's 5-second availability far below PHOENIX's.
+	if avail[recovery.ModeVanilla] > avail[recovery.ModePhoenix]*0.8 {
+		t.Fatalf("vanilla availability suspiciously high: %v", avail)
+	}
+}
+
+// TestTab7Smoke runs a tiny injection campaign end to end.
+func TestTab7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runQuick(t, "tab7")
+	if !strings.Contains(out, "kvstore") || !strings.Contains(out, "Sum") {
+		t.Fatalf("tab7 incomplete:\n%s", out)
+	}
+	// The U configuration must never show additional corruption.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 9 && fields[1] == "U" {
+			if fields[6] != "0" {
+				t.Fatalf("U config with additional corruption:\n%s", out)
+			}
+		}
+	}
+}
+
+// TestAblations runs each ablation and checks its headline claim.
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if len(Ablations()) != 3 {
+		t.Fatalf("ablation registry = %d", len(Ablations()))
+	}
+	run := func(id string) string {
+		t.Helper()
+		for _, e := range Ablations() {
+			if e.ID == id {
+				var buf bytes.Buffer
+				if err := e.Run(Options{Quick: true, Seed: 1, Out: &buf}); err != nil {
+					t.Fatalf("%s: %v", id, err)
+				}
+				return buf.String()
+			}
+		}
+		t.Fatalf("unknown ablation %s", id)
+		return ""
+	}
+	// Zero-copy must beat page copying.
+	out := run("abl-zerocopy")
+	if !strings.Contains(out, "x") || strings.Contains(out, "0.") && strings.Contains(out, " 0.9x") {
+		t.Fatalf("abl-zerocopy output:\n%s", out)
+	}
+	// Cleanup must reclaim memory.
+	out = run("abl-cleanup")
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Fatalf("abl-cleanup output:\n%s", out)
+	}
+	// Precision: the analyzer placement must reject strictly fewer crashes
+	// than critical-section-style blanket marking.
+	out = run("abl-regions")
+	var tightPct, critPct float64
+	for _, line := range strings.Split(out, "\n") {
+		var crashes, unsafeCnt int
+		var pct float64
+		if n, _ := fmt.Sscanf(line, "analyzer %d %d %f%%", &crashes, &unsafeCnt, &pct); n == 3 {
+			tightPct = pct
+		}
+		if n, _ := fmt.Sscanf(line, "crit-section %d %d %f%%", &crashes, &unsafeCnt, &pct); n == 3 {
+			critPct = pct
+		}
+	}
+	if tightPct == 0 || critPct == 0 || tightPct >= critPct {
+		t.Fatalf("precision ablation: analyzer %.1f%% vs crit-section %.1f%%\n%s", tightPct, critPct, out)
+	}
+}
+
+// TestTab9Smoke checks the reuse accounting is sane.
+func TestTab9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runQuick(t, "tab9")
+	for _, sys := range []string{"kvstore", "lsmdb", "boost", "particle"} {
+		if !strings.Contains(out, sys) {
+			t.Fatalf("tab9 missing %s:\n%s", sys, out)
+		}
+	}
+	// No reuse ratio above 100%.
+	if strings.Contains(out, "1000.") || strings.Contains(out, "((") {
+		t.Fatalf("tab9 implausible:\n%s", out)
+	}
+}
+
+// TestFig11Smoke checks the Varnish deadlock scenario end to end.
+func TestFig11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runQuick(t, "fig11")
+	if !strings.Contains(out, "PHOENIX") || !strings.Contains(out, "Vanilla") {
+		t.Fatalf("fig11 incomplete:\n%s", out)
+	}
+}
+
+// TestFig13Smoke checks the progress-recovery scenario: PHOENIX must report
+// zero recomputed iterations.
+func TestFig13Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runQuick(t, "fig13")
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "PHOENIX") && strings.Contains(line, "0 iters") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phoenix recomputed work:\n%s", out)
+	}
+}

@@ -1,0 +1,285 @@
+// Package faultinject implements instruction-level software fault injection
+// in the style of the paper's LLVM-IR injector (§4.4, Table 6).
+//
+// Applications compile injection *sites* into their hot paths by routing
+// conditions, values, and calls through an Injector's helpers. A campaign
+// arms one or more (site, fault-type) pairs; when an armed site next
+// executes, the helper perturbs the operation — inverting a comparison,
+// skipping a store or call, zeroing an operand, leaking an uninitialized
+// value — and the consequences (crash, hang, silent corruption, or nothing)
+// unfold mechanically through the application's real data-structure code on
+// the simulated heap.
+//
+// Faults fire once per arming: this models the transient-trigger bugs that
+// dominate the paper's §2.3 study (a code bug whose triggering input is
+// rare). The *corruption* a fired fault leaves behind persists in memory —
+// so a corrupted structure can still crash the process much later, including
+// after a PHOENIX restart that preserved it, which is exactly the hazard the
+// unsafe-region mechanism exists to catch.
+package faultinject
+
+import "sort"
+
+// FaultType enumerates the injected fault types of Table 6.
+type FaultType uint8
+
+const (
+	// CompInversion inverts a comparison (e.g. > becomes <=).
+	CompInversion FaultType = iota
+	// MissingStore removes a store instruction.
+	MissingStore
+	// WrongOperand sets an operand to 0 or 1.
+	WrongOperand
+	// MissingBranch removes an if statement (branch never taken).
+	MissingBranch
+	// UninitVar removes a variable's first assignment, leaking stale bits.
+	UninitVar
+	// WrongResult makes a store write 0 or 1 instead of its value.
+	WrongResult
+	// MissingCall removes a function call.
+	MissingCall
+
+	// NumFaultTypes is the count of injectable types.
+	NumFaultTypes = 7
+)
+
+func (f FaultType) String() string {
+	switch f {
+	case CompInversion:
+		return "comparison-inversion"
+	case MissingStore:
+		return "missing-assignment"
+	case WrongOperand:
+		return "wrong-operand"
+	case MissingBranch:
+		return "missing-if"
+	case UninitVar:
+		return "uninitialized-variable"
+	case WrongResult:
+		return "assign-wrong-result"
+	case MissingCall:
+		return "missing-function-call"
+	}
+	return "unknown-fault"
+}
+
+// SiteKind describes which helpers a site supports, so campaigns arm
+// compatible fault types.
+type SiteKind uint8
+
+const (
+	// KindCond sites guard branches (support CompInversion, MissingBranch).
+	KindCond SiteKind = iota
+	// KindValue sites produce data values (WrongOperand, UninitVar,
+	// WrongResult).
+	KindValue
+	// KindAction sites perform stores or calls (MissingStore, MissingCall).
+	KindAction
+)
+
+// TypesFor returns the fault types applicable to a site kind.
+func TypesFor(k SiteKind) []FaultType {
+	switch k {
+	case KindCond:
+		return []FaultType{CompInversion, MissingBranch}
+	case KindValue:
+		return []FaultType{WrongOperand, UninitVar, WrongResult}
+	case KindAction:
+		return []FaultType{MissingStore, MissingCall}
+	}
+	return nil
+}
+
+// Site describes one injection point compiled into application code.
+type Site struct {
+	// ID is unique within the application, e.g. "dict.set.link".
+	ID string
+	// Func is the enclosing function name (for gcov-style activation
+	// filtering).
+	Func string
+	// Kind selects the applicable fault types.
+	Kind SiteKind
+	// Modifying marks sites inside state-modifying code — used only for
+	// reporting (the unsafe-region outcome must *emerge* from the runtime
+	// counters, not from this label).
+	Modifying bool
+}
+
+// Injector carries the armed faults for one process lifetime. Arming
+// persists across simulated restarts of the same "binary" (the campaign
+// re-uses one Injector per run), but each armed fault fires at most once.
+type Injector struct {
+	sites map[string]*Site
+	armed map[string]FaultType
+	fired map[string]bool
+	// Enabled gates all perturbation; campaigns flip it mid-workload
+	// ("switch to the fault-injected version", §4.4).
+	enabled bool
+	// execCount counts site executions for diagnostics.
+	execCount map[string]uint64
+}
+
+// New returns an injector with no sites armed.
+func New() *Injector {
+	return &Injector{
+		sites:     make(map[string]*Site),
+		armed:     make(map[string]FaultType),
+		fired:     make(map[string]bool),
+		execCount: make(map[string]uint64),
+	}
+}
+
+// Register declares a site. Registering the same ID twice panics: site IDs
+// identify unique instructions.
+func (in *Injector) Register(s Site) {
+	if _, dup := in.sites[s.ID]; dup {
+		panic("faultinject: duplicate site " + s.ID)
+	}
+	cp := s
+	in.sites[s.ID] = &cp
+}
+
+// RegisterAll declares many sites.
+func (in *Injector) RegisterAll(sites []Site) {
+	for _, s := range sites {
+		in.Register(s)
+	}
+}
+
+// Sites returns all registered sites sorted by ID.
+func (in *Injector) Sites() []Site {
+	out := make([]Site, 0, len(in.sites))
+	for _, s := range in.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Arm schedules fault t at the site. It panics if the site is unknown or the
+// type is inapplicable to the site's kind.
+func (in *Injector) Arm(siteID string, t FaultType) {
+	s, ok := in.sites[siteID]
+	if !ok {
+		panic("faultinject: arm unknown site " + siteID)
+	}
+	applicable := false
+	for _, at := range TypesFor(s.Kind) {
+		if at == t {
+			applicable = true
+		}
+	}
+	if !applicable {
+		panic("faultinject: fault " + t.String() + " inapplicable to site " + siteID)
+	}
+	in.armed[siteID] = t
+}
+
+// Enable switches the process to the fault-injected code version.
+func (in *Injector) Enable() { in.enabled = true }
+
+// Enabled reports whether injection is active.
+func (in *Injector) Enabled() bool { return in.enabled }
+
+// Fired reports whether the armed fault at siteID has fired.
+func (in *Injector) Fired(siteID string) bool { return in.fired[siteID] }
+
+// FiredAny reports whether any armed fault has fired.
+func (in *Injector) FiredAny() bool {
+	for _, f := range in.fired {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecCount returns how many times the site has executed.
+func (in *Injector) ExecCount(siteID string) uint64 { return in.execCount[siteID] }
+
+// fire checks whether the armed fault at siteID should fire now, consuming
+// it if so.
+func (in *Injector) fire(siteID string) (FaultType, bool) {
+	in.execCount[siteID]++
+	if !in.enabled {
+		return 0, false
+	}
+	t, armed := in.armed[siteID]
+	if !armed || in.fired[siteID] {
+		return 0, false
+	}
+	in.fired[siteID] = true
+	return t, true
+}
+
+// Cond routes a branch condition through the site. CompInversion inverts it;
+// MissingBranch forces it false (the guarded block is skipped).
+func (in *Injector) Cond(siteID string, c bool) bool {
+	t, fired := in.fire(siteID)
+	if !fired {
+		return c
+	}
+	switch t {
+	case CompInversion:
+		return !c
+	case MissingBranch:
+		return false
+	}
+	return c
+}
+
+// U64 routes a data value through the site. WrongOperand and WrongResult
+// replace it with 0 or 1 (alternating by execution parity); UninitVar
+// replaces it with a stale-looking garbage pattern.
+func (in *Injector) U64(siteID string, v uint64) uint64 {
+	t, fired := in.fire(siteID)
+	if !fired {
+		return v
+	}
+	switch t {
+	case WrongOperand, WrongResult:
+		return in.execCount[siteID] & 1
+	case UninitVar:
+		return 0xDEAD4BADDEAD4BAD
+	}
+	return v
+}
+
+// Int is U64 for int values (sizes, lengths, indices).
+func (in *Injector) Int(siteID string, v int) int {
+	t, fired := in.fire(siteID)
+	if !fired {
+		return v
+	}
+	switch t {
+	case WrongOperand, WrongResult:
+		return int(in.execCount[siteID] & 1)
+	case UninitVar:
+		return -0x4BAD
+	}
+	return v
+}
+
+// Do routes a store or call through the site; MissingStore and MissingCall
+// skip it entirely.
+func (in *Injector) Do(siteID string, fn func()) {
+	t, fired := in.fire(siteID)
+	if fired && (t == MissingStore || t == MissingCall) {
+		return
+	}
+	fn()
+}
+
+// ArmedAt returns the fault type armed at siteID, if any.
+func (in *Injector) ArmedAt(siteID string) (FaultType, bool) {
+	t, ok := in.armed[siteID]
+	return t, ok
+}
+
+// Reset clears arming and firing state but keeps registered sites.
+func (in *Injector) Reset() {
+	in.armed = make(map[string]FaultType)
+	in.fired = make(map[string]bool)
+	in.enabled = false
+	in.execCount = make(map[string]uint64)
+}

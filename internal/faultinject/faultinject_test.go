@@ -1,0 +1,168 @@
+package faultinject
+
+import "testing"
+
+func newInjector(t *testing.T) *Injector {
+	t.Helper()
+	in := New()
+	in.RegisterAll([]Site{
+		{ID: "f.cond", Func: "f", Kind: KindCond},
+		{ID: "f.val", Func: "f", Kind: KindValue, Modifying: true},
+		{ID: "f.act", Func: "f", Kind: KindAction, Modifying: true},
+	})
+	return in
+}
+
+func TestPassThroughWhenDisarmed(t *testing.T) {
+	in := newInjector(t)
+	in.Enable()
+	if !in.Cond("f.cond", true) || in.Cond("f.cond", false) {
+		t.Fatal("disarmed Cond perturbed")
+	}
+	if in.U64("f.val", 42) != 42 || in.Int("f.val", -7) != -7 {
+		t.Fatal("disarmed value perturbed")
+	}
+	ran := false
+	in.Do("f.act", func() { ran = true })
+	if !ran {
+		t.Fatal("disarmed Do skipped")
+	}
+}
+
+func TestDisabledNeverFires(t *testing.T) {
+	in := newInjector(t)
+	in.Arm("f.cond", CompInversion)
+	if !in.Cond("f.cond", true) {
+		t.Fatal("fired while disabled")
+	}
+	if in.Fired("f.cond") {
+		t.Fatal("Fired true while disabled")
+	}
+}
+
+func TestFireOnce(t *testing.T) {
+	in := newInjector(t)
+	in.Arm("f.cond", CompInversion)
+	in.Enable()
+	if in.Cond("f.cond", true) {
+		t.Fatal("armed inversion did not fire")
+	}
+	if !in.Fired("f.cond") || !in.FiredAny() {
+		t.Fatal("fired state not recorded")
+	}
+	// Second execution passes through: transient-trigger model.
+	if !in.Cond("f.cond", true) {
+		t.Fatal("fault fired twice")
+	}
+}
+
+func TestFaultSemantics(t *testing.T) {
+	cases := []struct {
+		typ   FaultType
+		check func(in *Injector) bool
+	}{
+		{CompInversion, func(in *Injector) bool { return in.Cond("f.cond", true) == false }},
+		{MissingBranch, func(in *Injector) bool { return in.Cond("f.cond", true) == false }},
+		{WrongOperand, func(in *Injector) bool { v := in.U64("f.val", 999); return v == 0 || v == 1 }},
+		{WrongResult, func(in *Injector) bool { v := in.U64("f.val", 999); return v == 0 || v == 1 }},
+		{UninitVar, func(in *Injector) bool { return in.U64("f.val", 999) == 0xDEAD4BADDEAD4BAD }},
+		{MissingStore, func(in *Injector) bool {
+			ran := false
+			in.Do("f.act", func() { ran = true })
+			return !ran
+		}},
+		{MissingCall, func(in *Injector) bool {
+			ran := false
+			in.Do("f.act", func() { ran = true })
+			return !ran
+		}},
+	}
+	for _, tc := range cases {
+		in := newInjector(t)
+		site := "f.cond"
+		switch tc.typ {
+		case WrongOperand, WrongResult, UninitVar:
+			site = "f.val"
+		case MissingStore, MissingCall:
+			site = "f.act"
+		}
+		in.Arm(site, tc.typ)
+		in.Enable()
+		if !tc.check(in) {
+			t.Errorf("%v did not take effect", tc.typ)
+		}
+	}
+}
+
+func TestIntUninit(t *testing.T) {
+	in := newInjector(t)
+	in.Arm("f.val", UninitVar)
+	in.Enable()
+	if v := in.Int("f.val", 10); v >= 0 {
+		t.Fatalf("uninit int = %d, want garbage negative", v)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	in := newInjector(t)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("unknown site", func() { in.Arm("nope", CompInversion) })
+	expectPanic("inapplicable type", func() { in.Arm("f.cond", MissingStore) })
+	expectPanic("duplicate site", func() { in.Register(Site{ID: "f.cond", Kind: KindCond}) })
+}
+
+func TestTypesFor(t *testing.T) {
+	if len(TypesFor(KindCond)) != 2 || len(TypesFor(KindValue)) != 3 || len(TypesFor(KindAction)) != 2 {
+		t.Fatal("TypesFor cardinalities wrong")
+	}
+	total := 0
+	for _, k := range []SiteKind{KindCond, KindValue, KindAction} {
+		total += len(TypesFor(k))
+	}
+	if total != NumFaultTypes {
+		t.Fatalf("fault types covered %d, want %d", total, NumFaultTypes)
+	}
+}
+
+func TestExecCountAndSites(t *testing.T) {
+	in := newInjector(t)
+	in.Cond("f.cond", true)
+	in.Cond("f.cond", true)
+	if in.ExecCount("f.cond") != 2 {
+		t.Fatalf("ExecCount = %d", in.ExecCount("f.cond"))
+	}
+	sites := in.Sites()
+	if len(sites) != 3 || sites[0].ID > sites[1].ID {
+		t.Fatalf("Sites() = %+v", sites)
+	}
+}
+
+func TestReset(t *testing.T) {
+	in := newInjector(t)
+	in.Arm("f.cond", CompInversion)
+	in.Enable()
+	in.Cond("f.cond", true)
+	in.Reset()
+	if in.Enabled() || in.FiredAny() || in.ExecCount("f.cond") != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	// Sites survive reset.
+	if len(in.Sites()) != 3 {
+		t.Fatal("Reset dropped sites")
+	}
+}
+
+func TestFaultTypeStrings(t *testing.T) {
+	for ty := FaultType(0); ty < NumFaultTypes; ty++ {
+		if ty.String() == "unknown-fault" {
+			t.Fatalf("type %d has no name", ty)
+		}
+	}
+}

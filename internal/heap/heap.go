@@ -1,0 +1,551 @@
+// Package heap implements the simulated malloc the PHOENIX reproduction's
+// applications allocate from.
+//
+// It mirrors the glibc structure the paper instruments (§3.3, Figure 4):
+//
+//   - small objects come from arenas — the first arena sits on a growable
+//     brk (data-segment) mapping, additional arenas are mmap-backed;
+//   - large objects get dedicated mmap regions;
+//   - every chunk carries a header with a PHOENIX marker bit used by the
+//     mark-and-sweep cleanup of §3.4.
+//
+// Crucially, *all allocator metadata lives inside simulated memory*: the
+// root header, the arena list, the free lists (threaded through free chunk
+// bodies), and the large-region list. After a PHOENIX restart preserves the
+// heap pages, Attach reconstructs a working allocator from that memory alone
+// — "malloc regains control of the preserved heap" (§3.2 step 6).
+//
+// The allocator is segregated-storage: freed chunks return to a per-size-
+// class free list and are reused for the same class; there is no coalescing.
+// glibc's internal consistency checks are modelled: freeing an invalid or
+// corrupted pointer aborts (SIGABRT), which is how the paper's MongoDB
+// buffer-overrun case is caught.
+package heap
+
+import (
+	"fmt"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+const (
+	rootMagic  = 0x5048_4E58_4845_4150 // "PHNXHEAP"
+	arenaMagic = 0x5048_4E58_4152_454E // "PHNXAREN"
+	largeMagic = 0x5048_4E58_4C41_5247 // "PHNXLARG"
+
+	chunkHeader = 16
+	arenaHdr    = 256
+	largeHdr    = 32
+
+	// Flag bits stored in the low bits of the chunk-size word (sizes are
+	// 8-aligned so three bits are free).
+	flagInUse  = 1 << 0
+	flagMarked = 1 << 1
+	flagLarge  = 1 << 2
+	flagMask   = 7
+
+	// MmapThreshold is the payload size at or above which allocations get a
+	// dedicated mmap region.
+	MmapThreshold = 64 << 10
+
+	// DefaultArenaSize is the size of each mmap-backed arena.
+	DefaultArenaSize = 1 << 20
+
+	// DefaultBrkMax is the reserved growth limit of the brk arena.
+	DefaultBrkMax = 4 << 20
+)
+
+// Root-header field offsets (within arena 0, after the arena fields).
+const (
+	offArenaMagic = 0
+	offArenaNext  = 8
+	offArenaBump  = 16 // u32
+	offArenaSize  = 20 // u32
+	offRootMagic  = 24
+	offLargeHead  = 32
+	offNextMap    = 40
+	offLiveBytes  = 48
+	offLiveChunks = 56
+	offFreeHeads  = 64 // numClasses * 8 bytes
+)
+
+// classSizes are the chunk sizes (header + payload) served from arenas.
+var classSizes = []int{
+	32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+	1024, 1536, 2048, 3072, 4096, 8192, 16384, 32768, 65536 + chunkHeader,
+}
+
+const numClasses = 19
+
+func init() {
+	if len(classSizes) != numClasses {
+		panic("heap: class table size mismatch")
+	}
+	if offFreeHeads+numClasses*8 > arenaHdr {
+		panic("heap: root header overflow")
+	}
+}
+
+// classFor returns the class index serving a chunk of at least n bytes
+// (header included), or -1 if n exceeds the largest class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Options configures a new heap region.
+type Options struct {
+	// ArenaSize overrides DefaultArenaSize.
+	ArenaSize int
+	// BrkMax overrides DefaultBrkMax (growth limit of the brk arena).
+	BrkMax int
+	// MaxBytes caps total mapped heap bytes; 0 means unlimited. Alloc
+	// returns NullPtr once the cap would be exceeded (the app decides
+	// whether that is an OOM crash).
+	MaxBytes int64
+	// Name tags the heap's mappings (useful when multiple PhxAllocators
+	// coexist).
+	Name string
+}
+
+func (o *Options) fill() {
+	if o.ArenaSize == 0 {
+		o.ArenaSize = DefaultArenaSize
+	}
+	if o.BrkMax == 0 {
+		o.BrkMax = DefaultBrkMax
+	}
+	if o.Name == "" {
+		o.Name = "heap"
+	}
+	if o.ArenaSize%mem.PageSize != 0 || o.BrkMax%mem.PageSize != 0 {
+		panic("heap: arena sizes must be page multiples")
+	}
+}
+
+// Heap is one allocator region. The Go-side struct is a thin cursor over
+// state held in simulated memory; it can be dropped and rebuilt with Attach.
+type Heap struct {
+	as   *mem.AddressSpace
+	base mem.VAddr // arena 0 == root
+	opts Options
+
+	// lastSweepChunks/Bytes record the most recent Sweep's reclamation for
+	// memory-reuse accounting (Table 9).
+	lastSweepChunks int
+	lastSweepBytes  int64
+}
+
+// New creates a heap whose brk arena starts at base (page aligned) with one
+// initial page, writing the root header into simulated memory.
+func New(as *mem.AddressSpace, base mem.VAddr, opts Options) (*Heap, error) {
+	opts.fill()
+	h := &Heap{as: as, base: base, opts: opts}
+	if _, err := as.Map(base, 1, mem.KindBrk, opts.Name+".brk"); err != nil {
+		return nil, err
+	}
+	// Arena 0 header.
+	as.WriteU64(base+offArenaMagic, arenaMagic)
+	as.WritePtr(base+offArenaNext, mem.NullPtr)
+	as.WriteU32(base+offArenaBump, arenaHdr)
+	as.WriteU32(base+offArenaSize, mem.PageSize)
+	// Root fields.
+	as.WriteU64(base+offRootMagic, rootMagic)
+	as.WritePtr(base+offLargeHead, mem.NullPtr)
+	as.WritePtr(base+offNextMap, base+mem.VAddr(opts.BrkMax))
+	as.WriteU64(base+offLiveBytes, 0)
+	as.WriteU64(base+offLiveChunks, 0)
+	for i := 0; i < numClasses; i++ {
+		as.WritePtr(base+offFreeHeads+mem.VAddr(i*8), mem.NullPtr)
+	}
+	return h, nil
+}
+
+// Attach reconstructs a Heap from preserved simulated memory. It validates
+// the root magic and returns an error if the memory at base is not a heap
+// root (e.g. the pages were not preserved).
+func Attach(as *mem.AddressSpace, base mem.VAddr, opts Options) (*Heap, error) {
+	opts.fill()
+	if !as.Mapped(base) {
+		return nil, fmt.Errorf("heap: attach at %#x: unmapped", uint64(base))
+	}
+	if as.ReadU64(base+offRootMagic) != rootMagic {
+		return nil, fmt.Errorf("heap: attach at %#x: bad root magic", uint64(base))
+	}
+	return &Heap{as: as, base: base, opts: opts}, nil
+}
+
+// Base returns the heap root address.
+func (h *Heap) Base() mem.VAddr { return h.base }
+
+// AS returns the address space the heap allocates from.
+func (h *Heap) AS() *mem.AddressSpace { return h.as }
+
+func (h *Heap) abort(format string, args ...interface{}) {
+	panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "malloc: " + fmt.Sprintf(format, args...)})
+}
+
+// mappedBytes returns total bytes currently mapped by this heap.
+func (h *Heap) mappedBytes() int64 {
+	var total int64
+	for a := h.base; a != mem.NullPtr; a = h.as.ReadPtr(a + offArenaNext) {
+		total += int64(h.as.ReadU32(a + offArenaSize))
+	}
+	for l := h.as.ReadPtr(h.base + offLargeHead); l != mem.NullPtr; l = h.as.ReadPtr(l + 8) {
+		total += int64(h.as.ReadU64(l + 16))
+	}
+	return total
+}
+
+// Alloc allocates n payload bytes and returns the payload address, or
+// NullPtr if the heap limit is exhausted. The payload is NOT zeroed when the
+// chunk is recycled from a free list — like malloc, stale contents leak
+// through, which matters for the uninitialized-variable fault type.
+func (h *Heap) Alloc(n int) mem.VAddr {
+	if n <= 0 {
+		n = 1
+	}
+	need := (n + chunkHeader + 7) &^ 7
+	if need >= MmapThreshold {
+		return h.allocLarge(n)
+	}
+	ci := classFor(need)
+	size := classSizes[ci]
+
+	// Fast path: recycle from the free list.
+	headAddr := h.base + offFreeHeads + mem.VAddr(ci*8)
+	if c := h.as.ReadPtr(headAddr); c != mem.NullPtr {
+		next := h.as.ReadPtr(c + 8)
+		h.as.WritePtr(headAddr, next)
+		h.as.WriteU64(c, uint64(size)|flagInUse)
+		h.as.WriteU64(c+8, 0)
+		h.addLive(1, int64(size))
+		return c + chunkHeader
+	}
+
+	// Bump-allocate from an arena with room.
+	for a := h.base; a != mem.NullPtr; a = h.as.ReadPtr(a + offArenaNext) {
+		if c := h.bumpFrom(a, size); c != mem.NullPtr {
+			h.addLive(1, int64(size))
+			return c + chunkHeader
+		}
+	}
+	// Grow the brk arena if possible, else map a new arena.
+	if h.growBrk(size) {
+		if c := h.bumpFrom(h.base, size); c != mem.NullPtr {
+			h.addLive(1, int64(size))
+			return c + chunkHeader
+		}
+	}
+	a := h.newArena()
+	if a == mem.NullPtr {
+		return mem.NullPtr
+	}
+	c := h.bumpFrom(a, size)
+	if c == mem.NullPtr {
+		h.abort("fresh arena cannot satisfy class %d", size)
+	}
+	h.addLive(1, int64(size))
+	return c + chunkHeader
+}
+
+// bumpFrom tries to carve size bytes from arena a's bump region.
+func (h *Heap) bumpFrom(a mem.VAddr, size int) mem.VAddr {
+	bump := int(h.as.ReadU32(a + offArenaBump))
+	asize := int(h.as.ReadU32(a + offArenaSize))
+	if bump+size > asize {
+		return mem.NullPtr
+	}
+	c := a + mem.VAddr(bump)
+	h.as.WriteU32(a+offArenaBump, uint32(bump+size))
+	h.as.WriteU64(c, uint64(size)|flagInUse)
+	h.as.WriteU64(c+8, 0)
+	return c
+}
+
+// growBrk extends the brk arena by at least need bytes (page-rounded),
+// respecting BrkMax and MaxBytes. It reports whether the arena grew.
+func (h *Heap) growBrk(need int) bool {
+	asize := int(h.as.ReadU32(h.base + offArenaSize))
+	if asize >= h.opts.BrkMax {
+		return false
+	}
+	grow := mem.PagesFor(need)
+	// Grow geometrically to amortise, capped at BrkMax.
+	if doubled := asize / mem.PageSize; doubled > grow {
+		grow = doubled
+	}
+	if asize+grow*mem.PageSize > h.opts.BrkMax {
+		grow = (h.opts.BrkMax - asize) / mem.PageSize
+	}
+	if grow <= 0 {
+		return false
+	}
+	if h.opts.MaxBytes > 0 && h.mappedBytes()+int64(grow)*mem.PageSize > h.opts.MaxBytes {
+		return false
+	}
+	m := h.as.FindMapping(h.base)
+	if m == nil {
+		h.abort("brk arena mapping lost")
+	}
+	if err := h.as.Grow(m, grow); err != nil {
+		return false
+	}
+	h.as.WriteU32(h.base+offArenaSize, uint32(asize+grow*mem.PageSize))
+	return true
+}
+
+// newArena maps a fresh mmap arena and links it into the arena list.
+func (h *Heap) newArena() mem.VAddr {
+	size := h.opts.ArenaSize
+	if h.opts.MaxBytes > 0 && h.mappedBytes()+int64(size) > h.opts.MaxBytes {
+		return mem.NullPtr
+	}
+	a := h.as.ReadPtr(h.base + offNextMap)
+	if _, err := h.as.Map(a, size/mem.PageSize, mem.KindMmap, h.opts.Name+".arena"); err != nil {
+		return mem.NullPtr
+	}
+	h.as.WritePtr(h.base+offNextMap, a+mem.VAddr(size))
+	h.as.WriteU64(a+offArenaMagic, arenaMagic)
+	h.as.WriteU32(a+offArenaBump, arenaHdr)
+	h.as.WriteU32(a+offArenaSize, uint32(size))
+	// Push onto the arena list after the root arena.
+	next := h.as.ReadPtr(h.base + offArenaNext)
+	h.as.WritePtr(a+offArenaNext, next)
+	h.as.WritePtr(h.base+offArenaNext, a)
+	return a
+}
+
+// allocLarge maps a dedicated region for an allocation of n payload bytes.
+// Layout: [largeHdr][chunkHeader][payload...].
+func (h *Heap) allocLarge(n int) mem.VAddr {
+	total := largeHdr + chunkHeader + n
+	pages := mem.PagesFor(total)
+	size := pages * mem.PageSize
+	if h.opts.MaxBytes > 0 && h.mappedBytes()+int64(size) > h.opts.MaxBytes {
+		return mem.NullPtr
+	}
+	l := h.as.ReadPtr(h.base + offNextMap)
+	if _, err := h.as.Map(l, pages, mem.KindMmap, h.opts.Name+".large"); err != nil {
+		return mem.NullPtr
+	}
+	h.as.WritePtr(h.base+offNextMap, l+mem.VAddr(size))
+	h.as.WriteU64(l, largeMagic)
+	// Link into large list: next ptr at +8, region size at +16.
+	h.as.WritePtr(l+8, h.as.ReadPtr(h.base+offLargeHead))
+	h.as.WriteU64(l+16, uint64(size))
+	h.as.WritePtr(h.base+offLargeHead, l)
+	c := l + largeHdr
+	h.as.WriteU64(c, uint64(size-largeHdr)|flagInUse|flagLarge)
+	h.as.WriteU64(c+8, 0)
+	h.addLive(1, int64(size-largeHdr))
+	return c + chunkHeader
+}
+
+func (h *Heap) addLive(chunks int64, bytes int64) {
+	h.as.WriteU64(h.base+offLiveChunks, uint64(int64(h.as.ReadU64(h.base+offLiveChunks))+chunks))
+	h.as.WriteU64(h.base+offLiveBytes, uint64(int64(h.as.ReadU64(h.base+offLiveBytes))+bytes))
+}
+
+// chunkOf validates that p is a live payload pointer and returns its chunk
+// address and size word, aborting (SIGABRT) on corruption — modelling
+// glibc's integrity checks.
+func (h *Heap) chunkOf(p mem.VAddr, op string) (c mem.VAddr, sizeWord uint64) {
+	if p == mem.NullPtr {
+		h.abort("%s(nil)", op)
+	}
+	c = p - chunkHeader
+	if !h.as.Mapped(c) {
+		h.abort("%s(%#x): pointer outside heap", op, uint64(p))
+	}
+	sizeWord = h.as.ReadU64(c)
+	size := int(sizeWord &^ flagMask)
+	if size < chunkHeader || size%8 != 0 || size > 1<<40 {
+		h.abort("%s(%#x): corrupted chunk size %#x", op, uint64(p), sizeWord)
+	}
+	if sizeWord&flagInUse == 0 {
+		h.abort("%s(%#x): double free or invalid pointer", op, uint64(p))
+	}
+	return c, sizeWord
+}
+
+// Free releases the allocation at payload pointer p.
+func (h *Heap) Free(p mem.VAddr) {
+	c, sizeWord := h.chunkOf(p, "free")
+	size := int(sizeWord &^ flagMask)
+	if sizeWord&flagLarge != 0 {
+		h.freeLarge(c, size)
+		return
+	}
+	ci := classFor(size)
+	if ci < 0 || classSizes[ci] != size {
+		h.abort("free(%#x): chunk size %d not a size class", uint64(p), size)
+	}
+	headAddr := h.base + offFreeHeads + mem.VAddr(ci*8)
+	h.as.WriteU64(c, uint64(size)) // clear in-use and marker
+	h.as.WritePtr(c+8, h.as.ReadPtr(headAddr))
+	h.as.WritePtr(headAddr, c)
+	h.addLive(-1, -int64(size))
+}
+
+// freeLarge unlinks and unmaps a large region given its chunk address.
+func (h *Heap) freeLarge(c mem.VAddr, size int) {
+	l := c - largeHdr
+	if h.as.ReadU64(l) != largeMagic {
+		h.abort("free large(%#x): corrupted region header", uint64(c))
+	}
+	// Unlink from the large list.
+	prev := h.base + offLargeHead
+	for cur := h.as.ReadPtr(prev); cur != mem.NullPtr; cur = h.as.ReadPtr(prev) {
+		if cur == l {
+			h.as.WritePtr(prev, h.as.ReadPtr(cur+8))
+			if err := h.as.Unmap(l); err != nil {
+				h.abort("free large: %v", err)
+			}
+			h.addLive(-1, -int64(size))
+			return
+		}
+		prev = cur + 8
+	}
+	h.abort("free large(%#x): region not in list", uint64(c))
+}
+
+// UsableSize returns the payload capacity of the allocation at p.
+func (h *Heap) UsableSize(p mem.VAddr) int {
+	_, sizeWord := h.chunkOf(p, "usable_size")
+	return int(sizeWord&^flagMask) - chunkHeader
+}
+
+// Mark sets the PHOENIX marker bit on the allocation at p — the
+// phx_mark_used step of the developer's traversal (§3.4).
+func (h *Heap) Mark(p mem.VAddr) {
+	c, sizeWord := h.chunkOf(p, "mark")
+	h.as.WriteU64(c, sizeWord|flagMarked)
+}
+
+// Marked reports whether the allocation at p carries the marker bit.
+func (h *Heap) Marked(p mem.VAddr) bool {
+	_, sizeWord := h.chunkOf(p, "marked")
+	return sizeWord&flagMarked != 0
+}
+
+// Sweep frees every in-use chunk whose marker bit is clear and clears the
+// marker on retained chunks, returning counts — the phx_finish_recovery
+// cleanup (§3.4). The cost of the pass (per-chunk) is returned so the caller
+// can charge the simulated clock.
+func (h *Heap) Sweep() (freedChunks int, freedBytes int64, visited int) {
+	type chunk struct {
+		payload mem.VAddr
+		size    int
+		marked  bool
+	}
+	var live []chunk
+	h.Walk(func(payload mem.VAddr, size int, inUse, marked bool) bool {
+		visited++
+		if inUse {
+			live = append(live, chunk{payload, size, marked})
+		}
+		return true
+	})
+	for _, c := range live {
+		if !c.marked {
+			h.Free(c.payload)
+			freedChunks++
+			freedBytes += int64(c.size)
+			continue
+		}
+		// Clear the marker for future restarts.
+		ca := c.payload - chunkHeader
+		h.as.WriteU64(ca, h.as.ReadU64(ca)&^uint64(flagMarked))
+	}
+	h.lastSweepChunks, h.lastSweepBytes = freedChunks, freedBytes
+	return freedChunks, freedBytes, visited
+}
+
+// LastSweep returns the most recent Sweep's reclamation counts.
+func (h *Heap) LastSweep() (chunks int, bytes int64) {
+	return h.lastSweepChunks, h.lastSweepBytes
+}
+
+// Walk visits every chunk (in-use and free) in the heap. size is the full
+// chunk size including header. Return false from fn to stop early.
+func (h *Heap) Walk(fn func(payload mem.VAddr, size int, inUse, marked bool) bool) {
+	for a := h.base; a != mem.NullPtr; a = h.as.ReadPtr(a + offArenaNext) {
+		bump := int(h.as.ReadU32(a + offArenaBump))
+		off := arenaHdr
+		for off < bump {
+			c := a + mem.VAddr(off)
+			sizeWord := h.as.ReadU64(c)
+			size := int(sizeWord &^ flagMask)
+			if size < chunkHeader || size%8 != 0 {
+				h.abort("walk: corrupted chunk at %#x (size word %#x)", uint64(c), sizeWord)
+			}
+			if !fn(c+chunkHeader, size, sizeWord&flagInUse != 0, sizeWord&flagMarked != 0) {
+				return
+			}
+			off += size
+		}
+	}
+	for l := h.as.ReadPtr(h.base + offLargeHead); l != mem.NullPtr; l = h.as.ReadPtr(l + 8) {
+		c := l + largeHdr
+		sizeWord := h.as.ReadU64(c)
+		size := int(sizeWord &^ flagMask)
+		if !fn(c+chunkHeader, size, sizeWord&flagInUse != 0, sizeWord&flagMarked != 0) {
+			return
+		}
+	}
+}
+
+// Stats reports allocator accounting.
+type Stats struct {
+	LiveChunks  int64
+	LiveBytes   int64 // chunk bytes including headers
+	MappedBytes int64
+	Arenas      int
+	LargeRegs   int
+}
+
+// Stats returns a snapshot of allocator accounting read from simulated
+// memory.
+func (h *Heap) Stats() Stats {
+	s := Stats{
+		LiveChunks:  int64(h.as.ReadU64(h.base + offLiveChunks)),
+		LiveBytes:   int64(h.as.ReadU64(h.base + offLiveBytes)),
+		MappedBytes: h.mappedBytes(),
+	}
+	for a := h.base; a != mem.NullPtr; a = h.as.ReadPtr(a + offArenaNext) {
+		s.Arenas++
+	}
+	for l := h.as.ReadPtr(h.base + offLargeHead); l != mem.NullPtr; l = h.as.ReadPtr(l + 8) {
+		s.LargeRegs++
+	}
+	return s
+}
+
+// PreservedRanges returns the page ranges of every mapping belonging to this
+// heap — what phx_restart's with_heap (or a PhxAllocator's managed ranges)
+// hands to preserve_exec.
+func (h *Heap) PreservedRanges() []linker.Range {
+	var out []linker.Range
+	// Brk arena.
+	if m := h.as.FindMapping(h.base); m != nil {
+		out = append(out, linker.Range{Start: m.Start, Len: m.Len()})
+	}
+	// Mmap arenas.
+	for a := h.as.ReadPtr(h.base + offArenaNext); a != mem.NullPtr; a = h.as.ReadPtr(a + offArenaNext) {
+		size := int(h.as.ReadU32(a + offArenaSize))
+		out = append(out, linker.Range{Start: a, Len: size})
+	}
+	// Large regions.
+	for l := h.as.ReadPtr(h.base + offLargeHead); l != mem.NullPtr; l = h.as.ReadPtr(l + 8) {
+		size := int(h.as.ReadU64(l + 16))
+		out = append(out, linker.Range{Start: l, Len: size})
+	}
+	return out
+}

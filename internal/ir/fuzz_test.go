@@ -1,0 +1,62 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics on arbitrary input, and that
+// anything it accepts is stable under a String→Parse round trip (when the
+// module also validates).
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("global g\n")
+	f.Add("func f() {\nentry:\n  ret\n}")
+	f.Add("func f(a, b) {\nentry:\n  x = add a, b\n  store a, 0, x\n  cbr x, entry, out\nout:\n  ret x\n}")
+	f.Add("func f() {\nentry:\n  x = funcref f\n  icall x()\n  ret\n}")
+	f.Add("} ; stray\nfunc ( {")
+	f.Add("func f() {\nentry:\n  store , , \n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := m.Validate(); err != nil {
+			return
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of rendered module failed: %v\n%s", err, text)
+		}
+		if got := m2.String(); got != text {
+			t.Fatalf("String not stable:\n--- first\n%s\n--- second\n%s", text, got)
+		}
+	})
+}
+
+// FuzzInterp runs accepted single-function modules briefly under fuel,
+// asserting the interpreter returns errors instead of panicking.
+func FuzzInterp(f *testing.F) {
+	f.Add("global g\nfunc main() {\nentry:\n  store g, 0, 1\n  ret\n}")
+	f.Add("func main() {\nentry:\n  br entry\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := m.Validate(); err != nil {
+			return
+		}
+		fn, ok := m.Funcs["main"]
+		if !ok || len(fn.Params) != 0 {
+			return
+		}
+		in := NewInterp(m)
+		in.MaxStep = 2000
+		if _, err := in.Call("main"); err != nil &&
+			!strings.Contains(err.Error(), "ir:") {
+			t.Fatalf("non-ir error escaped: %v", err)
+		}
+	})
+}

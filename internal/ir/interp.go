@@ -1,0 +1,287 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Interp executes IR modules against a flat word-addressed memory. It
+// maintains the runtime *state stack* of §3.5: each frame tracks whether the
+// function is before (U), inside (M), or past (E) its unsafe region, driven
+// by the instrumenter's unsafe_enter/unsafe_exit transitions. At a crash the
+// stack answers the recovery condition: is any frame mid-modification?
+type Interp struct {
+	Mod *Module
+
+	mem     map[int64]int64
+	nextPtr int64
+	globals map[string]int64 // global name → address of its root cell
+
+	// stack is the live state stack.
+	stack []*Frame
+
+	// Steps counts executed instructions (fuel limiting).
+	Steps   int
+	MaxStep int
+
+	// CrashAtStep, when >0, aborts execution with ErrCrash once Steps
+	// reaches it — the §4.4-style random crash point.
+	CrashAtStep int
+
+	// Externals maps undeclared callees to Go handlers (the "annotations
+	// for library functions" escape hatch).
+	Externals map[string]func(args []int64) int64
+
+	// funcIDs assigns each function a stable non-zero id for funcref/icall.
+	funcIDs  map[string]int64
+	funcByID map[int64]string
+}
+
+// FrameState is a function's position relative to its unsafe region.
+type FrameState uint8
+
+const (
+	// StateU: no modification has happened in this function yet.
+	StateU FrameState = iota
+	// StateM: inside the modification range.
+	StateM
+	// StateE: all modifications in this function are complete.
+	StateE
+)
+
+func (s FrameState) String() string {
+	switch s {
+	case StateU:
+		return "U"
+	case StateM:
+		return "M"
+	case StateE:
+		return "E"
+	}
+	return "?"
+}
+
+// Frame is one activation record.
+type Frame struct {
+	Fn    string
+	State FrameState
+	regs  map[string]int64
+}
+
+// ErrCrash is returned when execution hits the injected crash point.
+type ErrCrash struct {
+	Fn    string
+	Stack []FrameState
+}
+
+func (e *ErrCrash) Error() string {
+	return fmt.Sprintf("ir: crash injected in %s (stack %v)", e.Fn, e.Stack)
+}
+
+// NewInterp builds an interpreter over the module with fresh memory.
+// Each declared global gets a root cell initialised to a fresh 64-word
+// allocation (a preserved object root).
+func NewInterp(m *Module) *Interp {
+	in := &Interp{
+		Mod:       m,
+		mem:       make(map[int64]int64),
+		nextPtr:   0x1000,
+		globals:   make(map[string]int64),
+		MaxStep:   1 << 20,
+		Externals: make(map[string]func([]int64) int64),
+	}
+	for _, g := range m.Globals {
+		root := in.alloc(64 * 8)
+		in.globals[g] = root
+	}
+	in.funcIDs = make(map[string]int64)
+	in.funcByID = make(map[int64]string)
+	for i, name := range m.Order {
+		id := int64(i + 1)
+		in.funcIDs[name] = id
+		in.funcByID[id] = name
+	}
+	return in
+}
+
+func (in *Interp) alloc(n int64) int64 {
+	p := in.nextPtr
+	in.nextPtr += (n + 15) &^ 15
+	return p
+}
+
+// Global returns the address bound to a global name.
+func (in *Interp) Global(name string) int64 { return in.globals[name] }
+
+// Load reads a memory word (tests and validators).
+func (in *Interp) Load(addr int64) int64 { return in.mem[addr] }
+
+// Store writes a memory word.
+func (in *Interp) Store(addr, v int64) { in.mem[addr] = v }
+
+// StackStates returns the state-stack snapshot, outermost first.
+func (in *Interp) StackStates() []FrameState {
+	out := make([]FrameState, len(in.stack))
+	for i, f := range in.stack {
+		out[i] = f.State
+	}
+	return out
+}
+
+// Safe evaluates the recovery condition on a state-stack snapshot: the
+// preserved state is consistent iff no frame was mid-modification (§3.5 —
+// "all on the left or on the right of M regions").
+func Safe(states []FrameState) bool {
+	for _, s := range states {
+		if s == StateM {
+			return false
+		}
+	}
+	return true
+}
+
+// Call runs fn with the given arguments. Globals may be passed by name via
+// GlobalArg. It returns the function's return value.
+func (in *Interp) Call(fn string, args ...int64) (int64, error) {
+	f, ok := in.Mod.Funcs[fn]
+	if !ok {
+		if ext := in.Externals[fn]; ext != nil {
+			return ext(args), nil
+		}
+		return 0, fmt.Errorf("ir: call to unknown function %q", fn)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("ir: %s wants %d args, got %d", fn, len(f.Params), len(args))
+	}
+	frame := &Frame{Fn: fn, State: StateU, regs: make(map[string]int64)}
+	for i, p := range f.Params {
+		frame.regs[p] = args[i]
+	}
+	in.stack = append(in.stack, frame)
+	defer func() { in.stack = in.stack[:len(in.stack)-1] }()
+
+	block := f.Entry()
+	ii := 0
+	for {
+		if ii >= len(block.Instrs) {
+			return 0, fmt.Errorf("ir: %s: fell off block %s", fn, block.Label)
+		}
+		instr := &block.Instrs[ii]
+		in.Steps++
+		if in.Steps > in.MaxStep {
+			return 0, fmt.Errorf("ir: fuel exhausted in %s", fn)
+		}
+		if in.CrashAtStep > 0 && in.Steps >= in.CrashAtStep {
+			return 0, &ErrCrash{Fn: fn, Stack: in.StackStates()}
+		}
+		switch instr.Op {
+		case OpConst:
+			frame.regs[instr.Dst] = instr.Imm
+		case OpBin:
+			a, b := in.reg(frame, instr.A), in.reg(frame, instr.B)
+			var v int64
+			switch instr.Bin {
+			case BinAdd:
+				v = a + b
+			case BinSub:
+				v = a - b
+			case BinMul:
+				v = a * b
+			case BinLt:
+				if a < b {
+					v = 1
+				}
+			case BinEq:
+				if a == b {
+					v = 1
+				}
+			}
+			frame.regs[instr.Dst] = v
+		case OpAlloc:
+			frame.regs[instr.Dst] = in.alloc(instr.Imm)
+		case OpLoad:
+			frame.regs[instr.Dst] = in.mem[in.reg(frame, instr.A)+instr.Imm]
+		case OpStore:
+			in.mem[in.reg(frame, instr.A)+instr.Imm] = in.reg(frame, instr.Val)
+		case OpGetField:
+			frame.regs[instr.Dst] = in.reg(frame, instr.A) + instr.Imm
+		case OpCall:
+			callArgs := make([]int64, len(instr.Args))
+			for i, a := range instr.Args {
+				callArgs[i] = in.reg(frame, a)
+			}
+			ret, err := in.Call(instr.Fn, callArgs...)
+			if err != nil {
+				return 0, err
+			}
+			if instr.Dst != "" {
+				frame.regs[instr.Dst] = ret
+			}
+		case OpFuncRef:
+			frame.regs[instr.Dst] = in.funcIDs[instr.Fn]
+		case OpICall:
+			target, ok := in.funcByID[in.reg(frame, instr.Val)]
+			if !ok {
+				return 0, fmt.Errorf("ir: %s: icall through bogus function pointer", fn)
+			}
+			callArgs := make([]int64, len(instr.Args))
+			for i, a := range instr.Args {
+				callArgs[i] = in.reg(frame, a)
+			}
+			ret, err := in.Call(target, callArgs...)
+			if err != nil {
+				return 0, err
+			}
+			if instr.Dst != "" {
+				frame.regs[instr.Dst] = ret
+			}
+		case OpBr:
+			block = f.BlockByLabel(instr.L1)
+			ii = 0
+			continue
+		case OpCbr:
+			if in.reg(frame, instr.Val) != 0 {
+				block = f.BlockByLabel(instr.L1)
+			} else {
+				block = f.BlockByLabel(instr.L2)
+			}
+			ii = 0
+			continue
+		case OpRet:
+			if instr.Val == "" {
+				return 0, nil
+			}
+			return in.reg(frame, instr.Val), nil
+		case OpUnsafeEnter:
+			frame.State = StateM
+		case OpUnsafeExit:
+			frame.State = StateE
+		}
+		ii++
+	}
+}
+
+// reg reads a register, resolving global names to their root addresses.
+func (in *Interp) reg(f *Frame, name string) int64 {
+	if v, ok := f.regs[name]; ok {
+		return v
+	}
+	if addr, ok := in.globals[name]; ok {
+		return addr
+	}
+	// Numeric literals are permitted as operands.
+	var v int64
+	if _, err := fmt.Sscanf(name, "%d", &v); err == nil {
+		return v
+	}
+	return 0
+}
+
+// MemorySnapshot copies the interpreter's memory (ground-truth comparison in
+// IR-level injection experiments).
+func (in *Interp) MemorySnapshot() map[int64]int64 {
+	out := make(map[int64]int64, len(in.mem))
+	for k, v := range in.mem {
+		out[k] = v
+	}
+	return out
+}

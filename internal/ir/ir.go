@@ -1,0 +1,309 @@
+// Package ir defines the miniature intermediate representation the PHOENIX
+// static analyzer operates on — the stand-in for LLVM IR in §3.5.
+//
+// Programs are modules of functions; functions are lists of labelled basic
+// blocks of register-based instructions. Registers are mutable function-
+// local variables (no SSA), which matches the analyzer's deliberately
+// flow-insensitive, completeness-over-soundness taint treatment.
+//
+// A textual format (".pir") round-trips through Parse/String so application
+// models can live in source files and the phxanalyze CLI can consume them.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpConst: x = const N
+	OpConst Op = iota
+	// OpBin: x = add|sub|mul|lt|eq a, b
+	OpBin
+	// OpAlloc: x = alloc N — allocate N bytes, returns pointer.
+	OpAlloc
+	// OpLoad: x = load p, off — read the word at p+off.
+	OpLoad
+	// OpStore: store p, off, v — write v to p+off.
+	OpStore
+	// OpGetField: x = field p, off — pointer arithmetic (p+off).
+	OpGetField
+	// OpCall: x = call f(a, b, ...) — x optional.
+	OpCall
+	// OpBr: br label
+	OpBr
+	// OpCbr: cbr cond, l1, l2
+	OpCbr
+	// OpRet: ret v? — return from function.
+	OpRet
+	// OpFuncRef: x = funcref f — takes the address of function f.
+	OpFuncRef
+	// OpICall: [x =] icall r(a, b, ...) — indirect call through register r.
+	OpICall
+	// OpUnsafeEnter / OpUnsafeExit are inserted by the instrumenter: frame
+	// state transitions U→M and M→E (§3.5's state stack updates).
+	OpUnsafeEnter
+	OpUnsafeExit
+)
+
+// BinKind is the OpBin operator.
+type BinKind uint8
+
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinLt
+	BinEq
+)
+
+func (b BinKind) String() string {
+	switch b {
+	case BinAdd:
+		return "add"
+	case BinSub:
+		return "sub"
+	case BinMul:
+		return "mul"
+	case BinLt:
+		return "lt"
+	case BinEq:
+		return "eq"
+	}
+	return "?"
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op   Op
+	Dst  string  // destination register ("" if none)
+	Bin  BinKind // for OpBin
+	A, B string  // register operands
+	Imm  int64   // OpConst value, OpAlloc size, OpLoad/OpStore/OpGetField offset
+	Val  string  // OpStore value register; OpRet value; OpCbr cond
+	Fn   string  // OpCall target
+	Args []string
+	L1   string // branch targets
+	L2   string
+}
+
+// Block is a labelled basic block.
+type Block struct {
+	Label  string
+	Instrs []Instr
+}
+
+// Func is one function.
+type Func struct {
+	Name   string
+	Params []string
+	Blocks []*Block
+}
+
+// Entry returns the first block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// BlockByLabel returns the named block, or nil.
+func (f *Func) BlockByLabel(label string) *Block {
+	for _, b := range f.Blocks {
+		if b.Label == label {
+			return b
+		}
+	}
+	return nil
+}
+
+// Module is a set of functions plus named globals (roots of preserved
+// state).
+type Module struct {
+	Funcs   map[string]*Func
+	Order   []string // declaration order, for deterministic output
+	Globals []string
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{Funcs: make(map[string]*Func)}
+}
+
+// AddFunc registers a function, preserving declaration order.
+func (m *Module) AddFunc(f *Func) error {
+	if _, dup := m.Funcs[f.Name]; dup {
+		return fmt.Errorf("ir: duplicate function %q", f.Name)
+	}
+	m.Funcs[f.Name] = f
+	m.Order = append(m.Order, f.Name)
+	return nil
+}
+
+// String renders the instruction in textual form.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", in.Dst, in.Imm)
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Bin, in.A, in.B)
+	case OpAlloc:
+		return fmt.Sprintf("%s = alloc %d", in.Dst, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s, %d", in.Dst, in.A, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store %s, %d, %s", in.A, in.Imm, in.Val)
+	case OpGetField:
+		return fmt.Sprintf("%s = field %s, %d", in.Dst, in.A, in.Imm)
+	case OpCall:
+		call := fmt.Sprintf("call %s(%s)", in.Fn, strings.Join(in.Args, ", "))
+		if in.Dst != "" {
+			return in.Dst + " = " + call
+		}
+		return call
+	case OpFuncRef:
+		return fmt.Sprintf("%s = funcref %s", in.Dst, in.Fn)
+	case OpICall:
+		call := fmt.Sprintf("icall %s(%s)", in.Val, strings.Join(in.Args, ", "))
+		if in.Dst != "" {
+			return in.Dst + " = " + call
+		}
+		return call
+	case OpBr:
+		return "br " + in.L1
+	case OpCbr:
+		return fmt.Sprintf("cbr %s, %s, %s", in.Val, in.L1, in.L2)
+	case OpRet:
+		if in.Val == "" {
+			return "ret"
+		}
+		return "ret " + in.Val
+	case OpUnsafeEnter:
+		return "unsafe_enter"
+	case OpUnsafeExit:
+		return "unsafe_exit"
+	}
+	return "?"
+}
+
+// String renders the module in the textual .pir format.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s\n", g)
+	}
+	for _, name := range m.Order {
+		f := m.Funcs[name]
+		fmt.Fprintf(&sb, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", b.Label)
+			for i := range b.Instrs {
+				fmt.Fprintf(&sb, "  %s\n", b.Instrs[i].String())
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// InstrRef identifies one instruction position within a function.
+type InstrRef struct {
+	Block int
+	Index int
+}
+
+// Less orders references in layout order (the analyzer's conservative
+// "first/last modification" ordering).
+func (r InstrRef) Less(o InstrRef) bool {
+	if r.Block != o.Block {
+		return r.Block < o.Block
+	}
+	return r.Index < o.Index
+}
+
+// ForEachInstr visits every instruction in layout order.
+func (f *Func) ForEachInstr(fn func(ref InstrRef, in *Instr)) {
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			fn(InstrRef{bi, ii}, &b.Instrs[ii])
+		}
+	}
+}
+
+// Clone deep-copies the function (instrumentation and fault injection work
+// on copies).
+func (f *Func) Clone() *Func {
+	nf := &Func{Name: f.Name, Params: append([]string(nil), f.Params...)}
+	for _, b := range f.Blocks {
+		nb := &Block{Label: b.Label, Instrs: make([]Instr, len(b.Instrs))}
+		copy(nb.Instrs, b.Instrs)
+		for i := range nb.Instrs {
+			nb.Instrs[i].Args = append([]string(nil), b.Instrs[i].Args...)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// Clone deep-copies the module.
+func (m *Module) Clone() *Module {
+	nm := NewModule()
+	nm.Globals = append([]string(nil), m.Globals...)
+	for _, name := range m.Order {
+		if err := nm.AddFunc(m.Funcs[name].Clone()); err != nil {
+			panic(err) // clone of a valid module cannot collide
+		}
+	}
+	return nm
+}
+
+// Validate checks structural invariants: branch targets exist, blocks end
+// with a terminator, and called functions are declared (calls to undeclared
+// names are treated as externals and allowed; Validate reports them).
+func (m *Module) Validate() (externals []string, err error) {
+	seenExt := map[string]bool{}
+	for _, name := range m.Order {
+		f := m.Funcs[name]
+		if len(f.Blocks) == 0 {
+			return nil, fmt.Errorf("ir: func %s has no blocks", name)
+		}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				return nil, fmt.Errorf("ir: %s: empty block %s", name, b.Label)
+			}
+			last := b.Instrs[len(b.Instrs)-1]
+			switch last.Op {
+			case OpBr, OpCbr, OpRet:
+			default:
+				return nil, fmt.Errorf("ir: %s: block %s does not end in a terminator", name, b.Label)
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case OpBr:
+					if f.BlockByLabel(in.L1) == nil {
+						return nil, fmt.Errorf("ir: %s: br to unknown label %s", name, in.L1)
+					}
+				case OpCbr:
+					if f.BlockByLabel(in.L1) == nil || f.BlockByLabel(in.L2) == nil {
+						return nil, fmt.Errorf("ir: %s: cbr to unknown label", name)
+					}
+				case OpCall:
+					if _, ok := m.Funcs[in.Fn]; !ok && !seenExt[in.Fn] {
+						seenExt[in.Fn] = true
+						externals = append(externals, in.Fn)
+					}
+				case OpFuncRef:
+					if _, ok := m.Funcs[in.Fn]; !ok {
+						return nil, fmt.Errorf("ir: %s: funcref to unknown function %s", name, in.Fn)
+					}
+				}
+			}
+		}
+	}
+	return externals, nil
+}

@@ -1,0 +1,168 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// IR-level fault injection: the direct analogue of the paper's LLVM-IR
+// injector (§4.4, Table 6), operating on module copies so a campaign can
+// compile "vanilla" and "fault-injected" versions of each function and
+// switch between them.
+
+// FaultKind enumerates the injectable IR transformations.
+type FaultKind uint8
+
+const (
+	// FaultCompInversion flips a comparison's result (swap lt operands /
+	// negate eq).
+	FaultCompInversion FaultKind = iota
+	// FaultMissingStore deletes a store instruction.
+	FaultMissingStore
+	// FaultWrongOperand replaces a binop operand with the literal 0 or 1.
+	FaultWrongOperand
+	// FaultMissingBranch rewrites a cbr to always take the false edge.
+	FaultMissingBranch
+	// FaultUninitVar deletes a register's first const assignment.
+	FaultUninitVar
+	// FaultWrongResult makes a store write the literal 0.
+	FaultWrongResult
+	// FaultMissingCall deletes a call instruction.
+	FaultMissingCall
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCompInversion:
+		return "comparison-inversion"
+	case FaultMissingStore:
+		return "missing-assignment"
+	case FaultWrongOperand:
+		return "wrong-operand"
+	case FaultMissingBranch:
+		return "missing-if"
+	case FaultUninitVar:
+		return "uninitialized-variable"
+	case FaultWrongResult:
+		return "assign-wrong-result"
+	case FaultMissingCall:
+		return "missing-function-call"
+	}
+	return "unknown"
+}
+
+// FaultSite is a concrete injectable location.
+type FaultSite struct {
+	Fn   string
+	Ref  InstrRef
+	Kind FaultKind
+}
+
+// EnumerateFaultSites lists every (instruction, kind) pair the module
+// supports, restricted to the given functions (pass nil for all) — the
+// gcov-style activation filter of §4.4.
+func EnumerateFaultSites(m *Module, funcs map[string]bool) []FaultSite {
+	var out []FaultSite
+	for _, name := range m.Order {
+		if funcs != nil && !funcs[name] {
+			continue
+		}
+		f := m.Funcs[name]
+		f.ForEachInstr(func(ref InstrRef, in *Instr) {
+			switch in.Op {
+			case OpBin:
+				if in.Bin == BinLt || in.Bin == BinEq {
+					out = append(out, FaultSite{name, ref, FaultCompInversion})
+				}
+				out = append(out, FaultSite{name, ref, FaultWrongOperand})
+			case OpStore:
+				out = append(out, FaultSite{name, ref, FaultMissingStore})
+				out = append(out, FaultSite{name, ref, FaultWrongResult})
+			case OpCbr:
+				out = append(out, FaultSite{name, ref, FaultMissingBranch})
+			case OpConst:
+				out = append(out, FaultSite{name, ref, FaultUninitVar})
+			case OpCall, OpICall:
+				out = append(out, FaultSite{name, ref, FaultMissingCall})
+			}
+		})
+	}
+	return out
+}
+
+// Inject applies the fault to a copy of the module and returns it. The
+// original module is untouched.
+func Inject(m *Module, site FaultSite) (*Module, error) {
+	nm := m.Clone()
+	f, ok := nm.Funcs[site.Fn]
+	if !ok {
+		return nil, fmt.Errorf("ir: inject into unknown function %q", site.Fn)
+	}
+	if site.Ref.Block >= len(f.Blocks) || site.Ref.Index >= len(f.Blocks[site.Ref.Block].Instrs) {
+		return nil, fmt.Errorf("ir: inject site out of range")
+	}
+	b := f.Blocks[site.Ref.Block]
+	in := &b.Instrs[site.Ref.Index]
+	switch site.Kind {
+	case FaultCompInversion:
+		if in.Op != OpBin || (in.Bin != BinLt && in.Bin != BinEq) {
+			return nil, fmt.Errorf("ir: comparison inversion on non-comparison")
+		}
+		if in.Bin == BinLt {
+			in.A, in.B = in.B, in.A // a<b becomes b<a (≈ >=, off by equality)
+		} else {
+			// eq inversion: rewrite to lt(0, |a-b|)-style via swap is not
+			// expressible in place; emulate by changing to lt with the same
+			// operands, which flips most equal/unequal outcomes.
+			in.Bin = BinLt
+		}
+	case FaultMissingStore:
+		if in.Op != OpStore {
+			return nil, fmt.Errorf("ir: missing-store on non-store")
+		}
+		b.Instrs = append(b.Instrs[:site.Ref.Index], b.Instrs[site.Ref.Index+1:]...)
+	case FaultWrongOperand:
+		if in.Op != OpBin {
+			return nil, fmt.Errorf("ir: wrong-operand on non-binop")
+		}
+		in.B = "0"
+	case FaultMissingBranch:
+		if in.Op != OpCbr {
+			return nil, fmt.Errorf("ir: missing-if on non-cbr")
+		}
+		*in = Instr{Op: OpBr, L1: in.L2}
+	case FaultUninitVar:
+		if in.Op != OpConst {
+			return nil, fmt.Errorf("ir: uninit-var on non-const")
+		}
+		b.Instrs = append(b.Instrs[:site.Ref.Index], b.Instrs[site.Ref.Index+1:]...)
+	case FaultWrongResult:
+		if in.Op != OpStore {
+			return nil, fmt.Errorf("ir: wrong-result on non-store")
+		}
+		in.Val = "0"
+	case FaultMissingCall:
+		if in.Op != OpCall && in.Op != OpICall {
+			return nil, fmt.Errorf("ir: missing-call on non-call")
+		}
+		b.Instrs = append(b.Instrs[:site.Ref.Index], b.Instrs[site.Ref.Index+1:]...)
+	default:
+		return nil, fmt.Errorf("ir: unknown fault kind %d", site.Kind)
+	}
+	return nm, nil
+}
+
+// PickSites draws n distinct random sites (deterministic in the rng).
+func PickSites(sites []FaultSite, n int, rng *rand.Rand) []FaultSite {
+	if n >= len(sites) {
+		out := make([]FaultSite, len(sites))
+		copy(out, sites)
+		return out
+	}
+	perm := rng.Perm(len(sites))
+	out := make([]FaultSite, n)
+	for i := 0; i < n; i++ {
+		out[i] = sites[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module from the textual .pir format. Grammar (line based,
+// ';' starts a comment):
+//
+//	global <name>
+//	func <name>(<p1>, <p2>, ...) {
+//	<label>:
+//	  x = const N
+//	  x = add|sub|mul|lt|eq a, b
+//	  x = alloc N
+//	  x = load p, off
+//	  store p, off, v
+//	  x = field p, off
+//	  [x =] call f(a, b)
+//	  br label
+//	  cbr cond, l1, l2
+//	  ret [v]
+//	  unsafe_enter / unsafe_exit
+//	}
+func Parse(src string) (*Module, error) {
+	m := NewModule()
+	var cur *Func
+	var curBlock *Block
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("ir: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "global "):
+			if cur != nil {
+				return nil, fail("global inside function")
+			}
+			m.Globals = append(m.Globals, strings.TrimSpace(strings.TrimPrefix(line, "global ")))
+		case strings.HasPrefix(line, "func "):
+			if cur != nil {
+				return nil, fail("nested func")
+			}
+			rest := strings.TrimPrefix(line, "func ")
+			open := strings.Index(rest, "(")
+			close_ := strings.Index(rest, ")")
+			if open < 0 || close_ < open || !strings.HasSuffix(rest, "{") {
+				return nil, fail("malformed func header %q", line)
+			}
+			f := &Func{Name: strings.TrimSpace(rest[:open])}
+			for _, p := range strings.Split(rest[open+1:close_], ",") {
+				p = strings.TrimSpace(p)
+				if p != "" {
+					f.Params = append(f.Params, p)
+				}
+			}
+			cur = f
+			curBlock = nil
+		case line == "}":
+			if cur == nil {
+				return nil, fail("stray }")
+			}
+			if err := m.AddFunc(cur); err != nil {
+				return nil, fail("%v", err)
+			}
+			cur, curBlock = nil, nil
+		case strings.HasSuffix(line, ":") && cur != nil:
+			label := strings.TrimSuffix(line, ":")
+			if cur.BlockByLabel(label) != nil {
+				return nil, fail("duplicate label %s", label)
+			}
+			curBlock = &Block{Label: label}
+			cur.Blocks = append(cur.Blocks, curBlock)
+		default:
+			if cur == nil {
+				return nil, fail("instruction outside function: %q", line)
+			}
+			if curBlock == nil {
+				// Implicit entry block.
+				curBlock = &Block{Label: "entry"}
+				cur.Blocks = append(cur.Blocks, curBlock)
+			}
+			in, err := parseInstr(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			curBlock.Instrs = append(curBlock.Instrs, in)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("ir: unterminated func %s", cur.Name)
+	}
+	return m, nil
+}
+
+// MustParse parses or panics (for compiled-in application models).
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func parseInstr(line string) (Instr, error) {
+	// Assignment forms: "x = ...".
+	if eq := strings.Index(line, "="); eq > 0 && !strings.HasPrefix(line, "store") &&
+		!strings.Contains(line[:eq], ",") {
+		dst := strings.TrimSpace(line[:eq])
+		rhs := strings.TrimSpace(line[eq+1:])
+		in, err := parseRHS(rhs)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Dst = dst
+		return in, nil
+	}
+	fields := splitOp(line)
+	if len(fields) == 0 {
+		return Instr{}, fmt.Errorf("empty instruction")
+	}
+	switch fields[0] {
+	case "store":
+		// store p, off, v
+		args := splitArgs(strings.TrimPrefix(line, "store "))
+		if len(args) != 3 {
+			return Instr{}, fmt.Errorf("store wants 3 operands: %q", line)
+		}
+		off, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("store offset: %v", err)
+		}
+		return Instr{Op: OpStore, A: args[0], Imm: off, Val: args[2]}, nil
+	case "call", "icall":
+		return parseRHS(line)
+	case "br":
+		if len(fields) != 2 {
+			return Instr{}, fmt.Errorf("br wants a label")
+		}
+		return Instr{Op: OpBr, L1: fields[1]}, nil
+	case "cbr":
+		args := splitArgs(strings.TrimPrefix(line, "cbr "))
+		if len(args) != 3 {
+			return Instr{}, fmt.Errorf("cbr wants cond, l1, l2")
+		}
+		return Instr{Op: OpCbr, Val: args[0], L1: args[1], L2: args[2]}, nil
+	case "ret":
+		in := Instr{Op: OpRet}
+		if len(fields) == 2 {
+			in.Val = fields[1]
+		}
+		return in, nil
+	case "unsafe_enter":
+		return Instr{Op: OpUnsafeEnter}, nil
+	case "unsafe_exit":
+		return Instr{Op: OpUnsafeExit}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown instruction %q", line)
+}
+
+func parseRHS(rhs string) (Instr, error) {
+	fields := splitOp(rhs)
+	if len(fields) == 0 {
+		return Instr{}, fmt.Errorf("empty rhs")
+	}
+	switch fields[0] {
+	case "const":
+		if len(fields) != 2 {
+			return Instr{}, fmt.Errorf("const wants one immediate")
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("const: %v", err)
+		}
+		return Instr{Op: OpConst, Imm: v}, nil
+	case "alloc":
+		if len(fields) != 2 {
+			return Instr{}, fmt.Errorf("alloc wants one size")
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("alloc: %v", err)
+		}
+		return Instr{Op: OpAlloc, Imm: v}, nil
+	case "add", "sub", "mul", "lt", "eq":
+		kind := map[string]BinKind{"add": BinAdd, "sub": BinSub, "mul": BinMul, "lt": BinLt, "eq": BinEq}[fields[0]]
+		args := splitArgs(strings.TrimPrefix(rhs, fields[0]+" "))
+		if len(args) != 2 {
+			return Instr{}, fmt.Errorf("%s wants 2 operands", fields[0])
+		}
+		return Instr{Op: OpBin, Bin: kind, A: args[0], B: args[1]}, nil
+	case "load":
+		args := splitArgs(strings.TrimPrefix(rhs, "load "))
+		if len(args) != 2 {
+			return Instr{}, fmt.Errorf("load wants p, off")
+		}
+		off, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("load offset: %v", err)
+		}
+		return Instr{Op: OpLoad, A: args[0], Imm: off}, nil
+	case "field":
+		args := splitArgs(strings.TrimPrefix(rhs, "field "))
+		if len(args) != 2 {
+			return Instr{}, fmt.Errorf("field wants p, off")
+		}
+		off, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("field offset: %v", err)
+		}
+		return Instr{Op: OpGetField, A: args[0], Imm: off}, nil
+	case "call":
+		rest := strings.TrimSpace(strings.TrimPrefix(rhs, "call "))
+		open := strings.Index(rest, "(")
+		close_ := strings.LastIndex(rest, ")")
+		if open < 0 || close_ < open {
+			return Instr{}, fmt.Errorf("malformed call %q", rhs)
+		}
+		in := Instr{Op: OpCall, Fn: strings.TrimSpace(rest[:open])}
+		for _, a := range strings.Split(rest[open+1:close_], ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				in.Args = append(in.Args, a)
+			}
+		}
+		return in, nil
+	case "funcref":
+		if len(fields) != 2 {
+			return Instr{}, fmt.Errorf("funcref wants a function name")
+		}
+		return Instr{Op: OpFuncRef, Fn: fields[1]}, nil
+	case "icall":
+		rest := strings.TrimSpace(strings.TrimPrefix(rhs, "icall "))
+		open := strings.Index(rest, "(")
+		close_ := strings.LastIndex(rest, ")")
+		if open < 0 || close_ < open {
+			return Instr{}, fmt.Errorf("malformed icall %q", rhs)
+		}
+		in := Instr{Op: OpICall, Val: strings.TrimSpace(rest[:open])}
+		for _, a := range strings.Split(rest[open+1:close_], ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				in.Args = append(in.Args, a)
+			}
+		}
+		return in, nil
+	}
+	return Instr{}, fmt.Errorf("unknown rhs %q", rhs)
+}
+
+func splitOp(s string) []string {
+	return strings.Fields(strings.ReplaceAll(s, ",", " , "))
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

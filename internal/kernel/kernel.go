@@ -1,0 +1,400 @@
+// Package kernel implements the simulated operating-system layer: processes
+// with isolated address spaces, signal delivery, watchdog timers, and —
+// centrally — the preserve_exec system call of §3.2/§3.3, which creates a
+// fresh process image while zero-copy-transferring selected page ranges from
+// the dying process at their original virtual addresses.
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"phoenix/internal/costmodel"
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+	"phoenix/internal/simclock"
+	"phoenix/internal/storage"
+)
+
+// Signal numbers follow the POSIX values the paper's runtime hooks.
+type Signal int
+
+const (
+	// SIGSEGV is delivered for invalid simulated-memory accesses.
+	SIGSEGV Signal = 11
+	// SIGABRT is delivered for application asserts and allocator aborts.
+	SIGABRT Signal = 6
+	// SIGALRM is delivered when a watchdog forces a restart of a hung
+	// process.
+	SIGALRM Signal = 14
+	// SIGKILL tears a process down without running handlers.
+	SIGKILL Signal = 9
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SIGSEGV:
+		return "SIGSEGV"
+	case SIGABRT:
+		return "SIGABRT"
+	case SIGALRM:
+		return "SIGALRM"
+	case SIGKILL:
+		return "SIGKILL"
+	}
+	return fmt.Sprintf("signal(%d)", int(s))
+}
+
+// Crash is the panic value application code uses for non-memory failures
+// (failed asserts, allocator aborts, out-of-memory). The kernel converts it,
+// like *mem.Fault, into a signal delivery.
+type Crash struct {
+	Sig    Signal
+	Reason string
+}
+
+func (c *Crash) Error() string { return fmt.Sprintf("kernel: %s: %s", c.Sig, c.Reason) }
+
+// CrashInfo describes a caught failure, handed to the registered signal
+// handler.
+type CrashInfo struct {
+	Sig    Signal
+	Reason string
+	Addr   mem.VAddr // faulting address for SIGSEGV
+	Time   time.Duration
+}
+
+// Machine is the simulated host: one clock, one cost model, one disk, and a
+// PID namespace.
+type Machine struct {
+	Clock *simclock.Clock
+	Model costmodel.Model
+	Disk  *storage.Disk
+
+	nextPID int
+	rng     *rand.Rand
+}
+
+// NewMachine boots a simulated machine with the given deterministic seed
+// (used only for ASLR layout).
+func NewMachine(seed int64) *Machine {
+	clk := simclock.New()
+	model := costmodel.Default()
+	return &Machine{
+		Clock:   clk,
+		Model:   model,
+		Disk:    storage.NewDisk(clk, model),
+		nextPID: 100,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Process is one simulated process.
+type Process struct {
+	PID     int
+	Machine *Machine
+	AS      *mem.AddressSpace
+	Image   *linker.Image
+
+	// LinkMap is the preserved dynamic-linker map (§3.4's private syscall).
+	LinkMap *linker.LinkMap
+
+	// preserved carries the PHOENIX recovery handoff from the prior process
+	// when this process was created by PreserveExec.
+	preserved *Handoff
+
+	handlers map[Signal]func(*CrashInfo)
+	dead     bool
+}
+
+// Handoff is what preserve_exec carries from the old process to the new one:
+// the application's recovery-info pointer (which must live in preserved
+// memory), the set of preserved ranges, and accounting for the transfer.
+type Handoff struct {
+	InfoAddr    mem.VAddr
+	Ranges      []linker.Range
+	MovedPages  int
+	CopiedPages int
+	// FallbackReason is set when this exec is a non-PHOENIX restart after a
+	// fallback decision, so the new process knows recovery mode is off.
+	FallbackReason string
+}
+
+// aslrSlide picks a page-aligned randomized base offset.
+func (m *Machine) aslrSlide() mem.VAddr {
+	// 28 bits of entropy, page aligned, well away from page zero.
+	return mem.VAddr((m.rng.Int63n(1<<16) + 1) << mem.PageShift)
+}
+
+// Spawn creates a brand-new process from the image: fresh address space,
+// fresh ASLR base (the builder should have been laid out against base 0 and
+// is slid here — for simplicity our images carry absolute addresses, so the
+// slide is recorded but layout reuses the image's own addresses; what
+// matters for the PHOENIX contract is that the slide is *reused* across
+// PHOENIX restarts, which Spawn vs PreserveExec makes observable).
+func (m *Machine) Spawn(img *linker.Image) (*Process, error) {
+	m.Clock.Advance(m.Model.Exec())
+	p := &Process{
+		PID:      m.allocPID(),
+		Machine:  m,
+		AS:       mem.NewAddressSpace(),
+		Image:    img,
+		handlers: make(map[Signal]func(*CrashInfo)),
+	}
+	p.AS.ASLRBase = m.aslrSlide()
+	if img != nil {
+		if _, err := img.Load(p.AS); err != nil {
+			return nil, err
+		}
+		p.LinkMap = &linker.LinkMap{Image: img, ASLRBase: p.AS.ASLRBase}
+	}
+	return p, nil
+}
+
+func (m *Machine) allocPID() int {
+	m.nextPID++
+	return m.nextPID
+}
+
+// Restore creates a process around an externally reconstructed address
+// space — the CRIU restore path. The caller is responsible for charging the
+// image-read time; Restore itself charges only the base exec cost.
+func (m *Machine) Restore(img *linker.Image, as *mem.AddressSpace) *Process {
+	m.Clock.Advance(m.Model.Exec())
+	p := &Process{
+		PID:      m.allocPID(),
+		Machine:  m,
+		AS:       as,
+		Image:    img,
+		handlers: make(map[Signal]func(*CrashInfo)),
+	}
+	if img != nil {
+		p.LinkMap = &linker.LinkMap{Image: img, ASLRBase: as.ASLRBase}
+	}
+	return p
+}
+
+// ExecSpec parameterises PreserveExec.
+type ExecSpec struct {
+	// InfoAddr is the recovery-info pointer passed by the restart handler.
+	// It must point into one of the preserved ranges.
+	InfoAddr mem.VAddr
+	// Ranges are the byte ranges to preserve. Full pages are moved
+	// zero-copy; partial head/tail pages fall back to copying (§3.3).
+	Ranges []linker.Range
+	// WithSection additionally preserves the image's .phx.* sections.
+	WithSection bool
+}
+
+// PreserveExec implements the PHOENIX system call: it constructs the
+// successor process, moves the page-table entries of all preserved ranges
+// into it at their original virtual addresses, loads the fresh image into
+// the remaining gaps, and tears down the caller. The simulated clock is
+// charged per the cost model (fixed exec cost + per-page PTE moves + per-page
+// copies for partial pages).
+func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
+	if p.dead {
+		return nil, fmt.Errorf("kernel: preserve_exec on dead process %d", p.PID)
+	}
+	m := p.Machine
+	np := &Process{
+		PID:      m.allocPID(),
+		Machine:  m,
+		AS:       mem.NewAddressSpace(),
+		Image:    p.Image,
+		LinkMap:  p.LinkMap, // preserved via the private link_map syscall
+		handlers: make(map[Signal]func(*CrashInfo)),
+	}
+	// ASLR: reuse the prior slide rather than re-randomizing (§3.3).
+	np.AS.ASLRBase = p.AS.ASLRBase
+
+	ranges := append([]linker.Range(nil), spec.Ranges...)
+	if spec.WithSection && p.Image != nil {
+		ranges = append(ranges, p.Image.PreservedRanges()...)
+	}
+
+	moved, copied := 0, 0
+	for _, r := range ranges {
+		if r.Len <= 0 {
+			continue
+		}
+		mv, cp, err := p.transferRange(np, r)
+		if err != nil {
+			return nil, err
+		}
+		moved += mv
+		copied += cp
+	}
+	if spec.InfoAddr != mem.NullPtr && !np.AS.Mapped(spec.InfoAddr) {
+		return nil, fmt.Errorf("kernel: preserve_exec: info block %#x not in a preserved range",
+			uint64(spec.InfoAddr))
+	}
+	// Load the fresh image into the gaps; the dynamic linker skips the
+	// kernel-installed preserved ranges.
+	if p.Image != nil {
+		if _, err := p.Image.Load(np.AS); err != nil {
+			return nil, err
+		}
+	}
+	m.Clock.Advance(m.Model.PreserveExec(moved, copied))
+	np.preserved = &Handoff{
+		InfoAddr:    spec.InfoAddr,
+		Ranges:      ranges,
+		MovedPages:  moved,
+		CopiedPages: copied,
+	}
+	p.dead = true
+	return np, nil
+}
+
+// transferRange moves the full pages of r zero-copy and copies partial
+// head/tail pages.
+func (p *Process) transferRange(np *Process, r linker.Range) (moved, copied int, err error) {
+	start, end := r.Start, r.End()
+	alignedStart := mem.PageBase(start + mem.PageSize - 1) // round up
+	alignedEnd := mem.PageBase(end)                        // round down
+	if start == mem.PageBase(start) {
+		alignedStart = start
+	}
+
+	// Partial head page [start, min(alignedStart,end)).
+	if start < alignedStart {
+		headEnd := alignedStart
+		if end < headEnd {
+			headEnd = end
+		}
+		if err := p.copyPartial(np, start, headEnd); err != nil {
+			return moved, copied, err
+		}
+		copied++
+	}
+	// Full middle pages.
+	if alignedEnd > alignedStart {
+		n := int((alignedEnd - alignedStart) / mem.PageSize)
+		mv, err := p.AS.MovePages(np.AS, alignedStart, n)
+		if err != nil {
+			return moved, copied, err
+		}
+		moved += mv
+	}
+	// Partial tail page [max(alignedEnd,start), end).
+	if alignedEnd < end && alignedEnd >= alignedStart && alignedEnd > start {
+		if err := p.copyPartial(np, alignedEnd, end); err != nil {
+			return moved, copied, err
+		}
+		copied++
+	}
+	return moved, copied, nil
+}
+
+// copyPartial copies the bytes [lo,hi) (within a single page) into np,
+// mapping the page there if needed.
+func (p *Process) copyPartial(np *Process, lo, hi mem.VAddr) error {
+	src := p.AS.FindMapping(lo)
+	if src == nil {
+		return fmt.Errorf("kernel: preserve range %#x unmapped in source", uint64(lo))
+	}
+	base := mem.PageBase(lo)
+	if !np.AS.Mapped(base) {
+		if _, err := np.AS.Map(base, 1, src.Kind, src.Name+"(partial)"); err != nil {
+			return err
+		}
+	}
+	buf := p.AS.ReadBytes(lo, int(hi-lo))
+	np.AS.WriteAt(lo, buf)
+	return nil
+}
+
+// Exec replaces the process with a fresh image and no preserved state — a
+// plain restart. reason annotates why (e.g. a PHOENIX fallback).
+func (p *Process) Exec(reason string) (*Process, error) {
+	if p.dead {
+		return nil, fmt.Errorf("kernel: exec on dead process %d", p.PID)
+	}
+	np, err := p.Machine.Spawn(p.Image)
+	if err != nil {
+		return nil, err
+	}
+	np.preserved = &Handoff{FallbackReason: reason}
+	p.dead = true
+	return np, nil
+}
+
+// Handoff returns the preserve_exec handoff if this process was created by
+// one, or nil for a first start / plain restart without annotation.
+func (p *Process) Handoff() *Handoff { return p.preserved }
+
+// Dead reports whether the process has been replaced or killed.
+func (p *Process) Dead() bool { return p.dead }
+
+// Kill marks the process dead without running handlers.
+func (p *Process) Kill() { p.dead = true }
+
+// OnSignal registers a handler for sig (phx_init registers the restart
+// handler for SIGSEGV this way).
+func (p *Process) OnSignal(sig Signal, fn func(*CrashInfo)) {
+	p.handlers[sig] = fn
+}
+
+// Deliver invokes the registered handler for the signal, if any, and reports
+// whether one ran. SIGKILL never runs handlers.
+func (p *Process) Deliver(info *CrashInfo) bool {
+	if info.Sig == SIGKILL {
+		p.dead = true
+		return false
+	}
+	if fn := p.handlers[info.Sig]; fn != nil {
+		fn(info)
+		return true
+	}
+	return false
+}
+
+// Run executes f, converting panics that carry *mem.Fault or *Crash into a
+// CrashInfo (other panics propagate — they are bugs in the simulator, not
+// simulated failures). It returns nil if f completes.
+func (p *Process) Run(f func()) (ci *CrashInfo) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch v := r.(type) {
+		case *mem.Fault:
+			ci = &CrashInfo{Sig: SIGSEGV, Reason: v.Error(), Addr: v.Addr, Time: p.Machine.Clock.Now()}
+		case *Crash:
+			ci = &CrashInfo{Sig: v.Sig, Reason: v.Reason, Time: p.Machine.Clock.Now()}
+		default:
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// Watchdog detects hangs: if Pet is not called within Timeout of simulated
+// time, Expired reports true and the supervisor forces a SIGALRM restart —
+// the "added watchdog" of §2.1 and the pool-herder of §4.3.3.
+type Watchdog struct {
+	Timeout time.Duration
+	clock   *simclock.Clock
+	lastPet time.Duration
+}
+
+// NewWatchdog creates a watchdog petted at the current instant.
+func (m *Machine) NewWatchdog(timeout time.Duration) *Watchdog {
+	return &Watchdog{Timeout: timeout, clock: m.Clock, lastPet: m.Clock.Now()}
+}
+
+// Pet records liveness.
+func (w *Watchdog) Pet() { w.lastPet = w.clock.Now() }
+
+// Expired reports whether the timeout has elapsed since the last Pet.
+func (w *Watchdog) Expired() bool {
+	return w.clock.Now()-w.lastPet >= w.Timeout
+}
+
+// Deadline returns the absolute simulated time at which the watchdog fires
+// if not petted again.
+func (w *Watchdog) Deadline() time.Duration { return w.lastPet + w.Timeout }

@@ -1,0 +1,132 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+// Property: preserve_exec preserves arbitrary content byte-for-byte across
+// arbitrary sets of preserved ranges, and never leaks non-preserved pages
+// into the successor.
+func TestQuickPreserveExecContent(t *testing.T) {
+	f := func(fills [][]byte, preserveMask uint8) bool {
+		m := NewMachine(1)
+		p, err := m.Spawn(nil)
+		if err != nil {
+			return false
+		}
+		// Eight regions of 2 pages each; the mask selects which to preserve.
+		type region struct {
+			start mem.VAddr
+			data  []byte
+		}
+		var regions []region
+		for i := 0; i < 8; i++ {
+			start := mem.VAddr(0x1000_0000 + i*0x10000)
+			if _, err := p.AS.Map(start, 2, mem.KindCustom, "r"); err != nil {
+				return false
+			}
+			data := []byte{byte(i), byte(i + 1), byte(i + 2)}
+			if i < len(fills) && len(fills[i]) > 0 {
+				data = fills[i]
+				if len(data) > 2*mem.PageSize {
+					data = data[:2*mem.PageSize]
+				}
+			}
+			p.AS.WriteAt(start, data)
+			regions = append(regions, region{start, data})
+		}
+		var ranges []linker.Range
+		for i, r := range regions {
+			if preserveMask&(1<<i) != 0 {
+				ranges = append(ranges, linker.Range{Start: r.start, Len: 2 * mem.PageSize})
+			}
+		}
+		np, err := p.PreserveExec(ExecSpec{Ranges: ranges})
+		if err != nil {
+			return false
+		}
+		for i, r := range regions {
+			preserved := preserveMask&(1<<i) != 0
+			if preserved {
+				if !bytes.Equal(np.AS.ReadBytes(r.start, len(r.data)), r.data) {
+					return false
+				}
+			} else if np.AS.Mapped(r.start) {
+				return false // discarded region leaked into the successor
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: preserve_exec cost is monotone in the number of preserved
+// pages.
+func TestQuickPreserveExecCostMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for pages := 1; pages <= 4096; pages *= 4 {
+		m := NewMachine(1)
+		p, _ := m.Spawn(nil)
+		if _, err := p.AS.Map(0x1000_0000, pages, mem.KindCustom, "r"); err != nil {
+			t.Fatal(err)
+		}
+		before := m.Clock.Now()
+		if _, err := p.PreserveExec(ExecSpec{
+			Ranges: []linker.Range{{Start: 0x1000_0000, Len: pages * mem.PageSize}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		cost := m.Clock.Now() - before
+		if cost <= prev {
+			t.Fatalf("cost not monotone at %d pages: %v <= %v", pages, cost, prev)
+		}
+		prev = cost
+	}
+}
+
+// Property: chains of PHOENIX restarts keep preserving the same content.
+func TestQuickRestartChain(t *testing.T) {
+	f := func(seed int64, content []byte) bool {
+		if len(content) == 0 {
+			content = []byte{1}
+		}
+		if len(content) > mem.PageSize {
+			content = content[:mem.PageSize]
+		}
+		m := NewMachine(seed)
+		p, err := m.Spawn(nil)
+		if err != nil {
+			return false
+		}
+		const start = mem.VAddr(0x2000_0000)
+		if _, err := p.AS.Map(start, 1, mem.KindCustom, "c"); err != nil {
+			return false
+		}
+		p.AS.WriteAt(start, content)
+		for hop := 0; hop < 5; hop++ {
+			np, err := p.PreserveExec(ExecSpec{
+				InfoAddr: start,
+				Ranges:   []linker.Range{{Start: start, Len: mem.PageSize}},
+			})
+			if err != nil {
+				return false
+			}
+			p = np
+			if !bytes.Equal(p.AS.ReadBytes(start, len(content)), content) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package linker implements the simulated binary image and dynamic-linker
+// behaviour PHOENIX depends on: ELF-like sections including the PHOENIX
+// .phx.data and .phx.bss preserved sections (§3.3, section-based
+// preservation), and the post-restart reload protocol in which the dynamic
+// linker skips kernel-installed preserved ranges and freshly loads everything
+// else (§3.4).
+package linker
+
+import (
+	"fmt"
+
+	"phoenix/internal/mem"
+)
+
+// SectionKind identifies a section's semantics.
+type SectionKind uint8
+
+const (
+	// SecData is initialised writable data (.data); reloaded fresh on every
+	// restart.
+	SecData SectionKind = iota
+	// SecBSS is zero-initialised data (.bss); re-zeroed on every restart.
+	SecBSS
+	// SecPhxData is PHOENIX-preserved initialised data (.phx.data); carried
+	// across PHOENIX restarts when the with_section option is set.
+	SecPhxData
+	// SecPhxBSS is PHOENIX-preserved zeroed data (.phx.bss).
+	SecPhxBSS
+)
+
+func (k SectionKind) String() string {
+	switch k {
+	case SecData:
+		return ".data"
+	case SecBSS:
+		return ".bss"
+	case SecPhxData:
+		return ".phx.data"
+	case SecPhxBSS:
+		return ".phx.bss"
+	}
+	return fmt.Sprintf("section(%d)", uint8(k))
+}
+
+// Preserved reports whether the section belongs to the PHOENIX preserved set.
+func (k SectionKind) Preserved() bool { return k == SecPhxData || k == SecPhxBSS }
+
+// Section is one loadable section of an image.
+type Section struct {
+	Kind SectionKind
+	Addr mem.VAddr // load address (ASLR base already applied)
+	Size int       // bytes, padded to page multiple at load time
+	Init []byte    // initial contents (SecData/SecPhxData only)
+}
+
+// Pages returns the section's page count.
+func (s *Section) Pages() int { return mem.PagesFor(s.Size) }
+
+// End returns the first address past the section's page-padded extent.
+func (s *Section) End() mem.VAddr { return s.Addr + mem.VAddr(s.Pages())*mem.PageSize }
+
+// StaticVar is a named static variable placed in a section — the analogue of
+// a C static annotated with the phxsec macro (Figure 5). Its simulated
+// address is fixed at image build time.
+type StaticVar struct {
+	Name string
+	Addr mem.VAddr
+	Size int
+	Kind SectionKind
+}
+
+// Image is a simulated binary: a set of sections plus the static-variable
+// symbol table.
+type Image struct {
+	Name     string
+	Sections []*Section
+	Vars     map[string]*StaticVar
+}
+
+// Builder lays out an image's sections and statics. Layout is deterministic:
+// sections are placed in registration order starting at base, each padded to
+// a page boundary.
+type Builder struct {
+	name string
+	next mem.VAddr
+	img  *Image
+	// open section accumulation: vars are appended per kind, then sealed.
+	open map[SectionKind]*openSec
+	// order preserves deterministic section emission.
+	order []SectionKind
+}
+
+type openSec struct {
+	kind SectionKind
+	size int
+	init []byte
+	vars []*StaticVar
+}
+
+// NewBuilder starts an image layout at the given base address.
+func NewBuilder(name string, base mem.VAddr) *Builder {
+	if base%mem.PageSize != 0 {
+		panic(fmt.Sprintf("linker: unaligned image base %#x", uint64(base)))
+	}
+	return &Builder{
+		name: name,
+		next: base,
+		img:  &Image{Name: name, Vars: make(map[string]*StaticVar)},
+		open: make(map[SectionKind]*openSec),
+	}
+}
+
+// Var reserves size bytes for a named static variable in the section of the
+// given kind (the phxsec annotation places it in SecPhxData/SecPhxBSS).
+// Variables are 8-byte aligned. The returned StaticVar's address is only
+// final after Build.
+func (b *Builder) Var(name string, size int, kind SectionKind) *StaticVar {
+	if size <= 0 {
+		panic(fmt.Sprintf("linker: Var %s: non-positive size %d", name, size))
+	}
+	if _, dup := b.img.Vars[name]; dup {
+		panic(fmt.Sprintf("linker: duplicate static %q", name))
+	}
+	os := b.open[kind]
+	if os == nil {
+		os = &openSec{kind: kind}
+		b.open[kind] = os
+		b.order = append(b.order, kind)
+	}
+	// Align to 8 bytes.
+	os.size = (os.size + 7) &^ 7
+	v := &StaticVar{Name: name, Addr: mem.VAddr(os.size), Size: size, Kind: kind}
+	os.size += size
+	os.vars = append(os.vars, v)
+	b.img.Vars[name] = v
+	return v
+}
+
+// VarInit sets the initial bytes for a SecData/SecPhxData variable declared
+// via Var. Missing trailing bytes stay zero.
+func (b *Builder) VarInit(v *StaticVar, data []byte) {
+	if v.Kind == SecBSS || v.Kind == SecPhxBSS {
+		panic(fmt.Sprintf("linker: VarInit %s: BSS variables have no initial data", v.Name))
+	}
+	if len(data) > v.Size {
+		panic(fmt.Sprintf("linker: VarInit %s: %d bytes exceed size %d", v.Name, len(data), v.Size))
+	}
+	os := b.open[v.Kind]
+	off := int(v.Addr)
+	need := off + v.Size
+	if len(os.init) < need {
+		os.init = append(os.init, make([]byte, need-len(os.init))...)
+	}
+	copy(os.init[off:], data)
+}
+
+// Build finalises the layout and returns the image. The builder must not be
+// reused afterwards.
+func (b *Builder) Build() *Image {
+	for _, kind := range b.order {
+		os := b.open[kind]
+		if os.size == 0 {
+			continue
+		}
+		sec := &Section{Kind: kind, Addr: b.next, Size: os.size}
+		if kind == SecData || kind == SecPhxData {
+			sec.Init = make([]byte, os.size)
+			copy(sec.Init, os.init)
+		}
+		for _, v := range os.vars {
+			v.Addr += sec.Addr // relocate from section offset to absolute
+		}
+		b.img.Sections = append(b.img.Sections, sec)
+		b.next = sec.End()
+	}
+	return b.img
+}
+
+// PreservedRanges returns the page ranges of the image's .phx.* sections —
+// what the dynamic linker appends to the preserve_exec system call when
+// with_section is enabled.
+func (img *Image) PreservedRanges() []Range {
+	var out []Range
+	for _, s := range img.Sections {
+		if s.Kind.Preserved() {
+			out = append(out, Range{Start: s.Addr, Len: s.Pages() * mem.PageSize})
+		}
+	}
+	return out
+}
+
+// Range is a byte range of simulated memory.
+type Range struct {
+	Start mem.VAddr
+	Len   int
+}
+
+// End returns the first address past the range.
+func (r Range) End() mem.VAddr { return r.Start + mem.VAddr(r.Len) }
+
+// Load maps and initialises the image's sections into as. For ranges that
+// the kernel already installed (preserved pages carried over by
+// preserve_exec), the linker skips loading and leaves the preserved content
+// in place — the skip-and-fill-gaps protocol of §3.4. It returns the number
+// of sections freshly loaded.
+func (img *Image) Load(as *mem.AddressSpace) (fresh int, err error) {
+	for _, s := range img.Sections {
+		if as.Mapped(s.Addr) {
+			// Kernel-installed preserved range: skip reload.
+			if !s.Kind.Preserved() {
+				return fresh, fmt.Errorf("linker: section %s at %#x already mapped but not preserved",
+					s.Kind, uint64(s.Addr))
+			}
+			continue
+		}
+		if _, err := as.Map(s.Addr, s.Pages(), mem.KindSection, img.Name+s.Kind.String()); err != nil {
+			return fresh, err
+		}
+		if len(s.Init) > 0 {
+			as.WriteAt(s.Addr, s.Init)
+		}
+		fresh++
+	}
+	return fresh, nil
+}
+
+// LinkMap records where an image is loaded — the data structure the paper's
+// private system call preserves across preserve_exec so the restarted
+// dynamic linker can skip kernel-installed ranges and reuse the prior layout
+// (§3.4).
+type LinkMap struct {
+	Image    *Image
+	ASLRBase mem.VAddr
+}

@@ -1,0 +1,167 @@
+package linker
+
+import (
+	"bytes"
+	"testing"
+
+	"phoenix/internal/mem"
+)
+
+const imgBase = mem.VAddr(0x0010_0000)
+
+func buildTestImage(t *testing.T) (*Image, *StaticVar, *StaticVar, *StaticVar, *StaticVar) {
+	t.Helper()
+	b := NewBuilder("app", imgBase)
+	d := b.Var("counter", 8, SecData)
+	b.VarInit(d, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	z := b.Var("scratch", 64, SecBSS)
+	pd := b.Var("pools", 128, SecPhxData)
+	b.VarInit(pd, []byte("persistent-initial"))
+	pz := b.Var("initialized", 8, SecPhxBSS)
+	return b.Build(), d, z, pd, pz
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	img, d, z, pd, pz := buildTestImage(t)
+	if len(img.Sections) != 4 {
+		t.Fatalf("sections = %d, want 4", len(img.Sections))
+	}
+	// Sections are page aligned and non-overlapping in registration order.
+	var prevEnd mem.VAddr = imgBase
+	for _, s := range img.Sections {
+		if s.Addr%mem.PageSize != 0 {
+			t.Fatalf("section %s unaligned at %#x", s.Kind, uint64(s.Addr))
+		}
+		if s.Addr < prevEnd {
+			t.Fatalf("section %s overlaps previous", s.Kind)
+		}
+		prevEnd = s.End()
+	}
+	for _, v := range []*StaticVar{d, z, pd, pz} {
+		if v.Addr < imgBase {
+			t.Fatalf("var %s not relocated: %#x", v.Name, uint64(v.Addr))
+		}
+	}
+}
+
+func TestVarAlignment(t *testing.T) {
+	b := NewBuilder("a", imgBase)
+	v1 := b.Var("one", 1, SecData)
+	v2 := b.Var("two", 8, SecData)
+	b.Build()
+	if v2.Addr-v1.Addr != 8 {
+		t.Fatalf("second var not 8-aligned after 1-byte var: delta %d", v2.Addr-v1.Addr)
+	}
+}
+
+func TestDuplicateVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Var did not panic")
+		}
+	}()
+	b := NewBuilder("a", imgBase)
+	b.Var("x", 8, SecData)
+	b.Var("x", 8, SecBSS)
+}
+
+func TestVarInitBSSPanics(t *testing.T) {
+	b := NewBuilder("a", imgBase)
+	v := b.Var("x", 8, SecBSS)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VarInit on BSS did not panic")
+		}
+	}()
+	b.VarInit(v, []byte{1})
+}
+
+func TestLoadFresh(t *testing.T) {
+	img, d, z, pd, _ := buildTestImage(t)
+	as := mem.NewAddressSpace()
+	fresh, err := img.Load(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 4 {
+		t.Fatalf("fresh = %d, want 4", fresh)
+	}
+	if !bytes.Equal(as.ReadBytes(d.Addr, 8), []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal(".data init content wrong")
+	}
+	if as.ReadU64(z.Addr) != 0 {
+		t.Fatal(".bss not zeroed")
+	}
+	if !bytes.Equal(as.ReadBytes(pd.Addr, 18), []byte("persistent-initial")) {
+		t.Fatal(".phx.data init content wrong")
+	}
+}
+
+func TestPreservedRanges(t *testing.T) {
+	img, _, _, pd, pz := buildTestImage(t)
+	ranges := img.PreservedRanges()
+	if len(ranges) != 2 {
+		t.Fatalf("preserved ranges = %d, want 2 (.phx.data, .phx.bss)", len(ranges))
+	}
+	in := func(a mem.VAddr) bool {
+		for _, r := range ranges {
+			if a >= r.Start && a < r.End() {
+				return true
+			}
+		}
+		return false
+	}
+	if !in(pd.Addr) || !in(pz.Addr) {
+		t.Fatal("phx vars not inside preserved ranges")
+	}
+}
+
+func TestReloadSkipsPreserved(t *testing.T) {
+	img, d, _, pd, pz := buildTestImage(t)
+	as := mem.NewAddressSpace()
+	if _, err := img.Load(as); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate everything.
+	as.WriteU64(d.Addr, 999)
+	as.WriteAt(pd.Addr, []byte("MUTATED"))
+	as.WriteU64(pz.Addr, 1)
+
+	// Simulate preserve_exec carrying only the .phx ranges.
+	dst := mem.NewAddressSpace()
+	for _, r := range img.PreservedRanges() {
+		if _, err := as.MovePages(dst, r.Start, r.Len/mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, err := img.Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 2 {
+		t.Fatalf("reload loaded %d sections, want 2 (.data, .bss)", fresh)
+	}
+	// Non-preserved .data is re-initialised; .phx.* keep mutated values.
+	if !bytes.Equal(dst.ReadBytes(d.Addr, 8), []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal(".data not reloaded fresh")
+	}
+	if !bytes.Equal(dst.ReadBytes(pd.Addr, 7), []byte("MUTATED")) {
+		t.Fatal(".phx.data content not preserved")
+	}
+	if dst.ReadU64(pz.Addr) != 1 {
+		t.Fatal(".phx.bss content not preserved")
+	}
+}
+
+func TestLoadConflictNonPreserved(t *testing.T) {
+	img, d, _, _, _ := buildTestImage(t)
+	as := mem.NewAddressSpace()
+	// Occupy the .data address with a foreign mapping: Load must fail rather
+	// than silently treat it as preserved.
+	if _, err := as.Map(mem.PageBase(d.Addr), 1, mem.KindMmap, "foreign"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Load(as); err == nil {
+		t.Fatal("Load over occupied non-preserved section succeeded")
+	}
+}

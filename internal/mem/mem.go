@@ -1,0 +1,521 @@
+// Package mem implements the simulated virtual-memory substrate that the
+// PHOENIX reproduction runs on.
+//
+// An AddressSpace maps 4 KiB-page-aligned regions to physical Frames. Frames
+// are allocated lazily on first write (an untouched mapped page reads as
+// zeros, like anonymous memory). The key operation for PHOENIX is
+// MovePages: transferring frame pointers — the page-table entries — from a
+// dying address space into a fresh one with no data copy, which is the
+// zero-copy transfer mechanism of §3.3.
+//
+// Accessing an unmapped address panics with *Fault. This mirrors a hardware
+// page fault turning into SIGSEGV: application code that follows a dangling
+// reference into discarded memory crashes, and the simulated kernel converts
+// the panic into a signal (see internal/kernel).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// VAddr is a simulated virtual address.
+type VAddr uint64
+
+// NullPtr is the canonical nil simulated pointer. Page zero is never mapped,
+// so dereferencing NullPtr always faults.
+const NullPtr VAddr = 0
+
+// PageNum is a virtual page number (VAddr >> PageShift).
+type PageNum uint64
+
+// PageOf returns the page number containing addr.
+func PageOf(addr VAddr) PageNum { return PageNum(addr >> PageShift) }
+
+// PageBase returns the first address of the page containing addr.
+func PageBase(addr VAddr) VAddr { return addr &^ (PageSize - 1) }
+
+// PagesFor returns the number of pages needed to hold n bytes.
+func PagesFor(n int) int { return (n + PageSize - 1) / PageSize }
+
+// Fault describes an invalid simulated-memory access. It is used as a panic
+// value; the kernel recovers it and delivers SIGSEGV.
+type Fault struct {
+	Addr VAddr
+	Op   string // "read", "write", "map", "free"
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: fault: %s at %#x", f.Op, uint64(f.Addr))
+}
+
+// Kind labels what a mapping backs. It controls how the kernel and linker
+// treat the region across a PHOENIX restart.
+type Kind uint8
+
+const (
+	// KindBrk is the growing data segment managed by the heap's sbrk path.
+	KindBrk Kind = iota
+	// KindMmap is an anonymous mapping (heap arenas, large allocations).
+	KindMmap
+	// KindSection is a loaded binary section (.data/.bss/.phx.*).
+	KindSection
+	// KindStack is thread stack memory; always discarded on restart.
+	KindStack
+	// KindCustom is a user-managed preserved range (raw interface, §3.3).
+	KindCustom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBrk:
+		return "brk"
+	case KindMmap:
+		return "mmap"
+	case KindSection:
+		return "section"
+	case KindStack:
+		return "stack"
+	case KindCustom:
+		return "custom"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Frame is a physical page frame. Data is allocated on first write; a nil
+// Data reads as zeros.
+type Frame struct {
+	Data []byte
+}
+
+func (f *Frame) materialize() []byte {
+	if f.Data == nil {
+		f.Data = make([]byte, PageSize)
+	}
+	return f.Data
+}
+
+// Mapping describes one contiguous mapped region.
+type Mapping struct {
+	Start VAddr
+	Pages int
+	Kind  Kind
+	Name  string
+}
+
+// End returns the first address past the mapping.
+func (m *Mapping) End() VAddr { return m.Start + VAddr(m.Pages)*PageSize }
+
+// Len returns the mapping length in bytes.
+func (m *Mapping) Len() int { return m.Pages * PageSize }
+
+// Contains reports whether addr falls inside the mapping.
+func (m *Mapping) Contains(addr VAddr) bool {
+	return addr >= m.Start && addr < m.End()
+}
+
+// AddressSpace is one process's simulated virtual memory.
+type AddressSpace struct {
+	frames   map[PageNum]*Frame
+	mappings []*Mapping // sorted by Start, non-overlapping
+
+	// ASLRBase is the randomized layout offset chosen at first startup and
+	// reused across PHOENIX restarts (§3.3, ASLR compatibility).
+	ASLRBase VAddr
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{frames: make(map[PageNum]*Frame)}
+}
+
+// Map creates a mapping of pages pages starting at the page-aligned start.
+// It returns an error if start is unaligned, the length is non-positive, the
+// range overlaps an existing mapping, or the range includes page zero.
+func (as *AddressSpace) Map(start VAddr, pages int, kind Kind, name string) (*Mapping, error) {
+	if start%PageSize != 0 {
+		return nil, fmt.Errorf("mem: Map %s: unaligned start %#x", name, uint64(start))
+	}
+	if pages <= 0 {
+		return nil, fmt.Errorf("mem: Map %s: non-positive length %d", name, pages)
+	}
+	if start == 0 {
+		return nil, fmt.Errorf("mem: Map %s: page zero is reserved", name)
+	}
+	m := &Mapping{Start: start, Pages: pages, Kind: kind, Name: name}
+	if ov := as.overlap(m.Start, m.End()); ov != nil {
+		return nil, fmt.Errorf("mem: Map %s: [%#x,%#x) overlaps %s [%#x,%#x)",
+			name, uint64(start), uint64(m.End()), ov.Name, uint64(ov.Start), uint64(ov.End()))
+	}
+	as.insert(m)
+	return m, nil
+}
+
+// overlap returns any mapping intersecting [lo,hi).
+func (as *AddressSpace) overlap(lo, hi VAddr) *Mapping {
+	for _, m := range as.mappings {
+		if m.Start < hi && lo < m.End() {
+			return m
+		}
+	}
+	return nil
+}
+
+func (as *AddressSpace) insert(m *Mapping) {
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].Start >= m.Start
+	})
+	as.mappings = append(as.mappings, nil)
+	copy(as.mappings[i+1:], as.mappings[i:])
+	as.mappings[i] = m
+}
+
+// Unmap removes the mapping that starts exactly at start and drops its
+// frames. It returns an error if no such mapping exists.
+func (as *AddressSpace) Unmap(start VAddr) error {
+	for i, m := range as.mappings {
+		if m.Start == start {
+			for p := PageOf(m.Start); p < PageOf(m.End()); p++ {
+				delete(as.frames, p)
+			}
+			as.mappings = append(as.mappings[:i], as.mappings[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: Unmap: no mapping at %#x", uint64(start))
+}
+
+// Grow extends mapping m by extra pages (used by the sbrk path). The new
+// range must not collide with another mapping.
+func (as *AddressSpace) Grow(m *Mapping, extra int) error {
+	if extra <= 0 {
+		return fmt.Errorf("mem: Grow %s: non-positive extra %d", m.Name, extra)
+	}
+	newEnd := m.End() + VAddr(extra)*PageSize
+	if ov := as.overlap(m.End(), newEnd); ov != nil {
+		return fmt.Errorf("mem: Grow %s: collides with %s", m.Name, ov.Name)
+	}
+	m.Pages += extra
+	return nil
+}
+
+// FindMapping returns the mapping containing addr, or nil.
+func (as *AddressSpace) FindMapping(addr VAddr) *Mapping {
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].End() > addr
+	})
+	if i < len(as.mappings) && as.mappings[i].Contains(addr) {
+		return as.mappings[i]
+	}
+	return nil
+}
+
+// Mappings returns the current mappings in address order. The returned slice
+// is a copy; the *Mapping values are live.
+func (as *AddressSpace) Mappings() []*Mapping {
+	out := make([]*Mapping, len(as.mappings))
+	copy(out, as.mappings)
+	return out
+}
+
+// Mapped reports whether addr lies inside a mapping.
+func (as *AddressSpace) Mapped(addr VAddr) bool { return as.FindMapping(addr) != nil }
+
+// checkRange panics with *Fault unless [addr, addr+n) is fully mapped.
+// n must be small enough that the range spans a bounded number of mappings;
+// contiguous adjacent mappings are accepted.
+func (as *AddressSpace) checkRange(addr VAddr, n int, op string) {
+	end := addr + VAddr(n)
+	cur := addr
+	for cur < end {
+		m := as.FindMapping(cur)
+		if m == nil {
+			panic(&Fault{Addr: cur, Op: op})
+		}
+		cur = m.End()
+	}
+	if n == 0 && !as.Mapped(addr) {
+		panic(&Fault{Addr: addr, Op: op})
+	}
+}
+
+// frame returns the frame for page p, allocating the bookkeeping entry (but
+// not the data) on demand.
+func (as *AddressSpace) frame(p PageNum) *Frame {
+	f := as.frames[p]
+	if f == nil {
+		f = &Frame{}
+		as.frames[p] = f
+	}
+	return f
+}
+
+// ReadAt copies len(buf) bytes at addr into buf. It panics with *Fault if
+// any byte of the range is unmapped.
+func (as *AddressSpace) ReadAt(addr VAddr, buf []byte) {
+	as.checkRange(addr, len(buf), "read")
+	off := 0
+	for off < len(buf) {
+		p := PageOf(addr + VAddr(off))
+		pgOff := int((addr + VAddr(off)) % PageSize)
+		n := min(PageSize-pgOff, len(buf)-off)
+		if f := as.frames[p]; f != nil && f.Data != nil {
+			copy(buf[off:off+n], f.Data[pgOff:pgOff+n])
+		} else {
+			for i := off; i < off+n; i++ {
+				buf[i] = 0
+			}
+		}
+		off += n
+	}
+}
+
+// WriteAt copies buf into simulated memory at addr. It panics with *Fault if
+// any byte of the range is unmapped.
+func (as *AddressSpace) WriteAt(addr VAddr, buf []byte) {
+	as.checkRange(addr, len(buf), "write")
+	off := 0
+	for off < len(buf) {
+		p := PageOf(addr + VAddr(off))
+		pgOff := int((addr + VAddr(off)) % PageSize)
+		n := min(PageSize-pgOff, len(buf)-off)
+		data := as.frame(p).materialize()
+		copy(data[pgOff:pgOff+n], buf[off:off+n])
+		off += n
+	}
+}
+
+// ReadBytes returns a fresh copy of n bytes at addr.
+func (as *AddressSpace) ReadBytes(addr VAddr, n int) []byte {
+	buf := make([]byte, n)
+	as.ReadAt(addr, buf)
+	return buf
+}
+
+// Zero writes n zero bytes at addr.
+func (as *AddressSpace) Zero(addr VAddr, n int) {
+	as.checkRange(addr, n, "write")
+	off := 0
+	for off < n {
+		p := PageOf(addr + VAddr(off))
+		pgOff := int((addr + VAddr(off)) % PageSize)
+		cnt := min(PageSize-pgOff, n-off)
+		if f := as.frames[p]; f != nil && f.Data != nil {
+			d := f.Data[pgOff : pgOff+cnt]
+			for i := range d {
+				d[i] = 0
+			}
+		}
+		off += cnt
+	}
+}
+
+// ReadU8 reads one byte at addr.
+func (as *AddressSpace) ReadU8(addr VAddr) byte {
+	as.checkRange(addr, 1, "read")
+	f := as.frames[PageOf(addr)]
+	if f == nil || f.Data == nil {
+		return 0
+	}
+	return f.Data[addr%PageSize]
+}
+
+// WriteU8 writes one byte at addr.
+func (as *AddressSpace) WriteU8(addr VAddr, v byte) {
+	as.checkRange(addr, 1, "write")
+	as.frame(PageOf(addr)).materialize()[addr%PageSize] = v
+}
+
+// ReadU64 reads a little-endian uint64 at addr (which may straddle pages).
+func (as *AddressSpace) ReadU64(addr VAddr) uint64 {
+	if addr%PageSize <= PageSize-8 {
+		as.checkRange(addr, 8, "read")
+		f := as.frames[PageOf(addr)]
+		if f == nil || f.Data == nil {
+			return 0
+		}
+		o := addr % PageSize
+		d := f.Data
+		return uint64(d[o]) | uint64(d[o+1])<<8 | uint64(d[o+2])<<16 | uint64(d[o+3])<<24 |
+			uint64(d[o+4])<<32 | uint64(d[o+5])<<40 | uint64(d[o+6])<<48 | uint64(d[o+7])<<56
+	}
+	var buf [8]byte
+	as.ReadAt(addr, buf[:])
+	return uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+		uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (as *AddressSpace) WriteU64(addr VAddr, v uint64) {
+	if addr%PageSize <= PageSize-8 {
+		as.checkRange(addr, 8, "write")
+		d := as.frame(PageOf(addr)).materialize()
+		o := addr % PageSize
+		d[o] = byte(v)
+		d[o+1] = byte(v >> 8)
+		d[o+2] = byte(v >> 16)
+		d[o+3] = byte(v >> 24)
+		d[o+4] = byte(v >> 32)
+		d[o+5] = byte(v >> 40)
+		d[o+6] = byte(v >> 48)
+		d[o+7] = byte(v >> 56)
+		return
+	}
+	var buf [8]byte
+	buf[0] = byte(v)
+	buf[1] = byte(v >> 8)
+	buf[2] = byte(v >> 16)
+	buf[3] = byte(v >> 24)
+	buf[4] = byte(v >> 32)
+	buf[5] = byte(v >> 40)
+	buf[6] = byte(v >> 48)
+	buf[7] = byte(v >> 56)
+	as.WriteAt(addr, buf[:])
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (as *AddressSpace) ReadU32(addr VAddr) uint32 {
+	var buf [4]byte
+	as.ReadAt(addr, buf[:])
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+}
+
+// WriteU32 writes a little-endian uint32 at addr.
+func (as *AddressSpace) WriteU32(addr VAddr, v uint32) {
+	as.WriteAt(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// ReadPtr reads a simulated pointer stored at addr.
+func (as *AddressSpace) ReadPtr(addr VAddr) VAddr { return VAddr(as.ReadU64(addr)) }
+
+// WritePtr stores a simulated pointer at addr.
+func (as *AddressSpace) WritePtr(addr VAddr, p VAddr) { as.WriteU64(addr, uint64(p)) }
+
+// MovePages transfers the frames of [start, start+pages*PageSize) from as
+// into dst — the zero-copy PTE move at the heart of preserve_exec. The
+// region must be fully covered by mappings in as; equivalent mappings are
+// created in dst (which must have the range free). It returns the number of
+// page-table entries moved (including entries for untouched zero pages).
+func (as *AddressSpace) MovePages(dst *AddressSpace, start VAddr, pages int) (int, error) {
+	end := start + VAddr(pages)*PageSize
+	// Validate full coverage first so we fail atomically.
+	cur := start
+	for cur < end {
+		m := as.FindMapping(cur)
+		if m == nil {
+			return 0, fmt.Errorf("mem: MovePages: unmapped address %#x", uint64(cur))
+		}
+		cur = m.End()
+	}
+	if ov := dst.overlap(start, end); ov != nil {
+		return 0, fmt.Errorf("mem: MovePages: destination overlap with %s", ov.Name)
+	}
+	// Create mappings in dst mirroring the source mappings clipped to range.
+	cur = start
+	for cur < end {
+		m := as.FindMapping(cur)
+		lo := max64(m.Start, start)
+		hi := min64(m.End(), end)
+		nm := &Mapping{Start: lo, Pages: int((hi - lo) / PageSize), Kind: m.Kind, Name: m.Name}
+		dst.insert(nm)
+		cur = m.End()
+	}
+	moved := 0
+	for p := PageOf(start); p < PageOf(end); p++ {
+		if f, ok := as.frames[p]; ok {
+			dst.frames[p] = f
+			delete(as.frames, p)
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// CopyPages copies the content of [start, start+pages*PageSize) from as into
+// dst, creating a single mapping there. Unlike MovePages it duplicates the
+// data (used by fork-style snapshots and partial-page preservation).
+func (as *AddressSpace) CopyPages(dst *AddressSpace, start VAddr, pages int, kind Kind, name string) (int, error) {
+	if _, err := dst.Map(start, pages, kind, name); err != nil {
+		return 0, err
+	}
+	copied := 0
+	for i := 0; i < pages; i++ {
+		p := PageOf(start) + PageNum(i)
+		if f, ok := as.frames[p]; ok && f.Data != nil {
+			nf := dst.frame(p)
+			nf.Data = append([]byte(nil), f.Data...)
+			copied++
+		}
+	}
+	return copied, nil
+}
+
+// Clone returns a deep copy of the address space: mappings and frame
+// contents are duplicated so the copy is fully independent. Used by
+// CRIU-style full-process snapshots.
+func (as *AddressSpace) Clone() *AddressSpace {
+	cp := NewAddressSpace()
+	cp.ASLRBase = as.ASLRBase
+	for _, m := range as.mappings {
+		nm := *m
+		cp.insert(&nm)
+	}
+	for p, f := range as.frames {
+		nf := &Frame{}
+		if f.Data != nil {
+			nf.Data = append([]byte(nil), f.Data...)
+		}
+		cp.frames[p] = nf
+	}
+	return cp
+}
+
+// ResidentPages returns the number of frames with materialized data.
+func (as *AddressSpace) ResidentPages() int {
+	n := 0
+	for _, f := range as.frames {
+		if f.Data != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MappedPages returns the total number of mapped pages.
+func (as *AddressSpace) MappedPages() int {
+	n := 0
+	for _, m := range as.mappings {
+		n += m.Pages
+	}
+	return n
+}
+
+// MappedBytes returns the total mapped size in bytes.
+func (as *AddressSpace) MappedBytes() int64 { return int64(as.MappedPages()) * PageSize }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b VAddr) VAddr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b VAddr) VAddr {
+	if a < b {
+		return a
+	}
+	return b
+}

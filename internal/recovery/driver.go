@@ -1,0 +1,483 @@
+package recovery
+
+import (
+	"fmt"
+	"time"
+
+	"phoenix/internal/core"
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+	"phoenix/internal/linker"
+	"phoenix/internal/metrics"
+	"phoenix/internal/workload"
+)
+
+// Mode selects the recovery mechanism under test.
+type Mode int
+
+const (
+	// ModeVanilla restarts with no persistence: all state is lost.
+	ModeVanilla Mode = iota
+	// ModeBuiltin uses the application's own persistence (RDB-style
+	// snapshot, WAL, or periodic checkpoint) for recovery.
+	ModeBuiltin
+	// ModeCRIU restores the last full-process checkpoint image.
+	ModeCRIU
+	// ModePhoenix performs PHOENIX-mode restarts with partial state
+	// preservation, falling back to the application's default recovery when
+	// the recovery condition fails.
+	ModePhoenix
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeVanilla:
+		return "Vanilla"
+	case ModeBuiltin:
+		return "Builtin"
+	case ModeCRIU:
+		return "CRIU"
+	case ModePhoenix:
+		return "PHOENIX"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterises a harness run.
+type Config struct {
+	Mode Mode
+	// UnsafeRegions gates the recovery-condition check (the U vs N
+	// configurations of Table 7). Only meaningful under ModePhoenix.
+	UnsafeRegions bool
+	// CrossCheck enables background cross-check validation (the C
+	// configuration). Only meaningful under ModePhoenix.
+	CrossCheck bool
+	// CheckpointInterval is the Builtin/CRIU snapshot period (0 disables
+	// periodic snapshots).
+	CheckpointInterval time.Duration
+	// WatchdogTimeout is how long a hang persists before a forced restart.
+	WatchdogTimeout time.Duration
+	// DisablePersistence turns the app's builtin persistence off even under
+	// ModePhoenix, so a PHOENIX fallback degenerates to a fresh restart —
+	// the injection-testing configuration of §4.4, where fallbacks "restart
+	// to empty memory state".
+	DisablePersistence bool
+	// Bucket is the timeline histogram resolution.
+	Bucket time.Duration
+}
+
+func (c *Config) fill() {
+	if c.WatchdogTimeout == 0 {
+		c.WatchdogTimeout = 5 * time.Second
+	}
+	if c.Bucket == 0 {
+		c.Bucket = 250 * time.Millisecond
+	}
+}
+
+// App is the contract an evaluated application implements. One App value
+// represents the *program*: it survives simulated process restarts, and its
+// Main method rebinds its internal cursors to each new process incarnation.
+type App interface {
+	// Name identifies the application.
+	Name() string
+	// Image returns the application's binary image (built once).
+	Image() *linker.Image
+	// Main boots the application inside the process held by rt: on a fresh
+	// start it initialises state (loading persistence if the mode uses it);
+	// in PHOENIX recovery mode it re-adopts preserved state.
+	Main(rt *core.Runtime) error
+	// Handle processes one request. ok reports the request was answered;
+	// effective reports it counts toward effective availability (hit or
+	// successful read).
+	Handle(req *workload.Request) (ok, effective bool)
+	// Checkpoint runs the builtin persistence snapshot (no-op if the app has
+	// none or persistence is disabled).
+	Checkpoint()
+	// PlanRestart is the crash-time restart handler: it assembles the
+	// PHOENIX preservation plan or returns a non-empty fallback reason
+	// (e.g. "unsafe region: kv"). useUnsafe mirrors the U/N configurations.
+	PlanRestart(rt *core.Runtime, ci *kernel.CrashInfo, useUnsafe bool) (core.RestartPlan, string)
+	// Reattach rebinds the app's cursors to the restored process after a
+	// CRIU restore. Simulated addresses are unchanged; only Go-side handles
+	// and the runtime binding need refreshing.
+	Reattach(rt *core.Runtime)
+	// Dump extracts the logical application state for end-to-end
+	// validation.
+	Dump() core.StateDump
+	// CrossCheck returns the app's cross-check wiring; ok=false if the app
+	// does not support it.
+	CrossCheck(rt *core.Runtime) (core.CrossCheckSpec, bool)
+	// SetPersistence toggles builtin persistence (driver sets it from the
+	// mode: Vanilla and CRIU run without builtin persistence, per §4.3.3).
+	SetPersistence(on bool)
+}
+
+// ReferenceRestorer is an optional App extension: after a cross-check
+// mismatch, the system switches to the background process whose live state
+// is the validated S_r. Apps implementing it rebuild directly from the
+// reference dump (mirroring the hot-switch); apps that don't fall back to a
+// plain default-recovery Main.
+type ReferenceRestorer interface {
+	RestoreReference(rt *core.Runtime, ref core.StateDump) error
+}
+
+// Event records one recovery-relevant occurrence on the timeline.
+type Event struct {
+	At     time.Duration
+	Kind   string // "crash", "phoenix-restart", "fallback", "vanilla-restart", ...
+	Detail string
+}
+
+// Stats accumulates what Table 7 and Figure 10 report.
+type Stats struct {
+	Requests         int
+	Failures         int
+	PhoenixRestarts  int
+	UnsafeFallbacks  int // recovery condition said unsafe (Chk.)
+	GraceFallbacks   int // crashed again right after a PHOENIX restart (Fbk.)
+	CrossFallbacks   int // cross-check verdict diverged (+X in Chk.)
+	OtherRestarts    int // vanilla/builtin/criu restarts
+	BootFailures     int // Main crashed during recovery (counts into Fbk.)
+	Events           []Event
+	CheckpointsTaken int
+}
+
+// Harness runs one application under one configuration.
+type Harness struct {
+	Cfg  Config
+	App  App
+	M    *kernel.Machine
+	Inj  *faultinject.Injector
+	TL   *metrics.Timeline
+	Gen  workload.Generator
+	Stat Stats
+
+	proc *kernel.Process
+	rt   *core.Runtime
+
+	lastCkpt  time.Duration
+	criuImage *CRIUImage
+
+	pendingResume bool
+	pendingSwitch bool
+	switchDetail  string
+	switchRef     core.StateDump
+	activeCheck   *core.CrossCheck
+}
+
+// NewHarness assembles a harness. The injector may be nil (no injection).
+func NewHarness(m *kernel.Machine, cfg Config, app App, gen workload.Generator, inj *faultinject.Injector) *Harness {
+	cfg.fill()
+	if inj == nil {
+		inj = faultinject.New()
+	}
+	return &Harness{
+		Cfg: cfg, App: app, M: m, Gen: gen, Inj: inj,
+		TL: metrics.NewTimeline(cfg.Bucket),
+	}
+}
+
+// Runtime returns the live PHOENIX runtime (nil before Boot).
+func (h *Harness) Runtime() *core.Runtime { return h.rt }
+
+// newRuntime binds a PHOENIX runtime to proc, marking it as an
+// instrumented build only under ModePhoenix (vanilla builds compile the
+// annotations away, so they cost nothing — the Table 8 baseline).
+func (h *Harness) newRuntime(proc *kernel.Process) *core.Runtime {
+	rt := core.Init(proc, nil)
+	rt.SetInstrumented(h.Cfg.Mode == ModePhoenix)
+	return rt
+}
+
+// Proc returns the live process.
+func (h *Harness) Proc() *kernel.Process { return h.proc }
+
+// Boot spawns the first process and runs the application's Main.
+func (h *Harness) Boot() error {
+	persist := h.Cfg.Mode == ModeBuiltin || h.Cfg.Mode == ModePhoenix
+	if h.Cfg.DisablePersistence {
+		persist = false
+	}
+	h.App.SetPersistence(persist)
+	p, err := h.M.Spawn(h.App.Image())
+	if err != nil {
+		return err
+	}
+	h.proc = p
+	h.rt = h.newRuntime(p)
+	h.lastCkpt = h.M.Clock.Now()
+	return h.App.Main(h.rt)
+}
+
+// event appends a diagnostic event.
+func (h *Harness) event(kind, detail string) {
+	h.Stat.Events = append(h.Stat.Events, Event{At: h.M.Clock.Now(), Kind: kind, Detail: detail})
+}
+
+// Step executes one request end to end, including any snapshotting due,
+// failure handling, and recovery. It returns an error only for simulator
+// problems; application failures are handled internally.
+func (h *Harness) Step() error {
+	h.maybeSnapshot()
+	if h.pendingSwitch {
+		if err := h.hotSwitch(); err != nil {
+			return err
+		}
+	}
+	req := h.Gen.Next()
+	h.Stat.Requests++
+	var ok, eff bool
+	ci := h.proc.Run(func() { ok, eff = h.App.Handle(req) })
+	now := h.M.Clock.Now()
+	if ci == nil {
+		h.TL.Record(now, ok, eff)
+		if ok && h.pendingResume {
+			h.TL.MarkResumed(now)
+			h.pendingResume = false
+		}
+		return nil
+	}
+	return h.handleFailure(ci)
+}
+
+// RunRequests executes n requests.
+func (h *Harness) RunRequests(n int) error {
+	for i := 0; i < n; i++ {
+		if err := h.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil executes requests until the simulated clock passes deadline.
+func (h *Harness) RunUntil(deadline time.Duration) error {
+	for h.M.Clock.Now() < deadline {
+		if err := h.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Harness) maybeSnapshot() {
+	if h.Cfg.CheckpointInterval <= 0 {
+		return
+	}
+	now := h.M.Clock.Now()
+	if now-h.lastCkpt < h.Cfg.CheckpointInterval {
+		return
+	}
+	h.lastCkpt = now
+	switch h.Cfg.Mode {
+	case ModeBuiltin:
+		h.App.Checkpoint()
+		h.Stat.CheckpointsTaken++
+	case ModeCRIU:
+		h.criuImage = CRIUSnapshot(h.proc)
+		h.Stat.CheckpointsTaken++
+	case ModePhoenix:
+		// PHOENIX leaves the application's own persistence cadence alone;
+		// apps with builtin persistence continue checkpointing.
+		h.App.Checkpoint()
+		h.Stat.CheckpointsTaken++
+	}
+}
+
+// handleFailure drives the configured recovery mechanism.
+func (h *Harness) handleFailure(ci *kernel.CrashInfo) error {
+	h.Stat.Failures++
+	h.TL.MarkFailure(ci.Time)
+	h.pendingResume = true
+	h.event("crash", fmt.Sprintf("%s: %s", ci.Sig, ci.Reason))
+
+	// A hang dwells until the watchdog fires.
+	if ci.Sig == kernel.SIGALRM {
+		h.M.Clock.Advance(h.Cfg.WatchdogTimeout)
+	}
+	// The restarted process's persistence timer starts fresh; without this
+	// a snapshot due "during" the outage would pollute the downtime
+	// measurement.
+	defer func() { h.lastCkpt = h.M.Clock.Now() }()
+
+	switch h.Cfg.Mode {
+	case ModeVanilla, ModeBuiltin:
+		return h.plainRestart(h.Cfg.Mode.String())
+	case ModeCRIU:
+		return h.criuRestart()
+	case ModePhoenix:
+		return h.phoenixRestart(ci)
+	}
+	return fmt.Errorf("recovery: unknown mode %v", h.Cfg.Mode)
+}
+
+// plainRestart tears down and reboots; Builtin recovery happens inside
+// App.Main when persistence is on.
+func (h *Harness) plainRestart(reason string) error {
+	np, err := h.rt.Fallback(reason)
+	if err != nil {
+		return err
+	}
+	h.proc = np
+	h.rt = h.newRuntime(np)
+	h.Stat.OtherRestarts++
+	h.event("restart", reason)
+	return h.bootAfterRecovery()
+}
+
+func (h *Harness) criuRestart() error {
+	if h.criuImage == nil {
+		return h.plainRestart("criu: no image")
+	}
+	h.proc = CRIURestore(h.M, h.proc, h.criuImage)
+	h.rt = h.newRuntime(h.proc)
+	// Reattaching can itself fail — e.g. a restored Varnish worker cannot
+	// re-handshake with its master (§4.3.3); that degenerates to a full
+	// restart.
+	if crash := h.proc.Run(func() { h.App.Reattach(h.rt) }); crash != nil {
+		h.event("criu-reattach-failed", crash.Reason)
+		return h.plainRestart("criu reattach failed: " + crash.Reason)
+	}
+	h.Stat.OtherRestarts++
+	h.event("criu-restore", fmt.Sprintf("image@%v", h.criuImage.TakenAt))
+	return nil
+}
+
+func (h *Harness) phoenixRestart(ci *kernel.CrashInfo) error {
+	// Second-failure rule (§3.2): no second PHOENIX attempt shortly after a
+	// PHOENIX restart.
+	if h.rt.WithinGrace() {
+		h.Stat.GraceFallbacks++
+		h.event("fallback", "second failure within grace window")
+		return h.fallbackRestart("second failure")
+	}
+	plan, fbReason := h.App.PlanRestart(h.rt, ci, h.Cfg.UnsafeRegions)
+	if fbReason != "" {
+		h.Stat.UnsafeFallbacks++
+		h.event("fallback", fbReason)
+		return h.fallbackRestart(fbReason)
+	}
+	np, err := h.rt.Restart(plan)
+	if err != nil {
+		return err
+	}
+	h.proc = np
+	h.rt = h.newRuntime(np)
+	h.Stat.PhoenixRestarts++
+	h.event("phoenix-restart", "")
+
+	// Boot in recovery mode; a crash here means the preserved state is
+	// unusable — fall back to default recovery.
+	bootCrash := h.proc.Run(func() {
+		if err := h.App.Main(h.rt); err != nil {
+			panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "main: " + err.Error()})
+		}
+	})
+	if bootCrash != nil {
+		h.Stat.BootFailures++
+		h.Stat.GraceFallbacks++
+		h.event("fallback", "crash during phoenix boot: "+bootCrash.Reason)
+		return h.fallbackRestart("phoenix boot crash")
+	}
+
+	if h.Cfg.CrossCheck {
+		if spec, ok := h.App.CrossCheck(h.rt); ok {
+			userVerdict := spec.OnVerdict
+			spec.OnVerdict = func(v core.Verdict) {
+				if userVerdict != nil {
+					userVerdict(v)
+				}
+				if !v.Match {
+					h.pendingSwitch = true
+					h.switchDetail = fmt.Sprintf("diverged keys: %v", v.Diverged)
+					h.switchRef = v.Reference
+				}
+			}
+			h.activeCheck = h.rt.StartCrossCheck(spec)
+		}
+	}
+	return nil
+}
+
+// fallbackRestart runs the application's default recovery path.
+func (h *Harness) fallbackRestart(reason string) error {
+	np, err := h.rt.Fallback(reason)
+	if err != nil {
+		return err
+	}
+	h.proc = np
+	h.rt = h.newRuntime(np)
+	return h.bootAfterRecovery()
+}
+
+// bootAfterRecovery runs Main, tolerating at most a few consecutive boot
+// crashes (a persistently corrupt on-disk image would loop forever
+// otherwise; the paper's scope excludes such cases, §3.5).
+func (h *Harness) bootAfterRecovery() error {
+	for attempt := 0; attempt < 3; attempt++ {
+		crash := h.proc.Run(func() {
+			if err := h.App.Main(h.rt); err != nil {
+				panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "main: " + err.Error()})
+			}
+		})
+		if crash == nil {
+			return nil
+		}
+		h.Stat.BootFailures++
+		h.event("boot-crash", crash.Reason)
+		np, err := h.rt.Fallback("boot crash")
+		if err != nil {
+			return err
+		}
+		h.proc = np
+		h.rt = h.newRuntime(np)
+	}
+	return fmt.Errorf("recovery: %s could not boot after repeated crashes", h.App.Name())
+}
+
+// hotSwitch discards the speculative process and switches to the validated
+// recovery state after a cross-check mismatch (§3.6). The default recovery
+// ran concurrently in the background process, so the switch itself is
+// charged only the base exec cost: the rebuild work happens offline.
+func (h *Harness) hotSwitch() error {
+	h.pendingSwitch = false
+	h.Stat.CrossFallbacks++
+	h.event("hot-switch", h.switchDetail)
+	var err error
+	h.M.Clock.RunOffline(func() {
+		var np *kernel.Process
+		np, err = h.rt.Fallback("cross-check mismatch")
+		if err != nil {
+			return
+		}
+		h.proc = np
+		h.rt = h.newRuntime(np)
+		if rr, ok := h.App.(ReferenceRestorer); ok && h.switchRef != nil {
+			err = rr.RestoreReference(h.rt, h.switchRef)
+		} else {
+			err = h.App.Main(h.rt)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// The switch is visible to clients as one brief process swap.
+	h.M.Clock.Advance(h.M.Model.Exec())
+	return nil
+}
+
+// HandleFailureForREPL exposes the failure-handling path for interactive
+// drivers (cmd/phxkv) that run requests themselves instead of via Step.
+func (h *Harness) HandleFailureForREPL(ci *kernel.CrashInfo) error {
+	return h.handleFailure(ci)
+}
+
+// CrossCheckResult returns the latest cross-check verdict (nil if none ran
+// or the check is still pending).
+func (h *Harness) CrossCheckResult() *core.Verdict {
+	if h.activeCheck == nil {
+		return nil
+	}
+	return h.activeCheck.Verdict()
+}

@@ -1,0 +1,166 @@
+// Package simclock provides a deterministic virtual clock used by every
+// timed component in the PHOENIX simulation.
+//
+// All experiment timings in this repository are expressed in simulated time:
+// operations advance the clock by modelled costs (see internal/costmodel)
+// instead of consuming wall-clock time. This makes experiments deterministic,
+// hardware-independent, and fast, while preserving the relative shapes the
+// paper reports (downtime ratios, warm-up curves, crossover points).
+package simclock
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Clock is a deterministic virtual clock. It is not safe for concurrent use;
+// the simulation is single-threaded by design (see DESIGN.md).
+type Clock struct {
+	now     time.Duration
+	timers  []*Timer
+	seq     uint64 // tie-break for timers with equal deadline
+	offline bool
+}
+
+// New returns a clock positioned at time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current simulated time as an offset from the simulation
+// start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d, firing any timers whose deadline is
+// reached, in deadline order. Advancing by a negative duration panics: the
+// simulation clock is monotonic.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	target := c.now + d
+	if c.offline {
+		// Offline time accrues without firing main-timeline timers; see
+		// RunOffline.
+		c.now = target
+		return
+	}
+	for {
+		t := c.nextDue(target)
+		if t == nil {
+			break
+		}
+		c.now = t.deadline
+		c.remove(t)
+		t.fired = true
+		if t.fn != nil {
+			t.fn()
+		}
+	}
+	c.now = target
+}
+
+// AdvanceTo moves the clock to the absolute simulated time ts (a no-op if ts
+// is in the past).
+func (c *Clock) AdvanceTo(ts time.Duration) {
+	if ts > c.now {
+		c.Advance(ts - c.now)
+	}
+}
+
+// nextDue returns the earliest pending timer with deadline <= target.
+func (c *Clock) nextDue(target time.Duration) *Timer {
+	var best *Timer
+	for _, t := range c.timers {
+		if t.deadline > target {
+			continue
+		}
+		if best == nil || t.deadline < best.deadline ||
+			(t.deadline == best.deadline && t.seq < best.seq) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (c *Clock) remove(t *Timer) {
+	for i, x := range c.timers {
+		if x == t {
+			c.timers = append(c.timers[:i], c.timers[i+1:]...)
+			return
+		}
+	}
+}
+
+// RunOffline executes fn, measuring how much simulated time fn's operations
+// would consume, without moving the main timeline: the clock is restored to
+// its prior position afterwards and no timers fire. This models work running
+// concurrently in a background process — cross-check validation's default
+// recovery (§3.6) — whose duration matters (it delays the verdict) but whose
+// execution does not stall the main process.
+func (c *Clock) RunOffline(fn func()) time.Duration {
+	if c.offline {
+		panic("simclock: nested RunOffline")
+	}
+	saved := c.now
+	c.offline = true
+	defer func() {
+		c.offline = false
+		c.now = saved
+	}()
+	fn()
+	return c.now - saved
+}
+
+// Timer is a one-shot virtual timer registered with a Clock.
+type Timer struct {
+	deadline time.Duration
+	fn       func()
+	fired    bool
+	stopped  bool
+	seq      uint64
+}
+
+// AfterFunc registers fn to run when the clock passes the current time plus d.
+// fn runs synchronously inside Advance.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.seq++
+	t := &Timer{deadline: c.now + d, fn: fn, seq: c.seq}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (c *Clock) Stop(t *Timer) bool {
+	if t == nil || t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	c.remove(t)
+	return true
+}
+
+// Fired reports whether the timer has already run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Deadline returns the timer's absolute deadline.
+func (t *Timer) Deadline() time.Duration { return t.deadline }
+
+// Pending returns the number of timers that have not fired or been stopped.
+func (c *Clock) Pending() int { return len(c.timers) }
+
+// PendingDeadlines returns the deadlines of all pending timers, sorted.
+// It exists for tests and diagnostics.
+func (c *Clock) PendingDeadlines() []time.Duration {
+	out := make([]time.Duration, 0, len(c.timers))
+	for _, t := range c.timers {
+		out = append(out, t.deadline)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,105 @@
+package simclock
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: for any schedule of timers and any split of the advance into
+// segments, every due timer fires exactly once, in deadline order, with the
+// clock positioned at its deadline when it runs.
+func TestQuickTimerSchedule(t *testing.T) {
+	f := func(delays []uint16, splits []uint8) bool {
+		c := New()
+		type firing struct {
+			deadline time.Duration
+			sawClock time.Duration
+		}
+		var fired []firing
+		var want []time.Duration
+		for _, d := range delays {
+			dl := time.Duration(d) * time.Microsecond
+			want = append(want, dl)
+			deadline := dl
+			c.AfterFunc(dl, func() {
+				fired = append(fired, firing{deadline, c.Now()})
+			})
+		}
+		// Advance in arbitrary chunks well past the last deadline.
+		total := 70 * time.Millisecond
+		var advanced time.Duration
+		for _, s := range splits {
+			step := time.Duration(s) * 100 * time.Microsecond
+			c.Advance(step)
+			advanced += step
+		}
+		if advanced < total {
+			c.Advance(total - advanced)
+		}
+		if len(fired) != len(want) {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, f := range fired {
+			if f.deadline != want[i] {
+				return false // out of order
+			}
+			if f.sawClock != f.deadline {
+				return false // clock not at the deadline during the callback
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunOffline leaves the main timeline untouched no matter how
+// much offline time accrues, and reports exactly the accrued amount.
+func TestQuickRunOffline(t *testing.T) {
+	f := func(pre uint16, chunks []uint16) bool {
+		c := New()
+		c.Advance(time.Duration(pre) * time.Microsecond)
+		before := c.Now()
+		var want time.Duration
+		got := c.RunOffline(func() {
+			for _, ch := range chunks {
+				d := time.Duration(ch) * time.Microsecond
+				c.Advance(d)
+				want += d
+			}
+		})
+		return got == want && c.Now() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Timers scheduled before RunOffline must not fire during it.
+func TestRunOfflineDefersTimers(t *testing.T) {
+	c := New()
+	fired := false
+	c.AfterFunc(time.Millisecond, func() { fired = true })
+	c.RunOffline(func() { c.Advance(time.Second) })
+	if fired {
+		t.Fatal("timer fired on the offline timeline")
+	}
+	c.Advance(2 * time.Millisecond)
+	if !fired {
+		t.Fatal("timer lost after RunOffline")
+	}
+}
+
+func TestRunOfflineNestedPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested RunOffline did not panic")
+		}
+	}()
+	c.RunOffline(func() { c.RunOffline(func() {}) })
+}

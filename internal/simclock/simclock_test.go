@@ -1,0 +1,145 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(10 * time.Millisecond)
+	if got := c.Now(); got != 15*time.Millisecond {
+		t.Fatalf("Now() = %v, want 15ms", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	New().Advance(-time.Nanosecond)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(7 * time.Second)
+	if c.Now() != 7*time.Second {
+		t.Fatalf("AdvanceTo: Now() = %v", c.Now())
+	}
+	c.AdvanceTo(3 * time.Second) // no-op in the past
+	if c.Now() != 7*time.Second {
+		t.Fatalf("AdvanceTo past moved clock: %v", c.Now())
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	c.AfterFunc(10*time.Millisecond, func() { fired = append(fired, c.Now()) })
+	c.AfterFunc(5*time.Millisecond, func() { fired = append(fired, c.Now()) })
+	c.Advance(20 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d timers, want 2", len(fired))
+	}
+	if fired[0] != 5*time.Millisecond || fired[1] != 10*time.Millisecond {
+		t.Fatalf("timers fired at %v, want [5ms 10ms]", fired)
+	}
+	if c.Now() != 20*time.Millisecond {
+		t.Fatalf("clock at %v after Advance", c.Now())
+	}
+}
+
+func TestTimerOrderTieBreak(t *testing.T) {
+	c := New()
+	var order []int
+	c.AfterFunc(time.Millisecond, func() { order = append(order, 1) })
+	c.AfterFunc(time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("equal-deadline timers fired in order %v, want [1 2]", order)
+	}
+}
+
+func TestTimerNotYetDue(t *testing.T) {
+	c := New()
+	fired := false
+	c.AfterFunc(10*time.Millisecond, func() { fired = true })
+	c.Advance(9 * time.Millisecond)
+	if fired {
+		t.Fatal("timer fired early")
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", c.Pending())
+	}
+	c.Advance(time.Millisecond)
+	if !fired {
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.AfterFunc(time.Millisecond, func() { fired = true })
+	if !c.Stop(tm) {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if c.Stop(tm) {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	c := New()
+	tm := c.AfterFunc(time.Millisecond, func() {})
+	c.Advance(time.Millisecond)
+	if !tm.Fired() {
+		t.Fatal("timer did not fire")
+	}
+	if c.Stop(tm) {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestTimerSchedulesTimer(t *testing.T) {
+	c := New()
+	var at []time.Duration
+	c.AfterFunc(time.Millisecond, func() {
+		at = append(at, c.Now())
+		c.AfterFunc(time.Millisecond, func() { at = append(at, c.Now()) })
+	})
+	c.Advance(5 * time.Millisecond)
+	if len(at) != 2 || at[0] != time.Millisecond || at[1] != 2*time.Millisecond {
+		t.Fatalf("cascaded timers fired at %v", at)
+	}
+}
+
+func TestPendingDeadlines(t *testing.T) {
+	c := New()
+	c.AfterFunc(3*time.Millisecond, nil)
+	c.AfterFunc(time.Millisecond, nil)
+	dl := c.PendingDeadlines()
+	if len(dl) != 2 || dl[0] != time.Millisecond || dl[1] != 3*time.Millisecond {
+		t.Fatalf("PendingDeadlines = %v", dl)
+	}
+}
+
+func TestNegativeAfterFuncClamps(t *testing.T) {
+	c := New()
+	fired := false
+	c.AfterFunc(-time.Second, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay timer did not fire immediately")
+	}
+}

@@ -1,0 +1,75 @@
+// Package simds provides data structures that live entirely inside simulated
+// memory: a chaining hash dictionary (the Redis-analogue KV table), a
+// skiplist (the LevelDB-analogue memtable), and an intrusive doubly-linked
+// list (cache LRU order).
+//
+// Every node, bucket array, and string is allocated from the simulated heap
+// and every link is a simulated virtual address. This is what makes PHOENIX
+// preservation real in a garbage-collected host language: after a restart
+// that preserves the heap pages, Open* reattaches to the same root address
+// and the structure is intact; if the pages were *not* preserved, the first
+// pointer chase faults — exactly the self-containment contract of §3.3.
+package simds
+
+import (
+	"time"
+
+	"phoenix/internal/costmodel"
+	"phoenix/internal/heap"
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+	"phoenix/internal/simclock"
+)
+
+// Ctx bundles what the data structures need: the address space, the heap to
+// allocate from, and an optional clock+model for charging simulated time.
+type Ctx struct {
+	AS    *mem.AddressSpace
+	Heap  *heap.Heap
+	Clock *simclock.Clock
+	Model costmodel.Model
+}
+
+// NewCtx builds a context. clock may be nil for untimed use (tests).
+func NewCtx(h *heap.Heap, clock *simclock.Clock, model costmodel.Model) *Ctx {
+	return &Ctx{AS: h.AS(), Heap: h, Clock: clock, Model: model}
+}
+
+// Charge advances the simulated clock by steps memory operations (a node
+// visit, a hash probe, a pointer chase each count as one step).
+func (c *Ctx) Charge(steps int) {
+	if c.Clock != nil && steps > 0 {
+		c.Clock.Advance(time.Duration(steps) * c.Model.MemOp)
+	}
+}
+
+// ChargeBytes advances the clock for touching n payload bytes.
+func (c *Ctx) ChargeBytes(n int) {
+	if c.Clock != nil && n > 0 {
+		c.Clock.Advance(time.Duration(n) * c.Model.ByteTouch)
+	}
+}
+
+// mustAlloc allocates or crashes with a simulated OOM (SIGABRT), which is a
+// recoverable application failure, not a simulator bug.
+func (c *Ctx) mustAlloc(n int) mem.VAddr {
+	p := c.Heap.Alloc(n)
+	if p == mem.NullPtr {
+		panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "out of memory"})
+	}
+	return p
+}
+
+// hashBytes is FNV-1a 64-bit.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,204 @@
+package simds
+
+import "phoenix/internal/mem"
+
+// List is an intrusive doubly-linked list in simulated memory, used by the
+// web-cache apps for LRU eviction order. Each node carries an opaque u64
+// payload (typically a pointer to the owner's object).
+//
+// Header layout:  0: head (VAddr), 8: tail (VAddr), 16: length (u64)
+// Node layout:    0: prev (VAddr), 8: next (VAddr), 16: payload (u64)
+type List struct {
+	c    *Ctx
+	addr mem.VAddr
+}
+
+const (
+	listHdrSize = 24
+	listOffHead = 0
+	listOffTail = 8
+	listOffLen  = 16
+	lnodeSize   = 24
+	lnodeOffPrv = 0
+	lnodeOffNxt = 8
+	lnodeOffPay = 16
+)
+
+// NewList allocates an empty list.
+func NewList(c *Ctx) *List {
+	hdr := c.mustAlloc(listHdrSize)
+	c.AS.WritePtr(hdr+listOffHead, mem.NullPtr)
+	c.AS.WritePtr(hdr+listOffTail, mem.NullPtr)
+	c.AS.WriteU64(hdr+listOffLen, 0)
+	return &List{c: c, addr: hdr}
+}
+
+// OpenList reattaches to a preserved list at addr.
+func OpenList(c *Ctx, addr mem.VAddr) *List {
+	return &List{c: c, addr: addr}
+}
+
+// Addr returns the list's root address.
+func (l *List) Addr() mem.VAddr { return l.addr }
+
+// Len returns the node count.
+func (l *List) Len() uint64 { return l.c.AS.ReadU64(l.addr + listOffLen) }
+
+// PushFront inserts a node carrying payload at the head (most recently used
+// position) and returns the node address.
+func (l *List) PushFront(payload uint64) mem.VAddr {
+	n := l.c.mustAlloc(lnodeSize)
+	head := l.c.AS.ReadPtr(l.addr + listOffHead)
+	l.c.AS.WritePtr(n+lnodeOffPrv, mem.NullPtr)
+	l.c.AS.WritePtr(n+lnodeOffNxt, head)
+	l.c.AS.WriteU64(n+lnodeOffPay, payload)
+	if head != mem.NullPtr {
+		l.c.AS.WritePtr(head+lnodeOffPrv, n)
+	} else {
+		l.c.AS.WritePtr(l.addr+listOffTail, n)
+	}
+	l.c.AS.WritePtr(l.addr+listOffHead, n)
+	l.c.AS.WriteU64(l.addr+listOffLen, l.Len()+1)
+	l.c.Charge(5)
+	return n
+}
+
+// Payload returns the payload stored in node n.
+func (l *List) Payload(n mem.VAddr) uint64 { return l.c.AS.ReadU64(n + lnodeOffPay) }
+
+// Back returns the tail node (least recently used), or NullPtr when empty.
+func (l *List) Back() mem.VAddr { return l.c.AS.ReadPtr(l.addr + listOffTail) }
+
+// Front returns the head node, or NullPtr when empty.
+func (l *List) Front() mem.VAddr { return l.c.AS.ReadPtr(l.addr + listOffHead) }
+
+// unlink detaches n without freeing it.
+func (l *List) unlink(n mem.VAddr) {
+	prv := l.c.AS.ReadPtr(n + lnodeOffPrv)
+	nxt := l.c.AS.ReadPtr(n + lnodeOffNxt)
+	if prv != mem.NullPtr {
+		l.c.AS.WritePtr(prv+lnodeOffNxt, nxt)
+	} else {
+		l.c.AS.WritePtr(l.addr+listOffHead, nxt)
+	}
+	if nxt != mem.NullPtr {
+		l.c.AS.WritePtr(nxt+lnodeOffPrv, prv)
+	} else {
+		l.c.AS.WritePtr(l.addr+listOffTail, prv)
+	}
+	l.c.AS.WriteU64(l.addr+listOffLen, l.Len()-1)
+	l.c.Charge(5)
+}
+
+// Remove detaches and frees node n, returning its payload.
+func (l *List) Remove(n mem.VAddr) uint64 {
+	pay := l.Payload(n)
+	l.unlink(n)
+	l.c.Heap.Free(n)
+	return pay
+}
+
+// MoveToFront makes n the head — an LRU touch.
+func (l *List) MoveToFront(n mem.VAddr) {
+	if l.c.AS.ReadPtr(l.addr+listOffHead) == n {
+		l.c.Charge(1)
+		return
+	}
+	pay := l.Payload(n)
+	prv := l.c.AS.ReadPtr(n + lnodeOffPrv)
+	nxt := l.c.AS.ReadPtr(n + lnodeOffNxt)
+	// Unlink in place.
+	if prv != mem.NullPtr {
+		l.c.AS.WritePtr(prv+lnodeOffNxt, nxt)
+	}
+	if nxt != mem.NullPtr {
+		l.c.AS.WritePtr(nxt+lnodeOffPrv, prv)
+	} else {
+		l.c.AS.WritePtr(l.addr+listOffTail, prv)
+	}
+	// Relink at head.
+	head := l.c.AS.ReadPtr(l.addr + listOffHead)
+	l.c.AS.WritePtr(n+lnodeOffPrv, mem.NullPtr)
+	l.c.AS.WritePtr(n+lnodeOffNxt, head)
+	l.c.AS.WriteU64(n+lnodeOffPay, pay)
+	if head != mem.NullPtr {
+		l.c.AS.WritePtr(head+lnodeOffPrv, n)
+	}
+	l.c.AS.WritePtr(l.addr+listOffHead, n)
+	l.c.Charge(8)
+}
+
+// ValidateHeader performs the cheap boot-time sanity check: endpoints must
+// be null or mapped and the length plausible.
+func (l *List) ValidateHeader() (valid bool) {
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	head := l.c.AS.ReadPtr(l.addr + listOffHead)
+	tail := l.c.AS.ReadPtr(l.addr + listOffTail)
+	if head != mem.NullPtr && !l.c.AS.Mapped(head) {
+		return false
+	}
+	if tail != mem.NullPtr && !l.c.AS.Mapped(tail) {
+		return false
+	}
+	return l.Len() <= 1<<40
+}
+
+// Iterate visits payloads from head to tail. Return false to stop.
+func (l *List) Iterate(fn func(node mem.VAddr, payload uint64) bool) {
+	n := l.c.AS.ReadPtr(l.addr + listOffHead)
+	steps := 0
+	for n != mem.NullPtr {
+		steps++
+		if !fn(n, l.Payload(n)) {
+			break
+		}
+		n = l.c.AS.ReadPtr(n + lnodeOffNxt)
+	}
+	l.c.Charge(steps)
+}
+
+// Mark marks the list header and every node, calling markPayload per node so
+// the owner can mark payload objects.
+func (l *List) Mark(markPayload func(payload uint64)) {
+	l.c.Heap.Mark(l.addr)
+	n := l.c.AS.ReadPtr(l.addr + listOffHead)
+	steps := 0
+	for n != mem.NullPtr {
+		steps += 2
+		l.c.Heap.Mark(n)
+		if markPayload != nil {
+			markPayload(l.Payload(n))
+		}
+		n = l.c.AS.ReadPtr(n + lnodeOffNxt)
+	}
+	l.c.Charge(steps)
+}
+
+// Validate checks forward/backward link symmetry and count, returning false
+// on corruption.
+func (l *List) Validate() (valid bool) {
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	var count uint64
+	var prev mem.VAddr = mem.NullPtr
+	n := l.c.AS.ReadPtr(l.addr + listOffHead)
+	for n != mem.NullPtr {
+		count++
+		if count > l.Len()+1 {
+			return false
+		}
+		if l.c.AS.ReadPtr(n+lnodeOffPrv) != prev {
+			return false
+		}
+		prev = n
+		n = l.c.AS.ReadPtr(n + lnodeOffNxt)
+	}
+	return count == l.Len() && l.c.AS.ReadPtr(l.addr+listOffTail) == prev
+}

@@ -1,0 +1,293 @@
+package simds
+
+import "phoenix/internal/mem"
+
+// Skiplist is an ordered map in simulated memory — the analogue of LevelDB's
+// memtable, the paper's preservation target for LevelDB (Table 3).
+//
+// Header layout:
+//
+//	 0: entry count (u64)
+//	 8: approximate payload bytes (u64)
+//	16: xorshift RNG state (u64) — preserved with the structure so level
+//	    choice stays deterministic across PHOENIX restarts
+//	24: head node (VAddr)
+//
+// Node layout:
+//
+//	 0: key blob (VAddr, owned; NullPtr for the head)
+//	 8: value blob (VAddr, owned)
+//	16: level (u32)
+//	24: forward[level] (VAddr each)
+type Skiplist struct {
+	c    *Ctx
+	addr mem.VAddr
+}
+
+const (
+	slMaxLevel = 12
+
+	slHdrSize   = 32
+	slOffCount  = 0
+	slOffBytes  = 8
+	slOffRNG    = 16
+	slOffHead   = 24
+	nodeOffKey  = 0
+	nodeOffVal  = 8
+	nodeOffLvl  = 16
+	nodeOffFwd  = 24
+	slBranching = 4
+)
+
+func slNodeSize(level int) int { return nodeOffFwd + level*8 }
+
+// NewSkiplist allocates an empty skiplist with a deterministic RNG seed.
+func NewSkiplist(c *Ctx, seed uint64) *Skiplist {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	hdr := c.mustAlloc(slHdrSize)
+	head := c.mustAlloc(slNodeSize(slMaxLevel))
+	c.AS.WritePtr(head+nodeOffKey, mem.NullPtr)
+	c.AS.WritePtr(head+nodeOffVal, mem.NullPtr)
+	c.AS.WriteU32(head+nodeOffLvl, slMaxLevel)
+	for i := 0; i < slMaxLevel; i++ {
+		c.AS.WritePtr(head+nodeOffFwd+mem.VAddr(i*8), mem.NullPtr)
+	}
+	c.AS.WriteU64(hdr+slOffCount, 0)
+	c.AS.WriteU64(hdr+slOffBytes, 0)
+	c.AS.WriteU64(hdr+slOffRNG, seed)
+	c.AS.WritePtr(hdr+slOffHead, head)
+	return &Skiplist{c: c, addr: hdr}
+}
+
+// OpenSkiplist reattaches to a preserved skiplist at addr.
+func OpenSkiplist(c *Ctx, addr mem.VAddr) *Skiplist {
+	return &Skiplist{c: c, addr: addr}
+}
+
+// Addr returns the skiplist root address.
+func (s *Skiplist) Addr() mem.VAddr { return s.addr }
+
+// Len returns the entry count.
+func (s *Skiplist) Len() uint64 { return s.c.AS.ReadU64(s.addr + slOffCount) }
+
+// PayloadBytes returns the approximate stored key+value payload size, used
+// as the memtable flush threshold.
+func (s *Skiplist) PayloadBytes() uint64 { return s.c.AS.ReadU64(s.addr + slOffBytes) }
+
+func (s *Skiplist) head() mem.VAddr { return s.c.AS.ReadPtr(s.addr + slOffHead) }
+
+// randLevel draws a level with 1/slBranching promotion probability from the
+// in-memory xorshift state.
+func (s *Skiplist) randLevel() int {
+	x := s.c.AS.ReadU64(s.addr + slOffRNG)
+	lvl := 1
+	for lvl < slMaxLevel {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if x%slBranching != 0 {
+			break
+		}
+		lvl++
+	}
+	s.c.AS.WriteU64(s.addr+slOffRNG, x)
+	return lvl
+}
+
+// findPrev fills prev[0..slMaxLevel) with the rightmost node at each level
+// whose key is < key, and returns the candidate node at level 0 (which may
+// equal key) plus the traversal step count.
+func (s *Skiplist) findPrev(key []byte, prev *[slMaxLevel]mem.VAddr) (mem.VAddr, int) {
+	x := s.head()
+	steps := 0
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for {
+			next := s.c.AS.ReadPtr(x + nodeOffFwd + mem.VAddr(i*8))
+			steps++
+			if next == mem.NullPtr {
+				break
+			}
+			if s.c.CompareBlobKey(s.c.AS.ReadPtr(next+nodeOffKey), key) >= 0 {
+				break
+			}
+			x = next
+		}
+		prev[i] = x
+	}
+	return s.c.AS.ReadPtr(x + nodeOffFwd), steps
+}
+
+// Get returns a copy of the value stored for key.
+func (s *Skiplist) Get(key []byte) ([]byte, bool) {
+	var prev [slMaxLevel]mem.VAddr
+	cand, steps := s.findPrev(key, &prev)
+	s.c.Charge(steps)
+	if cand == mem.NullPtr || s.c.CompareBlobKey(s.c.AS.ReadPtr(cand+nodeOffKey), key) != 0 {
+		return nil, false
+	}
+	v := s.c.BlobBytes(s.c.AS.ReadPtr(cand + nodeOffVal))
+	s.c.ChargeBytes(len(v))
+	return v, true
+}
+
+// Insert sets key → val, replacing any existing value in place when it fits
+// or reallocating otherwise. It reports whether the key was new.
+func (s *Skiplist) Insert(key, val []byte) bool {
+	var prev [slMaxLevel]mem.VAddr
+	cand, steps := s.findPrev(key, &prev)
+	if cand != mem.NullPtr && s.c.CompareBlobKey(s.c.AS.ReadPtr(cand+nodeOffKey), key) == 0 {
+		oldVal := s.c.AS.ReadPtr(cand + nodeOffVal)
+		oldLen := s.c.BlobLen(oldVal)
+		if !s.c.BlobSet(oldVal, val) {
+			s.c.FreeBlob(oldVal)
+			s.c.AS.WritePtr(cand+nodeOffVal, s.c.NewBlob(val))
+		}
+		s.c.AS.WriteU64(s.addr+slOffBytes,
+			s.c.AS.ReadU64(s.addr+slOffBytes)-uint64(oldLen)+uint64(len(val)))
+		s.c.Charge(steps + 2)
+		s.c.ChargeBytes(len(val))
+		return false
+	}
+	lvl := s.randLevel()
+	n := s.c.mustAlloc(slNodeSize(lvl))
+	s.c.AS.WritePtr(n+nodeOffKey, s.c.NewBlob(key))
+	s.c.AS.WritePtr(n+nodeOffVal, s.c.NewBlob(val))
+	s.c.AS.WriteU32(n+nodeOffLvl, uint32(lvl))
+	for i := 0; i < lvl; i++ {
+		fwd := prev[i] + nodeOffFwd + mem.VAddr(i*8)
+		s.c.AS.WritePtr(n+nodeOffFwd+mem.VAddr(i*8), s.c.AS.ReadPtr(fwd))
+		s.c.AS.WritePtr(fwd, n)
+	}
+	s.c.AS.WriteU64(s.addr+slOffCount, s.Len()+1)
+	s.c.AS.WriteU64(s.addr+slOffBytes,
+		s.c.AS.ReadU64(s.addr+slOffBytes)+uint64(len(key)+len(val)))
+	s.c.Charge(steps + 2*lvl + 2)
+	s.c.ChargeBytes(len(key) + len(val))
+	return true
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Skiplist) Delete(key []byte) bool {
+	var prev [slMaxLevel]mem.VAddr
+	cand, steps := s.findPrev(key, &prev)
+	if cand == mem.NullPtr || s.c.CompareBlobKey(s.c.AS.ReadPtr(cand+nodeOffKey), key) != 0 {
+		s.c.Charge(steps)
+		return false
+	}
+	lvl := int(s.c.AS.ReadU32(cand + nodeOffLvl))
+	for i := 0; i < lvl; i++ {
+		fwd := prev[i] + nodeOffFwd + mem.VAddr(i*8)
+		if s.c.AS.ReadPtr(fwd) == cand {
+			s.c.AS.WritePtr(fwd, s.c.AS.ReadPtr(cand+nodeOffFwd+mem.VAddr(i*8)))
+		}
+	}
+	kb := s.c.AS.ReadPtr(cand + nodeOffKey)
+	vb := s.c.AS.ReadPtr(cand + nodeOffVal)
+	s.c.AS.WriteU64(s.addr+slOffBytes,
+		s.c.AS.ReadU64(s.addr+slOffBytes)-uint64(s.c.BlobLen(kb)+s.c.BlobLen(vb)))
+	s.c.FreeBlob(kb)
+	s.c.FreeBlob(vb)
+	s.c.Heap.Free(cand)
+	s.c.AS.WriteU64(s.addr+slOffCount, s.Len()-1)
+	s.c.Charge(steps + lvl + 3)
+	return true
+}
+
+// IterAll visits entries in ascending key order. Keys and values are copies.
+func (s *Skiplist) IterAll(fn func(key, val []byte) bool) {
+	x := s.c.AS.ReadPtr(s.head() + nodeOffFwd)
+	steps := 0
+	for x != mem.NullPtr {
+		steps++
+		k := s.c.BlobBytes(s.c.AS.ReadPtr(x + nodeOffKey))
+		v := s.c.BlobBytes(s.c.AS.ReadPtr(x + nodeOffVal))
+		if !fn(k, v) {
+			break
+		}
+		x = s.c.AS.ReadPtr(x + nodeOffFwd)
+	}
+	s.c.Charge(steps)
+}
+
+// Mark marks the skiplist header, head node, every node, and every key and
+// value blob for the PHOENIX cleanup sweep.
+func (s *Skiplist) Mark() {
+	s.c.Heap.Mark(s.addr)
+	head := s.head()
+	s.c.Heap.Mark(head)
+	x := s.c.AS.ReadPtr(head + nodeOffFwd)
+	steps := 0
+	for x != mem.NullPtr {
+		steps += 3
+		s.c.Heap.Mark(x)
+		s.c.Heap.Mark(s.c.AS.ReadPtr(x + nodeOffKey))
+		s.c.Heap.Mark(s.c.AS.ReadPtr(x + nodeOffVal))
+		x = s.c.AS.ReadPtr(x + nodeOffFwd)
+	}
+	s.c.Charge(steps)
+}
+
+// ValidateHeader performs the cheap boot-time sanity check: the head node
+// must be mapped and the count plausible. Deep corruption surfaces on
+// access.
+func (s *Skiplist) ValidateHeader() (valid bool) {
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	head := s.head()
+	if !s.c.AS.Mapped(head) || s.Len() > 1<<40 {
+		return false
+	}
+	return int(s.c.AS.ReadU32(head+nodeOffLvl)) == slMaxLevel
+}
+
+// FreeAll releases every node, blob, the head, and the header — dropping the
+// whole structure (an LSM store deletes its immutable memtable this way
+// after a flush).
+func (s *Skiplist) FreeAll() {
+	head := s.head()
+	x := s.c.AS.ReadPtr(head + nodeOffFwd)
+	steps := 0
+	for x != mem.NullPtr {
+		next := s.c.AS.ReadPtr(x + nodeOffFwd)
+		s.c.FreeBlob(s.c.AS.ReadPtr(x + nodeOffKey))
+		s.c.FreeBlob(s.c.AS.ReadPtr(x + nodeOffVal))
+		s.c.Heap.Free(x)
+		x = next
+		steps += 4
+	}
+	s.c.Heap.Free(head)
+	s.c.Heap.Free(s.addr)
+	s.c.Charge(steps + 2)
+}
+
+// Validate checks ordering and count invariants, returning false on
+// corruption (including faults while walking).
+func (s *Skiplist) Validate() (valid bool) {
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	var count uint64
+	var prevKey []byte
+	first := true
+	x := s.c.AS.ReadPtr(s.head() + nodeOffFwd)
+	for x != mem.NullPtr {
+		count++
+		if count > s.Len()+1 {
+			return false
+		}
+		k := s.c.BlobBytes(s.c.AS.ReadPtr(x + nodeOffKey))
+		if !first && string(prevKey) >= string(k) {
+			return false
+		}
+		prevKey, first = k, false
+		x = s.c.AS.ReadPtr(x + nodeOffFwd)
+	}
+	return count == s.Len()
+}
