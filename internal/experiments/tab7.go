@@ -176,6 +176,10 @@ func runInjectionCell(o Options, system string, cfg injConfig, want int) (injCel
 			cell.ChkCross++
 		case pRun.stat.GraceFallbacks > 0:
 			cell.Fbk++
+		case pRun.stat.RecoveryFaultFallbacks > 0:
+			// preserve_exec itself failed; counted with the crash-after-
+			// restart fallbacks (the outcome is the same default recovery).
+			cell.Fbk++
 		case pRun.stat.PhoenixRestarts > 0:
 			cell.Rec++
 		}

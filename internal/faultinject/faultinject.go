@@ -39,8 +39,14 @@ const (
 	// MissingCall removes a function call.
 	MissingCall
 
-	// NumFaultTypes is the count of injectable types.
+	// NumFaultTypes is the count of Table-6 instruction fault types.
 	NumFaultTypes = 7
+
+	// OpFailure makes the kernel/runtime operation at a KindOp site fail
+	// with an error. It models recovery-time faults (a page move or image
+	// load failing mid-preserve_exec) rather than application code bugs, so
+	// it sits outside the Table-6 set.
+	OpFailure FaultType = NumFaultTypes
 )
 
 func (f FaultType) String() string {
@@ -59,6 +65,8 @@ func (f FaultType) String() string {
 		return "assign-wrong-result"
 	case MissingCall:
 		return "missing-function-call"
+	case OpFailure:
+		return "operation-failure"
 	}
 	return "unknown-fault"
 }
@@ -75,6 +83,9 @@ const (
 	KindValue
 	// KindAction sites perform stores or calls (MissingStore, MissingCall).
 	KindAction
+	// KindOp sites are kernel/runtime operations inside the recovery path
+	// that a campaign can make fail (OpFailure).
+	KindOp
 )
 
 // TypesFor returns the fault types applicable to a site kind.
@@ -86,8 +97,39 @@ func TypesFor(k SiteKind) []FaultType {
 		return []FaultType{WrongOperand, UninitVar, WrongResult}
 	case KindAction:
 		return []FaultType{MissingStore, MissingCall}
+	case KindOp:
+		return []FaultType{OpFailure}
 	}
 	return nil
+}
+
+// Recovery-path injection sites: faults that strike *during* a PHOENIX
+// preserve_exec rather than during normal request processing. They let
+// campaigns measure whether a failure of the recovery mechanism itself
+// degrades to the application's default recovery instead of corrupting
+// state.
+const (
+	// SitePreservePlan crashes preserve_exec between validating/staging the
+	// transfer plan and committing the first operation.
+	SitePreservePlan = "kernel.preserve.plan"
+	// SitePreserveMove fails the Nth page-move operation of the commit
+	// phase (arm with ArmAfter to choose N).
+	SitePreserveMove = "kernel.preserve.move"
+	// SitePreserveCopy fails the Nth partial-page copy of the commit phase.
+	SitePreserveCopy = "kernel.preserve.copy"
+	// SitePreserveLoad fails loading the fresh image into the gaps left
+	// between the preserved ranges.
+	SitePreserveLoad = "kernel.preserve.load"
+)
+
+// RecoverySites lists the injection points inside the recovery path.
+func RecoverySites() []Site {
+	return []Site{
+		{ID: SitePreservePlan, Func: "PreserveExec", Kind: KindOp, Modifying: true},
+		{ID: SitePreserveMove, Func: "PreserveExec", Kind: KindOp, Modifying: true},
+		{ID: SitePreserveCopy, Func: "PreserveExec", Kind: KindOp, Modifying: true},
+		{ID: SitePreserveLoad, Func: "PreserveExec", Kind: KindOp, Modifying: true},
+	}
 }
 
 // Site describes one injection point compiled into application code.
@@ -111,6 +153,9 @@ type Site struct {
 type Injector struct {
 	sites map[string]*Site
 	armed map[string]FaultType
+	// skips[id] counts site executions to let pass before the armed fault
+	// fires (ArmAfter); zero means fire on the next execution.
+	skips map[string]int
 	fired map[string]bool
 	// Enabled gates all perturbation; campaigns flip it mid-workload
 	// ("switch to the fault-injected version", §4.4).
@@ -124,8 +169,20 @@ func New() *Injector {
 	return &Injector{
 		sites:     make(map[string]*Site),
 		armed:     make(map[string]FaultType),
+		skips:     make(map[string]int),
 		fired:     make(map[string]bool),
 		execCount: make(map[string]uint64),
+	}
+}
+
+// RegisterRecovery declares the recovery-path injection sites, skipping any
+// already registered (the harness calls this for every run, and campaigns
+// may share one injector across harnesses).
+func (in *Injector) RegisterRecovery() {
+	for _, s := range RecoverySites() {
+		if _, dup := in.sites[s.ID]; !dup {
+			in.Register(s)
+		}
 	}
 }
 
@@ -156,9 +213,17 @@ func (in *Injector) Sites() []Site {
 	return out
 }
 
-// Arm schedules fault t at the site. It panics if the site is unknown or the
-// type is inapplicable to the site's kind.
+// Arm schedules fault t at the site, firing on its next execution. It panics
+// if the site is unknown or the type is inapplicable to the site's kind.
 func (in *Injector) Arm(siteID string, t FaultType) {
+	in.ArmAfter(siteID, t, 0)
+}
+
+// ArmAfter schedules fault t at the site to fire on its (skip+1)th execution
+// after injection is enabled — e.g. skip=2 fails the third page move of a
+// preserve_exec commit. It panics like Arm on unknown sites or inapplicable
+// types.
+func (in *Injector) ArmAfter(siteID string, t FaultType, skip int) {
 	s, ok := in.sites[siteID]
 	if !ok {
 		panic("faultinject: arm unknown site " + siteID)
@@ -172,7 +237,11 @@ func (in *Injector) Arm(siteID string, t FaultType) {
 	if !applicable {
 		panic("faultinject: fault " + t.String() + " inapplicable to site " + siteID)
 	}
+	if skip < 0 {
+		skip = 0
+	}
 	in.armed[siteID] = t
+	in.skips[siteID] = skip
 }
 
 // Enable switches the process to the fault-injected code version.
@@ -208,8 +277,20 @@ func (in *Injector) fire(siteID string) (FaultType, bool) {
 	if !armed || in.fired[siteID] {
 		return 0, false
 	}
+	if in.skips[siteID] > 0 {
+		in.skips[siteID]--
+		return 0, false
+	}
 	in.fired[siteID] = true
 	return t, true
+}
+
+// Fail routes a kernel/runtime operation through an op site and reports
+// whether an armed OpFailure fires now — the operation's caller turns a true
+// return into an error.
+func (in *Injector) Fail(siteID string) bool {
+	t, fired := in.fire(siteID)
+	return fired && t == OpFailure
 }
 
 // Cond routes a branch condition through the site. CompInversion inverts it;
@@ -279,6 +360,7 @@ func (in *Injector) ArmedAt(siteID string) (FaultType, bool) {
 // Reset clears arming and firing state but keeps registered sites.
 func (in *Injector) Reset() {
 	in.armed = make(map[string]FaultType)
+	in.skips = make(map[string]int)
 	in.fired = make(map[string]bool)
 	in.enabled = false
 	in.execCount = make(map[string]uint64)

@@ -166,3 +166,76 @@ func TestFaultTypeStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestArmAfterSkipsExecutions(t *testing.T) {
+	in := New()
+	in.Register(Site{ID: "op.move", Kind: KindOp})
+	in.ArmAfter("op.move", OpFailure, 2)
+	in.Enable()
+	for i := 0; i < 2; i++ {
+		if in.Fail("op.move") {
+			t.Fatalf("fault fired on execution %d, want skip", i)
+		}
+	}
+	if !in.Fail("op.move") {
+		t.Fatal("fault did not fire on the third execution")
+	}
+	if in.Fail("op.move") {
+		t.Fatal("fault fired twice")
+	}
+	if !in.Fired("op.move") {
+		t.Fatal("Fired not recorded")
+	}
+}
+
+func TestFailUnarmedAndDisabled(t *testing.T) {
+	in := New()
+	in.RegisterRecovery()
+	if in.Fail(SitePreserveMove) {
+		t.Fatal("unarmed op site fired")
+	}
+	in.Arm(SitePreserveMove, OpFailure)
+	// Not enabled: must not fire.
+	if in.Fail(SitePreserveMove) {
+		t.Fatal("disabled injector fired")
+	}
+	in.Enable()
+	if !in.Fail(SitePreserveMove) {
+		t.Fatal("armed+enabled op site did not fire")
+	}
+}
+
+func TestRegisterRecoveryIdempotent(t *testing.T) {
+	in := New()
+	in.RegisterRecovery()
+	in.RegisterRecovery() // must not panic on duplicates
+	want := len(RecoverySites())
+	got := 0
+	for _, s := range in.Sites() {
+		if s.Kind == KindOp {
+			got++
+		}
+	}
+	if got != want {
+		t.Fatalf("recovery sites registered %d, want %d", got, want)
+	}
+	if types := TypesFor(KindOp); len(types) != 1 || types[0] != OpFailure {
+		t.Fatalf("TypesFor(KindOp) = %v", TypesFor(KindOp))
+	}
+	if OpFailure.String() != "operation-failure" {
+		t.Fatalf("OpFailure.String() = %q", OpFailure.String())
+	}
+}
+
+func TestResetClearsSkips(t *testing.T) {
+	in := New()
+	in.RegisterRecovery()
+	in.ArmAfter(SitePreserveCopy, OpFailure, 5)
+	in.Reset()
+	in.RegisterRecovery() // idempotent after reset too
+	in.Arm(SitePreserveCopy, OpFailure)
+	in.Enable()
+	if !in.Fail(SitePreserveCopy) {
+		t.Fatal("stale skip count survived Reset")
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"phoenix/internal/costmodel"
+	"phoenix/internal/faultinject"
 	"phoenix/internal/linker"
 	"phoenix/internal/mem"
+	"phoenix/internal/metrics"
 	"phoenix/internal/simclock"
 	"phoenix/internal/storage"
 )
@@ -72,6 +74,15 @@ type Machine struct {
 	Model costmodel.Model
 	Disk  *storage.Disk
 
+	// Inj, when set, provides the recovery-path fault-injection sites
+	// (faultinject.RecoverySites) the kernel consults during preserve_exec.
+	// Nil means no injection.
+	Inj *faultinject.Injector
+
+	// Counters tracks preserve_exec lifecycle events (plans staged,
+	// committed, aborted) machine-wide.
+	Counters *metrics.RecoveryCounters
+
 	nextPID int
 	rng     *rand.Rand
 }
@@ -82,12 +93,19 @@ func NewMachine(seed int64) *Machine {
 	clk := simclock.New()
 	model := costmodel.Default()
 	return &Machine{
-		Clock:   clk,
-		Model:   model,
-		Disk:    storage.NewDisk(clk, model),
-		nextPID: 100,
-		rng:     rand.New(rand.NewSource(seed)),
+		Clock:    clk,
+		Model:    model,
+		Disk:     storage.NewDisk(clk, model),
+		Counters: metrics.NewRecoveryCounters(),
+		nextPID:  100,
+		rng:      rand.New(rand.NewSource(seed)),
 	}
+}
+
+// failAt consults the machine's injector (if any) for an armed OpFailure at
+// the given recovery-path site.
+func (m *Machine) failAt(site string) bool {
+	return m.Inj != nil && m.Inj.Fail(site)
 }
 
 // Process is one simulated process.
@@ -121,10 +139,13 @@ type Handoff struct {
 	FallbackReason string
 }
 
-// aslrSlide picks a page-aligned randomized base offset.
+// aslrSlide picks a page-aligned randomized base offset: 28 bits of entropy,
+// floored at 1<<45 so every possible slide lands well above the image bases
+// and heap regions the builder and runtime lay out (which stay below a few
+// hundred GiB).
 func (m *Machine) aslrSlide() mem.VAddr {
-	// 28 bits of entropy, page aligned, well away from page zero.
-	return mem.VAddr((m.rng.Int63n(1<<16) + 1) << mem.PageShift)
+	const slideFloor = mem.VAddr(1) << 45
+	return slideFloor + mem.VAddr(m.rng.Int63n(1<<28)+1)<<mem.PageShift
 }
 
 // Spawn creates a brand-new process from the image: fresh address space,
@@ -193,11 +214,35 @@ type ExecSpec struct {
 // the remaining gaps, and tears down the caller. The simulated clock is
 // charged per the cost model (fixed exec cost + per-page PTE moves + per-page
 // copies for partial pages).
+//
+// The call is crash-atomic. It runs in two phases: first every range
+// transfer is validated and staged against both address spaces — source
+// coverage, destination overlap, partial-page geometry, the info-block
+// placement, and collisions with non-preserved image sections — without
+// touching either process; only once the whole plan is known good are the
+// PTE moves and copies committed. A validation failure returns with the
+// source process fully intact, and a failure during commit (real or
+// injected via the faultinject recovery sites) rolls the applied moves back
+// before returning, so the caller can always fall back to the application's
+// default recovery instead of inheriting a half-gutted address space.
 func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
 	if p.dead {
 		return nil, fmt.Errorf("kernel: preserve_exec on dead process %d", p.PID)
 	}
 	m := p.Machine
+
+	ranges := append([]linker.Range(nil), spec.Ranges...)
+	if spec.WithSection && p.Image != nil {
+		ranges = append(ranges, p.Image.PreservedRanges()...)
+	}
+
+	plan, err := p.stagePreserve(ranges, spec.InfoAddr)
+	if err != nil {
+		m.Counters.PreservesAborted++
+		return nil, err
+	}
+	m.Counters.PreservesStaged++
+
 	np := &Process{
 		PID:      m.allocPID(),
 		Machine:  m,
@@ -209,100 +254,218 @@ func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
 	// ASLR: reuse the prior slide rather than re-randomizing (§3.3).
 	np.AS.ASLRBase = p.AS.ASLRBase
 
-	ranges := append([]linker.Range(nil), spec.Ranges...)
-	if spec.WithSection && p.Image != nil {
-		ranges = append(ranges, p.Image.PreservedRanges()...)
+	if err := p.commitPreserve(np, plan); err != nil {
+		m.Counters.PreservesAborted++
+		return nil, err
 	}
 
-	moved, copied := 0, 0
-	for _, r := range ranges {
-		if r.Len <= 0 {
-			continue
-		}
-		mv, cp, err := p.transferRange(np, r)
-		if err != nil {
-			return nil, err
-		}
-		moved += mv
-		copied += cp
-	}
-	if spec.InfoAddr != mem.NullPtr && !np.AS.Mapped(spec.InfoAddr) {
-		return nil, fmt.Errorf("kernel: preserve_exec: info block %#x not in a preserved range",
-			uint64(spec.InfoAddr))
-	}
-	// Load the fresh image into the gaps; the dynamic linker skips the
-	// kernel-installed preserved ranges.
-	if p.Image != nil {
-		if _, err := p.Image.Load(np.AS); err != nil {
-			return nil, err
-		}
-	}
-	m.Clock.Advance(m.Model.PreserveExec(moved, copied))
+	m.Clock.Advance(m.Model.PreserveExec(plan.moved, plan.copied))
 	np.preserved = &Handoff{
 		InfoAddr:    spec.InfoAddr,
 		Ranges:      ranges,
-		MovedPages:  moved,
-		CopiedPages: copied,
+		MovedPages:  plan.moved,
+		CopiedPages: plan.copied,
 	}
+	m.Counters.PreservesCommitted++
 	p.dead = true
 	return np, nil
 }
 
-// transferRange moves the full pages of r zero-copy and copies partial
-// head/tail pages.
-func (p *Process) transferRange(np *Process, r linker.Range) (moved, copied int, err error) {
+// pageMove is one staged zero-copy PTE transfer of a contiguous aligned run.
+type pageMove struct {
+	start mem.VAddr
+	pages int
+}
+
+// partialCopy is one staged partial-page transfer: the bytes were read from
+// the intact source at stage time, so committing them later cannot observe a
+// half-moved page.
+type partialCopy struct {
+	addr mem.VAddr
+	data []byte
+	kind mem.Kind
+	name string
+}
+
+// preservePlan is a fully validated preserve_exec transfer plan.
+type preservePlan struct {
+	moves  []pageMove
+	copies []partialCopy
+	// movePages tracks destination pages claimed by full-page moves, to
+	// reject overlapping move ranges up front instead of failing mid-commit.
+	movePages map[mem.PageNum]bool
+	// pages is every destination page the plan installs (moves and partial
+	// copies) — the set the info block must land in.
+	pages  map[mem.PageNum]bool
+	moved  int
+	copied int
+}
+
+// stagePreserve validates every range against both address spaces and stages
+// the transfers without mutating anything. Partial-page bytes are captured
+// here, while the source is still whole.
+func (p *Process) stagePreserve(ranges []linker.Range, infoAddr mem.VAddr) (*preservePlan, error) {
+	plan := &preservePlan{
+		movePages: make(map[mem.PageNum]bool),
+		pages:     make(map[mem.PageNum]bool),
+	}
+	for _, r := range ranges {
+		if r.Len <= 0 {
+			continue
+		}
+		if err := p.planRange(plan, r); err != nil {
+			return nil, err
+		}
+	}
+	if infoAddr != mem.NullPtr && !plan.pages[mem.PageOf(infoAddr)] {
+		return nil, fmt.Errorf("kernel: preserve_exec: info block %#x not in a preserved range",
+			uint64(infoAddr))
+	}
+	// The dynamic linker refuses to reload a non-preserved section over a
+	// kernel-installed range; catch that collision before commit rather than
+	// after the address space has been gutted.
+	if p.Image != nil {
+		for _, s := range p.Image.Sections {
+			if !s.Kind.Preserved() && plan.pages[mem.PageOf(s.Addr)] {
+				return nil, fmt.Errorf("kernel: preserve_exec: preserved range covers non-preserved section %s at %#x",
+					s.Kind, uint64(s.Addr))
+			}
+		}
+	}
+	return plan, nil
+}
+
+// planRange splits r into full-page moves and partial head/tail copies and
+// validates each piece. A sub-page range — whether or not its start is
+// page-aligned — becomes a single partial copy; the old geometry dropped
+// page-aligned sub-page ranges entirely.
+func (p *Process) planRange(plan *preservePlan, r linker.Range) error {
 	start, end := r.Start, r.End()
 	alignedStart := mem.PageBase(start + mem.PageSize - 1) // round up
 	alignedEnd := mem.PageBase(end)                        // round down
-	if start == mem.PageBase(start) {
-		alignedStart = start
-	}
 
-	// Partial head page [start, min(alignedStart,end)).
+	if alignedEnd < alignedStart {
+		// The whole range sits inside one partial page.
+		return p.planCopy(plan, start, end)
+	}
 	if start < alignedStart {
-		headEnd := alignedStart
-		if end < headEnd {
-			headEnd = end
+		if err := p.planCopy(plan, start, alignedStart); err != nil {
+			return err
 		}
-		if err := p.copyPartial(np, start, headEnd); err != nil {
-			return moved, copied, err
-		}
-		copied++
 	}
-	// Full middle pages.
 	if alignedEnd > alignedStart {
-		n := int((alignedEnd - alignedStart) / mem.PageSize)
-		mv, err := p.AS.MovePages(np.AS, alignedStart, n)
-		if err != nil {
-			return moved, copied, err
+		if err := p.planMove(plan, alignedStart, alignedEnd); err != nil {
+			return err
 		}
-		moved += mv
 	}
-	// Partial tail page [max(alignedEnd,start), end).
-	if alignedEnd < end && alignedEnd >= alignedStart && alignedEnd > start {
-		if err := p.copyPartial(np, alignedEnd, end); err != nil {
-			return moved, copied, err
+	if alignedEnd < end {
+		if err := p.planCopy(plan, alignedEnd, end); err != nil {
+			return err
 		}
-		copied++
 	}
-	return moved, copied, nil
+	return nil
 }
 
-// copyPartial copies the bytes [lo,hi) (within a single page) into np,
-// mapping the page there if needed.
-func (p *Process) copyPartial(np *Process, lo, hi mem.VAddr) error {
+// planCopy stages the partial-page transfer of [lo,hi), which lies within a
+// single page.
+func (p *Process) planCopy(plan *preservePlan, lo, hi mem.VAddr) error {
 	src := p.AS.FindMapping(lo)
 	if src == nil {
 		return fmt.Errorf("kernel: preserve range %#x unmapped in source", uint64(lo))
 	}
-	base := mem.PageBase(lo)
-	if !np.AS.Mapped(base) {
-		if _, err := np.AS.Map(base, 1, src.Kind, src.Name+"(partial)"); err != nil {
-			return err
+	plan.copies = append(plan.copies, partialCopy{
+		addr: lo,
+		data: p.AS.ReadBytes(lo, int(hi-lo)),
+		kind: src.Kind,
+		name: src.Name + "(partial)",
+	})
+	plan.pages[mem.PageOf(lo)] = true
+	plan.copied++
+	return nil
+}
+
+// planMove stages the zero-copy transfer of the aligned run [lo,hi),
+// validating full source coverage and that no earlier range already claims
+// any of its pages as a full-page move.
+func (p *Process) planMove(plan *preservePlan, lo, hi mem.VAddr) error {
+	for cur := lo; cur < hi; {
+		mp := p.AS.FindMapping(cur)
+		if mp == nil {
+			return fmt.Errorf("kernel: preserve range %#x unmapped in source", uint64(cur))
+		}
+		cur = mp.End()
+	}
+	for pg := mem.PageOf(lo); pg < mem.PageOf(hi); pg++ {
+		if plan.movePages[pg] {
+			return fmt.Errorf("kernel: preserve_exec: overlapping preserved ranges at %#x",
+				uint64(pg)<<mem.PageShift)
+		}
+		plan.movePages[pg] = true
+		plan.pages[pg] = true
+	}
+	pages := int((hi - lo) / mem.PageSize)
+	plan.moves = append(plan.moves, pageMove{start: lo, pages: pages})
+	plan.moved += pages
+	return nil
+}
+
+// commitPreserve applies a staged plan to the successor. Any failure —
+// injected through the faultinject recovery sites or surfaced by the memory
+// substrate — rolls back the page moves already applied, leaving the source
+// address space exactly as it was before the call.
+func (p *Process) commitPreserve(np *Process, plan *preservePlan) error {
+	m := p.Machine
+	if m.failAt(faultinject.SitePreservePlan) {
+		return fmt.Errorf("kernel: preserve_exec: injected crash between plan and commit")
+	}
+	applied := 0
+	rollback := func() {
+		for _, mv := range plan.moves[:applied] {
+			np.AS.UnmovePages(p.AS, mv.start, mv.pages)
 		}
 	}
-	buf := p.AS.ReadBytes(lo, int(hi-lo))
-	np.AS.WriteAt(lo, buf)
+	for _, mv := range plan.moves {
+		if m.failAt(faultinject.SitePreserveMove) {
+			rollback()
+			return fmt.Errorf("kernel: preserve_exec: injected page-move failure at %#x",
+				uint64(mv.start))
+		}
+		if _, err := p.AS.MovePages(np.AS, mv.start, mv.pages); err != nil {
+			rollback()
+			return fmt.Errorf("kernel: preserve_exec: page move: %w", err)
+		}
+		applied++
+	}
+	// Copies run after every move so a partial page that shares a frame with
+	// a moved run rewrites it with the identical bytes staged from the
+	// intact source.
+	for _, cp := range plan.copies {
+		if m.failAt(faultinject.SitePreserveCopy) {
+			rollback()
+			return fmt.Errorf("kernel: preserve_exec: injected partial-copy failure at %#x",
+				uint64(cp.addr))
+		}
+		base := mem.PageBase(cp.addr)
+		if !np.AS.Mapped(base) {
+			if _, err := np.AS.Map(base, 1, cp.kind, cp.name); err != nil {
+				rollback()
+				return fmt.Errorf("kernel: preserve_exec: partial copy: %w", err)
+			}
+		}
+		np.AS.WriteAt(cp.addr, cp.data)
+	}
+	// Load the fresh image into the gaps; the dynamic linker skips the
+	// kernel-installed preserved ranges.
+	if p.Image != nil {
+		if m.failAt(faultinject.SitePreserveLoad) {
+			rollback()
+			return fmt.Errorf("kernel: preserve_exec: injected image-load failure")
+		}
+		if _, err := p.Image.Load(np.AS); err != nil {
+			rollback()
+			return fmt.Errorf("kernel: preserve_exec: image load: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,277 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"phoenix/internal/faultinject"
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+// TestPreserveSubPageAlignedStart is the regression repro for the silent
+// data-loss bug: a preserved range shorter than a page whose start is
+// page-aligned used to transfer nothing (the old tail guard `alignedEnd >
+// start` was false when they were equal).
+func TestPreserveSubPageAlignedStart(t *testing.T) {
+	m := NewMachine(1)
+	p, _ := m.Spawn(nil)
+	const region = mem.VAddr(0x2000_0000)
+	if _, err := p.AS.Map(region, 4, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	p.AS.WriteU64(region, 0xFEED_FACE_CAFE_F00D)
+
+	np, err := p.PreserveExec(ExecSpec{
+		Ranges: []linker.Range{{Start: region, Len: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := np.AS.ReadU64(region); got != 0xFEED_FACE_CAFE_F00D {
+		t.Fatalf("sub-page aligned range lost: read %#x", got)
+	}
+	h := np.Handoff()
+	if h.MovedPages != 0 || h.CopiedPages != 1 {
+		t.Fatalf("want 0 moved / 1 copied, got %d / %d", h.MovedPages, h.CopiedPages)
+	}
+}
+
+// TestPreserveGeometry covers aligned/unaligned start × aligned/unaligned end
+// × sub-page/multi-page ranges, asserting byte-exact preservation and the
+// moved/copied page counts.
+func TestPreserveGeometry(t *testing.T) {
+	const region = mem.VAddr(0x2000_0000)
+	const P = mem.PageSize
+	cases := []struct {
+		name   string
+		start  mem.VAddr
+		length int
+		moved  int
+		copied int
+	}{
+		{"aligned-start-subpage", region, 100, 0, 1},
+		{"aligned-full-page", region, int(P), 1, 0},
+		{"aligned-multipage", region, int(2 * P), 2, 0},
+		{"aligned-start-unaligned-end", region, int(P) + 100, 1, 1},
+		{"unaligned-start-aligned-end", region + 100, int(2*P) - 100, 1, 1},
+		{"unaligned-both-multipage", region + 100, int(3*P) - 200, 1, 2},
+		{"subpage-interior", region + 100, 200, 0, 1},
+		{"subpage-straddles-boundary", region + P - 50, 100, 0, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(1)
+			p, _ := m.Spawn(nil)
+			if _, err := p.AS.Map(region, 4, mem.KindCustom, "state"); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, tc.length)
+			for i := range want {
+				want[i] = byte(i%251 + 1)
+			}
+			p.AS.WriteAt(tc.start, want)
+
+			np, err := p.PreserveExec(ExecSpec{
+				Ranges: []linker.Range{{Start: tc.start, Len: tc.length}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := np.AS.ReadBytes(tc.start, tc.length); !bytes.Equal(got, want) {
+				t.Fatalf("preserved bytes differ from source")
+			}
+			h := np.Handoff()
+			if h.MovedPages != tc.moved || h.CopiedPages != tc.copied {
+				t.Fatalf("want %d moved / %d copied, got %d / %d",
+					tc.moved, tc.copied, h.MovedPages, h.CopiedPages)
+			}
+		})
+	}
+}
+
+// TestPreserveValidationLeavesSourceIntact checks phase one of the
+// crash-atomicity contract: a plan that fails validation returns before
+// anything is mutated, and the same process can immediately preserve again.
+func TestPreserveValidationLeavesSourceIntact(t *testing.T) {
+	m := NewMachine(1)
+	p, _ := m.Spawn(testImage())
+	const region = mem.VAddr(0x2000_0000)
+	if _, err := p.AS.Map(region, 2, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	p.AS.WriteU64(region, 4242)
+
+	// Half the range is unmapped: validation must reject it.
+	_, err := p.PreserveExec(ExecSpec{
+		Ranges: []linker.Range{{Start: region, Len: int(4 * mem.PageSize)}},
+	})
+	if err == nil {
+		t.Fatal("preserve of partially unmapped range succeeded")
+	}
+	if p.Dead() {
+		t.Fatal("source process dead after rejected preserve")
+	}
+	if p.AS.ReadU64(region) != 4242 {
+		t.Fatal("source mutated by rejected preserve")
+	}
+	if got := m.Counters.PreservesAborted; got != 1 {
+		t.Fatalf("PreservesAborted = %d, want 1", got)
+	}
+	if m.Counters.PreservesStaged != 0 {
+		t.Fatalf("PreservesStaged = %d, want 0 (plan never validated)", m.Counters.PreservesStaged)
+	}
+
+	// Overlapping full-page ranges are a plan error too.
+	_, err = p.PreserveExec(ExecSpec{
+		Ranges: []linker.Range{
+			{Start: region, Len: int(2 * mem.PageSize)},
+			{Start: region, Len: int(mem.PageSize)},
+		},
+	})
+	if err == nil {
+		t.Fatal("overlapping move ranges accepted")
+	}
+
+	// The same process preserves fine once the plan is valid.
+	np, err := p.PreserveExec(ExecSpec{
+		Ranges: []linker.Range{{Start: region, Len: int(2 * mem.PageSize)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.AS.ReadU64(region) != 4242 {
+		t.Fatal("retry after rejected plans lost data")
+	}
+	if m.Counters.PreservesStaged != 1 || m.Counters.PreservesCommitted != 1 {
+		t.Fatalf("counters after success: %s", m.Counters)
+	}
+}
+
+// TestPreserveInjectedFaultsRollBack arms each recovery-path injection site
+// in turn and checks the commit rolls back: the source stays alive and
+// byte-identical, no clock time is charged, the abort is counted, and an
+// immediate retry (the fault fires once) succeeds.
+func TestPreserveInjectedFaultsRollBack(t *testing.T) {
+	const r1 = mem.VAddr(0x2000_0000)
+	const r2 = mem.VAddr(0x3000_0000)
+	cases := []struct {
+		name string
+		site string
+		skip int
+	}{
+		{"plan-commit-crash", faultinject.SitePreservePlan, 0},
+		{"first-move", faultinject.SitePreserveMove, 0},
+		{"second-move", faultinject.SitePreserveMove, 1},
+		{"partial-copy", faultinject.SitePreserveCopy, 0},
+		{"image-load", faultinject.SitePreserveLoad, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(1)
+			inj := faultinject.New()
+			inj.RegisterRecovery()
+			m.Inj = inj
+			p, _ := m.Spawn(testImage())
+			if _, err := p.AS.Map(r1, 2, mem.KindCustom, "a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.AS.Map(r2, 3, mem.KindCustom, "b"); err != nil {
+				t.Fatal(err)
+			}
+			p.AS.WriteU64(r1, 1111)
+			p.AS.WriteU64(r1+mem.PageSize, 2222)
+			tail := r2 + 2*mem.PageSize
+			p.AS.WriteU64(tail, 3333)
+			// Two full-page move ranges plus an unaligned tail so the copy
+			// site executes.
+			spec := ExecSpec{
+				InfoAddr: r1,
+				Ranges: []linker.Range{
+					{Start: r1, Len: int(2 * mem.PageSize)},
+					{Start: r2, Len: int(2*mem.PageSize) + 100},
+				},
+			}
+
+			inj.ArmAfter(tc.site, faultinject.OpFailure, tc.skip)
+			inj.Enable()
+			before := m.Clock.Now()
+			if _, err := p.PreserveExec(spec); err == nil {
+				t.Fatal("injected fault did not fail preserve_exec")
+			}
+			if !inj.Fired(tc.site) {
+				t.Fatal("armed fault never fired")
+			}
+			if p.Dead() {
+				t.Fatal("source dead after aborted preserve")
+			}
+			if m.Clock.Now() != before {
+				t.Fatal("aborted preserve charged clock time")
+			}
+			if p.AS.ReadU64(r1) != 1111 || p.AS.ReadU64(r1+mem.PageSize) != 2222 ||
+				p.AS.ReadU64(tail) != 3333 {
+				t.Fatal("source bytes corrupted by aborted preserve")
+			}
+			if m.Counters.PreservesAborted != 1 {
+				t.Fatalf("PreservesAborted = %d, want 1", m.Counters.PreservesAborted)
+			}
+
+			// The fault fired once; the retry must fully succeed.
+			np, err := p.PreserveExec(spec)
+			if err != nil {
+				t.Fatalf("retry after injected abort: %v", err)
+			}
+			if np.AS.ReadU64(r1) != 1111 || np.AS.ReadU64(r1+mem.PageSize) != 2222 ||
+				np.AS.ReadU64(tail) != 3333 {
+				t.Fatal("retry lost preserved data")
+			}
+			if m.Counters.PreservesCommitted != 1 {
+				t.Fatalf("counters after retry: %s", m.Counters)
+			}
+		})
+	}
+}
+
+// TestPreserveInfoAddrMessage keeps the historical error text for an info
+// block outside every preserved range.
+func TestPreserveInfoAddrMessage(t *testing.T) {
+	m := NewMachine(1)
+	p, _ := m.Spawn(nil)
+	const region = mem.VAddr(0x2000_0000)
+	if _, err := p.AS.Map(region, 2, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.PreserveExec(ExecSpec{
+		InfoAddr: region + 8*mem.PageSize,
+		Ranges:   []linker.Range{{Start: region, Len: int(mem.PageSize)}},
+	})
+	if err == nil {
+		t.Fatal("info block outside preserved ranges accepted")
+	}
+	if p.Dead() {
+		t.Fatal("source dead after rejected info block")
+	}
+}
+
+// TestASLRSlideEntropy checks the widened draw: every slide is page-aligned,
+// at or above the 1<<45 floor (clear of image and heap layouts), below the
+// 28-bit ceiling, and the draws actually spread.
+func TestASLRSlideEntropy(t *testing.T) {
+	m := NewMachine(7)
+	const floor = mem.VAddr(1) << 45
+	const ceil = floor + (mem.VAddr(1)<<28+1)<<mem.PageShift
+	seen := make(map[mem.VAddr]bool)
+	for i := 0; i < 64; i++ {
+		s := m.aslrSlide()
+		if s < floor || s >= ceil {
+			t.Fatalf("slide %#x outside [%#x,%#x)", uint64(s), uint64(floor), uint64(ceil))
+		}
+		if s%mem.PageSize != 0 {
+			t.Fatalf("slide %#x not page-aligned", uint64(s))
+		}
+		seen[s] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("only %d distinct slides in 64 draws — entropy too narrow", len(seen))
+	}
+}

@@ -437,6 +437,31 @@ func (as *AddressSpace) MovePages(dst *AddressSpace, start VAddr, pages int) (in
 	return moved, nil
 }
 
+// UnmovePages reverses a MovePages call that transferred [start,
+// start+pages*PageSize) from src into as: the frames are handed back to src —
+// whose original mappings are still in place, since MovePages moves frames
+// but never removes source mappings — and the mirror mappings MovePages
+// created here are dropped. It is the kernel's rollback primitive for
+// aborting a partially committed preserve_exec without leaving the dying
+// process half-gutted.
+func (as *AddressSpace) UnmovePages(src *AddressSpace, start VAddr, pages int) {
+	end := start + VAddr(pages)*PageSize
+	for p := PageOf(start); p < PageOf(end); p++ {
+		if f, ok := as.frames[p]; ok {
+			src.frames[p] = f
+			delete(as.frames, p)
+		}
+	}
+	kept := as.mappings[:0]
+	for _, m := range as.mappings {
+		if m.Start >= start && m.End() <= end {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	as.mappings = kept
+}
+
 // CopyPages copies the content of [start, start+pages*PageSize) from as into
 // dst, creating a single mapping there. Unlike MovePages it duplicates the
 // data (used by fork-style snapshots and partial-page preservation).

@@ -324,3 +324,66 @@ func TestQuickMovePreservesContent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUnmovePagesRestoresSource(t *testing.T) {
+	src := NewAddressSpace()
+	dst := NewAddressSpace()
+	const base = VAddr(0x4000)
+	if _, err := src.Map(base, 3, KindCustom, "buf"); err != nil {
+		t.Fatal(err)
+	}
+	src.WriteU64(base, 111)
+	src.WriteU64(base+2*PageSize+8, 222)
+	if _, err := src.MovePages(dst, base, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Source mappings survive a MovePages but the frames are gone: reads
+	// come back as zeros — the half-gutted state UnmovePages must repair.
+	if src.ReadU64(base) != 0 {
+		t.Fatal("frames not moved out of source")
+	}
+	dst.UnmovePages(src, base, 3)
+	if got := src.ReadU64(base); got != 111 {
+		t.Fatalf("head value after rollback = %d, want 111", got)
+	}
+	if got := src.ReadU64(base + 2*PageSize + 8); got != 222 {
+		t.Fatalf("tail value after rollback = %d, want 222", got)
+	}
+	if len(dst.Mappings()) != 0 || dst.ResidentPages() != 0 {
+		t.Fatalf("destination not emptied: %d mappings, %d resident",
+			len(dst.Mappings()), dst.ResidentPages())
+	}
+	// The range can be moved again after rollback (retry path).
+	if _, err := src.MovePages(dst, base, 3); err != nil {
+		t.Fatalf("re-move after rollback: %v", err)
+	}
+	if dst.ReadU64(base) != 111 {
+		t.Fatal("re-move lost content")
+	}
+}
+
+func TestUnmovePagesKeepsUnrelatedMappings(t *testing.T) {
+	src := NewAddressSpace()
+	dst := NewAddressSpace()
+	if _, err := src.Map(0x4000, 1, KindCustom, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Map(0x8000, 1, KindCustom, "b"); err != nil {
+		t.Fatal(err)
+	}
+	src.WriteU64(0x8000, 9)
+	if _, err := src.MovePages(dst, 0x4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.MovePages(dst, 0x8000, 1); err != nil {
+		t.Fatal(err)
+	}
+	dst.UnmovePages(src, 0x4000, 1)
+	// Only the rolled-back range leaves dst; the other move stays.
+	if dst.ReadU64(0x8000) != 9 {
+		t.Fatal("unrelated moved mapping dropped by rollback")
+	}
+	if dst.Mapped(0x4000) {
+		t.Fatal("rolled-back mapping still present in destination")
+	}
+}

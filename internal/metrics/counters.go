@@ -1,0 +1,45 @@
+package metrics
+
+import "fmt"
+
+// RecoveryCounters counts preserve_exec lifecycle events machine-wide: how
+// many preservation plans were staged (validated against both address
+// spaces), how many committed, how many aborted before or during commit, and
+// how many driver-level fallbacks a recovery-time fault caused. The kernel
+// increments the preserve counters; the recovery driver increments the
+// fallback counter. Together they make the crash-atomicity contract
+// observable: Staged == Committed + CommitAborts, and every abort must be
+// matched by a counted fallback rather than a torn successor.
+type RecoveryCounters struct {
+	// PreservesStaged counts preserve_exec calls whose transfer plan passed
+	// validation (coverage, destination overlap, partial-page geometry).
+	PreservesStaged int64
+	// PreservesCommitted counts preserve_exec calls that fully committed:
+	// every page move and partial copy applied and the image loaded.
+	PreservesCommitted int64
+	// PreservesAborted counts preserve_exec calls that failed — either at
+	// validation (source untouched) or during commit (rolled back).
+	PreservesAborted int64
+	// RecoveryFaultFallbacks counts driver fallbacks taken because
+	// preserve_exec itself failed (as opposed to unsafe-region, grace-window,
+	// or cross-check fallbacks).
+	RecoveryFaultFallbacks int64
+}
+
+// NewRecoveryCounters returns zeroed counters.
+func NewRecoveryCounters() *RecoveryCounters { return &RecoveryCounters{} }
+
+// Snapshot exports the counters as a name → value map for reports and tests.
+func (c *RecoveryCounters) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"preserves_staged":         c.PreservesStaged,
+		"preserves_committed":      c.PreservesCommitted,
+		"preserves_aborted":        c.PreservesAborted,
+		"recovery_fault_fallbacks": c.RecoveryFaultFallbacks,
+	}
+}
+
+func (c *RecoveryCounters) String() string {
+	return fmt.Sprintf("staged=%d committed=%d aborted=%d recovery-fault-fallbacks=%d",
+		c.PreservesStaged, c.PreservesCommitted, c.PreservesAborted, c.RecoveryFaultFallbacks)
+}

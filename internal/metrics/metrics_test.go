@@ -132,3 +132,25 @@ func TestSteadyRateUsesPreFailureWindow(t *testing.T) {
 		t.Fatalf("SteadyRate = %.1f, want ~100 (warm-up excluded)", rate)
 	}
 }
+
+func TestRecoveryCountersSnapshot(t *testing.T) {
+	c := NewRecoveryCounters()
+	c.PreservesStaged = 3
+	c.PreservesCommitted = 2
+	c.PreservesAborted = 1
+	c.RecoveryFaultFallbacks = 1
+	snap := c.Snapshot()
+	for name, want := range map[string]int64{
+		"preserves_staged":         3,
+		"preserves_committed":      2,
+		"preserves_aborted":        1,
+		"recovery_fault_fallbacks": 1,
+	} {
+		if snap[name] != want {
+			t.Fatalf("%s = %d, want %d", name, snap[name], want)
+		}
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

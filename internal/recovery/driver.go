@@ -137,6 +137,10 @@ type Stats struct {
 	UnsafeFallbacks  int // recovery condition said unsafe (Chk.)
 	GraceFallbacks   int // crashed again right after a PHOENIX restart (Fbk.)
 	CrossFallbacks   int // cross-check verdict diverged (+X in Chk.)
+	// RecoveryFaultFallbacks counts fallbacks taken because preserve_exec
+	// itself failed (validation or an injected/real commit fault): the
+	// recovery mechanism degraded safely instead of killing the run.
+	RecoveryFaultFallbacks int
 	OtherRestarts    int // vanilla/builtin/criu restarts
 	BootFailures     int // Main crashed during recovery (counts into Fbk.)
 	Events           []Event
@@ -164,6 +168,10 @@ type Harness struct {
 	switchDetail  string
 	switchRef     core.StateDump
 	activeCheck   *core.CrossCheck
+	// ccGen numbers process incarnations for cross-check purposes: a verdict
+	// callback captured under an older generation is stale and must not
+	// trigger a hot-switch against the current process.
+	ccGen int
 }
 
 // NewHarness assembles a harness. The injector may be nil (no injection).
@@ -172,6 +180,11 @@ func NewHarness(m *kernel.Machine, cfg Config, app App, gen workload.Generator, 
 	if inj == nil {
 		inj = faultinject.New()
 	}
+	// Recovery-path injection sites live in the kernel: declare them (no-op
+	// if a shared campaign injector already has them) and hand the injector
+	// to the machine so PreserveExec consults it.
+	inj.RegisterRecovery()
+	m.Inj = inj
 	return &Harness{
 		Cfg: cfg, App: app, M: m, Gen: gen, Inj: inj,
 		TL: metrics.NewTimeline(cfg.Bucket),
@@ -292,6 +305,15 @@ func (h *Harness) handleFailure(ci *kernel.CrashInfo) error {
 	h.pendingResume = true
 	h.event("crash", fmt.Sprintf("%s: %s", ci.Sig, ci.Reason))
 
+	// The dying incarnation's cross-check state is void: a pending hot-switch
+	// or an in-flight verdict from the previous process must not fire against
+	// whatever boots next.
+	h.ccGen++
+	h.pendingSwitch = false
+	h.switchDetail = ""
+	h.switchRef = nil
+	h.activeCheck = nil
+
 	// A hang dwells until the watchdog fires.
 	if ci.Sig == kernel.SIGALRM {
 		h.M.Clock.Advance(h.Cfg.WatchdogTimeout)
@@ -360,7 +382,13 @@ func (h *Harness) phoenixRestart(ci *kernel.CrashInfo) error {
 	}
 	np, err := h.rt.Restart(plan)
 	if err != nil {
-		return err
+		// preserve_exec aborted (validation failure or a recovery-time
+		// fault). The kernel rolled back, so the source address space is
+		// intact and the application's default recovery is safe to run.
+		h.Stat.RecoveryFaultFallbacks++
+		h.M.Counters.RecoveryFaultFallbacks++
+		h.event("fallback", "preserve_exec failed: "+err.Error())
+		return h.fallbackRestart("preserve_exec failed")
 	}
 	h.proc = np
 	h.rt = h.newRuntime(np)
@@ -384,9 +412,15 @@ func (h *Harness) phoenixRestart(ci *kernel.CrashInfo) error {
 	if h.Cfg.CrossCheck {
 		if spec, ok := h.App.CrossCheck(h.rt); ok {
 			userVerdict := spec.OnVerdict
+			gen := h.ccGen
 			spec.OnVerdict = func(v core.Verdict) {
 				if userVerdict != nil {
 					userVerdict(v)
+				}
+				// A verdict that outlived its incarnation (the clock timer
+				// fired after another crash) must not schedule a switch.
+				if h.ccGen != gen {
+					return
 				}
 				if !v.Match {
 					h.pendingSwitch = true
