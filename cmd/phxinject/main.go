@@ -1,13 +1,22 @@
-// Command phxinject runs IR-level fault-injection campaigns against the
-// instrumented mini-IR model — the distilled version of §4.4's experiment:
-// inject one instruction-level fault, run the workload, crash at random
-// points, and check the state-stack recovery condition against the ground
-// truth consistency of the preserved dictionary.
+// Command phxinject runs fault-injection campaigns. The default campaign is
+// the IR-level one against the instrumented mini-IR model — the distilled
+// version of §4.4's experiment: inject one instruction-level fault, run the
+// workload, crash at random points, and check the state-stack recovery
+// condition against the ground truth consistency of the preserved
+// dictionary. -campaign selects the system-level campaigns instead:
+// "atomicity" replays recovery-path faults (including Byzantine bit flips in
+// the preserved frames) against every application and requires no torn
+// survivor; "escalation" drives repeated preserved-state corruption through
+// the crash-loop breaker and requires the full detect → escalate →
+// de-escalate cycle.
 //
 // Usage:
 //
-//	phxinject -runs 200            # campaign on the bundled kvmodel
+//	phxinject -runs 200                  # IR campaign on the bundled kvmodel
 //	phxinject -runs 200 -seed 7 -v
+//	phxinject -campaign atomicity        # recovery-path faults, all apps
+//	phxinject -campaign escalation       # Byzantine corruption, all apps
+//	phxinject -campaign escalation -app kvstore -crashes 9
 package main
 
 import (
@@ -17,16 +26,33 @@ import (
 	"os"
 
 	"phoenix/internal/analysis"
+	"phoenix/internal/apps/registry"
 	"phoenix/internal/ir"
+	"phoenix/internal/recovery"
 )
 
 func main() {
 	var (
-		runs = flag.Int("runs", 200, "number of injection runs")
-		seed = flag.Int64("seed", 1, "deterministic seed")
-		v    = flag.Bool("v", false, "print per-run outcomes")
+		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		v        = flag.Bool("v", false, "print per-run outcomes")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation")
+		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
+		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
 	)
 	flag.Parse()
+
+	switch *campaign {
+	case "ir":
+		// Falls through to the IR campaign below.
+	case "atomicity", "escalation":
+		if err := runSystemCampaign(*campaign, *app, *seed, *crashes); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	default:
+		fatalf("unknown campaign %q (want ir, atomicity, or escalation)", *campaign)
+	}
 
 	mod := ir.MustParse(analysis.KVModel)
 	a := analysis.New(mod)
@@ -120,6 +146,52 @@ func main() {
 	if falseNeg > 0 {
 		os.Exit(1)
 	}
+}
+
+// runSystemCampaign runs the recovery-layer campaigns over the application
+// registry and reports per-app outcomes; any contract violation fails the
+// whole campaign.
+func runSystemCampaign(kind, only string, seed int64, crashes int) error {
+	factories := registry.Factories(seed)
+	names := registry.Names()
+	if only != "" {
+		if _, ok := factories[only]; !ok {
+			return fmt.Errorf("unknown app %q (have %v)", only, names)
+		}
+		names = []string{only}
+	}
+	failed := 0
+	for _, name := range names {
+		mk := factories[name]
+		switch kind {
+		case "atomicity":
+			outcomes, err := recovery.CheckAtomicity(mk, recovery.AtomicityConfig{Seed: seed, Warm: 60, Settle: 20})
+			if err != nil {
+				failed++
+				fmt.Printf("%-18s FAIL: %v\n", name, err)
+				continue
+			}
+			fired := 0
+			for _, o := range outcomes {
+				if o.Fired {
+					fired++
+				}
+			}
+			fmt.Printf("%-18s ok: %d/%d probes fired, no torn survivor\n", name, fired, len(outcomes))
+		case "escalation":
+			out, err := recovery.CheckEscalation(mk, recovery.EscalationConfig{Seed: seed, Crashes: crashes})
+			if err != nil {
+				failed++
+				fmt.Printf("%-18s FAIL: %v\n", name, err)
+				continue
+			}
+			fmt.Printf("%-18s ok: %s\n", name, out)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%s campaign: %d application(s) failed", kind, failed)
+	}
+	return nil
 }
 
 // seedDict initialises the interpreter's dictionary bucket.

@@ -24,7 +24,7 @@ func run(mode recovery.Mode) {
 	})
 	cfg := recovery.Config{
 		Mode:            mode,
-		UnsafeRegions:   true,
+		UnsafeRegions:   mode == recovery.ModePhoenix,
 		WatchdogTimeout: 2 * time.Second,
 	}
 	if mode != recovery.ModeVanilla {

@@ -183,7 +183,7 @@ func TestModesPreserveOrLoseData(t *testing.T) {
 	} {
 		t.Run(tc.mode.String(), func(t *testing.T) {
 			rcfg := recovery.Config{
-				Mode: tc.mode, UnsafeRegions: true,
+				Mode: tc.mode, UnsafeRegions: tc.mode == recovery.ModePhoenix,
 				CheckpointInterval: tc.interval, WatchdogTimeout: time.Second,
 			}
 			h, kv := boot(t, Config{}, tc.mode, rcfg, 11)
@@ -214,7 +214,7 @@ func TestPhoenixDowntimeBeatsBuiltin(t *testing.T) {
 	downtime := map[recovery.Mode]time.Duration{}
 	for _, mode := range []recovery.Mode{recovery.ModeBuiltin, recovery.ModePhoenix} {
 		rcfg := recovery.Config{
-			Mode: mode, UnsafeRegions: true,
+			Mode: mode, UnsafeRegions: mode == recovery.ModePhoenix,
 			CheckpointInterval: 5 * time.Second, WatchdogTimeout: time.Second,
 		}
 		h, kv := boot(t, Config{}, mode, rcfg, 13)

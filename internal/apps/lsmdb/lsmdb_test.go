@@ -125,7 +125,7 @@ func TestPhoenixPreservesMemtable(t *testing.T) {
 func TestPhoenixDowntimeBeatsWALReplay(t *testing.T) {
 	downtime := map[recovery.Mode]time.Duration{}
 	for _, mode := range []recovery.Mode{recovery.ModeBuiltin, recovery.ModePhoenix} {
-		rcfg := recovery.Config{Mode: mode, UnsafeRegions: true, WatchdogTimeout: time.Second}
+		rcfg := recovery.Config{Mode: mode, UnsafeRegions: mode == recovery.ModePhoenix, WatchdogTimeout: time.Second}
 		h, db := boot(t, Config{MemtableThreshold: 1 << 30}, rcfg, 6)
 		if err := h.RunRequests(20000); err != nil {
 			t.Fatal(err)

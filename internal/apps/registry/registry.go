@@ -1,0 +1,78 @@
+// Package registry enumerates every application in internal/apps as a
+// recovery.AppFactory, sized for fault campaigns: small enough that a full
+// probe matrix stays fast, large enough that every app preserves multiple
+// ranges. Campaign tests and the phxinject CLI share it so "all apps" means
+// the same thing everywhere.
+package registry
+
+import (
+	"sort"
+
+	"phoenix/internal/apps/boost"
+	"phoenix/internal/apps/kvstore"
+	"phoenix/internal/apps/lsmdb"
+	"phoenix/internal/apps/particle"
+	"phoenix/internal/apps/webcache"
+	"phoenix/internal/faultinject"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+// StepGen drives the compute apps (boost, particle) one step per request.
+type StepGen struct{ seq uint64 }
+
+func (g *StepGen) Next() *workload.Request {
+	g.seq++
+	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "step"}
+}
+
+// Factories returns one campaign-sized factory per application, keyed by the
+// system name used throughout the experiments.
+func Factories(seed int64) map[string]recovery.AppFactory {
+	return map[string]recovery.AppFactory{
+		"kvstore": func(inj *faultinject.Injector) (recovery.App, workload.Generator) {
+			kv := kvstore.New(kvstore.Config{Cleanup: true}, inj)
+			gen := workload.NewYCSB(workload.YCSBConfig{
+				Seed: seed, Records: 200, ReadFrac: 0.8, InsertFrac: 0.2,
+				ValueSize: 64, ZipfianKeys: true,
+			})
+			return kv, gen
+		},
+		"lsmdb": func(inj *faultinject.Injector) (recovery.App, workload.Generator) {
+			db := lsmdb.New(lsmdb.Config{MemtableThreshold: 1 << 20}, inj)
+			return db, workload.NewFillSeq(64)
+		},
+		"webcache-varnish": func(inj *faultinject.Injector) (recovery.App, workload.Generator) {
+			web := workload.NewWeb(workload.WebConfig{Seed: seed, URLs: 100, MeanSize: 2 << 10})
+			c := webcache.New(webcache.Config{
+				Flavor: webcache.FlavorVarnish, CapacityBytes: 8 << 20,
+			}, web, inj)
+			return c, web
+		},
+		"webcache-squid": func(inj *faultinject.Injector) (recovery.App, workload.Generator) {
+			web := workload.NewWeb(workload.WebConfig{Seed: seed, URLs: 100, MeanSize: 2 << 10})
+			c := webcache.New(webcache.Config{
+				Flavor: webcache.FlavorSquid, CapacityBytes: 8 << 20,
+			}, web, inj)
+			return c, web
+		},
+		"boost": func(inj *faultinject.Injector) (recovery.App, workload.Generator) {
+			tr := boost.New(boost.Config{Samples: 200, Features: 8, MaxIters: 256, WorkScale: 50}, inj)
+			return tr, &StepGen{}
+		},
+		"particle": func(inj *faultinject.Injector) (recovery.App, workload.Generator) {
+			s := particle.New(particle.Config{Particles: 200, Cells: 32, WorkScale: 50}, inj)
+			return s, &StepGen{}
+		},
+	}
+}
+
+// Names returns the registered system names in deterministic order.
+func Names() []string {
+	names := make([]string, 0, len(Factories(0)))
+	for n := range Factories(0) {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

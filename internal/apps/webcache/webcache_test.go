@@ -211,7 +211,7 @@ func TestUnsafeRegionDuringInsert(t *testing.T) {
 func TestPhoenixHitRateBeatsVanillaAfterCrash(t *testing.T) {
 	rate := map[recovery.Mode]float64{}
 	for _, mode := range []recovery.Mode{recovery.ModeVanilla, recovery.ModePhoenix} {
-		rcfg := recovery.Config{Mode: mode, UnsafeRegions: true, WatchdogTimeout: time.Second}
+		rcfg := recovery.Config{Mode: mode, UnsafeRegions: mode == recovery.ModePhoenix, WatchdogTimeout: time.Second}
 		h, c := boot(t, Config{}, rcfg, 13)
 		if err := h.RunRequests(10000); err != nil {
 			t.Fatal(err)

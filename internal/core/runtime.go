@@ -230,6 +230,10 @@ type RestartPlan struct {
 	Ranges []linker.Range
 	// Allocators are PHOENIX allocators whose managed ranges are preserved.
 	Allocators []*heap.Heap
+	// SkipIntegrityVerify disables post-commit checksum verification of the
+	// preserved frames (checksums are still staged). Only the driver sets it,
+	// from its DisableChecksums configuration.
+	SkipIntegrityVerify bool
 }
 
 // Restart performs the PHOENIX-mode restart: it gathers the preserved page
@@ -240,6 +244,7 @@ func (rt *Runtime) Restart(plan RestartPlan) (*kernel.Process, error) {
 	spec := kernel.ExecSpec{
 		InfoAddr:    plan.InfoAddr,
 		WithSection: plan.WithSection,
+		SkipVerify:  plan.SkipIntegrityVerify,
 	}
 	if plan.WithHeap {
 		if rt.mainHeap == nil {

@@ -98,7 +98,7 @@ func TestFig12Shape(t *testing.T) {
 	results := map[recovery.Mode]time.Duration{}
 	avail := map[recovery.Mode]float64{}
 	for _, mode := range []recovery.Mode{recovery.ModeVanilla, recovery.ModeBuiltin, recovery.ModePhoenix} {
-		cfg := recovery.Config{Mode: mode, UnsafeRegions: true, WatchdogTimeout: 2 * time.Second}
+		cfg := recovery.Config{Mode: mode, UnsafeRegions: mode == recovery.ModePhoenix, WatchdogTimeout: 2 * time.Second}
 		if mode != recovery.ModeVanilla {
 			cfg.CheckpointInterval = warm / 2
 		}

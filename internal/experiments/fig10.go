@@ -28,7 +28,7 @@ func RunFig10(o Options) error {
 		for _, mode := range applicableModes(bug.System) {
 			cfg := recovery.Config{
 				Mode:            mode,
-				UnsafeRegions:   true,
+				UnsafeRegions:   mode == recovery.ModePhoenix,
 				WatchdogTimeout: watchdogFor(bug),
 			}
 			if mode == recovery.ModeBuiltin || mode == recovery.ModeCRIU {

@@ -139,7 +139,7 @@ func RunFig12(o Options) error {
 	for _, mode := range []recovery.Mode{recovery.ModeVanilla, recovery.ModeBuiltin, recovery.ModeCRIU, recovery.ModePhoenix} {
 		cfg := recovery.Config{
 			Mode:            mode,
-			UnsafeRegions:   true,
+			UnsafeRegions:   mode == recovery.ModePhoenix,
 			WatchdogTimeout: 2 * time.Second,
 		}
 		if mode == recovery.ModeBuiltin || mode == recovery.ModeCRIU {
@@ -182,7 +182,7 @@ func RunFig11(o Options) error {
 	for _, mode := range []recovery.Mode{recovery.ModeVanilla, recovery.ModeCRIU, recovery.ModePhoenix} {
 		cfg := recovery.Config{
 			Mode:            mode,
-			UnsafeRegions:   true,
+			UnsafeRegions:   mode == recovery.ModePhoenix,
 			WatchdogTimeout: 5 * time.Second, // pool-herder quiet time
 		}
 		if mode == recovery.ModeCRIU {

@@ -47,6 +47,12 @@ const (
 	// load failing mid-preserve_exec) rather than application code bugs, so
 	// it sits outside the Table-6 set.
 	OpFailure FaultType = NumFaultTypes
+
+	// BitFlip inverts one bit of a preserved frame at a KindCorrupt site —
+	// Byzantine corruption of the preservation channel itself (bad DRAM, a
+	// stray DMA) rather than a failed operation. Like OpFailure it sits
+	// outside the Table-6 instruction-fault set.
+	BitFlip FaultType = NumFaultTypes + 1
 )
 
 func (f FaultType) String() string {
@@ -67,6 +73,8 @@ func (f FaultType) String() string {
 		return "missing-function-call"
 	case OpFailure:
 		return "operation-failure"
+	case BitFlip:
+		return "preserved-frame-bit-flip"
 	}
 	return "unknown-fault"
 }
@@ -86,6 +94,9 @@ const (
 	// KindOp sites are kernel/runtime operations inside the recovery path
 	// that a campaign can make fail (OpFailure).
 	KindOp
+	// KindCorrupt sites mark preserved data a campaign can silently corrupt
+	// in flight (BitFlip) — the Byzantine counterpart of KindOp.
+	KindCorrupt
 )
 
 // TypesFor returns the fault types applicable to a site kind.
@@ -99,6 +110,8 @@ func TypesFor(k SiteKind) []FaultType {
 		return []FaultType{MissingStore, MissingCall}
 	case KindOp:
 		return []FaultType{OpFailure}
+	case KindCorrupt:
+		return []FaultType{BitFlip}
 	}
 	return nil
 }
@@ -120,6 +133,11 @@ const (
 	// SitePreserveLoad fails loading the fresh image into the gaps left
 	// between the preserved ranges.
 	SitePreserveLoad = "kernel.preserve.load"
+	// SitePreserveCorrupt flips one bit in the Nth preserved frame between
+	// the commit of the transfer and the integrity verification pass — the
+	// Byzantine window where the dying and nascent address spaces both hold
+	// the data (arm with ArmAfter to choose N).
+	SitePreserveCorrupt = "kernel.preserve.corrupt"
 )
 
 // RecoverySites lists the injection points inside the recovery path.
@@ -129,6 +147,7 @@ func RecoverySites() []Site {
 		{ID: SitePreserveMove, Func: "PreserveExec", Kind: KindOp, Modifying: true},
 		{ID: SitePreserveCopy, Func: "PreserveExec", Kind: KindOp, Modifying: true},
 		{ID: SitePreserveLoad, Func: "PreserveExec", Kind: KindOp, Modifying: true},
+		{ID: SitePreserveCorrupt, Func: "PreserveExec", Kind: KindCorrupt, Modifying: true},
 	}
 }
 
@@ -291,6 +310,24 @@ func (in *Injector) fire(siteID string) (FaultType, bool) {
 func (in *Injector) Fail(siteID string) bool {
 	t, fired := in.fire(siteID)
 	return fired && t == OpFailure
+}
+
+// Corrupt routes one preserved frame through a corrupt site and reports
+// whether an armed BitFlip fires now — the kernel turns a true return into a
+// single flipped bit in that frame.
+func (in *Injector) Corrupt(siteID string) bool {
+	t, fired := in.fire(siteID)
+	return fired && t == BitFlip
+}
+
+// Disarm clears the armed fault, skip count, and fired latch at one site so a
+// campaign can re-arm it for a later incarnation without resetting every
+// other site's state (faults fire once per arming; Fired would otherwise
+// block the re-fire forever).
+func (in *Injector) Disarm(siteID string) {
+	delete(in.armed, siteID)
+	delete(in.skips, siteID)
+	delete(in.fired, siteID)
 }
 
 // Cond routes a branch condition through the site. CompInversion inverts it;

@@ -212,7 +212,7 @@ func TestRegisterRecoveryIdempotent(t *testing.T) {
 	want := len(RecoverySites())
 	got := 0
 	for _, s := range in.Sites() {
-		if s.Kind == KindOp {
+		if s.Kind == KindOp || s.Kind == KindCorrupt {
 			got++
 		}
 	}
@@ -222,9 +222,53 @@ func TestRegisterRecoveryIdempotent(t *testing.T) {
 	if types := TypesFor(KindOp); len(types) != 1 || types[0] != OpFailure {
 		t.Fatalf("TypesFor(KindOp) = %v", TypesFor(KindOp))
 	}
+	if types := TypesFor(KindCorrupt); len(types) != 1 || types[0] != BitFlip {
+		t.Fatalf("TypesFor(KindCorrupt) = %v", TypesFor(KindCorrupt))
+	}
 	if OpFailure.String() != "operation-failure" {
 		t.Fatalf("OpFailure.String() = %q", OpFailure.String())
 	}
+	if BitFlip.String() != "preserved-frame-bit-flip" {
+		t.Fatalf("BitFlip.String() = %q", BitFlip.String())
+	}
+}
+
+// TestCorruptAndDisarm covers the Byzantine helpers: BitFlip only fires
+// through Corrupt (Fail at the same site stays quiet), fires once, and Disarm
+// clears the fired latch so the site can be re-armed for a later incarnation.
+func TestCorruptAndDisarm(t *testing.T) {
+	in := New()
+	in.RegisterRecovery()
+	in.ArmAfter(SitePreserveCorrupt, BitFlip, 1)
+	in.Enable()
+	if in.Fail(SitePreserveCorrupt) {
+		t.Fatal("Fail fired for an armed BitFlip")
+	}
+	// The Fail call above consumed the one skipped execution.
+	if !in.Corrupt(SitePreserveCorrupt) {
+		t.Fatal("BitFlip did not fire on the second execution")
+	}
+	if in.Corrupt(SitePreserveCorrupt) {
+		t.Fatal("BitFlip fired twice")
+	}
+	in.Disarm(SitePreserveCorrupt)
+	if in.Fired(SitePreserveCorrupt) {
+		t.Fatal("Disarm left the fired latch set")
+	}
+	in.Arm(SitePreserveCorrupt, BitFlip)
+	if !in.Corrupt(SitePreserveCorrupt) {
+		t.Fatal("re-armed BitFlip did not fire after Disarm")
+	}
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("OpFailure at corrupt site", func() { in.Arm(SitePreserveCorrupt, OpFailure) })
+	expectPanic("BitFlip at op site", func() { in.Arm(SitePreserveMove, BitFlip) })
 }
 
 func TestResetClearsSkips(t *testing.T) {

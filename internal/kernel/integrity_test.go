@@ -1,0 +1,242 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"phoenix/internal/faultinject"
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+// TestPreserveChecksumRoundTrip checks the integrity pipeline end to end for
+// the same geometry matrix the transfer tests use: checksums are staged for
+// every moved page and partial copy, verified clean in the new address
+// space, and reported through both the handoff and the machine counters.
+func TestPreserveChecksumRoundTrip(t *testing.T) {
+	const region = mem.VAddr(0x2000_0000)
+	const P = mem.PageSize
+	cases := []struct {
+		name   string
+		start  mem.VAddr
+		length int
+		sums   int // moved pages + partial copies
+	}{
+		{"aligned-full-page", region, int(P), 1},
+		{"aligned-start-unaligned-end", region, int(P) + 100, 2},
+		{"unaligned-both-multipage", region + 100, int(3*P) - 200, 3},
+		{"subpage-straddles-boundary", region + P - 50, 100, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(1)
+			p, _ := m.Spawn(nil)
+			if _, err := p.AS.Map(region, 4, mem.KindCustom, "state"); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, tc.length)
+			for i := range want {
+				want[i] = byte(i%251 + 1)
+			}
+			p.AS.WriteAt(tc.start, want)
+
+			np, err := p.PreserveExec(ExecSpec{
+				Ranges: []linker.Range{{Start: tc.start, Len: tc.length}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := np.Handoff()
+			if h.VerifiedChecksums != tc.sums {
+				t.Fatalf("VerifiedChecksums = %d, want %d", h.VerifiedChecksums, tc.sums)
+			}
+			if got := m.Counters.ChecksumsVerified.Load(); got != int64(tc.sums) {
+				t.Fatalf("ChecksumsVerified = %d, want %d", got, tc.sums)
+			}
+			if m.Counters.ChecksumMismatches.Load() != 0 {
+				t.Fatalf("spurious mismatch: %s", m.Counters)
+			}
+			if got := np.AS.ReadBytes(tc.start, tc.length); !bytes.Equal(got, want) {
+				t.Fatal("preserved bytes differ from source")
+			}
+		})
+	}
+}
+
+// TestPreserveCorruptionCaught arms the Byzantine corruption site at several
+// depths: the bit flip lands in the new address space between commit and
+// verification, the checksum catches it, and the preserve aborts with an
+// IntegrityError instead of booting a corrupt successor. The rollback
+// contract is the honest Byzantine one: a flipped *copied* frame leaves the
+// source byte-identical (the source bytes were never touched), while a
+// flipped *moved* frame has only one physical copy, so the source gets the
+// corruption back — which is exactly why the driver answers an
+// IntegrityError with a memory-discarding fallback, never a retry.
+func TestPreserveCorruptionCaught(t *testing.T) {
+	const r1 = mem.VAddr(0x2000_0000)
+	const r2 = mem.VAddr(0x3000_0000)
+	// The plan has four moved pages then one partial copy; skip 4 lands the
+	// flip on the copied (partial-page) frame.
+	for _, tc := range []struct {
+		name         string
+		skip         int
+		sourceIntact bool
+	}{
+		{"first-moved-frame", 0, false},
+		{"second-moved-frame", 1, false},
+		{"partial-copy-frame", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(1)
+			inj := faultinject.New()
+			inj.RegisterRecovery()
+			m.Inj = inj
+			p, _ := m.Spawn(testImage())
+			if _, err := p.AS.Map(r1, 2, mem.KindCustom, "a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.AS.Map(r2, 3, mem.KindCustom, "b"); err != nil {
+				t.Fatal(err)
+			}
+			p.AS.WriteU64(r1, 1111)
+			p.AS.WriteU64(r1+mem.PageSize, 2222)
+			tail := r2 + 2*mem.PageSize
+			p.AS.WriteU64(tail, 3333)
+			spec := ExecSpec{
+				InfoAddr: r1,
+				Ranges: []linker.Range{
+					{Start: r1, Len: int(2 * mem.PageSize)},
+					{Start: r2, Len: int(2*mem.PageSize) + 100},
+				},
+			}
+
+			inj.ArmAfter(faultinject.SitePreserveCorrupt, faultinject.BitFlip, tc.skip)
+			inj.Enable()
+			before := m.Clock.Now()
+			_, err := p.PreserveExec(spec)
+			if err == nil {
+				t.Fatal("corrupted preserve committed")
+			}
+			var ie *IntegrityError
+			if !errors.As(err, &ie) {
+				t.Fatalf("error is not an IntegrityError: %v", err)
+			}
+			if ie.Want == ie.Got {
+				t.Fatalf("IntegrityError carries equal checksums: %v", ie)
+			}
+			if !inj.Fired(faultinject.SitePreserveCorrupt) {
+				t.Fatal("armed corruption never fired")
+			}
+			if p.Dead() {
+				t.Fatal("source dead after integrity abort")
+			}
+			if m.Clock.Now() != before {
+				t.Fatal("integrity abort charged clock time")
+			}
+			if tc.sourceIntact {
+				if p.AS.ReadU64(r1) != 1111 || p.AS.ReadU64(r1+mem.PageSize) != 2222 ||
+					p.AS.ReadU64(tail) != 3333 {
+					t.Fatal("copy-frame corruption leaked into the source")
+				}
+			}
+			// Whatever the frame contents, every mapping must still be
+			// readable — the abort may not tear the address space.
+			_ = p.AS.ReadBytes(r1, int(2*mem.PageSize))
+			_ = p.AS.ReadBytes(r2, int(2*mem.PageSize)+100)
+			if m.Counters.ChecksumMismatches.Load() != 1 || m.Counters.PreservesAborted.Load() != 1 {
+				t.Fatalf("counters: %s", m.Counters)
+			}
+
+			// The driver's answer to an IntegrityError is a plain fallback
+			// exec — discard memory, boot fresh. That must always work.
+			np, err := p.Exec("preserved-state corruption detected")
+			if err != nil {
+				t.Fatalf("fallback exec after integrity abort: %v", err)
+			}
+			if np.Dead() {
+				t.Fatal("fallback successor dead")
+			}
+		})
+	}
+}
+
+// TestPreserveCopyCorruptionRetryCleans checks the fire-once latch end to
+// end for the copy path: after a caught copy-frame flip the source is
+// pristine, so an immediate retry commits with every checksum verifying.
+func TestPreserveCopyCorruptionRetryCleans(t *testing.T) {
+	const region = mem.VAddr(0x2000_0000)
+	m := NewMachine(1)
+	inj := faultinject.New()
+	inj.RegisterRecovery()
+	m.Inj = inj
+	p, _ := m.Spawn(nil)
+	if _, err := p.AS.Map(region, 2, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	p.AS.WriteU64(region, 7777)
+	// A sub-page range: the plan is a single partial copy, no moves.
+	spec := ExecSpec{Ranges: []linker.Range{{Start: region, Len: 100}}}
+
+	inj.Arm(faultinject.SitePreserveCorrupt, faultinject.BitFlip)
+	inj.Enable()
+	if _, err := p.PreserveExec(spec); err == nil {
+		t.Fatal("corrupted copy committed")
+	}
+	if p.AS.ReadU64(region) != 7777 {
+		t.Fatal("copy corruption touched the source")
+	}
+	np, err := p.PreserveExec(spec)
+	if err != nil {
+		t.Fatalf("retry after copy-frame abort: %v", err)
+	}
+	if np.AS.ReadU64(region) != 7777 {
+		t.Fatal("retry lost preserved data")
+	}
+	if np.Handoff().VerifiedChecksums != 1 {
+		t.Fatalf("VerifiedChecksums = %d, want 1", np.Handoff().VerifiedChecksums)
+	}
+}
+
+// TestPreserveSkipVerifyPassesCorruptionThrough pins the DisableChecksums
+// semantics: with SkipVerify set, the staged checksums are not re-verified,
+// so an injected bit flip survives into the successor — the exact failure
+// mode verification exists to prevent.
+func TestPreserveSkipVerifyPassesCorruptionThrough(t *testing.T) {
+	const region = mem.VAddr(0x2000_0000)
+	m := NewMachine(1)
+	inj := faultinject.New()
+	inj.RegisterRecovery()
+	m.Inj = inj
+	p, _ := m.Spawn(nil)
+	if _, err := p.AS.Map(region, 2, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 2*mem.PageSize)
+	for i := range want {
+		want[i] = byte(i%251 + 1)
+	}
+	p.AS.WriteAt(region, want)
+
+	inj.Arm(faultinject.SitePreserveCorrupt, faultinject.BitFlip)
+	inj.Enable()
+	np, err := p.PreserveExec(ExecSpec{
+		Ranges:     []linker.Range{{Start: region, Len: len(want)}},
+		SkipVerify: true,
+	})
+	if err != nil {
+		t.Fatalf("SkipVerify preserve aborted: %v", err)
+	}
+	if !inj.Fired(faultinject.SitePreserveCorrupt) {
+		t.Fatal("armed corruption never fired")
+	}
+	if np.Handoff().VerifiedChecksums != 0 {
+		t.Fatalf("VerifiedChecksums = %d with SkipVerify", np.Handoff().VerifiedChecksums)
+	}
+	if m.Counters.ChecksumMismatches.Load() != 0 {
+		t.Fatalf("mismatch counted despite SkipVerify: %s", m.Counters)
+	}
+	if got := np.AS.ReadBytes(region, len(want)); bytes.Equal(got, want) {
+		t.Fatal("bit flip did not survive — SkipVerify test exercised nothing")
+	}
+}

@@ -134,9 +134,31 @@ type Handoff struct {
 	Ranges      []linker.Range
 	MovedPages  int
 	CopiedPages int
+	// VerifiedChecksums counts the integrity checksums (one per moved frame
+	// plus one per partial-page copy) the kernel stamped into the preserve
+	// info block at stage time and re-verified in the new address space after
+	// commit. Zero when verification was skipped.
+	VerifiedChecksums int
 	// FallbackReason is set when this exec is a non-PHOENIX restart after a
 	// fallback decision, so the new process knows recovery mode is off.
 	FallbackReason string
+}
+
+// IntegrityError reports a preserved frame whose post-commit contents no
+// longer match the FNV-1a checksum staged into the preserve info block while
+// the source was still whole — a bit flip (or torn write) in the preservation
+// channel itself. The kernel has already rolled the transfer back when this
+// error is returned; the caller must treat the preserved state as poisoned
+// and fall back to the application's default recovery.
+type IntegrityError struct {
+	Addr mem.VAddr // start of the corrupted frame or partial range
+	Want uint64
+	Got  uint64
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("kernel: preserve_exec: integrity checksum mismatch at %#x (want %#x, got %#x)",
+		uint64(e.Addr), e.Want, e.Got)
 }
 
 // aslrSlide picks a page-aligned randomized base offset: 28 bits of entropy,
@@ -206,6 +228,11 @@ type ExecSpec struct {
 	Ranges []linker.Range
 	// WithSection additionally preserves the image's .phx.* sections.
 	WithSection bool
+	// SkipVerify disables the post-commit integrity verification of the
+	// per-frame checksums staged into the preserve info block. Checksums are
+	// still computed (they are part of the info block either way); only the
+	// read-back comparison in the new address space is skipped.
+	SkipVerify bool
 }
 
 // PreserveExec implements the PHOENIX system call: it constructs the
@@ -238,10 +265,11 @@ func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
 
 	plan, err := p.stagePreserve(ranges, spec.InfoAddr)
 	if err != nil {
-		m.Counters.PreservesAborted++
+		m.Counters.PreservesAborted.Add(1)
 		return nil, err
 	}
-	m.Counters.PreservesStaged++
+	plan.skipVerify = spec.SkipVerify
+	m.Counters.PreservesStaged.Add(1)
 
 	np := &Process{
 		PID:      m.allocPID(),
@@ -255,36 +283,46 @@ func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
 	np.AS.ASLRBase = p.AS.ASLRBase
 
 	if err := p.commitPreserve(np, plan); err != nil {
-		m.Counters.PreservesAborted++
+		m.Counters.PreservesAborted.Add(1)
 		return nil, err
 	}
 
+	verified := 0
+	if !plan.skipVerify {
+		verified = plan.checksums()
+		m.Counters.ChecksumsVerified.Add(int64(verified))
+	}
 	m.Clock.Advance(m.Model.PreserveExec(plan.moved, plan.copied))
 	np.preserved = &Handoff{
-		InfoAddr:    spec.InfoAddr,
-		Ranges:      ranges,
-		MovedPages:  plan.moved,
-		CopiedPages: plan.copied,
+		InfoAddr:          spec.InfoAddr,
+		Ranges:            ranges,
+		MovedPages:        plan.moved,
+		CopiedPages:       plan.copied,
+		VerifiedChecksums: verified,
 	}
-	m.Counters.PreservesCommitted++
+	m.Counters.PreservesCommitted.Add(1)
 	p.dead = true
 	return np, nil
 }
 
 // pageMove is one staged zero-copy PTE transfer of a contiguous aligned run.
+// sums holds the stage-time FNV-1a checksum of each page in the run, recorded
+// into the preserve info block while the source was still whole.
 type pageMove struct {
 	start mem.VAddr
 	pages int
+	sums  []uint64
 }
 
 // partialCopy is one staged partial-page transfer: the bytes were read from
 // the intact source at stage time, so committing them later cannot observe a
-// half-moved page.
+// half-moved page. sum is the stage-time checksum of exactly those bytes.
 type partialCopy struct {
 	addr mem.VAddr
 	data []byte
 	kind mem.Kind
 	name string
+	sum  uint64
 }
 
 // preservePlan is a fully validated preserve_exec transfer plan.
@@ -299,7 +337,14 @@ type preservePlan struct {
 	pages  map[mem.PageNum]bool
 	moved  int
 	copied int
+	// skipVerify suppresses the post-commit checksum comparison (ExecSpec's
+	// knob; the sums themselves are always staged).
+	skipVerify bool
 }
+
+// checksums returns the number of integrity checksums the plan stages: one
+// per moved frame plus one per partial copy.
+func (plan *preservePlan) checksums() int { return plan.moved + len(plan.copies) }
 
 // stagePreserve validates every range against both address spaces and stages
 // the transfers without mutating anything. Partial-page bytes are captured
@@ -373,11 +418,13 @@ func (p *Process) planCopy(plan *preservePlan, lo, hi mem.VAddr) error {
 	if src == nil {
 		return fmt.Errorf("kernel: preserve range %#x unmapped in source", uint64(lo))
 	}
+	data := p.AS.ReadBytes(lo, int(hi-lo))
 	plan.copies = append(plan.copies, partialCopy{
 		addr: lo,
-		data: p.AS.ReadBytes(lo, int(hi-lo)),
+		data: data,
 		kind: src.Kind,
 		name: src.Name + "(partial)",
+		sum:  mem.Checksum(data),
 	})
 	plan.pages[mem.PageOf(lo)] = true
 	plan.copied++
@@ -404,7 +451,11 @@ func (p *Process) planMove(plan *preservePlan, lo, hi mem.VAddr) error {
 		plan.pages[pg] = true
 	}
 	pages := int((hi - lo) / mem.PageSize)
-	plan.moves = append(plan.moves, pageMove{start: lo, pages: pages})
+	sums := make([]uint64, pages)
+	for i := range sums {
+		sums[i] = p.AS.PageChecksum(mem.PageOf(lo) + mem.PageNum(i))
+	}
+	plan.moves = append(plan.moves, pageMove{start: lo, pages: pages, sums: sums})
 	plan.moved += pages
 	return nil
 }
@@ -464,6 +515,68 @@ func (p *Process) commitPreserve(np *Process, plan *preservePlan) error {
 		if _, err := p.Image.Load(np.AS); err != nil {
 			rollback()
 			return fmt.Errorf("kernel: preserve_exec: image load: %w", err)
+		}
+	}
+	// The Byzantine window: both address spaces exist, the transfer is
+	// committed, and nothing has re-read the frames yet. An armed corruption
+	// fault strikes here, exactly where real bad DRAM or a stray DMA would.
+	p.injectCorruption(np, plan)
+	// Verify the staged checksums against what the new address space actually
+	// holds. A mismatch rolls the whole transfer back — the successor must
+	// never boot from silently corrupted preserved state.
+	if !plan.skipVerify {
+		if err := verifyChecksums(np.AS, plan); err != nil {
+			m.Counters.ChecksumMismatches.Add(1)
+			rollback()
+			return err
+		}
+	}
+	return nil
+}
+
+// injectCorruption consults the kernel.preserve.corrupt site once per
+// preserved frame (moved pages in plan order, then partial copies) and flips
+// one bit of the frame an armed BitFlip selects. The flip goes straight to
+// the frame bytes — it is invisible to the application's instrumented stores
+// and detectable only by the integrity checksums or the cross-check.
+func (p *Process) injectCorruption(np *Process, plan *preservePlan) {
+	if p.Machine.Inj == nil {
+		return
+	}
+	for _, mv := range plan.moves {
+		for i := 0; i < mv.pages; i++ {
+			if p.Machine.Inj.Corrupt(faultinject.SitePreserveCorrupt) {
+				addr := mv.start + mem.VAddr(i)*mem.PageSize
+				// Deterministic victim byte/bit derived from the page number.
+				pg := uint64(mem.PageOf(addr))
+				np.AS.FlipBit(addr+mem.VAddr(pg*2654435761%mem.PageSize), uint(pg%8))
+				return
+			}
+		}
+	}
+	for _, cp := range plan.copies {
+		if p.Machine.Inj.Corrupt(faultinject.SitePreserveCorrupt) {
+			np.AS.FlipBit(cp.addr+mem.VAddr(len(cp.data)/2), uint(len(cp.data)%8))
+			return
+		}
+	}
+}
+
+// verifyChecksums re-reads every transferred frame from the destination
+// address space and compares it against the checksum staged while the source
+// was whole.
+func verifyChecksums(dst *mem.AddressSpace, plan *preservePlan) error {
+	for _, mv := range plan.moves {
+		for i := 0; i < mv.pages; i++ {
+			addr := mv.start + mem.VAddr(i)*mem.PageSize
+			if got := dst.PageChecksum(mem.PageOf(addr)); got != mv.sums[i] {
+				return &IntegrityError{Addr: addr, Want: mv.sums[i], Got: got}
+			}
+		}
+	}
+	for _, cp := range plan.copies {
+		if got := mem.Checksum(dst.ReadBytes(cp.addr, len(cp.data))); got != cp.sum {
+			return &IntegrityError{Addr: cp.addr, Want: cp.sum, Got: got}
 		}
 	}
 	return nil

@@ -115,11 +115,11 @@ func TestPreserveValidationLeavesSourceIntact(t *testing.T) {
 	if p.AS.ReadU64(region) != 4242 {
 		t.Fatal("source mutated by rejected preserve")
 	}
-	if got := m.Counters.PreservesAborted; got != 1 {
+	if got := m.Counters.PreservesAborted.Load(); got != 1 {
 		t.Fatalf("PreservesAborted = %d, want 1", got)
 	}
-	if m.Counters.PreservesStaged != 0 {
-		t.Fatalf("PreservesStaged = %d, want 0 (plan never validated)", m.Counters.PreservesStaged)
+	if m.Counters.PreservesStaged.Load() != 0 {
+		t.Fatalf("PreservesStaged = %d, want 0 (plan never validated)", m.Counters.PreservesStaged.Load())
 	}
 
 	// Overlapping full-page ranges are a plan error too.
@@ -143,7 +143,7 @@ func TestPreserveValidationLeavesSourceIntact(t *testing.T) {
 	if np.AS.ReadU64(region) != 4242 {
 		t.Fatal("retry after rejected plans lost data")
 	}
-	if m.Counters.PreservesStaged != 1 || m.Counters.PreservesCommitted != 1 {
+	if m.Counters.PreservesStaged.Load() != 1 || m.Counters.PreservesCommitted.Load() != 1 {
 		t.Fatalf("counters after success: %s", m.Counters)
 	}
 }
@@ -212,8 +212,8 @@ func TestPreserveInjectedFaultsRollBack(t *testing.T) {
 				p.AS.ReadU64(tail) != 3333 {
 				t.Fatal("source bytes corrupted by aborted preserve")
 			}
-			if m.Counters.PreservesAborted != 1 {
-				t.Fatalf("PreservesAborted = %d, want 1", m.Counters.PreservesAborted)
+			if m.Counters.PreservesAborted.Load() != 1 {
+				t.Fatalf("PreservesAborted = %d, want 1", m.Counters.PreservesAborted.Load())
 			}
 
 			// The fault fired once; the retry must fully succeed.
@@ -225,7 +225,7 @@ func TestPreserveInjectedFaultsRollBack(t *testing.T) {
 				np.AS.ReadU64(tail) != 3333 {
 				t.Fatal("retry lost preserved data")
 			}
-			if m.Counters.PreservesCommitted != 1 {
+			if m.Counters.PreservesCommitted.Load() != 1 {
 				t.Fatalf("counters after retry: %s", m.Counters)
 			}
 		})

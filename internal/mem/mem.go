@@ -501,6 +501,47 @@ func (as *AddressSpace) Clone() *AddressSpace {
 	return cp
 }
 
+// FNV-1a (64-bit) is the checksum preserve_exec stamps into the preserve
+// info block for every transferred frame: cheap enough to run at crash time,
+// and any single bit flip in a page changes the sum.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Checksum returns the 64-bit FNV-1a hash of data.
+func Checksum(data []byte) uint64 {
+	sum := uint64(fnvOffset64)
+	for _, b := range data {
+		sum ^= uint64(b)
+		sum *= fnvPrime64
+	}
+	return sum
+}
+
+// zeroPageChecksum is Checksum of one untouched (all-zero) page, precomputed
+// so checksumming sparse preserved ranges never materializes their frames.
+var zeroPageChecksum = Checksum(make([]byte, PageSize))
+
+// PageChecksum returns the FNV-1a checksum of page p's current contents.
+// Unmaterialized frames (and unmapped pages) read as zeros, matching what
+// ReadAt would observe.
+func (as *AddressSpace) PageChecksum(p PageNum) uint64 {
+	if f := as.frames[p]; f != nil && f.Data != nil {
+		return Checksum(f.Data)
+	}
+	return zeroPageChecksum
+}
+
+// FlipBit inverts one bit of the byte at addr, materializing the frame if
+// needed. It is the corruption primitive behind the kernel.preserve.corrupt
+// fault-injection site: a simulated hardware/DMA bit flip that bypasses the
+// store instrumentation application code routes through.
+func (as *AddressSpace) FlipBit(addr VAddr, bit uint) {
+	as.checkRange(addr, 1, "write")
+	as.frame(PageOf(addr)).materialize()[addr%PageSize] ^= 1 << (bit % 8)
+}
+
 // ResidentPages returns the number of frames with materialized data.
 func (as *AddressSpace) ResidentPages() int {
 	n := 0

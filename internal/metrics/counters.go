@@ -1,45 +1,87 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// RecoveryCounters counts preserve_exec lifecycle events machine-wide: how
-// many preservation plans were staged (validated against both address
-// spaces), how many committed, how many aborted before or during commit, and
-// how many driver-level fallbacks a recovery-time fault caused. The kernel
-// increments the preserve counters; the recovery driver increments the
-// fallback counter. Together they make the crash-atomicity contract
-// observable: Staged == Committed + CommitAborts, and every abort must be
-// matched by a counted fallback rather than a torn successor.
+// RecoveryCounters counts recovery-mechanism lifecycle events machine-wide:
+// preserve_exec plans staged/committed/aborted, integrity checksums verified
+// and caught, driver-level fallbacks by cause, and escalation-ladder
+// transitions. The kernel increments the preserve and checksum counters; the
+// recovery driver increments the fallback and escalation counters. Together
+// they make the supervision contract observable: Staged == Committed +
+// CommitAborts, every abort is matched by a counted fallback rather than a
+// torn successor, and every checksum mismatch surfaces as an integrity
+// fallback instead of a corrupt boot.
+//
+// All fields are atomic: the harness mutates them on the simulated main
+// timeline while background cross-check goroutines may snapshot them
+// concurrently, and campaign reporters read them from outside the run.
 type RecoveryCounters struct {
 	// PreservesStaged counts preserve_exec calls whose transfer plan passed
 	// validation (coverage, destination overlap, partial-page geometry).
-	PreservesStaged int64
+	PreservesStaged atomic.Int64
 	// PreservesCommitted counts preserve_exec calls that fully committed:
-	// every page move and partial copy applied and the image loaded.
-	PreservesCommitted int64
-	// PreservesAborted counts preserve_exec calls that failed — either at
-	// validation (source untouched) or during commit (rolled back).
-	PreservesAborted int64
+	// every page move and partial copy applied, the image loaded, and the
+	// integrity checksums verified.
+	PreservesCommitted atomic.Int64
+	// PreservesAborted counts preserve_exec calls that failed — at
+	// validation (source untouched), during commit (rolled back), or at
+	// integrity verification (rolled back).
+	PreservesAborted atomic.Int64
+	// ChecksumsVerified counts per-frame integrity checksums that were
+	// staged into the preserve info block and re-verified clean in the new
+	// address space.
+	ChecksumsVerified atomic.Int64
+	// ChecksumMismatches counts integrity verification failures: a preserved
+	// frame whose post-commit contents diverged from the stage-time checksum
+	// (a bit flip in the preservation channel). Each one aborts the preserve.
+	ChecksumMismatches atomic.Int64
 	// RecoveryFaultFallbacks counts driver fallbacks taken because
-	// preserve_exec itself failed (as opposed to unsafe-region, grace-window,
-	// or cross-check fallbacks).
-	RecoveryFaultFallbacks int64
+	// preserve_exec itself failed operationally (as opposed to
+	// unsafe-region, grace-window, cross-check, or integrity fallbacks).
+	RecoveryFaultFallbacks atomic.Int64
+	// IntegrityFallbacks counts driver fallbacks taken because integrity
+	// verification detected corrupted preserved state.
+	IntegrityFallbacks atomic.Int64
+	// BreakerTrips counts crash-loop breaker activations: the sliding
+	// restart-history window exceeded its threshold and the supervisor
+	// escalated the recovery mechanism.
+	BreakerTrips atomic.Int64
+	// Escalations counts downward ladder transitions (PHOENIX → builtin →
+	// vanilla); currently every escalation is a breaker trip.
+	Escalations atomic.Int64
+	// Deescalations counts upward ladder transitions back toward PHOENIX
+	// after a stable serving period.
+	Deescalations atomic.Int64
 }
 
 // NewRecoveryCounters returns zeroed counters.
 func NewRecoveryCounters() *RecoveryCounters { return &RecoveryCounters{} }
 
 // Snapshot exports the counters as a name → value map for reports and tests.
+// It is safe to call concurrently with updates; each value is read
+// atomically (the map as a whole is not one consistent cut).
 func (c *RecoveryCounters) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"preserves_staged":         c.PreservesStaged,
-		"preserves_committed":      c.PreservesCommitted,
-		"preserves_aborted":        c.PreservesAborted,
-		"recovery_fault_fallbacks": c.RecoveryFaultFallbacks,
+		"preserves_staged":         c.PreservesStaged.Load(),
+		"preserves_committed":      c.PreservesCommitted.Load(),
+		"preserves_aborted":        c.PreservesAborted.Load(),
+		"checksums_verified":       c.ChecksumsVerified.Load(),
+		"checksum_mismatches":      c.ChecksumMismatches.Load(),
+		"recovery_fault_fallbacks": c.RecoveryFaultFallbacks.Load(),
+		"integrity_fallbacks":      c.IntegrityFallbacks.Load(),
+		"breaker_trips":            c.BreakerTrips.Load(),
+		"escalations":              c.Escalations.Load(),
+		"deescalations":            c.Deescalations.Load(),
 	}
 }
 
 func (c *RecoveryCounters) String() string {
-	return fmt.Sprintf("staged=%d committed=%d aborted=%d recovery-fault-fallbacks=%d",
-		c.PreservesStaged, c.PreservesCommitted, c.PreservesAborted, c.RecoveryFaultFallbacks)
+	return fmt.Sprintf("staged=%d committed=%d aborted=%d checksums=%d/%d-bad recovery-fault-fallbacks=%d integrity-fallbacks=%d breaker-trips=%d esc=%d deesc=%d",
+		c.PreservesStaged.Load(), c.PreservesCommitted.Load(), c.PreservesAborted.Load(),
+		c.ChecksumsVerified.Load(), c.ChecksumMismatches.Load(),
+		c.RecoveryFaultFallbacks.Load(), c.IntegrityFallbacks.Load(),
+		c.BreakerTrips.Load(), c.Escalations.Load(), c.Deescalations.Load())
 }

@@ -135,10 +135,10 @@ func TestSteadyRateUsesPreFailureWindow(t *testing.T) {
 
 func TestRecoveryCountersSnapshot(t *testing.T) {
 	c := NewRecoveryCounters()
-	c.PreservesStaged = 3
-	c.PreservesCommitted = 2
-	c.PreservesAborted = 1
-	c.RecoveryFaultFallbacks = 1
+	c.PreservesStaged.Store(3)
+	c.PreservesCommitted.Store(2)
+	c.PreservesAborted.Store(1)
+	c.RecoveryFaultFallbacks.Store(1)
 	snap := c.Snapshot()
 	for name, want := range map[string]int64{
 		"preserves_staged":         3,

@@ -30,7 +30,9 @@ func (p Probe) String() string { return fmt.Sprintf("%s+%d", p.Site, p.Skip) }
 
 // DefaultProbes covers every recovery injection point, striking the move and
 // copy sites at several depths so mid-commit rollback is exercised, not just
-// first-operation failure.
+// first-operation failure. The corrupt probes are Byzantine: instead of
+// failing an operation they silently flip a bit in a preserved frame, and the
+// integrity checksums must catch it.
 func DefaultProbes() []Probe {
 	return []Probe{
 		{Site: faultinject.SitePreservePlan},
@@ -40,7 +42,20 @@ func DefaultProbes() []Probe {
 		{Site: faultinject.SitePreserveCopy},
 		{Site: faultinject.SitePreserveCopy, Skip: 1},
 		{Site: faultinject.SitePreserveLoad},
+		{Site: faultinject.SitePreserveCorrupt},
+		{Site: faultinject.SitePreserveCorrupt, Skip: 2},
 	}
+}
+
+// armFault arms pr's site with the fault type that site fires: corruption
+// sites flip bits, operation sites fail.
+func armFault(inj *faultinject.Injector, pr Probe) {
+	typ := faultinject.OpFailure
+	if pr.Site == faultinject.SitePreserveCorrupt {
+		typ = faultinject.BitFlip
+	}
+	inj.ArmAfter(pr.Site, typ, pr.Skip)
+	inj.Enable()
 }
 
 // AppFactory builds a fresh application and workload generator bound to the
@@ -70,7 +85,8 @@ type ProbeOutcome struct {
 	// Fired reports the armed fault actually struck (a probe deeper than the
 	// app's plan — e.g. the 4th move of a 2-range plan — never fires).
 	Fired bool
-	// Fallback reports the harness counted a recovery-fault fallback.
+	// Fallback reports the harness counted a recovery-fault or integrity
+	// fallback.
 	Fallback bool
 	// MatchedPreserve / MatchedFallback report which reference dump the
 	// surviving state equalled.
@@ -108,8 +124,7 @@ func CheckAtomicity(mk AppFactory, cfg AtomicityConfig) ([]ProbeOutcome, error) 
 			return nil, nil, err
 		}
 		if arm != nil {
-			inj.ArmAfter(arm.Site, faultinject.OpFailure, arm.Skip)
-			inj.Enable()
+			armFault(inj, *arm)
 		}
 		ci := h.Proc().Run(func() { h.Proc().AS.ReadU64(crashAddr) })
 		if ci == nil {
@@ -152,7 +167,7 @@ func CheckAtomicity(mk AppFactory, cfg AtomicityConfig) ([]ProbeOutcome, error) 
 		out := ProbeOutcome{
 			Probe:           pr,
 			Fired:           h.Inj.Fired(pr.Site),
-			Fallback:        h.Stat.RecoveryFaultFallbacks > 0,
+			Fallback:        h.Stat.RecoveryFaultFallbacks+h.Stat.IntegrityFallbacks > 0,
 			MatchedPreserve: dumpsEqual(dump, preserveDump),
 			MatchedFallback: dumpsEqual(dump, fallbackDump),
 		}
@@ -164,7 +179,7 @@ func CheckAtomicity(mk AppFactory, cfg AtomicityConfig) ([]ProbeOutcome, error) 
 		case out.Fired && !out.Fallback:
 			return outcomes, fmt.Errorf("probe %s: fault fired but no recovery-fault fallback counted (%+v)",
 				pr, h.Stat)
-		case out.Fired && h.M.Counters.PreservesAborted == 0:
+		case out.Fired && h.M.Counters.PreservesAborted.Load() == 0:
 			return outcomes, fmt.Errorf("probe %s: fault fired but no aborted preserve counted (%s)",
 				pr, h.M.Counters)
 		case !out.Fired && (out.Fallback || !out.MatchedPreserve):

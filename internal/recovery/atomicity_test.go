@@ -1,76 +1,27 @@
-package recovery
+package recovery_test
+
+// External test package: the campaign tests pull every application in via
+// internal/apps/registry, which itself imports recovery — an internal test
+// package would be an import cycle.
 
 import (
 	"testing"
 
-	"phoenix/internal/apps/boost"
-	"phoenix/internal/apps/kvstore"
-	"phoenix/internal/apps/lsmdb"
-	"phoenix/internal/apps/particle"
-	"phoenix/internal/apps/webcache"
-	"phoenix/internal/faultinject"
-	"phoenix/internal/workload"
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/recovery"
 )
-
-// stepGen drives the compute apps one step per request.
-type stepGen struct{ seq uint64 }
-
-func (g *stepGen) Next() *workload.Request {
-	g.seq++
-	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "step"}
-}
-
-// atomicityFactories builds every application in internal/apps, sized small
-// enough that the full probe matrix stays fast.
-func atomicityFactories(seed int64) map[string]AppFactory {
-	return map[string]AppFactory{
-		"kvstore": func(inj *faultinject.Injector) (App, workload.Generator) {
-			kv := kvstore.New(kvstore.Config{Cleanup: true}, inj)
-			gen := workload.NewYCSB(workload.YCSBConfig{
-				Seed: seed, Records: 200, ReadFrac: 0.8, InsertFrac: 0.2,
-				ValueSize: 64, ZipfianKeys: true,
-			})
-			return kv, gen
-		},
-		"lsmdb": func(inj *faultinject.Injector) (App, workload.Generator) {
-			db := lsmdb.New(lsmdb.Config{MemtableThreshold: 1 << 20}, inj)
-			return db, workload.NewFillSeq(64)
-		},
-		"webcache-varnish": func(inj *faultinject.Injector) (App, workload.Generator) {
-			web := workload.NewWeb(workload.WebConfig{Seed: seed, URLs: 100, MeanSize: 2 << 10})
-			c := webcache.New(webcache.Config{
-				Flavor: webcache.FlavorVarnish, CapacityBytes: 8 << 20,
-			}, web, inj)
-			return c, web
-		},
-		"webcache-squid": func(inj *faultinject.Injector) (App, workload.Generator) {
-			web := workload.NewWeb(workload.WebConfig{Seed: seed, URLs: 100, MeanSize: 2 << 10})
-			c := webcache.New(webcache.Config{
-				Flavor: webcache.FlavorSquid, CapacityBytes: 8 << 20,
-			}, web, inj)
-			return c, web
-		},
-		"boost": func(inj *faultinject.Injector) (App, workload.Generator) {
-			tr := boost.New(boost.Config{Samples: 200, Features: 8, MaxIters: 256, WorkScale: 50}, inj)
-			return tr, &stepGen{}
-		},
-		"particle": func(inj *faultinject.Injector) (App, workload.Generator) {
-			s := particle.New(particle.Config{Particles: 200, Cells: 32, WorkScale: 50}, inj)
-			return s, &stepGen{}
-		},
-	}
-}
 
 // TestPreserveAtomicityAllApps runs the crash-consistency matrix: for every
 // application, every recovery-path injection point (at several depths) must
 // end in a counted fallback whose surviving state equals either the
 // fully-preserved or the default-recovery reference — never a torn hybrid,
-// never a simulator error.
+// never a simulator error. The corrupt probes additionally require the
+// integrity checksums to catch a silent bit flip in the preserved frames.
 func TestPreserveAtomicityAllApps(t *testing.T) {
-	for name, mk := range atomicityFactories(11) {
+	for name, mk := range registry.Factories(11) {
 		name, mk := name, mk
 		t.Run(name, func(t *testing.T) {
-			outcomes, err := CheckAtomicity(mk, AtomicityConfig{Seed: 11, Warm: 60, Settle: 20})
+			outcomes, err := recovery.CheckAtomicity(mk, recovery.AtomicityConfig{Seed: 11, Warm: 60, Settle: 20})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,10 +33,36 @@ func TestPreserveAtomicityAllApps(t *testing.T) {
 				t.Logf("%-28s fired=%-5v fallback=%-5v matched: preserve=%-5v fallback=%v",
 					o.Probe, o.Fired, o.Fallback, o.MatchedPreserve, o.MatchedFallback)
 			}
-			// Plan, first-move, and image-load faults strike every app's
-			// restart; deeper probes may pass through when the plan is small.
-			if fired < 3 {
+			// Plan, first-move, image-load, and first-corrupt faults strike
+			// every app's restart; deeper probes may pass through when the
+			// plan is small.
+			if fired < 4 {
 				t.Fatalf("only %d probes fired — the matrix exercised too little", fired)
+			}
+		})
+	}
+}
+
+// TestEscalationAllApps runs the Byzantine-corruption campaign for every
+// application: repeated bit flips in the preserved frames must all be caught
+// by the checksums, the crash-loop breaker must walk the full ladder
+// PHOENIX → builtin → vanilla without exceeding the retry budget, and a
+// stable serving period must walk it back until a clean crash recovers via
+// preserve_exec again.
+func TestEscalationAllApps(t *testing.T) {
+	for name, mk := range registry.Factories(23) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			out, err := recovery.CheckEscalation(mk, recovery.EscalationConfig{Seed: 23})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s", out)
+			if out.MaxLevel != recovery.LevelVanilla {
+				t.Fatalf("ladder never reached vanilla: %s", out)
+			}
+			if out.CorruptionsFired < 2 {
+				t.Fatalf("expected at least two caught corruptions before the first trip: %s", out)
 			}
 		})
 	}

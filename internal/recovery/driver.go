@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -62,6 +63,17 @@ type Config struct {
 	// the injection-testing configuration of §4.4, where fallbacks "restart
 	// to empty memory state".
 	DisablePersistence bool
+	// DisableChecksums turns off post-commit integrity verification of
+	// preserved frames (checksums are still staged). Only meaningful under
+	// ModePhoenix; the zero value keeps verification on.
+	DisableChecksums bool
+	// Supervise enables the crash-loop breaker and escalation ladder
+	// (PHOENIX → builtin → vanilla with exponential backoff). Only
+	// meaningful under ModePhoenix.
+	Supervise bool
+	// Supervisor parameterises the breaker/ladder; zero fields take
+	// defaults. Ignored unless Supervise is set.
+	Supervisor SupervisorConfig
 	// Bucket is the timeline histogram resolution.
 	Bucket time.Duration
 }
@@ -73,6 +85,45 @@ func (c *Config) fill() {
 	if c.Bucket == 0 {
 		c.Bucket = 250 * time.Millisecond
 	}
+}
+
+// Validate rejects nonsensical configurations with a descriptive error
+// instead of letting them silently misbehave mid-run: PHOENIX-only knobs
+// combined with a non-PHOENIX mode, negative durations, or contradictory
+// supervisor parameters. NewHarness calls it on every construction.
+func (c Config) Validate() error {
+	if c.Mode < ModeVanilla || c.Mode > ModePhoenix {
+		return fmt.Errorf("recovery: unknown mode %v", c.Mode)
+	}
+	if c.Mode != ModePhoenix {
+		if c.UnsafeRegions {
+			return fmt.Errorf("recovery: UnsafeRegions requires ModePhoenix (got %v): the recovery-condition check only gates PHOENIX restarts", c.Mode)
+		}
+		if c.CrossCheck {
+			return fmt.Errorf("recovery: CrossCheck requires ModePhoenix (got %v): cross-check validates preserved state", c.Mode)
+		}
+		if c.DisableChecksums {
+			return fmt.Errorf("recovery: DisableChecksums requires ModePhoenix (got %v): only preserve_exec verifies checksums", c.Mode)
+		}
+		if c.Supervise {
+			return fmt.Errorf("recovery: Supervise requires ModePhoenix (got %v): the escalation ladder starts at PHOENIX", c.Mode)
+		}
+	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("recovery: negative CheckpointInterval %v", c.CheckpointInterval)
+	}
+	if c.WatchdogTimeout < 0 {
+		return fmt.Errorf("recovery: negative WatchdogTimeout %v", c.WatchdogTimeout)
+	}
+	if c.Bucket < 0 {
+		return fmt.Errorf("recovery: negative Bucket %v", c.Bucket)
+	}
+	if c.Supervise {
+		if err := c.Supervisor.Validate(); err != nil {
+			return fmt.Errorf("recovery: invalid Supervisor config: %w", err)
+		}
+	}
+	return nil
 }
 
 // App is the contract an evaluated application implements. One App value
@@ -125,24 +176,33 @@ type ReferenceRestorer interface {
 // Event records one recovery-relevant occurrence on the timeline.
 type Event struct {
 	At     time.Duration
-	Kind   string // "crash", "phoenix-restart", "fallback", "vanilla-restart", ...
+	Kind   EventKind
 	Detail string
 }
 
 // Stats accumulates what Table 7 and Figure 10 report.
 type Stats struct {
-	Requests         int
-	Failures         int
-	PhoenixRestarts  int
-	UnsafeFallbacks  int // recovery condition said unsafe (Chk.)
-	GraceFallbacks   int // crashed again right after a PHOENIX restart (Fbk.)
-	CrossFallbacks   int // cross-check verdict diverged (+X in Chk.)
+	Requests        int
+	Failures        int
+	PhoenixRestarts int
+	UnsafeFallbacks int // recovery condition said unsafe (Chk.)
+	GraceFallbacks  int // crashed again right after a PHOENIX restart (Fbk.)
+	CrossFallbacks  int // cross-check verdict diverged (+X in Chk.)
 	// RecoveryFaultFallbacks counts fallbacks taken because preserve_exec
 	// itself failed (validation or an injected/real commit fault): the
 	// recovery mechanism degraded safely instead of killing the run.
 	RecoveryFaultFallbacks int
-	OtherRestarts    int // vanilla/builtin/criu restarts
-	BootFailures     int // Main crashed during recovery (counts into Fbk.)
+	// IntegrityFallbacks counts fallbacks taken because preserve_exec's
+	// post-commit checksum verification caught corrupted preserved frames.
+	IntegrityFallbacks int
+	OtherRestarts      int // vanilla/builtin/criu restarts
+	BootFailures       int // Main crashed during recovery (counts into Fbk.)
+	// Escalation-ladder accounting (zero unless Config.Supervise).
+	BreakerTrips  int
+	Escalations   int
+	Deescalations int
+	// BackoffTotal is the cumulative simulated time spent holding restarts.
+	BackoffTotal     time.Duration
 	Events           []Event
 	CheckpointsTaken int
 }
@@ -163,6 +223,8 @@ type Harness struct {
 	lastCkpt  time.Duration
 	criuImage *CRIUImage
 
+	sup *Supervisor
+
 	pendingResume bool
 	pendingSwitch bool
 	switchDetail  string
@@ -175,7 +237,12 @@ type Harness struct {
 }
 
 // NewHarness assembles a harness. The injector may be nil (no injection).
+// The configuration must pass Validate; a nonsensical one is a programming
+// error and panics with the validation message.
 func NewHarness(m *kernel.Machine, cfg Config, app App, gen workload.Generator, inj *faultinject.Injector) *Harness {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.fill()
 	if inj == nil {
 		inj = faultinject.New()
@@ -185,10 +252,23 @@ func NewHarness(m *kernel.Machine, cfg Config, app App, gen workload.Generator, 
 	// to the machine so PreserveExec consults it.
 	inj.RegisterRecovery()
 	m.Inj = inj
-	return &Harness{
+	h := &Harness{
 		Cfg: cfg, App: app, M: m, Gen: gen, Inj: inj,
 		TL: metrics.NewTimeline(cfg.Bucket),
 	}
+	if cfg.Supervise {
+		h.sup = NewSupervisor(cfg.Supervisor)
+	}
+	return h
+}
+
+// EscalationLevel returns the supervisor's current ladder rung
+// (LevelPhoenix when supervision is off).
+func (h *Harness) EscalationLevel() Level {
+	if h.sup == nil {
+		return LevelPhoenix
+	}
+	return h.sup.Level()
 }
 
 // Runtime returns the live PHOENIX runtime (nil before Boot).
@@ -224,8 +304,20 @@ func (h *Harness) Boot() error {
 }
 
 // event appends a diagnostic event.
-func (h *Harness) event(kind, detail string) {
+func (h *Harness) event(kind EventKind, detail string) {
 	h.Stat.Events = append(h.Stat.Events, Event{At: h.M.Clock.Now(), Kind: kind, Detail: detail})
+}
+
+// applyLevel makes the application's persistence posture match a ladder
+// rung: the vanilla rung runs with persistence off (even the builtin
+// recovery state is suspect); the other rungs restore the configured
+// posture.
+func (h *Harness) applyLevel(l Level) {
+	if l == LevelVanilla {
+		h.App.SetPersistence(false)
+		return
+	}
+	h.App.SetPersistence(!h.Cfg.DisablePersistence)
 }
 
 // Step executes one request end to end, including any snapshotting due,
@@ -248,6 +340,14 @@ func (h *Harness) Step() error {
 		if ok && h.pendingResume {
 			h.TL.MarkResumed(now)
 			h.pendingResume = false
+		}
+		if ok && h.sup != nil {
+			if de, to := h.sup.NoteServing(now); de {
+				h.Stat.Deescalations++
+				h.M.Counters.Deescalations.Add(1)
+				h.event(EvDeescalate, to.String())
+				h.applyLevel(to)
+			}
 		}
 		return nil
 	}
@@ -303,7 +403,7 @@ func (h *Harness) handleFailure(ci *kernel.CrashInfo) error {
 	h.Stat.Failures++
 	h.TL.MarkFailure(ci.Time)
 	h.pendingResume = true
-	h.event("crash", fmt.Sprintf("%s: %s", ci.Sig, ci.Reason))
+	h.event(EvCrash, fmt.Sprintf("%s: %s", ci.Sig, ci.Reason))
 
 	// The dying incarnation's cross-check state is void: a pending hot-switch
 	// or an in-flight verdict from the previous process must not fire against
@@ -323,12 +423,45 @@ func (h *Harness) handleFailure(ci *kernel.CrashInfo) error {
 	// measurement.
 	defer func() { h.lastCkpt = h.M.Clock.Now() }()
 
+	// Supervision: the breaker may escalate the ladder, the backoff holds the
+	// restart, and an exhausted retry budget stops the run instead of
+	// crash-looping forever. All timing is simulated.
+	level := LevelPhoenix
+	if h.sup != nil {
+		d := h.sup.OnCrash(h.M.Clock.Now())
+		if d.Exhausted {
+			return fmt.Errorf("recovery: retry budget exhausted after %d consecutive crashes at level %v",
+				h.sup.ConsecutiveCrashes(), d.Level)
+		}
+		if d.Tripped {
+			h.Stat.BreakerTrips++
+			h.Stat.Escalations++
+			h.M.Counters.BreakerTrips.Add(1)
+			h.M.Counters.Escalations.Add(1)
+			h.event(EvBreakerTrip, fmt.Sprintf("escalating to %v", d.Level))
+			h.event(EvEscalate, d.Level.String())
+			h.applyLevel(d.Level)
+		}
+		if d.Backoff > 0 {
+			h.Stat.BackoffTotal += d.Backoff
+			h.event(EvBackoff, d.Backoff.String())
+			h.M.Clock.Advance(d.Backoff)
+		}
+		level = d.Level
+	}
+
 	switch h.Cfg.Mode {
 	case ModeVanilla, ModeBuiltin:
 		return h.plainRestart(h.Cfg.Mode.String())
 	case ModeCRIU:
 		return h.criuRestart()
 	case ModePhoenix:
+		switch level {
+		case LevelBuiltin:
+			return h.plainRestart("escalated: builtin")
+		case LevelVanilla:
+			return h.plainRestart("escalated: vanilla")
+		}
 		return h.phoenixRestart(ci)
 	}
 	return fmt.Errorf("recovery: unknown mode %v", h.Cfg.Mode)
@@ -344,7 +477,7 @@ func (h *Harness) plainRestart(reason string) error {
 	h.proc = np
 	h.rt = h.newRuntime(np)
 	h.Stat.OtherRestarts++
-	h.event("restart", reason)
+	h.event(EvRestart, reason)
 	return h.bootAfterRecovery()
 }
 
@@ -358,11 +491,11 @@ func (h *Harness) criuRestart() error {
 	// re-handshake with its master (§4.3.3); that degenerates to a full
 	// restart.
 	if crash := h.proc.Run(func() { h.App.Reattach(h.rt) }); crash != nil {
-		h.event("criu-reattach-failed", crash.Reason)
+		h.event(EvCRIUReattachFailed, crash.Reason)
 		return h.plainRestart("criu reattach failed: " + crash.Reason)
 	}
 	h.Stat.OtherRestarts++
-	h.event("criu-restore", fmt.Sprintf("image@%v", h.criuImage.TakenAt))
+	h.event(EvCRIURestore, fmt.Sprintf("image@%v", h.criuImage.TakenAt))
 	return nil
 }
 
@@ -371,29 +504,39 @@ func (h *Harness) phoenixRestart(ci *kernel.CrashInfo) error {
 	// PHOENIX restart.
 	if h.rt.WithinGrace() {
 		h.Stat.GraceFallbacks++
-		h.event("fallback", "second failure within grace window")
+		h.event(EvFallback, "second failure within grace window")
 		return h.fallbackRestart("second failure")
 	}
 	plan, fbReason := h.App.PlanRestart(h.rt, ci, h.Cfg.UnsafeRegions)
 	if fbReason != "" {
 		h.Stat.UnsafeFallbacks++
-		h.event("fallback", fbReason)
+		h.event(EvFallback, fbReason)
 		return h.fallbackRestart(fbReason)
 	}
+	plan.SkipIntegrityVerify = h.Cfg.DisableChecksums
 	np, err := h.rt.Restart(plan)
 	if err != nil {
-		// preserve_exec aborted (validation failure or a recovery-time
-		// fault). The kernel rolled back, so the source address space is
-		// intact and the application's default recovery is safe to run.
+		// preserve_exec aborted. The kernel rolled back either way, so the
+		// source address space is intact and the application's default
+		// recovery is safe to run — but the cause is worth distinguishing:
+		// an integrity mismatch means the preserved frames were corrupted in
+		// flight and the checksums caught it before the successor booted.
+		var ie *kernel.IntegrityError
+		if errors.As(err, &ie) {
+			h.Stat.IntegrityFallbacks++
+			h.M.Counters.IntegrityFallbacks.Add(1)
+			h.event(EvFallback, "integrity: "+err.Error())
+			return h.fallbackRestart("preserved-state corruption detected")
+		}
 		h.Stat.RecoveryFaultFallbacks++
-		h.M.Counters.RecoveryFaultFallbacks++
-		h.event("fallback", "preserve_exec failed: "+err.Error())
+		h.M.Counters.RecoveryFaultFallbacks.Add(1)
+		h.event(EvFallback, "preserve_exec failed: "+err.Error())
 		return h.fallbackRestart("preserve_exec failed")
 	}
 	h.proc = np
 	h.rt = h.newRuntime(np)
 	h.Stat.PhoenixRestarts++
-	h.event("phoenix-restart", "")
+	h.event(EvPhoenixRestart, "")
 
 	// Boot in recovery mode; a crash here means the preserved state is
 	// unusable — fall back to default recovery.
@@ -405,7 +548,7 @@ func (h *Harness) phoenixRestart(ci *kernel.CrashInfo) error {
 	if bootCrash != nil {
 		h.Stat.BootFailures++
 		h.Stat.GraceFallbacks++
-		h.event("fallback", "crash during phoenix boot: "+bootCrash.Reason)
+		h.event(EvFallback, "crash during phoenix boot: "+bootCrash.Reason)
 		return h.fallbackRestart("phoenix boot crash")
 	}
 
@@ -459,7 +602,7 @@ func (h *Harness) bootAfterRecovery() error {
 			return nil
 		}
 		h.Stat.BootFailures++
-		h.event("boot-crash", crash.Reason)
+		h.event(EvBootCrash, crash.Reason)
 		np, err := h.rt.Fallback("boot crash")
 		if err != nil {
 			return err
@@ -477,7 +620,7 @@ func (h *Harness) bootAfterRecovery() error {
 func (h *Harness) hotSwitch() error {
 	h.pendingSwitch = false
 	h.Stat.CrossFallbacks++
-	h.event("hot-switch", h.switchDetail)
+	h.event(EvHotSwitch, h.switchDetail)
 	var err error
 	h.M.Clock.RunOffline(func() {
 		var np *kernel.Process

@@ -42,7 +42,7 @@ func TestRestartErrorTakesFallback(t *testing.T) {
 	if h.Stat.RecoveryFaultFallbacks != 1 || h.Stat.PhoenixRestarts != 0 {
 		t.Fatalf("stats %+v", h.Stat)
 	}
-	if m.Counters.RecoveryFaultFallbacks != 1 || m.Counters.PreservesAborted != 1 {
+	if m.Counters.RecoveryFaultFallbacks.Load() != 1 || m.Counters.PreservesAborted.Load() != 1 {
 		t.Fatalf("counters %s", m.Counters)
 	}
 	if app.value() >= 50 {
@@ -90,7 +90,7 @@ func TestInjectedRecoveryFaultFallsBack(t *testing.T) {
 	if h.Stat.PhoenixRestarts != 1 {
 		t.Fatalf("stats after retry %+v", h.Stat)
 	}
-	if m.Counters.PreservesCommitted != 1 {
+	if m.Counters.PreservesCommitted.Load() != 1 {
 		t.Fatalf("counters after retry %s", m.Counters)
 	}
 }

@@ -281,11 +281,11 @@ func TestEventsRecorded(t *testing.T) {
 	h.RunRequests(10)
 	app.crashNext = "segv"
 	h.RunRequests(5)
-	kinds := map[string]bool{}
+	kinds := map[EventKind]bool{}
 	for _, e := range h.Stat.Events {
 		kinds[e.Kind] = true
 	}
-	if !kinds["crash"] || !kinds["phoenix-restart"] {
+	if !kinds[EvCrash] || !kinds[EvPhoenixRestart] {
 		t.Fatalf("events = %+v", h.Stat.Events)
 	}
 }

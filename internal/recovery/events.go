@@ -1,0 +1,39 @@
+package recovery
+
+// EventKind is the typed identifier of a recovery-timeline event. Drivers,
+// campaigns, and tests assert on these constants instead of magic strings.
+type EventKind string
+
+const (
+	// EvCrash records a caught failure (signal + reason).
+	EvCrash EventKind = "crash"
+	// EvRestart records a plain (vanilla/builtin) restart.
+	EvRestart EventKind = "restart"
+	// EvPhoenixRestart records a successful PHOENIX-mode preserve_exec.
+	EvPhoenixRestart EventKind = "phoenix-restart"
+	// EvFallback records a PHOENIX fallback decision (grace window, unsafe
+	// region, preserve_exec failure, integrity mismatch, or boot crash).
+	EvFallback EventKind = "fallback"
+	// EvBootCrash records a crash inside Main during default recovery.
+	EvBootCrash EventKind = "boot-crash"
+	// EvHotSwitch records a cross-check-mismatch switch to the validated
+	// background state (§3.6).
+	EvHotSwitch EventKind = "hot-switch"
+	// EvCRIURestore records a successful CRIU image restore.
+	EvCRIURestore EventKind = "criu-restore"
+	// EvCRIUReattachFailed records a restored process that could not
+	// re-handshake and degenerated to a full restart (§4.3.3).
+	EvCRIUReattachFailed EventKind = "criu-reattach-failed"
+	// EvBackoff records the supervisor holding the restart for an
+	// exponential-backoff delay.
+	EvBackoff EventKind = "backoff"
+	// EvBreakerTrip records the crash-loop breaker tripping: too many
+	// restarts inside the sliding window.
+	EvBreakerTrip EventKind = "breaker-trip"
+	// EvEscalate records a downward ladder transition (PHOENIX → builtin →
+	// vanilla).
+	EvEscalate EventKind = "escalate"
+	// EvDeescalate records an upward ladder transition back toward PHOENIX
+	// after a stable serving period.
+	EvDeescalate EventKind = "de-escalate"
+)

@@ -1,0 +1,214 @@
+package recovery
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the recovery supervision layer: a crash-loop breaker
+// over a sliding window of restart history and the escalation ladder
+// PHOENIX → builtin → vanilla. The paper's §3.2 second-failure rule bounds
+// exactly one bad PHOENIX attempt; a latent bug that re-crashes *after* each
+// grace window would re-enter PHOENIX recovery forever. The supervisor bounds
+// that pathology the way Microreboot's recursive recovery does: when one
+// level of recovery stops working, escalate to a stronger (and more lossy)
+// one, back off exponentially between attempts, and return to the cheapest
+// level once the system has proven stable again.
+//
+// The supervisor is a pure state machine over simulated timestamps: the
+// driver feeds it crash and serving instants from simclock, so every breaker
+// and backoff decision is deterministic and wall-clock-free.
+
+// Level is a rung of the escalation ladder, ordered cheapest-first.
+type Level int
+
+const (
+	// LevelPhoenix attempts partial-state-preserving restarts.
+	LevelPhoenix Level = iota
+	// LevelBuiltin abandons preservation and restarts into the
+	// application's own persistence (RDB/WAL-style default recovery).
+	LevelBuiltin
+	// LevelVanilla restarts with persistence disabled too: the deepest
+	// rung, for when even the builtin recovery state is suspect.
+	LevelVanilla
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelPhoenix:
+		return "phoenix"
+	case LevelBuiltin:
+		return "builtin"
+	case LevelVanilla:
+		return "vanilla"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// SupervisorConfig parameterises the breaker and ladder.
+type SupervisorConfig struct {
+	// BreakerK is how many restarts within Window trip the breaker and
+	// escalate one level (default 3).
+	BreakerK int
+	// Window is the sliding restart-history window W (default 60s of
+	// simulated time).
+	Window time.Duration
+	// BackoffBase is the hold-down before the first retry of an episode;
+	// it doubles per consecutive crash up to BackoffMax (defaults 250ms and
+	// 8s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// StablePeriod is how long the system must serve without crashing
+	// before the supervisor de-escalates one level and resets the backoff
+	// (default 30s).
+	StablePeriod time.Duration
+	// RetryBudget bounds consecutive restarts without an intervening stable
+	// period; exceeding it makes OnCrash report exhaustion, and the driver
+	// surfaces a terminal error instead of looping forever (default 16).
+	RetryBudget int
+}
+
+func (c *SupervisorConfig) fill() {
+	if c.BreakerK == 0 {
+		c.BreakerK = 3
+	}
+	if c.Window == 0 {
+		c.Window = 60 * time.Second
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 8 * time.Second
+	}
+	if c.StablePeriod == 0 {
+		c.StablePeriod = 30 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 16
+	}
+}
+
+// Validate rejects nonsensical supervisor parameters.
+func (c SupervisorConfig) Validate() error {
+	if c.BreakerK < 0 {
+		return fmt.Errorf("BreakerK %d is negative", c.BreakerK)
+	}
+	if c.BreakerK == 1 {
+		return fmt.Errorf("BreakerK 1 escalates on every crash; use at least 2 (or 0 for the default)")
+	}
+	if c.Window < 0 || c.BackoffBase < 0 || c.BackoffMax < 0 || c.StablePeriod < 0 {
+		return fmt.Errorf("negative duration (window %v, backoff %v..%v, stable %v)",
+			c.Window, c.BackoffBase, c.BackoffMax, c.StablePeriod)
+	}
+	if c.BackoffBase != 0 && c.BackoffMax != 0 && c.BackoffMax < c.BackoffBase {
+		return fmt.Errorf("BackoffMax %v below BackoffBase %v", c.BackoffMax, c.BackoffBase)
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("RetryBudget %d is negative", c.RetryBudget)
+	}
+	return nil
+}
+
+// Decision is what the supervisor tells the driver to do with one crash.
+type Decision struct {
+	// Level is the rung the coming restart must use (post-escalation).
+	Level Level
+	// Backoff is how long to hold the restart (simulated time).
+	Backoff time.Duration
+	// Tripped reports the breaker fired on this crash (Level just moved
+	// down the ladder).
+	Tripped bool
+	// Exhausted reports the retry budget is spent; the driver must stop
+	// instead of restarting again.
+	Exhausted bool
+}
+
+// Supervisor is the per-harness escalation state machine.
+type Supervisor struct {
+	cfg   SupervisorConfig
+	level Level
+	// window holds the crash instants inside the sliding window at the
+	// current level; it is cleared on every level change so each rung gets a
+	// fresh breaker count.
+	window []time.Duration
+	// consec counts crashes since the last stable period; it drives the
+	// exponential backoff and the retry budget.
+	consec    int
+	lastCrash time.Duration
+	everCrash bool
+}
+
+// NewSupervisor builds a supervisor starting at LevelPhoenix. Zero config
+// fields take the documented defaults.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	cfg.fill()
+	return &Supervisor{cfg: cfg}
+}
+
+// Level returns the current ladder rung.
+func (s *Supervisor) Level() Level { return s.level }
+
+// ConsecutiveCrashes returns the crashes seen since the last stable period.
+func (s *Supervisor) ConsecutiveCrashes() int { return s.consec }
+
+// OnCrash records a crash at the simulated instant now and decides how the
+// coming restart must run: at which ladder rung, after how much backoff, and
+// whether the retry budget is exhausted.
+func (s *Supervisor) OnCrash(now time.Duration) Decision {
+	s.consec++
+	s.lastCrash = now
+	s.everCrash = true
+	if s.consec > s.cfg.RetryBudget {
+		return Decision{Level: s.level, Exhausted: true}
+	}
+
+	// Slide the window, then count this crash.
+	kept := s.window[:0]
+	for _, t := range s.window {
+		if now-t < s.cfg.Window {
+			kept = append(kept, t)
+		}
+	}
+	s.window = append(kept, now)
+
+	d := Decision{Level: s.level}
+	if len(s.window) >= s.cfg.BreakerK && s.level < LevelVanilla {
+		s.level++
+		s.window = s.window[:0]
+		d.Level = s.level
+		d.Tripped = true
+	}
+
+	// Exponential backoff: Base doubled per consecutive crash, capped.
+	b := s.cfg.BackoffBase
+	for i := 1; i < s.consec && b < s.cfg.BackoffMax; i++ {
+		b *= 2
+	}
+	if b > s.cfg.BackoffMax {
+		b = s.cfg.BackoffMax
+	}
+	d.Backoff = b
+	return d
+}
+
+// NoteServing tells the supervisor the system answered a request at the
+// simulated instant now. Once a full StablePeriod has passed since the last
+// crash, the backoff and breaker history reset and — if the ladder is below
+// PHOENIX — the level steps back up one rung. Each further rung requires
+// another full stable period, so a flapping system climbs back slowly.
+func (s *Supervisor) NoteServing(now time.Duration) (deescalated bool, to Level) {
+	if !s.everCrash || now-s.lastCrash < s.cfg.StablePeriod {
+		return false, s.level
+	}
+	s.consec = 0
+	s.window = s.window[:0]
+	if s.level > LevelPhoenix {
+		s.level--
+		// Restart the stability clock for the next rung.
+		s.lastCrash = now
+		return true, s.level
+	}
+	s.everCrash = false
+	return false, s.level
+}
