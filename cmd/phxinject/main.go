@@ -8,7 +8,10 @@
 // the preserved frames) against every application and requires no torn
 // survivor; "escalation" drives repeated preserved-state corruption through
 // the crash-loop breaker and requires the full detect → escalate →
-// de-escalate cycle.
+// de-escalate cycle; "cluster" drives client traffic through a replicated
+// serving tier over a simulated network while nodes are killed, drained, and
+// partitioned on a schedule, and requires PHOENIX's measured availability to
+// strictly beat a vanilla restart's under identical faults.
 //
 // Usage:
 //
@@ -17,9 +20,12 @@
 //	phxinject -campaign atomicity        # recovery-path faults, all apps
 //	phxinject -campaign escalation       # Byzantine corruption, all apps
 //	phxinject -campaign escalation -app kvstore -crashes 9
+//	phxinject -campaign cluster          # availability under traffic, all apps
+//	phxinject -campaign cluster -app kvstore -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,6 +33,7 @@ import (
 
 	"phoenix/internal/analysis"
 	"phoenix/internal/apps/registry"
+	"phoenix/internal/cluster"
 	"phoenix/internal/ir"
 	"phoenix/internal/recovery"
 )
@@ -36,9 +43,10 @@ func main() {
 		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		v        = flag.Bool("v", false, "print per-run outcomes")
-		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster")
 		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
 		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
+		jsonOut  = flag.Bool("json", false, "cluster campaign: emit the full reports as deterministic JSON")
 	)
 	flag.Parse()
 
@@ -50,8 +58,13 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "cluster":
+		if err := runClusterCampaign(*app, *seed, *jsonOut); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, or escalation)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, or cluster)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -192,6 +205,40 @@ func runSystemCampaign(kind, only string, seed int64, crashes int) error {
 		return fmt.Errorf("%s campaign: %d application(s) failed", kind, failed)
 	}
 	return nil
+}
+
+// runClusterCampaign runs the availability-under-traffic campaign: each
+// registry application's cluster profile, PHOENIX vs builtin vs vanilla under
+// one fault schedule. With jsonOut the three full reports per system are
+// emitted as deterministic JSON (fixed field order, sorted map keys); the
+// contract check still runs either way.
+func runClusterCampaign(only string, seed int64, jsonOut bool) error {
+	systems := registry.ClusterSystems(seed)
+	if only != "" {
+		var keep []cluster.System
+		for _, s := range systems {
+			if s.Name == only {
+				keep = append(keep, s)
+			}
+		}
+		if keep == nil {
+			return fmt.Errorf("unknown app %q (have %v)", only, registry.Names())
+		}
+		systems = keep
+	}
+	res, cerr := cluster.CheckCluster(systems, cluster.Options{Seed: seed})
+	if jsonOut {
+		out, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		for _, r := range res {
+			fmt.Print(cluster.FmtComparison(r))
+		}
+	}
+	return cerr
 }
 
 // seedDict initialises the interpreter's dictionary bucket.

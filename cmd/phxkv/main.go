@@ -34,6 +34,8 @@ type replGen struct{}
 
 func (replGen) Next() *workload.Request { return &workload.Request{Op: workload.OpRead, Key: "_"} }
 
+func (replGen) Clone(seed int64) workload.Generator { return replGen{} }
+
 func main() {
 	m := kernel.NewMachine(1)
 	kv := kvstore.New(kvstore.Config{Cleanup: true}, nil)

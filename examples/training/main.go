@@ -22,6 +22,8 @@ func (g *iterGen) Next() *workload.Request {
 	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "iter"}
 }
 
+func (g *iterGen) Clone(seed int64) workload.Generator { return &iterGen{} }
+
 func run(mode recovery.Mode) {
 	m := kernel.NewMachine(3)
 	tr := boost.New(boost.Config{Samples: 1000, Features: 8, MaxIters: 2048, WorkScale: 200}, nil)

@@ -17,6 +17,8 @@ func (g *iterGen) Next() *workload.Request {
 	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "iter"}
 }
 
+func (g *iterGen) Clone(seed int64) workload.Generator { return &iterGen{} }
+
 func boot(t *testing.T, cfg Config, rcfg recovery.Config, seed int64) (*recovery.Harness, *Trainer) {
 	t.Helper()
 	m := kernel.NewMachine(seed)

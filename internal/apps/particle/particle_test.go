@@ -16,6 +16,8 @@ func (g *stepGen) Next() *workload.Request {
 	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "step"}
 }
 
+func (g *stepGen) Clone(seed int64) workload.Generator { return &stepGen{} }
+
 func boot(t *testing.T, cfg Config, rcfg recovery.Config, seed int64) (*recovery.Harness, *Sim) {
 	t.Helper()
 	m := kernel.NewMachine(seed)

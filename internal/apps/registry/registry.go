@@ -6,13 +6,16 @@
 package registry
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"phoenix/internal/apps/boost"
 	"phoenix/internal/apps/kvstore"
 	"phoenix/internal/apps/lsmdb"
 	"phoenix/internal/apps/particle"
 	"phoenix/internal/apps/webcache"
+	"phoenix/internal/cluster"
 	"phoenix/internal/faultinject"
 	"phoenix/internal/recovery"
 	"phoenix/internal/workload"
@@ -25,6 +28,9 @@ func (g *StepGen) Next() *workload.Request {
 	g.seq++
 	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "step"}
 }
+
+// Clone implements workload.Generator; the step stream is seed-independent.
+func (g *StepGen) Clone(seed int64) workload.Generator { return &StepGen{} }
 
 // Factories returns one campaign-sized factory per application, keyed by the
 // system name used throughout the experiments.
@@ -75,4 +81,77 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// ClusterProfile returns the client-population profile the cluster campaign
+// drives against the named system. The storage apps get a Zipfian read-heavy
+// keyspace that the warm phase pre-populates (so reads are effective until a
+// restart loses the data); the caches get the same web trace their factory
+// wired as the origin; the compute apps get fewer, slower clients so a
+// node's step count stays inside the factory's iteration budget.
+func ClusterProfile(name string, seed int64) cluster.Profile {
+	switch name {
+	case "kvstore", "lsmdb":
+		const records, valueSize = 64, 64
+		p := cluster.Profile{
+			Proto: workload.NewYCSB(workload.YCSBConfig{
+				Seed: seed, Records: records, ReadFrac: 0.7, InsertFrac: 0.05,
+				ValueSize: valueSize, ZipfianKeys: true,
+			}),
+			// Long enough that a cold reboot (kvstore 300ms, lsmdb 120ms)
+			// completes inside the traffic window: builtin comes back with its
+			// RDB restored while vanilla comes back empty, and the difference
+			// shows up as stale reads and window length instead of both modes
+			// simply staying dark.
+			RunFor: 600 * time.Millisecond,
+		}
+		// Pre-populate the YCSB keyspace on every node: the generator reads
+		// keys it assumes exist.
+		for i := uint64(0); i < records; i++ {
+			key := fmt.Sprintf("user%010d", i)
+			p.Warm = append(p.Warm, &workload.Request{
+				Seq: i + 1, Op: workload.OpInsert, Key: key,
+				Value: workload.Value(key, 1, valueSize),
+			})
+		}
+		return p
+	case "webcache-varnish", "webcache-squid":
+		// Must match the factory's WebConfig: the traffic trace and the
+		// cache's origin fetcher draw from the same URL population.
+		web := workload.NewWeb(workload.WebConfig{Seed: seed, URLs: 100, MeanSize: 2 << 10})
+		// 600ms outlives the 400ms cold boot for the first kill; a returned
+		// vanilla cache refills popular URLs on demand.
+		p := cluster.Profile{Proto: web, RunFor: 600 * time.Millisecond}
+		warm := web.Clone(seed + 7001)
+		for i := 0; i < 300; i++ {
+			p.Warm = append(p.Warm, warm.Next())
+		}
+		return p
+	case "boost", "particle":
+		// One step per request; keep per-node totals inside boost's
+		// MaxIters=256 budget (2 clients/node, ~4ms closed-loop period).
+		return cluster.Profile{
+			Proto:          &StepGen{},
+			ClientsPerNode: 2,
+			Think:          4 * time.Millisecond,
+			Timeout:        40 * time.Millisecond,
+			RunFor:         400 * time.Millisecond,
+		}
+	}
+	panic("registry: no cluster profile for system " + name)
+}
+
+// ClusterSystems bundles every registered application with its campaign
+// profile, in deterministic name order.
+func ClusterSystems(seed int64) []cluster.System {
+	factories := Factories(seed)
+	var out []cluster.System
+	for _, name := range Names() {
+		out = append(out, cluster.System{
+			Name:    name,
+			Factory: factories[name],
+			Profile: ClusterProfile(name, seed),
+		})
+	}
+	return out
 }

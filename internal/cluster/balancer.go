@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"time"
+
+	"phoenix/internal/netsim"
+	"phoenix/internal/workload"
+)
+
+// balancer fronts the replica set: it health-probes every node on a fixed
+// cadence, routes each client request to its home node (clientID mod
+// replicas) when healthy — spreading retries to the following nodes — and
+// relays responses back. It also does the run's availability bookkeeping:
+// closing unavailability windows on the first effective read a killed node
+// delivers, and counting any response that would have escaped a partitioned
+// node.
+type balancer struct {
+	c       *Cluster
+	lastAck []time.Duration
+
+	// partitionResponses counts non-refusal responses received from the
+	// currently partitioned node. The fabric cuts them, so the count must
+	// stay zero; it is the campaign's proof the isolation held.
+	partitionResponses int
+}
+
+func newBalancer(c *Cluster) *balancer {
+	return &balancer{c: c, lastAck: make([]time.Duration, c.cfg.Replicas)}
+}
+
+func (lb *balancer) start() { lb.probe() }
+
+func (lb *balancer) probe() {
+	for i := range lb.c.nodes {
+		lb.c.net.Send(lbID, nodeID(i), probeEnv{})
+	}
+	lb.c.clk.AfterFunc(lb.c.cfg.ProbeInterval, lb.probe)
+}
+
+// healthy reports whether the node acked a probe recently enough to route
+// to. At time zero every node is trusted until the first staleness horizon.
+func (lb *balancer) healthy(i int) bool {
+	return lb.c.clk.Now()-lb.lastAck[i] <= lb.c.cfg.ProbeStale
+}
+
+func (lb *balancer) handle(m netsim.Message) {
+	switch env := m.Payload.(type) {
+	case reqEnv:
+		lb.route(env)
+	case respEnv:
+		lb.onResponse(env)
+	case ackEnv:
+		lb.lastAck[env.Node] = lb.c.clk.Now()
+	}
+}
+
+// route forwards a request to the first healthy candidate, starting from the
+// client's home node offset by the attempt number — so a retry of a request
+// that died on its home node lands on the next replica instead of hammering
+// the same one. With no healthy candidate the request goes to the nominal
+// choice anyway (it will be refused or time out, and the client retries).
+func (lb *balancer) route(env reqEnv) {
+	r := lb.c.cfg.Replicas
+	home := env.Client % r
+	for i := 0; i < r; i++ {
+		cand := (home + env.Attempt + i) % r
+		if lb.healthy(cand) {
+			lb.c.net.Send(lbID, nodeID(cand), env)
+			return
+		}
+	}
+	lb.c.net.Send(lbID, nodeID((home+env.Attempt)%r), env)
+}
+
+func (lb *balancer) onResponse(env respEnv) {
+	if lb.c.partitioned == env.Node && !env.Refused {
+		lb.partitionResponses++
+	}
+	// An effective read (a key found, or a cache hit) from a killed node
+	// proves it is serving real state again: close its unavailability window.
+	// (Writes don't count — a freshly wiped vanilla node answers writes
+	// instantly without having recovered anything.)
+	isRead := env.Op == workload.OpRead || env.Op == workload.OpWebGet
+	if w := lb.c.openW[env.Node]; w != nil && !env.Refused && env.Effective && isRead && env.Epoch >= w.epoch {
+		w.end = lb.c.clk.Now()
+		w.closed = true
+		lb.c.openW[env.Node] = nil
+	}
+	lb.c.net.Send(lbID, clientID(env.Client), env)
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+
+	"phoenix/internal/recovery"
+)
+
+// This file implements the availability-under-traffic campaign: for each
+// registered application, replay the identical kill/drain/partition schedule
+// against a PHOENIX cluster, a builtin-recovery cluster, and a vanilla
+// cluster, and check the serving-tier contract — PHOENIX's measured
+// availability strictly exceeds vanilla's under the same faults, its
+// unavailability windows are shorter, a draining or partitioned node serves
+// nothing, and the whole run is a deterministic replay (same seed →
+// byte-identical report).
+
+// System pairs an application factory with its cluster workload profile.
+// The campaign's caller wires these from the app registry; the cluster
+// package cannot import the registry itself (the registry depends on this
+// package for the profile type).
+type System struct {
+	Name    string
+	Factory recovery.AppFactory
+	Profile Profile
+}
+
+// Options parameterises CheckCluster.
+type Options struct {
+	// Seed drives every run (default 1).
+	Seed int64
+	// Replicas is the per-cluster node count (default 3).
+	Replicas int
+}
+
+// Result holds one system's three mode reports.
+type Result struct {
+	System  string `json:"system"`
+	Phoenix Report `json:"phoenix"`
+	Builtin Report `json:"builtin"`
+	Vanilla Report `json:"vanilla"`
+}
+
+// CheckCluster runs the campaign for the given systems and returns the first
+// contract violation found.
+func CheckCluster(systems []System, o Options) ([]Result, error) {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	var results []Result
+	for _, sys := range systems {
+		res, err := checkSystem(sys, o)
+		results = append(results, res)
+		if err != nil {
+			return results, fmt.Errorf("cluster campaign: %s: %w", sys.Name, err)
+		}
+	}
+	return results, nil
+}
+
+func checkSystem(sys System, o Options) (Result, error) {
+	sys.Profile.fill()
+	sched := DefaultSchedule(sys.Profile, o.Replicas)
+	run := func(rcfg recovery.Config) (Report, error) {
+		cfg := Config{
+			System:   sys.Name,
+			Replicas: o.Replicas,
+			Seed:     o.Seed,
+			Recovery: rcfg,
+			Profile:  sys.Profile,
+		}
+		return Run(cfg, sys.Factory, sched)
+	}
+
+	res := Result{System: sys.Name}
+	ci := sys.Profile.CheckpointInterval
+	var err error
+	if res.Phoenix, err = run(recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: ci}); err != nil {
+		return res, err
+	}
+	// Determinism: the identical configuration must replay byte-for-byte.
+	rerun, err := run(recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: ci})
+	if err != nil {
+		return res, err
+	}
+	j1, err := res.Phoenix.JSON()
+	if err != nil {
+		return res, err
+	}
+	j2, err := rerun.JSON()
+	if err != nil {
+		return res, err
+	}
+	if !bytes.Equal(j1, j2) {
+		return res, fmt.Errorf("same-seed reruns diverged:\n%s\n%s", j1, j2)
+	}
+	if res.Builtin, err = run(recovery.Config{Mode: recovery.ModeBuiltin, CheckpointInterval: ci}); err != nil {
+		return res, err
+	}
+	if res.Vanilla, err = run(recovery.Config{Mode: recovery.ModeVanilla}); err != nil {
+		return res, err
+	}
+
+	p, b, v := res.Phoenix, res.Builtin, res.Vanilla
+	switch {
+	case p.Requests == 0 || v.Requests == 0 || b.Requests == 0:
+		return res, fmt.Errorf("a mode served no traffic (phoenix=%d builtin=%d vanilla=%d requests)",
+			p.Requests, b.Requests, v.Requests)
+	case p.Kills == 0:
+		return res, fmt.Errorf("schedule killed nothing — the campaign exercised no recovery")
+	case p.AvailabilityPct <= v.AvailabilityPct:
+		return res, fmt.Errorf("PHOENIX availability %.3f%% does not strictly exceed vanilla %.3f%%\n  phoenix: %s\n  vanilla: %s",
+			p.AvailabilityPct, v.AvailabilityPct, p, v)
+	case p.UnavailTotalUs >= v.UnavailTotalUs:
+		return res, fmt.Errorf("PHOENIX unavailability %dµs did not shrink vs vanilla %dµs", p.UnavailTotalUs, v.UnavailTotalUs)
+	case p.Unrecovered > 0:
+		return res, fmt.Errorf("PHOENIX left %d kill(s) unrecovered to effective service", p.Unrecovered)
+	}
+	for _, rep := range []Report{p, b, v} {
+		for _, nd := range rep.Nodes {
+			if nd.StartedDuringDrain != 0 {
+				return res, fmt.Errorf("%s: node %d began serving %d request(s) while draining", rep.Mode, nd.Node, nd.StartedDuringDrain)
+			}
+		}
+		if len(DefaultSchedule(sys.Profile, o.Replicas).Drains) > 0 && rep.DrainRefusals == 0 {
+			return res, fmt.Errorf("%s: drain window was never exercised (no refusals)", rep.Mode)
+		}
+		if len(DefaultSchedule(sys.Profile, o.Replicas).Partitions) > 0 {
+			if rep.PartitionResponses != 0 {
+				return res, fmt.Errorf("%s: partitioned node delivered %d response(s)", rep.Mode, rep.PartitionResponses)
+			}
+			if rep.NetPartitionDrops == 0 {
+				return res, fmt.Errorf("%s: partition window was never exercised (no fabric drops)", rep.Mode)
+			}
+		}
+	}
+	return res, nil
+}
+
+// FmtComparison renders one result as the availability table the campaign
+// and the figcluster experiment print.
+func FmtComparison(res Result) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s (replicas=%d, clients=%d, kills=%d)\n",
+		res.System, res.Phoenix.Replicas, res.Phoenix.Clients, res.Phoenix.Kills)
+	fmt.Fprintf(&buf, "  %-8s %10s %8s %8s %8s %12s %6s\n",
+		"mode", "avail", "p50", "p99", "p999", "unavail", "fail")
+	for _, rep := range []Report{res.Phoenix, res.Builtin, res.Vanilla} {
+		fmt.Fprintf(&buf, "  %-8s %9.3f%% %7dµs %7dµs %7dµs %11dµs %6d\n",
+			rep.Mode, rep.AvailabilityPct, rep.P50Us, rep.P99Us, rep.P999Us, rep.UnavailTotalUs, rep.Failed)
+	}
+	return buf.String()
+}

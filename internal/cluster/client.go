@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"time"
+
+	"phoenix/internal/netsim"
+	"phoenix/internal/simclock"
+	"phoenix/internal/workload"
+)
+
+// client is one closed-loop user: issue a request, wait for the response (or
+// time out and retry, bounded), think, repeat — until the traffic window
+// closes. Requests come from the client's own rewound clone of the profile
+// workload, so the population is deterministic and per-client streams are
+// independent.
+type client struct {
+	c   *Cluster
+	idx int
+	id  netsim.NodeID
+	gen workload.Generator
+
+	rid         uint64
+	req         *workload.Request
+	attempt     int
+	resent      bool
+	outstanding bool
+	issuedAt    time.Duration
+	timeout     *simclock.Timer
+	hedge       *simclock.Timer
+}
+
+func (cl *client) start() {
+	// Stagger client starts so the population doesn't arrive as one pulse.
+	stagger := time.Duration(cl.idx+1) * 37 * time.Microsecond
+	cl.c.clk.AfterFunc(stagger, cl.issueNext)
+}
+
+func (cl *client) issueNext() {
+	if cl.c.clk.Now() >= cl.c.deadline {
+		return
+	}
+	cl.req = cl.gen.Next()
+	cl.rid++
+	cl.attempt = 0
+	cl.resent = false
+	cl.outstanding = true
+	cl.issuedAt = cl.c.clk.Now()
+	cl.c.totalRequests++
+	cl.send()
+}
+
+func (cl *client) send() {
+	cl.stopTimers()
+	cl.c.net.Send(cl.id, lbID, reqEnv{Client: cl.idx, RID: cl.rid, Attempt: cl.attempt, Req: cl.req})
+	cl.timeout = cl.c.clk.AfterFunc(cl.c.cfg.Profile.Timeout, cl.onTimeout)
+	if hd := cl.c.cfg.Profile.HedgeDelay; hd > 0 && cl.attempt == 0 {
+		cl.hedge = cl.c.clk.AfterFunc(hd, cl.onHedge)
+	}
+}
+
+func (cl *client) stopTimers() {
+	if cl.timeout != nil {
+		cl.c.clk.Stop(cl.timeout)
+		cl.timeout = nil
+	}
+	if cl.hedge != nil {
+		cl.c.clk.Stop(cl.hedge)
+		cl.hedge = nil
+	}
+}
+
+// onHedge fires a duplicate attempt at the next replica while the original
+// stays outstanding; whichever response returns first wins.
+func (cl *client) onHedge() {
+	cl.hedge = nil
+	if !cl.outstanding {
+		return
+	}
+	cl.resent = true
+	cl.c.net.Send(cl.id, lbID, reqEnv{Client: cl.idx, RID: cl.rid, Attempt: cl.attempt + 1, Req: cl.req})
+}
+
+func (cl *client) onTimeout() {
+	cl.timeout = nil
+	if !cl.outstanding {
+		return
+	}
+	if cl.attempt >= cl.c.cfg.Profile.MaxRetries {
+		cl.finishFailed()
+		return
+	}
+	cl.attempt++
+	cl.resent = true
+	cl.send()
+}
+
+func (cl *client) handle(m netsim.Message) {
+	env, ok := m.Payload.(respEnv)
+	if !ok {
+		return
+	}
+	// Duplicates, hedge losers, and responses to abandoned requests carry a
+	// stale RID or arrive after the request resolved: drop them.
+	if !cl.outstanding || env.RID != cl.rid {
+		return
+	}
+	if env.Refused {
+		if cl.timeout != nil {
+			cl.c.clk.Stop(cl.timeout)
+			cl.timeout = nil
+		}
+		if cl.attempt >= cl.c.cfg.Profile.MaxRetries {
+			cl.finishFailed()
+			return
+		}
+		cl.attempt++
+		cl.resent = true
+		rid := cl.rid
+		cl.c.clk.AfterFunc(cl.c.cfg.Profile.RetryDelay, func() {
+			if cl.outstanding && cl.rid == rid {
+				cl.send()
+			}
+		})
+		return
+	}
+	// Accepted response: classify the request's outcome.
+	cl.outstanding = false
+	cl.stopTimers()
+	c := cl.c
+	c.latencies = append(c.latencies, c.clk.Now()-cl.issuedAt)
+	switch {
+	case env.Effective && !cl.resent:
+		c.served++
+	case env.Effective:
+		c.retried++
+	default:
+		c.stale++
+	}
+	c.clk.AfterFunc(c.cfg.Profile.Think, cl.issueNext)
+}
+
+func (cl *client) finishFailed() {
+	cl.outstanding = false
+	cl.stopTimers()
+	cl.c.failed++
+	cl.c.clk.AfterFunc(cl.c.cfg.Profile.Think, cl.issueNext)
+}

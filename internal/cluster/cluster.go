@@ -1,0 +1,357 @@
+// Package cluster simulates a replicated serving tier built from PHOENIX
+// harnesses: N replica nodes — each one recovery.Harness over a real
+// application from internal/apps — behind a load balancer with health
+// probes, fed by a closed-loop client population over a netsim fabric.
+//
+// Two clocks cooperate. The *cluster clock* (one simclock.Clock shared with
+// the network) orders every distributed event: message delivery, client
+// think time and timeouts, health probes, and the fault schedule. Each node
+// additionally keeps its own kernel.Machine whose clock is used as a
+// stopwatch: before a node serves a request its machine clock is synced
+// forward to cluster time, the harness runs the request (advancing the
+// machine clock by the modelled service and recovery costs), and the delta
+// becomes the cluster-time service duration. Node clocks may run ahead of
+// the cluster clock (a request's state mutation is computed at dispatch but
+// its completion is scheduled at dispatch+delta); they never run behind.
+//
+// Failures happen at request boundaries: a scheduled kill cancels the
+// victim's in-flight completion (the response is lost and the client times
+// out and retries elsewhere), discards its queue, and drives the harness's
+// real recovery path — so a PHOENIX node comes back with its state
+// preserved while a vanilla node comes back empty, and the difference
+// surfaces as measured availability.
+//
+// Everything is deterministic: one seeded RNG in the fabric, no map
+// iteration on any event path, timers firing in deadline order. Two runs
+// with the same Config produce byte-identical reports.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+	"phoenix/internal/netsim"
+	"phoenix/internal/recovery"
+	"phoenix/internal/simclock"
+	"phoenix/internal/workload"
+)
+
+// crashVA is an unmapped address: reading it is the synthetic "kill -9" the
+// fault schedule uses (same address class as the recovery campaigns).
+const crashVA = mem.VAddr(0x2_0000_0000)
+
+const lbID = netsim.NodeID("lb")
+
+func nodeID(i int) netsim.NodeID   { return netsim.NodeID(fmt.Sprintf("node%d", i)) }
+func clientID(i int) netsim.NodeID { return netsim.NodeID(fmt.Sprintf("client%d", i)) }
+
+// Profile shapes the client population and its workload.
+type Profile struct {
+	// Proto is the prototype workload; each client gets Proto.Clone(seed_i)
+	// and replays from request one.
+	Proto workload.Generator
+	// Warm is served directly to every node before traffic opens (e.g.
+	// inserts covering the read keyspace, or cache-filling fetches).
+	Warm []*workload.Request
+	// ClientsPerNode scales the population (total = ClientsPerNode × Replicas).
+	ClientsPerNode int
+	// Think is the closed-loop pause between a response and the next request.
+	Think time.Duration
+	// Timeout bounds one attempt; expiry triggers a retry.
+	Timeout time.Duration
+	// MaxRetries bounds retransmissions per request (after which it counts
+	// as failed).
+	MaxRetries int
+	// RetryDelay is the pause before retrying a refused request (connection
+	// refused is fast, but hammering a dead node is pointless).
+	RetryDelay time.Duration
+	// HedgeDelay, when positive, sends one hedged duplicate to another node
+	// if no response arrived within the delay. Zero disables hedging.
+	HedgeDelay time.Duration
+	// RunFor is the traffic window; clients stop issuing at this cluster
+	// time and the run settles until in-flight requests resolve.
+	RunFor time.Duration
+	// Settle extends the run past RunFor so in-flight requests resolve
+	// (default covers the full retry budget).
+	Settle time.Duration
+	// CheckpointInterval is the per-node builtin/PHOENIX persistence cadence
+	// (node-clock time).
+	CheckpointInterval time.Duration
+}
+
+func (p *Profile) fill() {
+	if p.ClientsPerNode <= 0 {
+		p.ClientsPerNode = 3
+	}
+	if p.Think <= 0 {
+		p.Think = 500 * time.Microsecond
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 8 * time.Millisecond
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.RetryDelay <= 0 {
+		p.RetryDelay = time.Millisecond
+	}
+	if p.RunFor <= 0 {
+		p.RunFor = 150 * time.Millisecond
+	}
+	if p.Settle <= 0 {
+		p.Settle = time.Duration(p.MaxRetries+1)*(p.Timeout+p.RetryDelay) + 20*time.Millisecond
+	}
+	if p.CheckpointInterval <= 0 {
+		p.CheckpointInterval = 2 * time.Millisecond
+	}
+}
+
+// Config parameterises one cluster run.
+type Config struct {
+	// System names the application (report labelling only).
+	System string
+	// Replicas is the node count (default 3).
+	Replicas int
+	// Seed drives every random draw and all derived per-node/per-client
+	// seeds.
+	Seed int64
+	// Recovery is the per-node harness configuration (the mode under test).
+	Recovery recovery.Config
+	// Link shapes the fabric's default link.
+	Link netsim.LinkConfig
+	// ProbeInterval is the balancer's health-probe period.
+	ProbeInterval time.Duration
+	// ProbeStale is how long without an ack before a node is routed around.
+	ProbeStale time.Duration
+	// Profile shapes the client population.
+	Profile Profile
+	// Inj, when non-nil, is the network-level injector (netsim.link.* sites).
+	// Node harnesses always get their own private injectors; sharing one
+	// across nodes would collide on per-app site registration.
+	Inj *faultinject.Injector
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Millisecond
+	}
+	if c.ProbeStale <= 0 {
+		c.ProbeStale = 5 * time.Millisecond
+	}
+	if c.Link.Latency == 0 {
+		c.Link.Latency = 100 * time.Microsecond
+		if c.Link.Jitter == 0 {
+			c.Link.Jitter = 50 * time.Microsecond
+		}
+	}
+	c.Profile.fill()
+}
+
+// Kill schedules one node kill at a cluster time.
+type Kill struct {
+	At   time.Duration
+	Node int
+}
+
+// Window is a [From, To) interval applied to one node.
+type Window struct {
+	From, To time.Duration
+	Node     int
+}
+
+// Schedule is the fault script a run executes. The same schedule is replayed
+// against every recovery mode under comparison.
+type Schedule struct {
+	Kills      []Kill
+	Drains     []Window
+	Partitions []Window
+}
+
+// DefaultSchedule kills node 0 at 25% and node 1 at 50% of the traffic
+// window (one kill per node: a second kill on the same node would land
+// inside the PHOENIX grace window at these time scales and measure the
+// fallback path instead), then drains and later partitions the last node.
+func DefaultSchedule(p Profile, replicas int) Schedule {
+	d := p.RunFor
+	s := Schedule{Kills: []Kill{{At: d / 4, Node: 0}}}
+	if replicas > 1 {
+		s.Kills = append(s.Kills, Kill{At: d / 2, Node: 1})
+	}
+	last := replicas - 1
+	if replicas > 2 {
+		s.Drains = []Window{{From: d * 55 / 100, To: d * 70 / 100, Node: last}}
+		s.Partitions = []Window{{From: d * 78 / 100, To: d * 90 / 100, Node: last}}
+	}
+	return s
+}
+
+// --- message envelopes (netsim payloads) ---
+
+type reqEnv struct {
+	Client  int
+	RID     uint64
+	Attempt int
+	Req     *workload.Request
+}
+
+type respEnv struct {
+	Client    int
+	RID       uint64
+	Attempt   int
+	Node      int
+	Ok        bool
+	Effective bool
+	Refused   bool
+	Op        workload.Op
+	// Epoch is the node's kill count at dispatch: a window opened by kill k
+	// only closes on a response computed in epoch k (not by a pre-kill
+	// response still in flight when the node died).
+	Epoch int
+}
+
+type probeEnv struct{}
+
+type ackEnv struct{ Node int }
+
+// windowRec tracks one unavailability window: kill time until the killed
+// node's first effective read reaches the balancer.
+type windowRec struct {
+	node       int
+	epoch      int // node kill count that opened this window
+	start, end time.Duration
+	closed     bool
+}
+
+// Cluster is one live run.
+type Cluster struct {
+	cfg     Config
+	clk     *simclock.Clock
+	net     *netsim.Network
+	lb      *balancer
+	nodes   []*node
+	clients []*client
+
+	deadline time.Duration // traffic window end
+
+	// partitioned is the currently isolated node index (-1 = none).
+	partitioned int
+
+	// request outcome accounting (aggregated over all clients).
+	totalRequests int
+	served        int
+	retried       int
+	stale         int
+	failed        int
+	latencies     []time.Duration
+
+	windows []*windowRec
+	openW   []*windowRec // per-node open window
+
+	firstErr error
+}
+
+func (c *Cluster) fail(err error) {
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+}
+
+// Run executes one cluster under one recovery configuration against the
+// fault schedule and returns its report.
+func Run(cfg Config, mk recovery.AppFactory, sched Schedule) (Report, error) {
+	cfg.fill()
+	clk := simclock.New()
+	c := &Cluster{
+		cfg:         cfg,
+		clk:         clk,
+		net:         netsim.New(clk, cfg.Link, cfg.Seed, cfg.Inj),
+		deadline:    cfg.Profile.RunFor,
+		partitioned: -1,
+		openW:       make([]*windowRec, cfg.Replicas),
+	}
+
+	// Nodes: each gets its own machine (stopwatch clock) and its own
+	// injector (apps register their sites at construction; a shared injector
+	// would panic on the second node's duplicate registration).
+	for i := 0; i < cfg.Replicas; i++ {
+		m := kernel.NewMachine(cfg.Seed*7919 + int64(i) + 1)
+		inj := faultinject.New()
+		app, gen := mk(inj)
+		h := recovery.NewHarness(m, cfg.Recovery, app, gen, inj)
+		if err := h.Boot(); err != nil {
+			return Report{}, fmt.Errorf("cluster: node %d boot: %w", i, err)
+		}
+		nd := &node{c: c, idx: i, id: nodeID(i), h: h}
+		for _, wr := range cfg.Profile.Warm {
+			if _, _, err := h.ServeRequest(wr); err != nil {
+				return Report{}, fmt.Errorf("cluster: node %d warm: %w", i, err)
+			}
+		}
+		c.net.Register(nd.id, nd.handle)
+		c.nodes = append(c.nodes, nd)
+	}
+
+	c.lb = newBalancer(c)
+	c.net.Register(lbID, c.lb.handle)
+
+	nClients := cfg.Profile.ClientsPerNode * cfg.Replicas
+	for i := 0; i < nClients; i++ {
+		cl := &client{
+			c: c, idx: i, id: clientID(i),
+			gen: cfg.Profile.Proto.Clone(cfg.Seed*1_000_003 + int64(i)),
+		}
+		c.net.Register(cl.id, cl.handle)
+		c.clients = append(c.clients, cl)
+		cl.start()
+	}
+	c.lb.start()
+
+	for _, k := range sched.Kills {
+		nd := c.nodes[k.Node]
+		clk.AfterFunc(k.At, nd.kill)
+	}
+	for _, w := range sched.Drains {
+		nd := c.nodes[w.Node]
+		clk.AfterFunc(w.From, nd.drainStart)
+		clk.AfterFunc(w.To, nd.drainEnd)
+	}
+	for _, w := range sched.Partitions {
+		w := w
+		clk.AfterFunc(w.From, func() { c.partitionStart(w.Node) })
+		clk.AfterFunc(w.To, c.partitionEnd)
+	}
+
+	clk.Advance(cfg.Profile.RunFor + cfg.Profile.Settle)
+	if c.firstErr != nil {
+		return Report{}, c.firstErr
+	}
+	return c.report(sched), nil
+}
+
+// partitionStart isolates one node from everything else — the balancer, the
+// other nodes, and every client. In-flight messages crossing the cut are
+// dropped by the fabric.
+func (c *Cluster) partitionStart(idx int) {
+	rest := []netsim.NodeID{lbID}
+	for i := range c.nodes {
+		if i != idx {
+			rest = append(rest, nodeID(i))
+		}
+	}
+	for i := range c.clients {
+		rest = append(rest, clientID(i))
+	}
+	c.net.Partition(rest, []netsim.NodeID{nodeID(idx)})
+	c.partitioned = idx
+}
+
+func (c *Cluster) partitionEnd() {
+	c.net.Heal()
+	c.partitioned = -1
+}

@@ -1,0 +1,23 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/cluster"
+)
+
+// TestCheckClusterAllApps runs the full availability-under-traffic campaign:
+// every registry application, PHOENIX vs Builtin vs Vanilla under the same
+// kill/drain/partition schedule. The campaign itself asserts the serving-tier
+// contract (availability ordering, recovered windows, silent drains, sealed
+// partitions, byte-identical replay).
+func TestCheckClusterAllApps(t *testing.T) {
+	res, err := cluster.CheckCluster(registry.ClusterSystems(1), cluster.Options{Seed: 1})
+	for _, r := range res {
+		t.Logf("\n%s", cluster.FmtComparison(r))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"phoenix/internal/netsim"
+	"phoenix/internal/recovery"
+	"phoenix/internal/simclock"
+)
+
+type nodeState int
+
+const (
+	stateServing nodeState = iota
+	stateDraining
+	stateDown
+)
+
+// node is one replica: a recovery harness over a real application, serving
+// one request at a time from a FIFO queue. The harness's machine clock is
+// the node's stopwatch; the cluster clock orders its interactions with the
+// rest of the world.
+type node struct {
+	c   *Cluster
+	idx int
+	id  netsim.NodeID
+	h   *recovery.Harness
+
+	state      nodeState
+	queue      []reqEnv
+	busy       bool
+	completion *simclock.Timer
+
+	// accounting
+	accepted           int
+	refused            int
+	drainRefusals      int
+	startedDuringDrain int
+	kills              int
+	recoveryTotal      time.Duration
+}
+
+func (nd *node) handle(m netsim.Message) {
+	switch env := m.Payload.(type) {
+	case reqEnv:
+		nd.onRequest(env)
+	case probeEnv:
+		// Only a fully serving node acks: draining and dead nodes go dark so
+		// the balancer routes around them.
+		if nd.state == stateServing {
+			nd.c.net.Send(nd.id, lbID, ackEnv{Node: nd.idx})
+		}
+	}
+}
+
+func (nd *node) onRequest(env reqEnv) {
+	if nd.state != stateServing {
+		// Connection refused: a fast, explicit failure the client retries
+		// elsewhere (vs. the slow timeout a lost packet costs).
+		nd.refused++
+		if nd.state == stateDraining {
+			nd.drainRefusals++
+		}
+		nd.c.net.Send(nd.id, lbID, respEnv{
+			Client: env.Client, RID: env.RID, Attempt: env.Attempt,
+			Node: nd.idx, Refused: true, Op: env.Req.Op,
+		})
+		return
+	}
+	nd.accepted++
+	nd.queue = append(nd.queue, env)
+	nd.startNext()
+}
+
+// startNext dispatches the queue head. The harness computes the request's
+// outcome and service duration immediately on the node's machine clock; the
+// response is then scheduled that far in the cluster's future, so the node
+// is busy (single-server) until the modelled completion time.
+func (nd *node) startNext() {
+	if nd.busy || nd.state != stateServing || len(nd.queue) == 0 {
+		return
+	}
+	if nd.state == stateDraining {
+		nd.startedDuringDrain++ // unreachable by construction; the campaign asserts it stays zero
+	}
+	env := nd.queue[0]
+	nd.queue = nd.queue[1:]
+	nd.busy = true
+
+	nd.syncClock()
+	before := nd.h.M.Clock.Now()
+	ok, eff, err := nd.h.ServeRequest(env.Req)
+	if err != nil {
+		nd.c.fail(fmt.Errorf("cluster: node %d serve: %w", nd.idx, err))
+		return
+	}
+	dur := nd.h.M.Clock.Now() - before
+	resp := respEnv{
+		Client: env.Client, RID: env.RID, Attempt: env.Attempt,
+		Node: nd.idx, Ok: ok, Effective: eff, Op: env.Req.Op, Epoch: nd.kills,
+	}
+	nd.completion = nd.c.clk.AfterFunc(dur, func() {
+		nd.busy = false
+		nd.completion = nil
+		nd.c.net.Send(nd.id, lbID, resp)
+		nd.startNext()
+	})
+}
+
+// syncClock pulls the node's machine clock forward to cluster time (never
+// backward — the node clock may legitimately be ahead after computing an
+// in-flight request's completion).
+func (nd *node) syncClock() {
+	if now := nd.c.clk.Now(); now > nd.h.M.Clock.Now() {
+		nd.h.M.Clock.AdvanceTo(now)
+	}
+}
+
+// kill crashes the node's process at the current cluster time and drives the
+// harness's real recovery path. The in-flight response (if any) is lost —
+// its client times out and retries — and queued requests vanish with the
+// process. The node is Down for exactly the simulated recovery duration.
+func (nd *node) kill() {
+	if nd.state == stateDown {
+		return
+	}
+	nd.state = stateDown
+	nd.kills++
+	if nd.completion != nil {
+		nd.c.clk.Stop(nd.completion)
+		nd.completion = nil
+	}
+	nd.busy = false
+	nd.queue = nil
+
+	// Open the unavailability window for this node.
+	if nd.c.openW[nd.idx] == nil {
+		w := &windowRec{node: nd.idx, epoch: nd.kills, start: nd.c.clk.Now()}
+		nd.c.windows = append(nd.c.windows, w)
+		nd.c.openW[nd.idx] = w
+	}
+
+	nd.syncClock()
+	before := nd.h.M.Clock.Now()
+	ci := nd.h.Proc().Run(func() { nd.h.Proc().AS.ReadU64(crashVA) })
+	if ci == nil {
+		nd.c.fail(fmt.Errorf("cluster: node %d synthetic crash did not register", nd.idx))
+		return
+	}
+	if err := nd.h.HandleFailureForREPL(ci); err != nil {
+		nd.c.fail(fmt.Errorf("cluster: node %d recovery: %w", nd.idx, err))
+		return
+	}
+	rec := nd.h.M.Clock.Now() - before
+	nd.recoveryTotal += rec
+	nd.c.clk.AfterFunc(rec, func() {
+		nd.state = stateServing
+		nd.startNext()
+	})
+}
+
+// drainStart begins connection draining: the in-flight request finishes, the
+// backlog and all new arrivals are refused, and the node stops acking health
+// probes so the balancer routes around it.
+func (nd *node) drainStart() {
+	if nd.state != stateServing {
+		return
+	}
+	nd.state = stateDraining
+	for _, env := range nd.queue {
+		nd.refused++
+		nd.drainRefusals++
+		nd.c.net.Send(nd.id, lbID, respEnv{
+			Client: env.Client, RID: env.RID, Attempt: env.Attempt,
+			Node: nd.idx, Refused: true, Op: env.Req.Op,
+		})
+	}
+	nd.queue = nil
+}
+
+func (nd *node) drainEnd() {
+	if nd.state != stateDraining {
+		return
+	}
+	nd.state = stateServing
+	nd.startNext()
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// NodeReport is one replica's accounting for the run.
+type NodeReport struct {
+	Node               int   `json:"node"`
+	Accepted           int   `json:"accepted"`
+	Refused            int   `json:"refused"`
+	DrainRefusals      int   `json:"drain_refusals"`
+	StartedDuringDrain int   `json:"started_during_drain"`
+	Kills              int   `json:"kills"`
+	RecoveryUs         int64 `json:"recovery_us"`
+	PhoenixRestarts    int   `json:"phoenix_restarts"`
+	OtherRestarts      int   `json:"other_restarts"`
+	Checkpoints        int   `json:"checkpoints"`
+	// Counters is the node machine's recovery-counter snapshot; JSON maps
+	// marshal with sorted keys, so the export is deterministic.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// WindowReport is one measured unavailability window: a kill until the first
+// effective read the killed node delivered (or the end of the run when it
+// never recovered effective service).
+type WindowReport struct {
+	Node    int   `json:"node"`
+	StartUs int64 `json:"start_us"`
+	EndUs   int64 `json:"end_us"`
+	DurUs   int64 `json:"dur_us"`
+	Closed  bool  `json:"closed"`
+}
+
+// Report is the availability-under-traffic result of one cluster run. Field
+// order is fixed and durations are µs integers, so json.Marshal of equal
+// runs yields byte-identical output.
+type Report struct {
+	System   string `json:"system"`
+	Mode     string `json:"mode"`
+	Seed     int64  `json:"seed"`
+	Replicas int    `json:"replicas"`
+	Clients  int    `json:"clients"`
+
+	Requests int `json:"requests"`
+	Served   int `json:"served"`
+	Retried  int `json:"retried"`
+	Stale    int `json:"stale"`
+	Failed   int `json:"failed"`
+	// AvailabilityPct is effective requests (served + retried) over total.
+	AvailabilityPct float64 `json:"availability_pct"`
+
+	P50Us  int64 `json:"p50_us"`
+	P99Us  int64 `json:"p99_us"`
+	P999Us int64 `json:"p999_us"`
+
+	Kills          int            `json:"kills"`
+	UnavailTotalUs int64          `json:"unavail_total_us"`
+	Unrecovered    int            `json:"unrecovered"`
+	Windows        []WindowReport `json:"windows"`
+
+	DrainRefusals      int `json:"drain_refusals"`
+	PartitionResponses int `json:"partition_responses"`
+
+	NetSent           int `json:"net_sent"`
+	NetDelivered      int `json:"net_delivered"`
+	NetDropped        int `json:"net_dropped"`
+	NetDuplicated     int `json:"net_duplicated"`
+	NetPartitionDrops int `json:"net_partition_drops"`
+	NetInjectedDrops  int `json:"net_injected_drops"`
+
+	Nodes []NodeReport `json:"nodes"`
+}
+
+// JSON renders the report as deterministic JSON (fixed field order, sorted
+// map keys).
+func (r Report) JSON() ([]byte, error) { return json.Marshal(r) }
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s: avail=%.2f%% (served=%d retried=%d stale=%d failed=%d of %d) p50=%dµs p99=%dµs p999=%dµs kills=%d unavail=%dµs unrecovered=%d",
+		r.System, r.Mode, r.AvailabilityPct, r.Served, r.Retried, r.Stale, r.Failed, r.Requests,
+		r.P50Us, r.P99Us, r.P999Us, r.Kills, r.UnavailTotalUs, r.Unrecovered)
+}
+
+// percentile reads the q-quantile from a sorted latency slice.
+func percentile(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Microseconds()
+}
+
+func (c *Cluster) report(sched Schedule) Report {
+	end := c.cfg.Profile.RunFor + c.cfg.Profile.Settle
+	rep := Report{
+		System:   c.cfg.System,
+		Mode:     c.cfg.Recovery.Mode.String(),
+		Seed:     c.cfg.Seed,
+		Replicas: c.cfg.Replicas,
+		Clients:  len(c.clients),
+
+		Requests: c.totalRequests,
+		Served:   c.served,
+		Retried:  c.retried,
+		Stale:    c.stale,
+		Failed:   c.failed,
+
+		Kills:              len(sched.Kills),
+		PartitionResponses: c.lb.partitionResponses,
+
+		NetSent:           c.net.Stat.Sent,
+		NetDelivered:      c.net.Stat.Delivered,
+		NetDropped:        c.net.Stat.Dropped,
+		NetDuplicated:     c.net.Stat.Duplicated,
+		NetPartitionDrops: c.net.Stat.PartitionDrops,
+		NetInjectedDrops:  c.net.Stat.InjectedDrops,
+	}
+	if rep.Requests > 0 {
+		rep.AvailabilityPct = 100 * float64(rep.Served+rep.Retried) / float64(rep.Requests)
+	}
+
+	sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
+	rep.P50Us = percentile(c.latencies, 0.50)
+	rep.P99Us = percentile(c.latencies, 0.99)
+	rep.P999Us = percentile(c.latencies, 0.999)
+
+	for _, w := range c.windows {
+		if !w.closed {
+			w.end = end
+			rep.Unrecovered++
+		}
+		wr := WindowReport{
+			Node:    w.node,
+			StartUs: w.start.Microseconds(),
+			EndUs:   w.end.Microseconds(),
+			DurUs:   (w.end - w.start).Microseconds(),
+			Closed:  w.closed,
+		}
+		rep.UnavailTotalUs += wr.DurUs
+		rep.Windows = append(rep.Windows, wr)
+	}
+
+	for _, nd := range c.nodes {
+		rep.DrainRefusals += nd.drainRefusals
+		rep.Nodes = append(rep.Nodes, NodeReport{
+			Node:               nd.idx,
+			Accepted:           nd.accepted,
+			Refused:            nd.refused,
+			DrainRefusals:      nd.drainRefusals,
+			StartedDuringDrain: nd.startedDuringDrain,
+			Kills:              nd.kills,
+			RecoveryUs:         nd.recoveryTotal.Microseconds(),
+			PhoenixRestarts:    nd.h.Stat.PhoenixRestarts,
+			OtherRestarts:      nd.h.Stat.OtherRestarts,
+			Checkpoints:        nd.h.Stat.CheckpointsTaken,
+			Counters:           nd.h.M.Counters.Snapshot(),
+		})
+	}
+	return rep
+}

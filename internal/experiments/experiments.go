@@ -66,6 +66,7 @@ func All() []Experiment {
 		{"tab7", "Table 7: large-scale fault injection", RunTab7},
 		{"tab8", "Table 8: runtime overhead", RunTab8},
 		{"tab9", "Table 9: memory reuse", RunTab9},
+		{"figcluster", "Cluster figure: availability under traffic for replicated PHOENIX vs builtin vs vanilla", RunFigCluster},
 	}
 }
 
@@ -176,6 +177,9 @@ func (g *computeGen) Next() *workload.Request {
 	g.seq++
 	return &workload.Request{Seq: g.seq, Op: workload.OpRead, Key: "step"}
 }
+
+// Clone implements workload.Generator; the step stream is seed-independent.
+func (g *computeGen) Clone(seed int64) workload.Generator { return &computeGen{} }
 
 // fmtDur renders a duration in seconds with ms precision.
 func fmtDur(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }

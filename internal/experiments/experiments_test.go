@@ -13,7 +13,8 @@ import (
 // TestRegistryComplete checks every paper table/figure has an experiment.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab1", "fig1", "fig9", "tab3", "tab4", "tab5",
-		"fig10", "fig11", "fig12", "fig13", "tab6", "tab7", "tab8", "tab9"}
+		"fig10", "fig11", "fig12", "fig13", "tab6", "tab7", "tab8", "tab9",
+		"figcluster"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync/atomic"
 )
@@ -76,6 +77,13 @@ func (c *RecoveryCounters) Snapshot() map[string]int64 {
 		"escalations":              c.Escalations.Load(),
 		"deescalations":            c.Deescalations.Load(),
 	}
+}
+
+// MarshalJSON exports the Snapshot map. encoding/json emits map keys in
+// sorted order, so the bytes are deterministic for equal counter values —
+// two same-seed runs serialise identically.
+func (c *RecoveryCounters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Snapshot())
 }
 
 func (c *RecoveryCounters) String() string {

@@ -76,6 +76,10 @@ type Config struct {
 	Supervisor SupervisorConfig
 	// Bucket is the timeline histogram resolution.
 	Bucket time.Duration
+	// EventCap bounds Stats.Events: once the log reaches the cap, the oldest
+	// half is discarded and Stats.DroppedEvents counts the loss. 0 takes the
+	// default (4096); negative keeps the log unbounded.
+	EventCap int
 }
 
 func (c *Config) fill() {
@@ -84,6 +88,9 @@ func (c *Config) fill() {
 	}
 	if c.Bucket == 0 {
 		c.Bucket = 250 * time.Millisecond
+	}
+	if c.EventCap == 0 {
+		c.EventCap = 4096
 	}
 }
 
@@ -202,8 +209,12 @@ type Stats struct {
 	Escalations   int
 	Deescalations int
 	// BackoffTotal is the cumulative simulated time spent holding restarts.
-	BackoffTotal     time.Duration
+	BackoffTotal time.Duration
+	// Events is the bounded diagnostic log, oldest first. When it reaches
+	// Config.EventCap the oldest half is dropped; DroppedEvents counts how
+	// many entries were discarded that way over the run.
 	Events           []Event
+	DroppedEvents    int
 	CheckpointsTaken int
 }
 
@@ -303,8 +314,17 @@ func (h *Harness) Boot() error {
 	return h.App.Main(h.rt)
 }
 
-// event appends a diagnostic event.
+// event appends a diagnostic event, compacting the log when it reaches the
+// configured cap: the oldest half is dropped in one copy, which keeps the
+// slice chronological, bounds memory at EventCap entries, and amortises to
+// O(1) per append.
 func (h *Harness) event(kind EventKind, detail string) {
+	if limit := h.Cfg.EventCap; limit > 0 && len(h.Stat.Events) >= limit {
+		drop := len(h.Stat.Events) - limit/2
+		kept := copy(h.Stat.Events, h.Stat.Events[drop:])
+		h.Stat.Events = h.Stat.Events[:kept]
+		h.Stat.DroppedEvents += drop
+	}
 	h.Stat.Events = append(h.Stat.Events, Event{At: h.M.Clock.Now(), Kind: kind, Detail: detail})
 }
 
@@ -320,23 +340,23 @@ func (h *Harness) applyLevel(l Level) {
 	h.App.SetPersistence(!h.Cfg.DisablePersistence)
 }
 
-// Step executes one request end to end, including any snapshotting due,
-// failure handling, and recovery. It returns an error only for simulator
-// problems; application failures are handled internally.
-func (h *Harness) Step() error {
+// ServeRequest executes one externally supplied request end to end,
+// including any snapshotting due, failure handling, and recovery. ok and
+// effective are the application's verdicts for the request (both false when
+// the request crashed the process — the caller sees a failed request while
+// the harness recovers). err is non-nil only for simulator problems.
+func (h *Harness) ServeRequest(req *workload.Request) (ok, effective bool, err error) {
 	h.maybeSnapshot()
 	if h.pendingSwitch {
 		if err := h.hotSwitch(); err != nil {
-			return err
+			return false, false, err
 		}
 	}
-	req := h.Gen.Next()
 	h.Stat.Requests++
-	var ok, eff bool
-	ci := h.proc.Run(func() { ok, eff = h.App.Handle(req) })
+	ci := h.proc.Run(func() { ok, effective = h.App.Handle(req) })
 	now := h.M.Clock.Now()
 	if ci == nil {
-		h.TL.Record(now, ok, eff)
+		h.TL.Record(now, ok, effective)
 		if ok && h.pendingResume {
 			h.TL.MarkResumed(now)
 			h.pendingResume = false
@@ -349,9 +369,17 @@ func (h *Harness) Step() error {
 				h.applyLevel(to)
 			}
 		}
-		return nil
+		return ok, effective, nil
 	}
-	return h.handleFailure(ci)
+	return false, false, h.handleFailure(ci)
+}
+
+// Step executes the generator's next request via ServeRequest. It returns an
+// error only for simulator problems; application failures are handled
+// internally.
+func (h *Harness) Step() error {
+	_, _, err := h.ServeRequest(h.Gen.Next())
+	return err
 }
 
 // RunRequests executes n requests.

@@ -59,6 +59,13 @@ type Request struct {
 type Generator interface {
 	// Next returns the next request. The same seed yields the same stream.
 	Next() *Request
+	// Clone returns an independent generator of the same shape, rewound to
+	// the start of its stream and re-seeded with seed: two clones with the
+	// same seed emit identical streams, and (for seeded generators) clones
+	// with distinct seeds emit distinct streams. It clones the generator as
+	// configured, not its current cursor — each simulated client in a
+	// cluster run gets its own clone and replays from request one.
+	Clone(seed int64) Generator
 }
 
 // --- Zipfian key chooser ---
@@ -127,6 +134,14 @@ func (g *YCSB) LoadKeys() []string {
 }
 
 func ycsbKey(i uint64) string { return fmt.Sprintf("user%010d", i) }
+
+// Clone implements Generator: a fresh YCSB stream over the same mix and
+// key-space parameters, driven by seed.
+func (g *YCSB) Clone(seed int64) Generator {
+	cfg := g.cfg
+	cfg.Seed = seed
+	return NewYCSB(cfg)
+}
 
 // Value deterministically derives a record's payload from its key and a
 // version, so end-to-end validation can recompute expected values.
@@ -199,6 +214,15 @@ func NewFillSeq(valueSize int) *FillSeq {
 	return &FillSeq{valueSize: valueSize}
 }
 
+// Clone implements Generator. FillSeq has no randomness, so the seed instead
+// offsets the key space (seed<<32): clones with distinct seeds fill disjoint
+// key ranges, which is what independent clients of a shared store need.
+func (g *FillSeq) Clone(seed int64) Generator {
+	ng := NewFillSeq(g.valueSize)
+	ng.next = uint64(seed) << 32
+	return ng
+}
+
 // Next returns the next sequential insert.
 func (g *FillSeq) Next() *Request {
 	g.seq++
@@ -242,6 +266,15 @@ func NewWeb(cfg WebConfig) *Web {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Web{cfg: cfg, rng: rng, zipf: NewZipf(rng, cfg.URLs)}
+}
+
+// Clone implements Generator: a fresh web trace over the same URL population
+// (object sizes and cacheability are derived from object ids, so clones agree
+// with every other generator built from the same WebConfig).
+func (w *Web) Clone(seed int64) Generator {
+	cfg := w.cfg
+	cfg.Seed = seed
+	return NewWeb(cfg)
 }
 
 // ObjectSize returns the deterministic size of object i: exponentially
