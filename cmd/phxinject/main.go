@@ -11,7 +11,9 @@
 // de-escalate cycle; "cluster" drives client traffic through a replicated
 // serving tier over a simulated network while nodes are killed, drained, and
 // partitioned on a schedule, and requires PHOENIX's measured availability to
-// strictly beat a vanilla restart's under identical faults.
+// strictly beat a vanilla restart's under identical faults; "explore" sweeps
+// randomized fault schedules (one per seed) against per-app invariant
+// oracles, shrinking every violation to a minimal replayable artifact.
 //
 // Usage:
 //
@@ -22,6 +24,8 @@
 //	phxinject -campaign escalation -app kvstore -crashes 9
 //	phxinject -campaign cluster          # availability under traffic, all apps
 //	phxinject -campaign cluster -app kvstore -json
+//	phxinject -campaign explore -seeds 200        # randomized schedule search
+//	phxinject -campaign explore -seeds 50 -app kvstore -json
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"phoenix/internal/analysis"
 	"phoenix/internal/apps/registry"
 	"phoenix/internal/cluster"
+	"phoenix/internal/explore"
 	"phoenix/internal/ir"
 	"phoenix/internal/recovery"
 )
@@ -43,10 +48,11 @@ func main() {
 		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		v        = flag.Bool("v", false, "print per-run outcomes")
-		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, explore")
 		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
 		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
-		jsonOut  = flag.Bool("json", false, "cluster campaign: emit the full reports as deterministic JSON")
+		jsonOut  = flag.Bool("json", false, "cluster/explore campaigns: emit the full report as deterministic JSON")
+		seeds    = flag.Int("seeds", 200, "explore campaign: number of consecutive seeds to sweep")
 	)
 	flag.Parse()
 
@@ -63,8 +69,13 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "explore":
+		if err := runExploreCampaign(*app, *seed, *seeds, *jsonOut, *v); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, escalation, or cluster)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, or explore)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -237,6 +248,29 @@ func runClusterCampaign(only string, seed int64, jsonOut bool) error {
 		for _, r := range res {
 			fmt.Print(cluster.FmtComparison(r))
 		}
+	}
+	return cerr
+}
+
+// runExploreCampaign sweeps randomized fault schedules: one schedule per
+// seed, run twice (byte-identical outcomes required), every oracle violation
+// shrunk to a minimal artifact that must replay. Violations are reported, not
+// failed on — only determinism breaks, irreproducible artifacts, and
+// infrastructure errors exit non-zero.
+func runExploreCampaign(app string, start int64, seeds int, jsonOut, verbose bool) error {
+	opts := explore.Options{Seeds: seeds, Start: start, App: app}
+	if verbose {
+		opts.Log = os.Stderr
+	}
+	sum, cerr := explore.CheckExplore(opts)
+	if jsonOut {
+		out, err := json.Marshal(sum)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		fmt.Print(explore.FmtSummary(sum))
 	}
 	return cerr
 }

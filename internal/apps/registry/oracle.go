@@ -1,0 +1,352 @@
+package registry
+
+// This file defines the invariant-oracle contract the exploration engine
+// (internal/explore) checks after every randomized fault schedule. The types
+// live here rather than in explore because an oracle is a statement about an
+// *application's* semantics — what durability, staleness, and recovery
+// accounting mean for kvstore are registry knowledge, while explore only
+// knows how to generate schedules and shrink failures. Registry already
+// imports recovery and cluster, so the observation can carry both a
+// single-harness run and a cluster report without a cycle.
+
+import (
+	"fmt"
+	"strings"
+
+	"phoenix/internal/cluster"
+	"phoenix/internal/recovery"
+)
+
+// TraceStep records one served request of a single-harness run, in order.
+type TraceStep struct {
+	Index     int    `json:"index"`
+	Op        string `json:"op"`
+	Key       string `json:"key"`
+	OK        bool   `json:"ok"`
+	Effective bool   `json:"effective"`
+}
+
+// RecoveryRecord classifies one crash-recovery episode. CleanPreserve means
+// the episode was exactly one PHOENIX restart with zero fallbacks of any
+// kind — the only recovery class that preserves in-memory state.
+type RecoveryRecord struct {
+	// AtStep is the trace index the crash preceded: the recovery ran after
+	// Steps[AtStep-1] and before Steps[AtStep].
+	AtStep        int    `json:"at_step"`
+	CleanPreserve bool   `json:"clean_preserve"`
+	Level         string `json:"level"`
+	// Fallbacks is the episode's total fallback count (unsafe, grace, cross,
+	// recovery-fault, integrity) plus plain restarts and boot failures.
+	Fallbacks int `json:"fallbacks"`
+	// Escalated and Deescalated report ladder movement during the episode.
+	Escalated   bool `json:"escalated"`
+	Deescalated bool `json:"deescalated"`
+}
+
+// Observation is everything an oracle may judge about one schedule run. A
+// single-harness run fills the trace/stats/counters fields; a cluster run
+// fills Cluster and leaves the rest zero.
+type Observation struct {
+	App               string
+	Seed              int64
+	ChecksumsDisabled bool
+	Steps             []TraceStep
+	Recoveries        []RecoveryRecord
+	// CorruptionsFired counts armed kernel.preserve.corrupt bit flips that
+	// actually struck a preserved frame; OpFaultsFired counts fired
+	// operation-failure faults on the preserve path.
+	CorruptionsFired int
+	OpFaultsFired    int
+	Stats            recovery.Stats
+	Counters         map[string]int64
+	FinalLevel       recovery.Level
+	// Terminated carries the driver's terminal error (retry-budget
+	// exhaustion) when the run stopped early; empty otherwise.
+	Terminated string
+	Cluster    *cluster.Report
+}
+
+// Oracle is one invariant checked against a completed run. Check returns one
+// human-readable violation string per broken invariant; an empty slice means
+// the run upheld it. Oracles must be deterministic pure functions of the
+// observation: the exploration engine shrinks schedules by re-running them
+// and comparing the set of violated oracle names.
+type Oracle interface {
+	Name() string
+	Check(o *Observation) []string
+}
+
+// OraclesFor returns the invariants applicable to one application in one
+// mode, in deterministic order. The durability oracle only applies to the
+// storage apps: caches evict at will and the compute apps have no
+// key-value semantics.
+func OraclesFor(app string, clusterMode bool) []Oracle {
+	if clusterMode {
+		return []Oracle{clusterOracle{}}
+	}
+	out := []Oracle{accountingOracle{}, ladderOracle{}}
+	if app == "kvstore" || app == "lsmdb" {
+		out = append(out, durabilityOracle{})
+	}
+	return out
+}
+
+// --- accounting oracle ---
+
+// accountingOracle cross-checks the kernel's machine-wide recovery counters
+// against the driver's per-harness stats and the fired-fault ground truth.
+// Its sharpest clause is the silent-corruption predicate: every bit flip
+// injected into a preserved frame must surface as a checksum mismatch — if
+// one committed silently, acknowledged state survived corrupted and the
+// whole preservation contract is void.
+type accountingOracle struct{}
+
+func (accountingOracle) Name() string { return "accounting" }
+
+func (accountingOracle) Check(o *Observation) []string {
+	var v []string
+	c := o.Counters
+	add := func(format string, args ...interface{}) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if int64(o.CorruptionsFired) > c["checksum_mismatches"] {
+		add("silent corruption: %d bit flips fired against preserved frames but only %d checksum mismatches counted",
+			o.CorruptionsFired, c["checksum_mismatches"])
+	}
+	if c["integrity_fallbacks"] != int64(o.Stats.IntegrityFallbacks) {
+		add("integrity fallbacks disagree: counters=%d stats=%d", c["integrity_fallbacks"], o.Stats.IntegrityFallbacks)
+	}
+	if c["recovery_fault_fallbacks"] != int64(o.Stats.RecoveryFaultFallbacks) {
+		add("recovery-fault fallbacks disagree: counters=%d stats=%d", c["recovery_fault_fallbacks"], o.Stats.RecoveryFaultFallbacks)
+	}
+	if o.OpFaultsFired != o.Stats.RecoveryFaultFallbacks {
+		add("op faults fired (%d) != recovery-fault fallbacks (%d): a failed preserve was not contained",
+			o.OpFaultsFired, o.Stats.RecoveryFaultFallbacks)
+	}
+	if c["checksum_mismatches"] != c["integrity_fallbacks"] {
+		add("checksum mismatches (%d) != integrity fallbacks (%d): a detection was not contained",
+			c["checksum_mismatches"], c["integrity_fallbacks"])
+	}
+	if c["preserves_committed"] > c["preserves_staged"] {
+		add("preserves committed (%d) exceed staged (%d)", c["preserves_committed"], c["preserves_staged"])
+	}
+	if c["preserves_aborted"] < c["preserves_staged"]-c["preserves_committed"] {
+		add("aborted preserves (%d) below staged-minus-committed (%d-%d)",
+			c["preserves_aborted"], c["preserves_staged"], c["preserves_committed"])
+	}
+	if int64(o.Stats.PhoenixRestarts) != c["preserves_committed"] {
+		add("phoenix restarts (%d) != committed preserves (%d)", o.Stats.PhoenixRestarts, c["preserves_committed"])
+	}
+	if c["breaker_trips"] != int64(o.Stats.BreakerTrips) || c["escalations"] != int64(o.Stats.Escalations) ||
+		c["deescalations"] != int64(o.Stats.Deescalations) {
+		add("ladder counters disagree with stats: trips %d/%d esc %d/%d deesc %d/%d",
+			c["breaker_trips"], o.Stats.BreakerTrips, c["escalations"], o.Stats.Escalations,
+			c["deescalations"], o.Stats.Deescalations)
+	}
+	return v
+}
+
+// --- ladder oracle ---
+
+// ladderOracle checks supervisor monotonicity from the event log: every
+// escalation steps exactly one rung down, every de-escalation exactly one
+// rung up, the walk stays inside [phoenix, vanilla], and the final rung of
+// the walk matches the harness's reported level.
+type ladderOracle struct{}
+
+func (ladderOracle) Name() string { return "ladder" }
+
+func parseLevel(s string) (recovery.Level, bool) {
+	for l := recovery.LevelPhoenix; l <= recovery.LevelVanilla; l++ {
+		if l.String() == s {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+func (ladderOracle) Check(o *Observation) []string {
+	var v []string
+	add := func(format string, args ...interface{}) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if o.Stats.Escalations != o.Stats.BreakerTrips {
+		add("escalations (%d) != breaker trips (%d)", o.Stats.Escalations, o.Stats.BreakerTrips)
+	}
+	if o.Stats.Deescalations > o.Stats.Escalations {
+		add("more de-escalations (%d) than escalations (%d)", o.Stats.Deescalations, o.Stats.Escalations)
+	}
+	// The event walk needs the full log; a compacted one lost its prefix.
+	if o.Stats.DroppedEvents > 0 {
+		return v
+	}
+	level := recovery.LevelPhoenix
+	esc, deesc := 0, 0
+	for i, ev := range o.Stats.Events {
+		switch ev.Kind {
+		case recovery.EvEscalate:
+			to, ok := parseLevel(ev.Detail)
+			if !ok {
+				add("event %d: unparseable escalation target %q", i, ev.Detail)
+				continue
+			}
+			if to != level+1 {
+				add("event %d: escalation %v -> %v skips rungs", i, level, to)
+			}
+			if to > recovery.LevelVanilla {
+				add("event %d: escalation below the bottom rung (%v)", i, to)
+			}
+			level = to
+			esc++
+		case recovery.EvDeescalate:
+			to, ok := parseLevel(ev.Detail)
+			if !ok {
+				add("event %d: unparseable de-escalation target %q", i, ev.Detail)
+				continue
+			}
+			if to != level-1 {
+				add("event %d: de-escalation %v -> %v skips rungs", i, level, to)
+			}
+			if to < recovery.LevelPhoenix {
+				add("event %d: de-escalation above the top rung (%v)", i, to)
+			}
+			level = to
+			deesc++
+		}
+	}
+	if esc != o.Stats.Escalations || deesc != o.Stats.Deescalations {
+		add("event log records %d escalations / %d de-escalations, stats say %d / %d",
+			esc, deesc, o.Stats.Escalations, o.Stats.Deescalations)
+	}
+	if level != o.FinalLevel {
+		add("event walk ends at %v but harness reports %v", level, o.FinalLevel)
+	}
+	return v
+}
+
+// --- durability oracle ---
+
+// durabilityOracle replays the trace against the recovery records and checks
+// two storage invariants. Durability: a key whose write was acknowledged must
+// stay readable across clean preserves — only a fallback recovery (which
+// legitimately reboots from persistence or empty) may lose it. Staleness: a
+// vanilla-rung restart boots with persistence off, so everything it serves
+// must have been written after that boot; an effective read of a pre-crash
+// key that was never re-written is a stale read — state that cannot exist
+// leaked through recovery.
+type durabilityOracle struct{}
+
+func (durabilityOracle) Name() string { return "durability" }
+
+func (durabilityOracle) Check(o *Observation) []string {
+	var v []string
+	acked := make(map[string]bool) // acked writes since the last non-clean recovery
+	everAcked := make(map[string]bool)
+	forbidden := make(map[string]bool) // keys that must not be readable after a vanilla boot
+	ri := 0
+	for _, st := range o.Steps {
+		for ri < len(o.Recoveries) && o.Recoveries[ri].AtStep <= st.Index {
+			rec := o.Recoveries[ri]
+			ri++
+			if rec.CleanPreserve {
+				continue // preserved state: acked survives, forbidden persists
+			}
+			if rec.Level == "vanilla" {
+				// Persistence is off at this rung: the successor boots empty,
+				// so every previously acked key becomes unreadable-until-
+				// rewritten.
+				forbidden = make(map[string]bool)
+				for k := range everAcked {
+					forbidden[k] = true
+				}
+			} else {
+				// Builtin/fallback recovery may legitimately restore any
+				// persisted prefix, including pre-vanilla data.
+				forbidden = make(map[string]bool)
+			}
+			acked = make(map[string]bool)
+		}
+		switch st.Op {
+		case "INSERT", "UPDATE":
+			if st.OK {
+				acked[st.Key] = true
+				everAcked[st.Key] = true
+				delete(forbidden, st.Key)
+			}
+		case "DELETE":
+			if st.OK {
+				delete(acked, st.Key)
+				delete(everAcked, st.Key)
+				delete(forbidden, st.Key)
+			}
+		case "READ":
+			if st.OK && !st.Effective && acked[st.Key] {
+				v = append(v, fmt.Sprintf("step %d: acked write to %q lost across clean preserves", st.Index, st.Key))
+			}
+			if st.Effective && forbidden[st.Key] {
+				v = append(v, fmt.Sprintf("step %d: stale read of %q after a vanilla-rung boot that never re-wrote it", st.Index, st.Key))
+			}
+		}
+	}
+	return v
+}
+
+// --- cluster oracle ---
+
+// clusterOracle checks a cluster run's report for structural consistency:
+// drained nodes start nothing, partitioned nodes answer nothing, windows are
+// well-formed, the request ledger balances, and each node's kernel counters
+// are internally consistent.
+type clusterOracle struct{}
+
+func (clusterOracle) Name() string { return "cluster" }
+
+func (clusterOracle) Check(o *Observation) []string {
+	var v []string
+	add := func(format string, args ...interface{}) { v = append(v, fmt.Sprintf(format, args...)) }
+	r := o.Cluster
+	if r == nil {
+		return []string{"cluster observation carries no report"}
+	}
+	if r.PartitionResponses != 0 {
+		add("%d responses crossed a partition", r.PartitionResponses)
+	}
+	if r.Served+r.Retried+r.Stale+r.Failed > r.Requests {
+		add("request ledger overflows: served=%d retried=%d stale=%d failed=%d of %d",
+			r.Served, r.Retried, r.Stale, r.Failed, r.Requests)
+	}
+	if r.AvailabilityPct < 0 || r.AvailabilityPct > 100 {
+		add("availability %.2f%% outside [0,100]", r.AvailabilityPct)
+	}
+	for _, w := range r.Windows {
+		if w.EndUs < w.StartUs || w.DurUs != w.EndUs-w.StartUs {
+			add("malformed unavailability window on node %d: [%d,%d] dur %d", w.Node, w.StartUs, w.EndUs, w.DurUs)
+		}
+		if w.Node < 0 || w.Node >= r.Replicas {
+			add("window names nonexistent node %d", w.Node)
+		}
+	}
+	for _, nd := range r.Nodes {
+		if nd.StartedDuringDrain != 0 {
+			add("node %d started %d requests while draining", nd.Node, nd.StartedDuringDrain)
+		}
+		c := nd.Counters
+		if c["preserves_committed"] > c["preserves_staged"] {
+			add("node %d: committed preserves (%d) exceed staged (%d)", nd.Node, c["preserves_committed"], c["preserves_staged"])
+		}
+		if c["checksum_mismatches"] != c["integrity_fallbacks"] {
+			add("node %d: checksum mismatches (%d) != integrity fallbacks (%d)", nd.Node, c["checksum_mismatches"], c["integrity_fallbacks"])
+		}
+		if int64(nd.PhoenixRestarts) != c["preserves_committed"] {
+			add("node %d: phoenix restarts (%d) != committed preserves (%d)", nd.Node, nd.PhoenixRestarts, c["preserves_committed"])
+		}
+	}
+	return v
+}
+
+// FmtViolations renders oracle violations for logs: "oracle: message" lines.
+func FmtViolations(oracle string, msgs []string) string {
+	var b strings.Builder
+	for _, m := range msgs {
+		fmt.Fprintf(&b, "%s: %s\n", oracle, m)
+	}
+	return b.String()
+}

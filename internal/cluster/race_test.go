@@ -1,0 +1,108 @@
+package cluster_test
+
+// Race-hammer for the serving tier: each cluster run is single-threaded by
+// design (one simclock drives balancer probes, client traffic, and the kill
+// schedule), so the concurrency hazard worth hunting is *shared package
+// state* — a stray global in the balancer, fabric, kernel, or app layers
+// that two independent clusters would stomp. This test runs many full
+// clusters concurrently under -race with kill-heavy schedules and health
+// probing active, requires same-seed runs to stay byte-identical even while
+// racing each other, and checks no goroutine outlives the runs.
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/cluster"
+	"phoenix/internal/recovery"
+)
+
+func hammerOnce(t *testing.T, seed int64) cluster.Report {
+	t.Helper()
+	mk := registry.Factories(seed)["kvstore"]
+	prof := registry.ClusterProfile("kvstore", seed)
+	cfg := cluster.Config{
+		System:   "kvstore",
+		Seed:     seed,
+		Recovery: recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: prof.CheckpointInterval},
+		Profile:  prof,
+	}
+	d := prof.RunFor
+	sched := cluster.Schedule{Kills: []cluster.Kill{
+		{At: d / 4, Node: 0},
+		{At: d / 3, Node: 1},
+		{At: d / 2, Node: 2},
+	}}
+	rep, err := cluster.Run(cfg, mk, sched)
+	if err != nil {
+		t.Errorf("seed %d: %v", seed, err)
+		return cluster.Report{}
+	}
+	return rep
+}
+
+func TestClusterRaceHammer(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// 4 seeds × 2 concurrent runs each: the duplicate pairs double as a
+	// determinism check under contention.
+	const seedCount, dup = 4, 2
+	reports := make([]cluster.Report, seedCount*dup)
+	var wg sync.WaitGroup
+	for i := range reports {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i] = hammerOnce(t, int64(i%seedCount)+1)
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for s := 0; s < seedCount; s++ {
+		a, b := reports[s], reports[s+seedCount]
+		ja, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("seed %d: concurrent same-seed runs diverged:\n%s\n%s", s+1, ja, jb)
+		}
+		if a.Kills != 3 || a.Requests == 0 {
+			t.Fatalf("seed %d: hammer run exercised nothing: %s", s+1, a)
+		}
+		// Health probing ran: the balancer's probe traffic is part of NetSent
+		// beyond the request/response pairs, and every node answered probes.
+		for _, nd := range a.Nodes {
+			if nd.Accepted == 0 {
+				t.Fatalf("seed %d: node %d accepted nothing (balancer never routed to it): %s", s+1, nd.Node, ja)
+			}
+		}
+	}
+
+	// Goroutine-leak check: nothing the runs started may outlive them. A few
+	// settle retries tolerate runtime-internal goroutines winding down.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

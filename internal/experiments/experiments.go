@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"tab8", "Table 8: runtime overhead", RunTab8},
 		{"tab9", "Table 9: memory reuse", RunTab9},
 		{"figcluster", "Cluster figure: availability under traffic for replicated PHOENIX vs builtin vs vanilla", RunFigCluster},
+		{"figexplore", "Exploration campaign: randomized fault-schedule search with oracle checking and failing-seed shrinking", RunFigExplore},
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab1", "fig1", "fig9", "tab3", "tab4", "tab5",
 		"fig10", "fig11", "fig12", "fig13", "tab6", "tab7", "tab8", "tab9",
-		"figcluster"}
+		"figcluster", "figexplore"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -243,5 +243,25 @@ func TestFig13Smoke(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("phoenix recomputed work:\n%s", out)
+	}
+}
+
+// TestFigExploreSmoke runs the quick exploration sweep: the summary must
+// cover both execution modes, and any violating seed must report a shrunk
+// minimal schedule.
+func TestFigExploreSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runQuick(t, "figexplore")
+	if !strings.Contains(out, "explore: 50 seeds") {
+		t.Fatalf("figexplore did not run the quick sweep:\n%s", out)
+	}
+	if !strings.Contains(out, "modes: single=") || strings.Contains(out, "cluster=0") {
+		t.Fatalf("quick sweep never drew a cluster schedule:\n%s", out)
+	}
+	if strings.Contains(out, "violating") && !strings.Contains(out, ": 0 violating") &&
+		!strings.Contains(out, "minimal:") {
+		t.Fatalf("violating seeds without minimal schedules:\n%s", out)
 	}
 }

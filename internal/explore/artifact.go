@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ArtifactVersion guards checked-in artifacts against grammar drift: bumping
+// it invalidates stored artifacts explicitly instead of letting them decode
+// into the wrong shape.
+const ArtifactVersion = 1
+
+// Artifact is a self-contained, replayable record of one minimal failing
+// schedule: the schedule itself plus the exact violations its run produces.
+// Artifacts are what the campaign emits for every shrunk failure and what CI
+// checks into testdata — Replay must keep reproducing them byte-for-byte.
+type Artifact struct {
+	Version    int         `json:"version"`
+	Schedule   Schedule    `json:"schedule"`
+	Violations []Violation `json:"violations"`
+}
+
+// Replay re-runs an artifact's schedule and returns the fresh outcome. The
+// caller compares Outcome.Violations against Artifact.Violations; Verify does
+// exactly that.
+func Replay(a Artifact) (Outcome, error) {
+	if a.Version != ArtifactVersion {
+		return Outcome{}, fmt.Errorf("explore: artifact version %d, want %d", a.Version, ArtifactVersion)
+	}
+	return Run(a.Schedule)
+}
+
+// Verify replays the artifact and errors unless the reproduced violations are
+// byte-identical to the recorded ones.
+func Verify(a Artifact) error {
+	out, err := Replay(a)
+	if err != nil {
+		return err
+	}
+	want, err := json.Marshal(a.Violations)
+	if err != nil {
+		return err
+	}
+	got, err := json.Marshal(out.Violations)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("explore: artifact (seed %d, app %s) no longer reproduces:\n  recorded: %s\n  replayed: %s",
+			a.Schedule.Seed, a.Schedule.App, want, got)
+	}
+	return nil
+}
+
+// DecodeArtifact parses one stored artifact, rejecting unknown fields so a
+// grammar change cannot silently decode stale artifacts into zero values.
+func DecodeArtifact(data []byte) (Artifact, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var a Artifact
+	if err := dec.Decode(&a); err != nil {
+		return Artifact{}, fmt.Errorf("explore: decode artifact: %w", err)
+	}
+	return a, nil
+}

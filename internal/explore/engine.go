@@ -1,0 +1,302 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/cluster"
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+	"phoenix/internal/netsim"
+	"phoenix/internal/recovery"
+)
+
+// crashVA is the synthetic "kill -9": an address no layout maps (same class
+// as the recovery and cluster campaigns use).
+const crashVA = mem.VAddr(0x2_0000_0000)
+
+// Violation is one oracle failure, attributed to the oracle that found it.
+type Violation struct {
+	Oracle string `json:"oracle"`
+	Msg    string `json:"msg"`
+}
+
+// Outcome is the deterministic result of running one schedule: the schedule
+// itself, a compact run summary, and every oracle violation. Equal schedules
+// produce byte-identical JSON encodings of equal outcomes.
+type Outcome struct {
+	Schedule         Schedule    `json:"schedule"`
+	Requests         int         `json:"requests"`
+	Recoveries       int         `json:"recoveries"`
+	CorruptionsFired int         `json:"corruptions_fired"`
+	OpFaultsFired    int         `json:"op_faults_fired"`
+	FinalLevel       string      `json:"final_level,omitempty"`
+	Terminated       string      `json:"terminated,omitempty"`
+	Violations       []Violation `json:"violations"`
+}
+
+// Run executes one schedule and judges it against the application's oracles.
+// The returned error reports infrastructure problems only (an unbootable app,
+// a crash that did not register); oracle violations are data, not errors.
+func Run(sch Schedule) (Outcome, error) {
+	var (
+		obs *registry.Observation
+		err error
+	)
+	switch sch.Mode {
+	case "cluster":
+		obs, err = runCluster(sch)
+	case "single":
+		obs, err = runSingle(sch)
+	default:
+		return Outcome{}, fmt.Errorf("explore: unknown schedule mode %q", sch.Mode)
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{
+		Schedule:         sch,
+		Requests:         obs.Stats.Requests,
+		Recoveries:       len(obs.Recoveries),
+		CorruptionsFired: obs.CorruptionsFired,
+		OpFaultsFired:    obs.OpFaultsFired,
+		FinalLevel:       obs.FinalLevel.String(),
+		Terminated:       obs.Terminated,
+		Violations:       []Violation{},
+	}
+	if obs.Cluster != nil {
+		out.Requests = obs.Cluster.Requests
+		out.Recoveries = obs.Cluster.Kills
+		out.FinalLevel = ""
+	}
+	for _, oracle := range registry.OraclesFor(sch.App, sch.Mode == "cluster") {
+		for _, msg := range oracle.Check(obs) {
+			out.Violations = append(out.Violations, Violation{Oracle: oracle.Name(), Msg: msg})
+		}
+	}
+	return out, nil
+}
+
+// runSingle drives one supervised PHOENIX harness through the schedule:
+// requests are served in order, and each event fires just before the request
+// index it names. Kills go through the real failure-handling path, so the
+// run exercises preserve_exec, the fallback taxonomy, and the escalation
+// ladder exactly as production recovery would.
+func runSingle(sch Schedule) (*registry.Observation, error) {
+	mk, ok := registry.Factories(sch.Seed)[sch.App]
+	if !ok {
+		return nil, fmt.Errorf("explore: unknown app %q", sch.App)
+	}
+	m := kernel.NewMachine(sch.Seed)
+	inj := faultinject.New()
+	app, gen := mk(inj)
+	cfg := recovery.Config{
+		Mode:      recovery.ModePhoenix,
+		Supervise: true,
+		Supervisor: recovery.SupervisorConfig{
+			BreakerK:     3,
+			Window:       60 * time.Second,
+			BackoffBase:  100 * time.Millisecond,
+			BackoffMax:   2 * time.Second,
+			StablePeriod: 30 * time.Second,
+			RetryBudget:  16,
+		},
+		DisableChecksums:   sch.DisableChecksums,
+		CheckpointInterval: 5 * time.Millisecond,
+	}
+	h := recovery.NewHarness(m, cfg, app, gen, inj)
+	if err := h.Boot(); err != nil {
+		return nil, fmt.Errorf("explore: %s boot: %w", sch.App, err)
+	}
+
+	obs := &registry.Observation{
+		App:               sch.App,
+		Seed:              sch.Seed,
+		ChecksumsDisabled: sch.DisableChecksums,
+	}
+	armed := make(map[string]bool)
+	// collect retires one arming: if its fault fired, credit the right
+	// ground-truth counter and clear the latch so the site can be re-armed.
+	collect := func(site string) {
+		if !armed[site] {
+			return
+		}
+		if inj.Fired(site) {
+			if site == faultinject.SitePreserveCorrupt {
+				obs.CorruptionsFired++
+			} else {
+				obs.OpFaultsFired++
+			}
+		}
+		inj.Disarm(site)
+		delete(armed, site)
+	}
+
+	// recordRecovery classifies the stat movement of one episode. A clean
+	// preserve is exactly one PHOENIX restart and nothing else; everything
+	// else lost in-memory state somewhere.
+	recordRecovery := func(atStep int, before recovery.Stats) {
+		d := h.Stat
+		fallbacks := (d.UnsafeFallbacks - before.UnsafeFallbacks) +
+			(d.GraceFallbacks - before.GraceFallbacks) +
+			(d.CrossFallbacks - before.CrossFallbacks) +
+			(d.RecoveryFaultFallbacks - before.RecoveryFaultFallbacks) +
+			(d.IntegrityFallbacks - before.IntegrityFallbacks) +
+			(d.OtherRestarts - before.OtherRestarts) +
+			(d.BootFailures - before.BootFailures)
+		obs.Recoveries = append(obs.Recoveries, registry.RecoveryRecord{
+			AtStep:        atStep,
+			CleanPreserve: d.PhoenixRestarts-before.PhoenixRestarts == 1 && fallbacks == 0,
+			Level:         h.EscalationLevel().String(),
+			Fallbacks:     fallbacks,
+			Escalated:     d.Escalations > before.Escalations,
+			Deescalated:   d.Deescalations > before.Deescalations,
+		})
+	}
+
+	terminal := func(err error) (bool, error) {
+		if err == nil {
+			return false, nil
+		}
+		if strings.Contains(err.Error(), "retry budget exhausted") {
+			obs.Terminated = err.Error()
+			return true, nil
+		}
+		return false, err
+	}
+
+	ei := 0
+	done := false
+	for i := 0; i < sch.Steps && !done; i++ {
+		for ei < len(sch.Events) && sch.Events[ei].At <= i {
+			ev := sch.Events[ei]
+			ei++
+			switch ev.Kind {
+			case KindCalm:
+				m.Clock.Advance(time.Duration(ev.DurUs) * time.Microsecond)
+			case KindArm:
+				collect(ev.Site)
+				spec, ok := kernel.PreserveSiteSpec(ev.Site)
+				if !ok {
+					return nil, fmt.Errorf("explore: arm event names unknown site %q", ev.Site)
+				}
+				inj.ArmAfter(ev.Site, spec.Type, ev.Skip)
+				inj.Enable()
+				armed[ev.Site] = true
+			case KindKill:
+				ci := h.Proc().Run(func() { h.Proc().AS.ReadU64(crashVA) })
+				if ci == nil {
+					return nil, fmt.Errorf("explore: synthetic crash did not register")
+				}
+				before := h.Stat
+				stop, err := terminal(h.HandleFailureForREPL(ci))
+				if err != nil {
+					return nil, fmt.Errorf("explore: recovery surfaced a simulator error: %w", err)
+				}
+				recordRecovery(i, before)
+				if stop {
+					done = true
+				}
+			default:
+				return nil, fmt.Errorf("explore: event %s invalid in single mode", ev)
+			}
+			if done {
+				break
+			}
+		}
+		if done {
+			break
+		}
+		req := h.Gen.Next()
+		before := h.Stat
+		ok, eff, err := h.ServeRequest(req)
+		if stop, err := terminal(err); err != nil {
+			return nil, fmt.Errorf("explore: step %d: %w", i, err)
+		} else if stop {
+			done = true
+		}
+		// An organic crash inside the request (e.g. structures corrupted by a
+		// silently committed bit flip) recovered in-line; the episode applies
+		// to every step after this one.
+		if h.Stat.Failures > before.Failures {
+			recordRecovery(i+1, before)
+		}
+		obs.Steps = append(obs.Steps, registry.TraceStep{
+			Index: i, Op: req.Op.String(), Key: req.Key, OK: ok, Effective: eff,
+		})
+	}
+
+	sites := make([]string, 0, len(armed))
+	for s := range armed {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		collect(s)
+	}
+
+	obs.Stats = h.Stat
+	obs.Counters = m.Counters.Snapshot()
+	obs.FinalLevel = h.EscalationLevel()
+	return obs, nil
+}
+
+// runCluster replays the schedule against a replicated PHOENIX serving tier:
+// kills, drains, and partitions become the cluster fault script, and
+// linkfault events arm the shared network injector before traffic opens.
+func runCluster(sch Schedule) (*registry.Observation, error) {
+	mk, ok := registry.Factories(sch.Seed)[sch.App]
+	if !ok {
+		return nil, fmt.Errorf("explore: unknown app %q", sch.App)
+	}
+	prof := registry.ClusterProfile(sch.App, sch.Seed)
+	if prof.CheckpointInterval <= 0 {
+		// Mirror the cluster campaign: the harness checkpoint cadence follows
+		// the profile's (filled) persistence cadence.
+		prof.CheckpointInterval = 2 * time.Millisecond
+	}
+	inj := faultinject.New()
+	netsim.RegisterSites(inj)
+
+	var csched cluster.Schedule
+	for _, ev := range sch.Events {
+		at := time.Duration(ev.AtUs) * time.Microsecond
+		dur := time.Duration(ev.DurUs) * time.Microsecond
+		switch ev.Kind {
+		case KindKill:
+			csched.Kills = append(csched.Kills, cluster.Kill{At: at, Node: ev.Node})
+		case KindDrain:
+			csched.Drains = append(csched.Drains, cluster.Window{From: at, To: at + dur, Node: ev.Node})
+		case KindPartition:
+			csched.Partitions = append(csched.Partitions, cluster.Window{From: at, To: at + dur, Node: ev.Node})
+		case KindLinkFault:
+			inj.Disarm(ev.Site)
+			inj.ArmAfter(ev.Site, faultinject.OpFailure, ev.Skip)
+			inj.Enable()
+		default:
+			return nil, fmt.Errorf("explore: event %s invalid in cluster mode", ev)
+		}
+	}
+
+	cfg := cluster.Config{
+		System:   sch.App,
+		Replicas: sch.Replicas,
+		Seed:     sch.Seed,
+		Recovery: recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: prof.CheckpointInterval},
+		Profile:  prof,
+		Inj:      inj,
+	}
+	rep, err := cluster.Run(cfg, mk, csched)
+	if err != nil {
+		return nil, fmt.Errorf("explore: cluster run: %w", err)
+	}
+	return &registry.Observation{
+		App:     sch.App,
+		Seed:    sch.Seed,
+		Cluster: &rep,
+	}, nil
+}

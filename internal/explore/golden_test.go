@@ -1,0 +1,98 @@
+package explore
+
+// Golden-replay determinism tests (unit-level): every campaign the repo
+// ships — atomicity, escalation, cluster, and explore — must serialise to
+// byte-identical JSON when re-run with the same seed. The CI campaigns catch
+// determinism regressions eventually; these tests catch them in `go test`
+// with small configurations, and pin the JSON encodings of the campaign
+// outcome types (a dropped tag or reordered field shows up as a diff here).
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/cluster"
+	"phoenix/internal/recovery"
+)
+
+// goldenJSON marshals v twice around a re-computation and requires equality.
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestGoldenAtomicityCampaign(t *testing.T) {
+	mk := registry.Factories(7)["kvstore"]
+	run := func() []byte {
+		outcomes, err := recovery.CheckAtomicity(mk, recovery.AtomicityConfig{Seed: 7, Warm: 30, Settle: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, outcomes)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("atomicity outcomes diverged across same-seed runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestGoldenEscalationCampaign(t *testing.T) {
+	mk := registry.Factories(7)["kvstore"]
+	run := func() []byte {
+		out, err := recovery.CheckEscalation(mk, recovery.EscalationConfig{Seed: 7, Warm: 30, Settle: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, out)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("escalation outcomes diverged across same-seed runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestGoldenClusterRun(t *testing.T) {
+	run := func() []byte {
+		mk := registry.Factories(7)["kvstore"]
+		prof := registry.ClusterProfile("kvstore", 7)
+		cfg := cluster.Config{
+			System:   "kvstore",
+			Seed:     7,
+			Recovery: recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: prof.CheckpointInterval},
+			Profile:  prof,
+		}
+		rep, err := cluster.Run(cfg, mk, cluster.DefaultSchedule(prof, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cluster reports diverged across same-seed runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestGoldenExploreCampaign(t *testing.T) {
+	run := func() []byte {
+		sum, err := CheckExplore(Options{Seeds: 6, Start: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, sum)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("explore summaries diverged across same-option runs:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,255 @@
+// Package explore implements deterministic-simulation testing (DST) for the
+// PHOENIX recovery stack: from a single int64 seed it generates a random
+// fault schedule — preserve-path operation failures, Byzantine bit flips,
+// synthetic process kills, supervisor-calming idle periods, and (in cluster
+// mode) node kills, balancer drains, network partitions, and link faults —
+// runs the schedule against a registry application, and checks the
+// per-application invariant oracles (registry.OraclesFor). A violated oracle
+// triggers deterministic shrinking to a minimal failing schedule and a
+// replayable JSON artifact; Replay reproduces the violation byte-for-byte.
+//
+// Everything downstream of the seed is deterministic: one seeded RNG
+// generates the schedule, the run itself rides the repo's simulated clocks,
+// and outcome JSON uses fixed field order, so the campaign can require
+// byte-identical double runs of every seed.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/kernel"
+	"phoenix/internal/netsim"
+)
+
+// Event kinds. Single-harness schedules use arm/kill/calm with At as a
+// request index; cluster schedules use kill/drain/partition with AtUs as a
+// cluster-clock instant and linkfault as an up-front arming.
+const (
+	// KindArm arms one preserve-path fault site (Site, Skip) just before
+	// request At; the fault strikes the next recovery that reaches the site.
+	KindArm = "arm"
+	// KindKill crashes the process (single) or one node (cluster).
+	KindKill = "kill"
+	// KindCalm advances the simulated clock by DurUs before request At, long
+	// enough for the supervisor's stable period to de-escalate the ladder.
+	KindCalm = "calm"
+	// KindDrain and KindPartition open a [AtUs, AtUs+DurUs) window against
+	// Node (cluster only).
+	KindDrain     = "drain"
+	KindPartition = "partition"
+	// KindLinkFault arms one netsim.link.* site with Skip (cluster only).
+	KindLinkFault = "linkfault"
+)
+
+// Event is one element of a fault schedule. Field meaning depends on Kind;
+// unused fields stay zero so the JSON encoding is compact and stable.
+type Event struct {
+	Kind  string `json:"kind"`
+	At    int    `json:"at,omitempty"`
+	AtUs  int64  `json:"at_us,omitempty"`
+	Site  string `json:"site,omitempty"`
+	Skip  int    `json:"skip,omitempty"`
+	Node  int    `json:"node,omitempty"`
+	DurUs int64  `json:"dur_us,omitempty"`
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindArm:
+		return fmt.Sprintf("arm(%s+%d)@%d", e.Site, e.Skip, e.At)
+	case KindKill:
+		if e.AtUs > 0 {
+			return fmt.Sprintf("kill(node%d)@%dµs", e.Node, e.AtUs)
+		}
+		return fmt.Sprintf("kill@%d", e.At)
+	case KindCalm:
+		return fmt.Sprintf("calm(%dµs)@%d", e.DurUs, e.At)
+	case KindDrain, KindPartition:
+		return fmt.Sprintf("%s(node%d)@[%d,%d)µs", e.Kind, e.Node, e.AtUs, e.AtUs+e.DurUs)
+	case KindLinkFault:
+		return fmt.Sprintf("linkfault(%s+%d)", e.Site, e.Skip)
+	}
+	return e.Kind
+}
+
+// Schedule is one generated fault script: the search space element a seed
+// maps to and the unit shrinking minimizes. Mode "single" drives one
+// recovery.Harness request by request; mode "cluster" replays the events
+// against a replicated serving tier.
+type Schedule struct {
+	Seed int64  `json:"seed"`
+	App  string `json:"app"`
+	Mode string `json:"mode"`
+	// Steps is the single-mode request count.
+	Steps int `json:"steps,omitempty"`
+	// Replicas is the cluster-mode node count.
+	Replicas int `json:"replicas,omitempty"`
+	// DisableChecksums runs the harness with post-commit integrity
+	// verification off — the configuration under which an injected bit flip
+	// commits silently, which the accounting oracle must flag.
+	DisableChecksums bool    `json:"disable_checksums,omitempty"`
+	Events           []Event `json:"events"`
+}
+
+// kindRank orders same-instant events deterministically: armings land before
+// the kill whose recovery they strike; calms settle the supervisor first.
+func kindRank(kind string) int {
+	switch kind {
+	case KindCalm:
+		return 0
+	case KindArm:
+		return 1
+	case KindLinkFault:
+		return 2
+	case KindDrain:
+		return 3
+	case KindPartition:
+		return 4
+	case KindKill:
+		return 5
+	}
+	return 6
+}
+
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.AtUs != b.AtUs {
+			return a.AtUs < b.AtUs
+		}
+		if kindRank(a.Kind) != kindRank(b.Kind) {
+			return kindRank(a.Kind) < kindRank(b.Kind)
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Skip < b.Skip
+	})
+}
+
+// mix is a splitmix64 finalizer: math/rand sources seeded with *adjacent*
+// integers emit correlated first draws, which would skew a sweep of seeds
+// 1..N toward the same schedule shapes. Scrambling the seed decorrelates
+// consecutive campaign seeds while keeping the seed → schedule map pure.
+func mix(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Generate maps one seed to one fault schedule. app restricts the choice to
+// one registry application ("" draws one at random). The mapping is pure:
+// the same (seed, app) pair always yields the identical schedule.
+func Generate(seed int64, app string) Schedule {
+	rng := rand.New(rand.NewSource(mix(seed)))
+	names := registry.Names()
+	// Always burn the app draw so forcing an app does not shift every later
+	// draw (the -app flag then explores the same schedules, same apps aside).
+	pick := names[rng.Intn(len(names))]
+	if app == "" {
+		app = pick
+	}
+	if rng.Intn(4) == 0 {
+		return generateCluster(rng, seed, app)
+	}
+	return generateSingle(rng, seed, app)
+}
+
+func generateSingle(rng *rand.Rand, seed int64, app string) Schedule {
+	sch := Schedule{
+		Seed:  seed,
+		App:   app,
+		Mode:  "single",
+		Steps: 60 + rng.Intn(140),
+		// Roughly one seed in six runs with integrity verification off: often
+		// enough that every sweep keeps the violation → shrink → replay
+		// pipeline exercised, rare enough that most seeds search the
+		// checksummed configuration.
+		DisableChecksums: rng.Intn(6) == 0,
+	}
+	sites := kernel.PreserveSiteSpecs()
+
+	kills := 1 + rng.Intn(4)
+	for i := 0; i < kills; i++ {
+		sch.Events = append(sch.Events, Event{Kind: KindKill, At: 5 + rng.Intn(sch.Steps-5)})
+	}
+	arms := rng.Intn(4)
+	for i := 0; i < arms; i++ {
+		s := sites[rng.Intn(len(sites))]
+		sch.Events = append(sch.Events, Event{
+			Kind: KindArm,
+			At:   rng.Intn(sch.Steps),
+			Site: s.ID,
+			Skip: rng.Intn(s.MaxSkip + 1),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		sch.Events = append(sch.Events, Event{
+			Kind:  KindCalm,
+			At:    5 + rng.Intn(sch.Steps-5),
+			DurUs: (30*time.Second + time.Duration(rng.Intn(60))*time.Second).Microseconds(),
+		})
+	}
+	sortEvents(sch.Events)
+	return sch
+}
+
+func generateCluster(rng *rand.Rand, seed int64, app string) Schedule {
+	sch := Schedule{Seed: seed, App: app, Mode: "cluster", Replicas: 3}
+	runUs := registry.ClusterProfile(app, seed).RunFor.Microseconds()
+	if runUs == 0 {
+		runUs = (150 * time.Millisecond).Microseconds()
+	}
+	// At most one kill per node: a second kill on the same node at these time
+	// scales lands inside the PHOENIX grace window and only measures the
+	// fallback path (mirrors cluster.DefaultSchedule's rationale).
+	order := rng.Perm(sch.Replicas)
+	kills := 1 + rng.Intn(2)
+	for i := 0; i < kills; i++ {
+		sch.Events = append(sch.Events, Event{
+			Kind: KindKill,
+			Node: order[i],
+			AtUs: runUs/10 + rng.Int63n(runUs*7/10),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		from := runUs/10 + rng.Int63n(runUs/2)
+		sch.Events = append(sch.Events, Event{
+			Kind:  KindDrain,
+			Node:  order[sch.Replicas-1],
+			AtUs:  from,
+			DurUs: runUs/20 + rng.Int63n(runUs/5),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		from := runUs/10 + rng.Int63n(runUs/2)
+		sch.Events = append(sch.Events, Event{
+			Kind:  KindPartition,
+			Node:  order[0],
+			AtUs:  from,
+			DurUs: runUs/20 + rng.Int63n(runUs/5),
+		})
+	}
+	linkSites := []string{netsim.SiteLinkDrop, netsim.SiteLinkDup, netsim.SiteLinkDelay}
+	faults := rng.Intn(3)
+	for i := 0; i < faults; i++ {
+		sch.Events = append(sch.Events, Event{
+			Kind: KindLinkFault,
+			Site: linkSites[rng.Intn(len(linkSites))],
+			Skip: rng.Intn(200),
+		})
+	}
+	sortEvents(sch.Events)
+	return sch
+}

@@ -1,0 +1,141 @@
+package explore
+
+// This file implements failing-schedule shrinking: given a schedule whose run
+// violated some oracles, produce the smallest schedule that still violates at
+// least one of the *same* oracles. The reduction is a deterministic
+// delta-debugging loop (ddmin-style, at single-event granularity) followed by
+// parameter tightening: drop events until 1-minimal, cut the request count to
+// the shortest failing prefix, re-enable checksums if the violation survives
+// without the degraded configuration, zero arm skips, and halve calm/window
+// durations. Every candidate is judged by re-running it, so shrinking is as
+// deterministic as Run itself — the same failing schedule always reduces to
+// the same minimal schedule.
+
+// shrinkBudget bounds candidate runs per shrink so a pathological schedule
+// cannot stall a campaign; at typical schedule sizes (≤ 9 events, ≤ 200
+// requests) a shrink uses well under half of it.
+const shrinkBudget = 400
+
+type shrinker struct {
+	target map[string]bool // oracle names the minimal schedule must still violate
+	runs   int
+}
+
+// fails reports whether the candidate still violates a targeted oracle.
+// Infrastructure errors and exhausted budgets conservatively count as "does
+// not fail": the shrink keeps the last known-failing schedule instead.
+func (s *shrinker) fails(sch Schedule) bool {
+	if s.runs >= shrinkBudget {
+		return false
+	}
+	s.runs++
+	out, err := Run(sch)
+	if err != nil {
+		return false
+	}
+	for _, v := range out.Violations {
+		if s.target[v.Oracle] {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneSchedule(sch Schedule) Schedule {
+	cp := sch
+	cp.Events = append([]Event(nil), sch.Events...)
+	return cp
+}
+
+func withoutEvent(sch Schedule, i int) Schedule {
+	cp := sch
+	cp.Events = make([]Event, 0, len(sch.Events)-1)
+	cp.Events = append(cp.Events, sch.Events[:i]...)
+	cp.Events = append(cp.Events, sch.Events[i+1:]...)
+	return cp
+}
+
+// Shrink reduces a failing schedule to a minimal one and packages it as a
+// replayable artifact. vio is the original run's violation list; the result
+// is guaranteed to still violate at least one of the same oracles (in the
+// worst case it is the input schedule itself).
+func Shrink(sch Schedule, vio []Violation) (Artifact, error) {
+	s := &shrinker{target: make(map[string]bool)}
+	for _, v := range vio {
+		s.target[v.Oracle] = true
+	}
+	cur := cloneSchedule(sch)
+
+	// Phase 1 — event minimization to a 1-minimal set: repeatedly sweep the
+	// event list, dropping any single event whose removal keeps the failure,
+	// until a full sweep removes nothing.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Events); i++ {
+			cand := withoutEvent(cur, i)
+			if s.fails(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+
+	// Phase 2 — shortest failing prefix (single mode): binary-search the
+	// smallest request count that still fails. Every surviving event must
+	// still fire, so the floor is just past the last event index.
+	if cur.Mode == "single" {
+		floor := 1
+		for _, ev := range cur.Events {
+			if ev.At+1 > floor {
+				floor = ev.At + 1
+			}
+		}
+		lo, hi := floor, cur.Steps // fails at hi; unknown at lo
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			cand := cloneSchedule(cur)
+			cand.Steps = mid
+			if s.fails(cand) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cur.Steps = hi
+	}
+
+	// Phase 3 — configuration and parameter tightening.
+	if cur.DisableChecksums {
+		cand := cloneSchedule(cur)
+		cand.DisableChecksums = false
+		if s.fails(cand) {
+			cur = cand
+		}
+	}
+	for i := range cur.Events {
+		if cur.Events[i].Skip > 0 {
+			cand := cloneSchedule(cur)
+			cand.Events[i].Skip = 0
+			if s.fails(cand) {
+				cur = cand
+			}
+		}
+		for cur.Events[i].DurUs > 0 {
+			cand := cloneSchedule(cur)
+			cand.Events[i].DurUs /= 2
+			if !s.fails(cand) {
+				break
+			}
+			cur = cand
+		}
+	}
+
+	// The minimal schedule's own run supplies the expected violations the
+	// artifact must reproduce.
+	out, err := Run(cur)
+	if err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{Version: ArtifactVersion, Schedule: cur, Violations: out.Violations}, nil
+}

@@ -1,0 +1,171 @@
+package kernel
+
+// Fuzz target for the preserve_exec planner geometry. The page-range split in
+// planRange (full-page moves vs partial head/tail copies) is exactly where
+// the seed's silent data-loss bug lived, so the planner gets a native fuzz
+// target: arbitrary (start, len) pairs — two ranges, to reach the overlap
+// rejection — against a known mapping, with the staged plan checked for
+// byte-conservation, per-copy page containment, and checksum accounting, and
+// the committed preserve checked byte-exact against the source snapshot.
+
+import (
+	"bytes"
+	"testing"
+
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+// fuzzRegion is the only mapping in the fuzzed process, so any byte outside
+// it is unmapped by construction.
+const (
+	fuzzRegion      = mem.VAddr(0x2000_0000)
+	fuzzRegionPages = 8
+	fuzzSpan        = 16 * mem.PageSize // offsets may land past the mapping
+	fuzzMaxLen      = 4 * mem.PageSize
+)
+
+// moveSpan returns the aligned [lo,hi) run planRange will hand to planMove,
+// or (0,0) when the range stages only partial copies.
+func moveSpan(r linker.Range) (mem.VAddr, mem.VAddr) {
+	if r.Len <= 0 {
+		return 0, 0
+	}
+	lo := mem.PageBase(r.Start + mem.PageSize - 1)
+	hi := mem.PageBase(r.End())
+	if hi <= lo {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+func FuzzPlanRange(f *testing.F) {
+	P := uint32(mem.PageSize)
+	// Geometry corners: aligned/unaligned starts and ends, sub-page, page
+	// boundary straddles, out-of-mapping, overlapping move spans.
+	f.Add(uint32(0), uint32(100), uint32(0), uint32(0))
+	f.Add(uint32(0), P, 2*P, 2*P)
+	f.Add(uint32(100), 3*P-200, uint32(0), uint32(0))
+	f.Add(P-50, uint32(100), 4*P, P+100)
+	f.Add(uint32(0), 2*P, P, 2*P)                             // overlapping move spans
+	f.Add(uint32(fuzzRegionPages)*P, P, uint32(0), uint32(0)) // starts exactly past the mapping
+	f.Add(uint32(7)*P+100, P, uint32(0), uint32(0))           // runs off the mapping end
+
+	f.Fuzz(func(t *testing.T, off1, len1, off2, len2 uint32) {
+		m := NewMachine(1)
+		p, err := m.Spawn(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.AS.Map(fuzzRegion, fuzzRegionPages, mem.KindCustom, "state"); err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic non-trivial content so byte-exactness means something.
+		fill := make([]byte, fuzzRegionPages*mem.PageSize)
+		for i := range fill {
+			fill[i] = byte(i*7 + 13)
+		}
+		p.AS.WriteAt(fuzzRegion, fill)
+
+		regionEnd := fuzzRegion + mem.VAddr(fuzzRegionPages*mem.PageSize)
+		mkRange := func(off, length uint32) linker.Range {
+			return linker.Range{
+				Start: fuzzRegion + mem.VAddr(off)%mem.VAddr(fuzzSpan),
+				Len:   int(length % uint32(fuzzMaxLen)),
+			}
+		}
+		r1, r2 := mkRange(off1, len1), mkRange(off2, len2)
+		inBounds := func(r linker.Range) bool {
+			return r.Len <= 0 || (r.Start >= fuzzRegion && r.End() <= regionEnd)
+		}
+		lo1, hi1 := moveSpan(r1)
+		lo2, hi2 := moveSpan(r2)
+		movesOverlap := hi1 > lo1 && hi2 > lo2 && lo1 < hi2 && lo2 < hi1
+
+		plan, err := p.stagePreserve([]linker.Range{r1, r2}, mem.NullPtr)
+		if err != nil {
+			if inBounds(r1) && inBounds(r2) && !movesOverlap {
+				t.Fatalf("in-bounds non-overlapping ranges %+v %+v rejected: %v", r1, r2, err)
+			}
+			return
+		}
+		if !inBounds(r1) || !inBounds(r2) {
+			t.Fatalf("range leaving the only mapping was staged: %+v %+v", r1, r2)
+		}
+
+		// Byte conservation: every byte of every range is staged exactly once
+		// within its own range, as a full-page move or a partial copy.
+		want := 0
+		for _, r := range []linker.Range{r1, r2} {
+			if r.Len > 0 {
+				want += r.Len
+			}
+		}
+		staged := plan.moved * mem.PageSize
+		for _, c := range plan.copies {
+			if len(c.data) == 0 || len(c.data) > mem.PageSize {
+				t.Fatalf("partial copy of %d bytes at %#x", len(c.data), uint64(c.addr))
+			}
+			if mem.PageOf(c.addr) != mem.PageOf(c.addr+mem.VAddr(len(c.data))-1) {
+				t.Fatalf("partial copy at %#x crosses a page boundary (%d bytes)", uint64(c.addr), len(c.data))
+			}
+			if c.sum != mem.Checksum(c.data) {
+				t.Fatalf("copy checksum staged from other bytes at %#x", uint64(c.addr))
+			}
+			staged += len(c.data)
+		}
+		if staged != want {
+			t.Fatalf("plan stages %d bytes for %d bytes of ranges (%+v %+v)", staged, want, r1, r2)
+		}
+
+		// Checksum and move accounting.
+		if plan.copied != len(plan.copies) {
+			t.Fatalf("copied=%d but %d copies staged", plan.copied, len(plan.copies))
+		}
+		sums := 0
+		for _, mv := range plan.moves {
+			if mv.start%mem.PageSize != 0 {
+				t.Fatalf("unaligned page move at %#x", uint64(mv.start))
+			}
+			if len(mv.sums) != mv.pages {
+				t.Fatalf("move of %d pages staged %d checksums", mv.pages, len(mv.sums))
+			}
+			sums += mv.pages
+		}
+		if sums != plan.moved {
+			t.Fatalf("moved=%d but %d per-page checksums staged", plan.moved, sums)
+		}
+		if len(plan.movePages) != plan.moved {
+			t.Fatalf("moved=%d but movePages tracks %d (duplicate claim slipped through)", plan.moved, len(plan.movePages))
+		}
+		if plan.checksums() != plan.moved+len(plan.copies) {
+			t.Fatalf("checksums()=%d, want moved+copies=%d", plan.checksums(), plan.moved+len(plan.copies))
+		}
+
+		// Commit the same geometry for real: the successor must read back the
+		// exact bytes of both ranges, and the handoff counts must match the
+		// staged plan.
+		var snap1, snap2 []byte
+		if r1.Len > 0 {
+			snap1 = p.AS.ReadBytes(r1.Start, r1.Len)
+		}
+		if r2.Len > 0 {
+			snap2 = p.AS.ReadBytes(r2.Start, r2.Len)
+		}
+		np, err := p.PreserveExec(ExecSpec{Ranges: []linker.Range{r1, r2}})
+		if err != nil {
+			t.Fatalf("stageable geometry failed to commit: %v", err)
+		}
+		if r1.Len > 0 && !bytes.Equal(np.AS.ReadBytes(r1.Start, r1.Len), snap1) {
+			t.Fatalf("range %+v not preserved byte-exactly", r1)
+		}
+		if r2.Len > 0 && !bytes.Equal(np.AS.ReadBytes(r2.Start, r2.Len), snap2) {
+			t.Fatalf("range %+v not preserved byte-exactly", r2)
+		}
+		h := np.Handoff()
+		if h.MovedPages != plan.moved || h.CopiedPages != plan.copied {
+			t.Fatalf("handoff %d moved / %d copied, plan staged %d / %d",
+				h.MovedPages, h.CopiedPages, plan.moved, plan.copied)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package kernel
+
+import "phoenix/internal/faultinject"
+
+// SiteSpec describes one recovery-path injection site as a searchable
+// dimension: which site to arm, the fault type it fires, and how deep an
+// ArmAfter skip is worth exploring. Schedule-search engines (internal/explore)
+// enumerate these instead of hard-coding site IDs, so a new preserve_exec
+// fault site automatically joins the search space once it is listed here.
+type SiteSpec struct {
+	// ID is the faultinject site identifier.
+	ID string
+	// Type is the fault the site fires when armed (OpFailure or BitFlip).
+	Type faultinject.FaultType
+	// MaxSkip bounds the useful ArmAfter depth: the site executes at most
+	// once per preserve_exec call (plan, load) or once per staged operation
+	// (move, copy, corrupt), so skips beyond the largest plausible plan just
+	// leave the fault cold.
+	MaxSkip int
+}
+
+// PreserveSiteSpecs enumerates the injection sites PreserveExec consults, in
+// deterministic order. Skip depths reflect how often each site executes per
+// call: plan and load run once, moves run once per staged page run, copies
+// once per partial page, and the corrupt site once per preserved frame.
+func PreserveSiteSpecs() []SiteSpec {
+	return []SiteSpec{
+		{ID: faultinject.SitePreservePlan, Type: faultinject.OpFailure, MaxSkip: 0},
+		{ID: faultinject.SitePreserveMove, Type: faultinject.OpFailure, MaxSkip: 4},
+		{ID: faultinject.SitePreserveCopy, Type: faultinject.OpFailure, MaxSkip: 2},
+		{ID: faultinject.SitePreserveLoad, Type: faultinject.OpFailure, MaxSkip: 0},
+		{ID: faultinject.SitePreserveCorrupt, Type: faultinject.BitFlip, MaxSkip: 6},
+	}
+}
+
+// PreserveSiteSpec returns the spec for one site ID, and whether it exists.
+func PreserveSiteSpec(id string) (SiteSpec, bool) {
+	for _, s := range PreserveSiteSpecs() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return SiteSpec{}, false
+}

@@ -22,8 +22,8 @@ import (
 // Probe names one recovery-path fault to inject: the site to arm and how
 // many executions of that site to let pass before it fires (ArmAfter).
 type Probe struct {
-	Site string
-	Skip int
+	Site string `json:"site"`
+	Skip int    `json:"skip"`
 }
 
 func (p Probe) String() string { return fmt.Sprintf("%s+%d", p.Site, p.Skip) }
@@ -81,17 +81,17 @@ type AtomicityConfig struct {
 
 // ProbeOutcome records how one probe run ended.
 type ProbeOutcome struct {
-	Probe Probe
+	Probe Probe `json:"probe"`
 	// Fired reports the armed fault actually struck (a probe deeper than the
 	// app's plan — e.g. the 4th move of a 2-range plan — never fires).
-	Fired bool
+	Fired bool `json:"fired"`
 	// Fallback reports the harness counted a recovery-fault or integrity
 	// fallback.
-	Fallback bool
+	Fallback bool `json:"fallback"`
 	// MatchedPreserve / MatchedFallback report which reference dump the
 	// surviving state equalled.
-	MatchedPreserve bool
-	MatchedFallback bool
+	MatchedPreserve bool `json:"matched_preserve"`
+	MatchedFallback bool `json:"matched_fallback"`
 }
 
 // crashAddr is an address no layout maps: far above every image (which sit

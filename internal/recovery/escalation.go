@@ -42,28 +42,28 @@ type EscalationConfig struct {
 // EscalationOutcome reports what one campaign observed.
 type EscalationOutcome struct {
 	// Cycles is how many crash cycles ran.
-	Cycles int
+	Cycles int `json:"cycles"`
 	// CorruptionsFired counts cycles whose armed bit flip actually struck a
 	// preserved frame (only PHOENIX-level restarts reach preserve_exec).
-	CorruptionsFired int
+	CorruptionsFired int `json:"corruptions_fired"`
 	// Detections counts checksum mismatches the kernel caught; the campaign
 	// requires Detections == CorruptionsFired.
-	Detections int64
+	Detections int64 `json:"detections"`
 	// IntegrityFallbacks, BreakerTrips, Escalations, Deescalations mirror
 	// the harness Stats.
-	IntegrityFallbacks int
-	BreakerTrips       int
-	Escalations        int
-	Deescalations      int
+	IntegrityFallbacks int `json:"integrity_fallbacks"`
+	BreakerTrips       int `json:"breaker_trips"`
+	Escalations        int `json:"escalations"`
+	Deescalations      int `json:"deescalations"`
 	// MaxLevel is the deepest ladder rung reached; FinalLevel is the rung
 	// after the stabilisation phase (must be LevelPhoenix).
-	MaxLevel   Level
-	FinalLevel Level
-	// BackoffTotal is the simulated time spent holding restarts.
-	BackoffTotal time.Duration
+	MaxLevel   Level `json:"max_level"`
+	FinalLevel Level `json:"final_level"`
+	// BackoffTotal is the simulated time spent holding restarts (ns in JSON).
+	BackoffTotal time.Duration `json:"backoff_total_ns"`
 	// PhoenixRecovered reports the post-stabilisation clean crash recovered
 	// via preserve_exec with its checksums verified.
-	PhoenixRecovered bool
+	PhoenixRecovered bool `json:"phoenix_recovered"`
 }
 
 func (o EscalationOutcome) String() string {

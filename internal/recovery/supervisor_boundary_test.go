@@ -1,0 +1,160 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+)
+
+// Boundary tests for the supervisor: the breaker's exact Kth crash, the
+// sliding window's exact edge, de-escalation at exactly the stable period,
+// the backoff doubling sequence and its exact cap, and the retry budget's
+// exact exhaustion point. These pin the off-by-one behaviour the state
+// machine's specification implies but the scripted traces only sample.
+
+// TestBreakerWindowBoundaries tables the breaker against crash trains placed
+// exactly on and just off the window edge.
+func TestBreakerWindowBoundaries(t *testing.T) {
+	const W = 60 * time.Second
+	cases := []struct {
+		name    string
+		crashes []time.Duration // OnCrash instants, in order
+		trips   []bool          // expected Tripped per crash
+	}{
+		{
+			// Exactly K=3 crashes inside one window: the 3rd trips.
+			name:    "exactly-K-trips-on-Kth",
+			crashes: []time.Duration{0, time.Second, 2 * time.Second},
+			trips:   []bool{false, false, true},
+		},
+		{
+			// K-1 crashes: never trips.
+			name:    "K-minus-1-never-trips",
+			crashes: []time.Duration{0, time.Second},
+			trips:   []bool{false, false},
+		},
+		{
+			// The 3rd crash lands exactly W after the 1st: now-t < W is false
+			// for the first crash, so it has aged out and the count is 2.
+			name:    "first-crash-ages-out-exactly-at-window",
+			crashes: []time.Duration{0, time.Second, W},
+			trips:   []bool{false, false, false},
+		},
+		{
+			// One instant inside the window edge: the first crash still
+			// counts and the 3rd trips.
+			name:    "first-crash-still-counted-just-inside-window",
+			crashes: []time.Duration{0, time.Second, W - time.Nanosecond},
+			trips:   []bool{false, false, true},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSupervisor(SupervisorConfig{BreakerK: 3, Window: W})
+			for i, at := range tc.crashes {
+				d := s.OnCrash(at)
+				if d.Tripped != tc.trips[i] {
+					t.Fatalf("crash %d at %v: tripped=%v, want %v (level %v)", i, at, d.Tripped, tc.trips[i], s.Level())
+				}
+			}
+		})
+	}
+}
+
+// TestDeescalationStablePeriodBoundary: serving exactly StablePeriod after
+// the last crash de-escalates; one nanosecond earlier does not.
+func TestDeescalationStablePeriodBoundary(t *testing.T) {
+	const SP = 30 * time.Second
+	mk := func() *Supervisor {
+		s := NewSupervisor(SupervisorConfig{BreakerK: 2, Window: time.Hour, StablePeriod: SP})
+		s.OnCrash(0)
+		d := s.OnCrash(time.Second) // trips to builtin
+		if !d.Tripped || s.Level() != LevelBuiltin {
+			t.Fatalf("setup did not escalate: %+v level=%v", d, s.Level())
+		}
+		return s
+	}
+
+	s := mk()
+	lastCrash := time.Second
+	if de, _ := s.NoteServing(lastCrash + SP - time.Nanosecond); de {
+		t.Fatal("de-escalated one nanosecond before the stable period elapsed")
+	}
+	if de, to := s.NoteServing(lastCrash + SP); !de || to != LevelPhoenix {
+		t.Fatalf("serving at exactly the stable period should de-escalate to phoenix, got de=%v to=%v", de, to)
+	}
+
+	// Each further rung needs its own full stable period: after the builtin →
+	// phoenix step the stability clock restarts.
+	s = mk()
+	s.OnCrash(2 * time.Second) // still builtin (window cleared on escalation)
+	s.OnCrash(3 * time.Second)
+	if s.Level() != LevelVanilla {
+		t.Fatalf("second trip did not reach vanilla: %v", s.Level())
+	}
+	at := 3*time.Second + SP
+	if de, to := s.NoteServing(at); !de || to != LevelBuiltin {
+		t.Fatalf("first stable period should step vanilla -> builtin, got de=%v to=%v", de, to)
+	}
+	if de, _ := s.NoteServing(at + SP - time.Nanosecond); de {
+		t.Fatal("second rung climbed without a full second stable period")
+	}
+	if de, to := s.NoteServing(at + SP); !de || to != LevelPhoenix {
+		t.Fatalf("second stable period should step builtin -> phoenix, got de=%v to=%v", de, to)
+	}
+}
+
+// TestBackoffDoublingAndCap: the backoff sequence is Base, 2·Base, 4·Base, …
+// and saturates at exactly BackoffMax.
+func TestBackoffDoublingAndCap(t *testing.T) {
+	const (
+		base = 100 * time.Millisecond
+		max  = 800 * time.Millisecond // exactly base·2³
+	)
+	s := NewSupervisor(SupervisorConfig{BreakerK: 100, Window: time.Hour, BackoffBase: base, BackoffMax: max})
+	want := []time.Duration{
+		base,     // 1st crash
+		2 * base, // doubled
+		4 * base,
+		8 * base, // == max, not beyond
+		max,      // stays capped
+		max,
+	}
+	for i, w := range want {
+		d := s.OnCrash(time.Duration(i) * time.Second)
+		if d.Backoff != w {
+			t.Fatalf("crash %d: backoff %v, want %v", i+1, d.Backoff, w)
+		}
+	}
+
+	// A stable period resets the doubling to Base.
+	s.NoteServing(time.Duration(len(want))*time.Second + 31*time.Second)
+	if d := s.OnCrash(2 * time.Hour); d.Backoff != base {
+		t.Fatalf("backoff did not reset after a stable period: %v", d.Backoff)
+	}
+}
+
+// TestRetryBudgetExactEdge: exactly RetryBudget consecutive crashes restart;
+// the next one reports exhaustion, and a stable period refills the budget.
+func TestRetryBudgetExactEdge(t *testing.T) {
+	const budget = 4
+	s := NewSupervisor(SupervisorConfig{BreakerK: 100, Window: time.Hour, RetryBudget: budget})
+	for i := 1; i <= budget; i++ {
+		if d := s.OnCrash(time.Duration(i) * time.Second); d.Exhausted {
+			t.Fatalf("crash %d of %d exhausted the budget early", i, budget)
+		}
+	}
+	if d := s.OnCrash(time.Duration(budget+1) * time.Second); !d.Exhausted {
+		t.Fatalf("crash %d did not exhaust the budget", budget+1)
+	}
+
+	// Consecutive-crash accounting resets after a stable period.
+	s = NewSupervisor(SupervisorConfig{BreakerK: 100, Window: time.Hour, RetryBudget: budget, StablePeriod: 30 * time.Second})
+	for i := 1; i <= budget; i++ {
+		s.OnCrash(time.Duration(i) * time.Second)
+	}
+	s.NoteServing(time.Duration(budget)*time.Second + 30*time.Second)
+	if d := s.OnCrash(time.Hour); d.Exhausted {
+		t.Fatal("budget did not refill after a stable period")
+	}
+}
