@@ -13,7 +13,11 @@
 // partitioned on a schedule, and requires PHOENIX's measured availability to
 // strictly beat a vanilla restart's under identical faults; "explore" sweeps
 // randomized fault schedules (one per seed) against per-app invariant
-// oracles, shrinking every violation to a minimal replayable artifact.
+// oracles, shrinking every violation to a minimal replayable artifact; "vet"
+// differentially validates the phxvet static verifier — every application
+// model must verify clean AND stay violation-free under randomized dynamic
+// schedules, and every seeded dangling-store mutant must be flagged
+// statically at the planted position and manifest dynamically.
 //
 // Usage:
 //
@@ -26,6 +30,8 @@
 //	phxinject -campaign cluster -app kvstore -json
 //	phxinject -campaign explore -seeds 200        # randomized schedule search
 //	phxinject -campaign explore -seeds 50 -app kvstore -json
+//	phxinject -campaign vet -seeds 200            # static/dynamic differential
+//	phxinject -campaign vet -seeds 50 -app kvstore -json
 package main
 
 import (
@@ -48,11 +54,11 @@ func main() {
 		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		v        = flag.Bool("v", false, "print per-run outcomes")
-		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, explore")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, explore, vet")
 		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
 		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
-		jsonOut  = flag.Bool("json", false, "cluster/explore campaigns: emit the full report as deterministic JSON")
-		seeds    = flag.Int("seeds", 200, "explore campaign: number of consecutive seeds to sweep")
+		jsonOut  = flag.Bool("json", false, "cluster/explore/vet campaigns: emit the full report as deterministic JSON")
+		seeds    = flag.Int("seeds", 200, "explore/vet campaigns: number of consecutive seeds to sweep")
 	)
 	flag.Parse()
 
@@ -74,8 +80,13 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "vet":
+		if err := runVetCampaign(*app, *seed, *seeds, *jsonOut, *v); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, or explore)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, explore, or vet)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -271,6 +282,27 @@ func runExploreCampaign(app string, start int64, seeds int, jsonOut, verbose boo
 		fmt.Printf("%s\n", out)
 	} else {
 		fmt.Print(explore.FmtSummary(sum))
+	}
+	return cerr
+}
+
+// runVetCampaign runs the static/dynamic differential: the phxvet verifier
+// against the interpreter's restart audit on every application model, plus
+// the seeded-mutant contract. Any disagreement exits non-zero.
+func runVetCampaign(model string, start int64, seeds int, jsonOut, verbose bool) error {
+	opts := explore.VetOptions{Seeds: seeds, Start: start, Model: model}
+	if verbose {
+		opts.Log = os.Stderr
+	}
+	sum, cerr := explore.CheckVet(opts)
+	if jsonOut {
+		out, err := json.Marshal(sum)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		fmt.Print(explore.FmtVetSummary(sum))
 	}
 	return cerr
 }

@@ -1,0 +1,488 @@
+package analysis
+
+// The verifier's application-model registry: one mini-IR model per
+// fault-injection app, each shaped after the corresponding real system's
+// preserved-state handling (see internal/apps). These are the inputs to both
+// sides of the phxvet differential campaign — the static points-to verifier
+// (internal/analysis/pta) and the IR interpreter's restart audit — so every
+// model deliberately exercises the preserved arena (alloc) for durable
+// structures and the transient arena (talloc) for per-request scratch.
+//
+// KVModel (model.go) is reused unchanged for the kvstore app; KVSetup adds
+// the bucket-cell initialization that the analyzer tests used to do from Go,
+// so the whole heap shape is visible to the points-to analysis.
+
+// KVSetup initializes the kvstore dictionary: one preserved bucket cell
+// hanging off table+8, count zeroed. Concatenated with KVModel in IRApps.
+const KVSetup = `
+func setup() {
+entry:
+  bkt = alloc 64
+  store table, 8, bkt
+  store table, 16, 0
+  ret
+}
+`
+
+// WebcacheModel mirrors the webcache app (Varnish/Squid-style URL→object
+// cache): a preserved chain of cache entries rooted at the global `cache`,
+// an indirect call through a preserved function pointer for body fill, and a
+// talloc'd per-request staging buffer on the miss path.
+//
+// Layout: cache+0 chain head, cache+8 entry count, cache+16 hit counter,
+// cache+24 fill-handler funcref. entry+0 next, entry+8 url, entry+16 body.
+const WebcacheModel = `
+global cache
+
+func setup() {
+entry:
+  store cache, 0, 0
+  store cache, 8, 0
+  store cache, 16, 0
+  h = funcref fill_body
+  store cache, 24, h
+  ret
+}
+
+func get(url) {
+entry:
+  e = call find(cache, url)
+  miss = eq e, 0
+  cbr miss, fetch, hit
+hit:
+  h1 = load cache, 16
+  h2 = add h1, 1
+  store cache, 16, h2
+  v = load e, 16
+  ret v
+fetch:
+  tmp = talloc 32
+  store tmp, 0, url
+  body = mul url, 7
+  store tmp, 8, body
+  e2 = alloc 32
+  store e2, 8, url
+  f = load cache, 24
+  b = load tmp, 8
+  icall f(e2, b)
+  n = call link_front(cache, e2)
+  v2 = load e2, 16
+  ret v2
+}
+
+func fill_body(e, body) {
+entry:
+  store e, 16, body
+  ret
+}
+
+func find(c, url) {
+entry:
+  e = load c, 0
+  br scan
+scan:
+  miss = eq e, 0
+  cbr miss, out, check
+check:
+  u = load e, 8
+  hit = eq u, url
+  cbr hit, found, next
+next:
+  e = load e, 0
+  br scan
+found:
+  ret e
+out:
+  z = const 0
+  ret z
+}
+
+func link_front(c, e) {
+entry:
+  head = load c, 0
+  store e, 0, head
+  store c, 0, e
+  c1 = load c, 8
+  c2 = add c1, 1
+  store c, 8, c2
+  ret c2
+}
+
+func evict() {
+entry:
+  head = load cache, 0
+  gone = eq head, 0
+  cbr gone, out, drop
+drop:
+  nxt = load head, 0
+  store cache, 0, nxt
+  c1 = load cache, 8
+  c2 = sub c1, 1
+  store cache, 8, c2
+  br out
+out:
+  z = const 0
+  ret z
+}
+`
+
+// LSMDBModel mirrors the lsmdb app: puts prepend to a preserved memtable
+// chain rooted at db+0; when the memtable reaches four entries, flush
+// relinks every node onto the level-0 chain at db+16. Gets walk both chains
+// through a talloc'd iterator cursor — a transient structure that briefly
+// holds preserved pointers, which is safe in this direction.
+//
+// Layout: db+0 memtable head, db+8 memtable count, db+16 level-0 head,
+// db+24 flushed-node count. node+0 next, node+8 key, node+16 value.
+const LSMDBModel = `
+global db
+
+func setup() {
+entry:
+  store db, 0, 0
+  store db, 8, 0
+  store db, 16, 0
+  store db, 24, 0
+  ret
+}
+
+func put(key, val) {
+entry:
+  node = alloc 32
+  store node, 8, key
+  store node, 16, val
+  head = load db, 0
+  store node, 0, head
+  store db, 0, node
+  c = load db, 8
+  c1 = add c, 1
+  store db, 8, c1
+  thresh = const 4
+  full = lt thresh, c1
+  cbr full, doflush, out
+doflush:
+  call flush(db)
+  br out
+out:
+  ret c1
+}
+
+func flush(d) {
+entry:
+  e = load d, 0
+  br loop
+loop:
+  done = eq e, 0
+  cbr done, fin, move
+move:
+  nxt = load e, 0
+  l0 = load d, 16
+  store e, 0, l0
+  store d, 16, e
+  fc = load d, 24
+  f1 = add fc, 1
+  store d, 24, f1
+  e = add nxt, 0
+  br loop
+fin:
+  store d, 0, 0
+  store d, 8, 0
+  ret
+}
+
+func get(key) {
+entry:
+  it = talloc 16
+  m = load db, 0
+  store it, 0, m
+  br scanmem
+scanmem:
+  cur = load it, 0
+  memdone = eq cur, 0
+  cbr memdone, tolevel, checkmem
+checkmem:
+  k = load cur, 8
+  hit = eq k, key
+  cbr hit, found, nextmem
+nextmem:
+  n = load cur, 0
+  store it, 0, n
+  br scanmem
+tolevel:
+  l = load db, 16
+  store it, 0, l
+  br scanlvl
+scanlvl:
+  cur2 = load it, 0
+  lvldone = eq cur2, 0
+  cbr lvldone, miss, checklvl
+checklvl:
+  k2 = load cur2, 8
+  hit2 = eq k2, key
+  cbr hit2, found2, nextlvl
+nextlvl:
+  n2 = load cur2, 0
+  store it, 0, n2
+  br scanlvl
+found:
+  v = load cur, 16
+  ret v
+found2:
+  v2 = load cur2, 16
+  ret v2
+miss:
+  z = const 0
+  ret z
+}
+`
+
+// BoostModel mirrors the boost app (gradient-boosting trainer): preserved
+// weight and gradient arrays hung off the global `model`, a per-step talloc'd
+// residual scratch buffer, and pointer-arithmetic array walks.
+//
+// Layout: model+0 weights ptr, model+8 iteration counter, model+16 gradient
+// ptr, model+24 element count.
+const BoostModel = `
+global model
+
+func setup() {
+entry:
+  w = alloc 64
+  g = alloc 64
+  store model, 0, w
+  store model, 16, g
+  store model, 8, 0
+  n = const 8
+  store model, 24, n
+  ret
+}
+
+func step(x) {
+entry:
+  w = load model, 0
+  g = load model, 16
+  n = load model, 24
+  tmp = talloc 64
+  i = const 0
+  br grad
+grad:
+  gdone = eq i, n
+  cbr gdone, upd, gbody
+gbody:
+  off = mul i, 8
+  wa = add w, off
+  wv = load wa, 0
+  r = sub x, wv
+  ta = add tmp, off
+  store ta, 0, r
+  ga = add g, off
+  rv = load ta, 0
+  store ga, 0, rv
+  i = add i, 1
+  br grad
+upd:
+  it = load model, 8
+  it1 = add it, 1
+  store model, 8, it1
+  j = const 0
+  br wloop
+wloop:
+  wdone = eq j, n
+  cbr wdone, out, wbody
+wbody:
+  joff = mul j, 8
+  gja = add g, joff
+  gj = load gja, 0
+  wja = add w, joff
+  wj = load wja, 0
+  d2 = add wj, gj
+  store wja, 0, d2
+  j = add j, 1
+  br wloop
+out:
+  ret it1
+}
+`
+
+// ParticleModel mirrors the particle app (VPIC-style PIC step): preserved
+// position/velocity/grid arrays off the global `world`; the deposit phase
+// accumulates into a talloc'd staging buffer before folding it into the
+// preserved grid — the paper's scratch-then-publish idiom.
+//
+// Layout: world+0 positions ptr, world+8 velocities ptr, world+16 grid ptr,
+// world+24 particle count, world+32 step counter.
+const ParticleModel = `
+global world
+
+func setup() {
+entry:
+  p = alloc 64
+  v = alloc 64
+  gr = alloc 64
+  store world, 0, p
+  store world, 8, v
+  store world, 16, gr
+  n = const 8
+  store world, 24, n
+  store world, 32, 0
+  ret
+}
+
+func step(f) {
+entry:
+  p = load world, 0
+  v = load world, 8
+  n = load world, 24
+  call push(p, v, n, f)
+  gr = load world, 16
+  call deposit(p, gr, n)
+  s = load world, 32
+  s1 = add s, 1
+  store world, 32, s1
+  ret s1
+}
+
+func push(p, v, n, f) {
+entry:
+  i = const 0
+  br loop
+loop:
+  done = eq i, n
+  cbr done, out, body
+body:
+  off = mul i, 8
+  va = add v, off
+  vv = load va, 0
+  v1 = add vv, f
+  store va, 0, v1
+  pa = add p, off
+  pv = load pa, 0
+  p1 = add pv, v1
+  store pa, 0, p1
+  i = add i, 1
+  br loop
+out:
+  ret
+}
+
+func deposit(p, gr, n) {
+entry:
+  st = talloc 64
+  i = const 0
+  br acc
+acc:
+  adone = eq i, n
+  cbr adone, copy0, abody
+abody:
+  off = mul i, 8
+  pa = add p, off
+  pv = load pa, 0
+  sa = add st, off
+  sv = load sa, 0
+  s1 = add sv, pv
+  store sa, 0, s1
+  i = add i, 1
+  br acc
+copy0:
+  j = const 0
+  br copy
+copy:
+  cdone = eq j, n
+  cbr cdone, out, cbody
+cbody:
+  joff = mul j, 8
+  sa2 = add st, joff
+  sv2 = load sa2, 0
+  ga = add gr, joff
+  gv = load ga, 0
+  g1 = add gv, sv2
+  store ga, 0, g1
+  j = add j, 1
+  br copy
+out:
+  ret
+}
+`
+
+// IRCall describes one serving-entry invocation shape for the differential
+// campaign's randomized drivers: call Fn with NArgs arguments, each drawn
+// uniformly from [0, ArgMax).
+type IRCall struct {
+	Fn     string
+	NArgs  int
+	ArgMax int64
+}
+
+// IRMutant names a store to corrupt with ir.InsertDanglingStore: the NthStore
+// (0-based, layout order) of Fn.
+type IRMutant struct {
+	Fn       string
+	NthStore int
+}
+
+// IRApp bundles one application model for phxvet: the IR source, its setup
+// function, the serving entry points (roots for the static verifier and the
+// dynamic drivers), and the seeded mutants the differential campaign plants.
+type IRApp struct {
+	Name    string
+	Src     string
+	Setup   string
+	Entries []string
+	Calls   []IRCall
+	Mutants []IRMutant
+}
+
+// IRApps returns the model registry in deterministic (name) order.
+func IRApps() []IRApp {
+	return []IRApp{
+		{
+			Name:    "boost",
+			Src:     BoostModel,
+			Setup:   "setup",
+			Entries: []string{"step"},
+			Calls:   []IRCall{{Fn: "step", NArgs: 1, ArgMax: 8}},
+			Mutants: []IRMutant{{Fn: "step", NthStore: 2}}, // store model, 8, it1
+		},
+		{
+			Name:    "kvstore",
+			Src:     KVModel + KVSetup,
+			Setup:   "setup",
+			Entries: []string{"handler", "reader"},
+			Calls: []IRCall{
+				{Fn: "handler", NArgs: 2, ArgMax: 8},
+				{Fn: "reader", NArgs: 1, ArgMax: 8},
+			},
+			Mutants: []IRMutant{{Fn: "link", NthStore: 1}}, // store b, 0, node
+		},
+		{
+			Name:    "lsmdb",
+			Src:     LSMDBModel,
+			Setup:   "setup",
+			Entries: []string{"put", "get"},
+			Calls: []IRCall{
+				{Fn: "put", NArgs: 2, ArgMax: 8},
+				{Fn: "get", NArgs: 1, ArgMax: 8},
+			},
+			Mutants: []IRMutant{{Fn: "flush", NthStore: 0}}, // store e, 0, l0
+		},
+		{
+			Name:    "particle",
+			Src:     ParticleModel,
+			Setup:   "setup",
+			Entries: []string{"step"},
+			Calls:   []IRCall{{Fn: "step", NArgs: 1, ArgMax: 8}},
+			Mutants: []IRMutant{{Fn: "push", NthStore: 1}}, // store pa, 0, p1
+		},
+		{
+			Name:    "webcache",
+			Src:     WebcacheModel,
+			Setup:   "setup",
+			Entries: []string{"get", "evict"},
+			Calls: []IRCall{
+				{Fn: "get", NArgs: 1, ArgMax: 8},
+				{Fn: "evict", NArgs: 0, ArgMax: 1},
+			},
+			Mutants: []IRMutant{{Fn: "link_front", NthStore: 0}}, // store e, 0, head
+		},
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"testing"
+
+	"phoenix/internal/ir"
+)
+
+// TestIRAppsWellFormed checks every registered app model parses, validates,
+// analyzes from each serving entry, and instruments without error — the
+// contract both halves of the phxvet differential campaign rely on.
+func TestIRAppsWellFormed(t *testing.T) {
+	apps := IRApps()
+	if len(apps) != 5 {
+		t.Fatalf("IRApps() returned %d models, want 5", len(apps))
+	}
+	for i := 1; i < len(apps); i++ {
+		if apps[i-1].Name >= apps[i].Name {
+			t.Fatalf("IRApps() not sorted by name: %q >= %q", apps[i-1].Name, apps[i].Name)
+		}
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			m, err := ir.Parse(app.Src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := m.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if _, ok := m.Funcs[app.Setup]; !ok {
+				t.Fatalf("setup function %q missing", app.Setup)
+			}
+			if len(app.Entries) == 0 || len(app.Calls) == 0 || len(app.Mutants) == 0 {
+				t.Fatal("app spec missing entries, calls, or mutants")
+			}
+			for _, e := range app.Entries {
+				a := New(m)
+				if err := a.Run(e, nil); err != nil {
+					t.Fatalf("analyze entry %s: %v", e, err)
+				}
+				if _, _, err := a.Instrument(); err != nil {
+					t.Fatalf("instrument entry %s: %v", e, err)
+				}
+			}
+			for _, mu := range app.Mutants {
+				ref, err := ir.FindStore(m, mu.Fn, mu.NthStore)
+				if err != nil {
+					t.Fatalf("mutant store: %v", err)
+				}
+				if _, pos, err := ir.InsertDanglingStore(m, mu.Fn, ref); err != nil || pos.IsZero() {
+					t.Fatalf("plant mutant: pos=%v err=%v", pos, err)
+				}
+			}
+		})
+	}
+}
+
+// TestIRAppsRunCleanly drives each model through setup plus a deterministic
+// burst of serving calls, restarts, and asserts the restart audit is clean
+// and the preserved checksum survives — the shipped models must be free of
+// the very bug class the campaign plants.
+func TestIRAppsRunCleanly(t *testing.T) {
+	for _, app := range IRApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			in := ir.NewInterp(ir.MustParse(app.Src))
+			if _, err := in.Call(app.Setup); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			drive := func() {
+				for round := 0; round < 6; round++ {
+					for _, c := range app.Calls {
+						args := make([]int64, c.NArgs)
+						for i := range args {
+							args[i] = int64(round+i) % c.ArgMax
+						}
+						if _, err := in.Call(c.Fn, args...); err != nil {
+							t.Fatalf("%s%v: %v", c.Fn, args, err)
+						}
+					}
+				}
+			}
+			drive()
+			sum := in.PreservedChecksum()
+			if d := in.PreserveRestart(); len(d) != 0 {
+				t.Fatalf("restart audit found dangling pointers: %+v", d)
+			}
+			if got := in.PreservedChecksum(); got != sum {
+				t.Fatalf("preserved checksum changed across restart: %x -> %x", sum, got)
+			}
+			// The app keeps serving on the surviving heap.
+			drive()
+			if d := in.PreserveRestart(); len(d) != 0 {
+				t.Fatalf("second restart audit found dangling pointers: %+v", d)
+			}
+		})
+	}
+}
+
+// TestIRAppMutantsManifest asserts each registered mutant produces at least
+// one dynamic dangling-pointer observation under the same deterministic
+// drive — the ground truth the differential campaign compares phxvet against.
+func TestIRAppMutantsManifest(t *testing.T) {
+	for _, app := range IRApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			m := ir.MustParse(app.Src)
+			for _, mu := range app.Mutants {
+				ref, err := ir.FindStore(m, mu.Fn, mu.NthStore)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mut, _, err := ir.InsertDanglingStore(m, mu.Fn, ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := ir.NewInterp(mut)
+				if _, err := in.Call(app.Setup); err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				violations := 0
+				for round := 0; round < 8; round++ {
+					for _, c := range app.Calls {
+						args := make([]int64, c.NArgs)
+						for i := range args {
+							args[i] = int64(round+i) % c.ArgMax
+						}
+						if _, err := in.Call(c.Fn, args...); err != nil {
+							violations++ // post-restart dangling access fault
+						}
+					}
+					violations += len(in.PreserveRestart())
+				}
+				if violations == 0 {
+					t.Fatalf("mutant %s#%d never manifested dynamically", mu.Fn, mu.NthStore)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,382 @@
+// Package pta implements a whole-program, flow-insensitive, inclusion-based
+// (Andersen-style) points-to analysis over the mini-IR, with allocation-site
+// heap abstraction, and the preservation-safety verifier (vet.go) built on
+// top of it.
+//
+// The abstract object domain:
+//
+//   - one object per preserved global root (the interpreter's 512-byte
+//     global blocks);
+//   - one object per alloc site (preserved arena) and per talloc site
+//     (transient arena) — allocation-site abstraction, so every run-time
+//     allocation from one instruction collapses into one object;
+//   - one object per address-taken function (funcref), which is what lets
+//     the verifier narrow indirect-call targets beyond the taint analyzer's
+//     arity-matched candidate merge.
+//
+// Constraints are the standard inclusion set: alloc introduces, move/bin/
+// field copy, load projects contents, store injects into contents, calls
+// copy arguments into parameters and returns back out, and icall does the
+// same against the function objects currently in the callee register's set.
+// The solver is a naive deterministic fixpoint (re-run all transfer
+// functions in module order until no set grows): points-to sets only grow
+// and are bounded by the finite object domain, so termination is by
+// monotonicity. Object contents are field-insensitive — one contents set
+// per object, the coarse analogue of the taint analyzer's "arg and arg->*"
+// rule.
+package pta
+
+import (
+	"fmt"
+
+	"phoenix/internal/ir"
+)
+
+// Obj names an abstract object (index into the analysis' object table).
+type Obj int
+
+// ObjKind classifies an abstract object.
+type ObjKind int
+
+const (
+	// ObjGlobal is a preserved global root block.
+	ObjGlobal ObjKind = iota
+	// ObjAlloc is a preserved-arena allocation site.
+	ObjAlloc
+	// ObjTalloc is a transient-arena allocation site.
+	ObjTalloc
+	// ObjFunc is an address-taken function.
+	ObjFunc
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjAlloc:
+		return "alloc"
+	case ObjTalloc:
+		return "talloc"
+	case ObjFunc:
+		return "func"
+	}
+	return "?"
+}
+
+// ObjInfo describes one abstract object.
+type ObjInfo struct {
+	Kind ObjKind
+	// Name is the global or function name (ObjGlobal, ObjFunc).
+	Name string
+	// Fn is the allocating function (ObjAlloc, ObjTalloc).
+	Fn string
+	// Pos is the allocation/funcref site position.
+	Pos ir.Pos
+}
+
+func (oi ObjInfo) String() string {
+	switch oi.Kind {
+	case ObjGlobal:
+		return "global " + oi.Name
+	case ObjFunc:
+		return "func " + oi.Name
+	default:
+		return fmt.Sprintf("%s %s@%s", oi.Kind, oi.Fn, oi.Pos)
+	}
+}
+
+type varKey struct{ fn, reg string }
+
+type siteKey struct {
+	fn           string
+	block, index int
+}
+
+// Analysis holds a solved points-to instance for one module.
+type Analysis struct {
+	Mod *ir.Module
+
+	objs      []ObjInfo
+	globalObj map[string]Obj
+	funcObj   map[string]Obj
+	siteObj   map[siteKey]Obj
+
+	pts      map[varKey]map[Obj]bool
+	contents []map[Obj]bool
+	retPts   map[string]map[Obj]bool
+
+	globals   map[string]bool
+	globalSet map[string]map[Obj]bool // cached singleton operand sets
+	passes    int
+}
+
+// Solve builds the object table and runs the inclusion-constraint fixpoint.
+func Solve(m *ir.Module) *Analysis {
+	a := &Analysis{
+		Mod:       m,
+		globalObj: map[string]Obj{},
+		funcObj:   map[string]Obj{},
+		siteObj:   map[siteKey]Obj{},
+		pts:       map[varKey]map[Obj]bool{},
+		retPts:    map[string]map[Obj]bool{},
+		globals:   map[string]bool{},
+		globalSet: map[string]map[Obj]bool{},
+	}
+	newObj := func(info ObjInfo) Obj {
+		a.objs = append(a.objs, info)
+		return Obj(len(a.objs) - 1)
+	}
+	for _, g := range m.Globals {
+		o := newObj(ObjInfo{Kind: ObjGlobal, Name: g})
+		a.globals[g] = true
+		a.globalObj[g] = o
+		a.globalSet[g] = map[Obj]bool{o: true}
+	}
+	for _, name := range m.Order {
+		fn := name
+		m.Funcs[name].ForEachInstr(func(ref ir.InstrRef, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpAlloc:
+				a.siteObj[siteKey{fn, ref.Block, ref.Index}] =
+					newObj(ObjInfo{Kind: ObjAlloc, Fn: fn, Pos: in.Pos})
+			case ir.OpTalloc:
+				a.siteObj[siteKey{fn, ref.Block, ref.Index}] =
+					newObj(ObjInfo{Kind: ObjTalloc, Fn: fn, Pos: in.Pos})
+			case ir.OpFuncRef:
+				if _, ok := a.funcObj[in.Fn]; !ok {
+					a.funcObj[in.Fn] = newObj(ObjInfo{Kind: ObjFunc, Name: in.Fn, Pos: in.Pos})
+				}
+			}
+		})
+	}
+	a.contents = make([]map[Obj]bool, len(a.objs))
+	for i := range a.contents {
+		a.contents[i] = map[Obj]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		a.passes++
+		for _, name := range m.Order {
+			if a.transfer(m.Funcs[name]) {
+				changed = true
+			}
+		}
+	}
+	return a
+}
+
+// operand resolves a register or global name to its current points-to set
+// (nil for literals and never-assigned registers).
+func (a *Analysis) operand(fn, name string) map[Obj]bool {
+	if a.globals[name] {
+		return a.globalSet[name]
+	}
+	return a.pts[varKey{fn, name}]
+}
+
+func (a *Analysis) varSet(fn, reg string) map[Obj]bool {
+	k := varKey{fn, reg}
+	s := a.pts[k]
+	if s == nil {
+		s = map[Obj]bool{}
+		a.pts[k] = s
+	}
+	return s
+}
+
+func union(dst, src map[Obj]bool) bool {
+	changed := false
+	for o := range src {
+		if !dst[o] {
+			dst[o] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transfer applies every constraint of f once; reports whether any set grew.
+func (a *Analysis) transfer(f *ir.Func) bool {
+	changed := false
+	grow := func(b bool) {
+		if b {
+			changed = true
+		}
+	}
+	f.ForEachInstr(func(ref ir.InstrRef, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpAlloc, ir.OpTalloc:
+			o := a.siteObj[siteKey{f.Name, ref.Block, ref.Index}]
+			s := a.varSet(f.Name, in.Dst)
+			if !s[o] {
+				s[o] = true
+				changed = true
+			}
+		case ir.OpFuncRef:
+			o := a.funcObj[in.Fn]
+			s := a.varSet(f.Name, in.Dst)
+			if !s[o] {
+				s[o] = true
+				changed = true
+			}
+		case ir.OpBin:
+			// Pointer arithmetic stays within the source object.
+			grow(union(a.varSet(f.Name, in.Dst), a.operand(f.Name, in.A)))
+			grow(union(a.varSet(f.Name, in.Dst), a.operand(f.Name, in.B)))
+		case ir.OpGetField:
+			grow(union(a.varSet(f.Name, in.Dst), a.operand(f.Name, in.A)))
+		case ir.OpLoad:
+			dst := a.varSet(f.Name, in.Dst)
+			for o := range a.operand(f.Name, in.A) {
+				grow(union(dst, a.contents[o]))
+			}
+		case ir.OpStore:
+			val := a.operand(f.Name, in.Val)
+			for o := range a.operand(f.Name, in.A) {
+				grow(union(a.contents[o], val))
+			}
+		case ir.OpCall:
+			g, defined := a.Mod.Funcs[in.Fn]
+			if !defined {
+				return // externals are effect-free, as in the taint analyzer
+			}
+			grow(a.bindCall(f.Name, g, in))
+		case ir.OpICall:
+			for _, target := range a.ICallTargets(f.Name, in) {
+				grow(a.bindCall(f.Name, a.Mod.Funcs[target], in))
+			}
+		case ir.OpRet:
+			if in.Val == "" {
+				return
+			}
+			s := a.retPts[f.Name]
+			if s == nil {
+				s = map[Obj]bool{}
+				a.retPts[f.Name] = s
+			}
+			grow(union(s, a.operand(f.Name, in.Val)))
+		}
+	})
+	return changed
+}
+
+// bindCall copies arguments into callee parameters and the callee's return
+// set into the destination register.
+func (a *Analysis) bindCall(caller string, g *ir.Func, in *ir.Instr) bool {
+	changed := false
+	for i, arg := range in.Args {
+		if i >= len(g.Params) {
+			break
+		}
+		if union(a.varSet(g.Name, g.Params[i]), a.operand(caller, arg)) {
+			changed = true
+		}
+	}
+	if in.Dst != "" {
+		if union(a.varSet(caller, in.Dst), a.retPts[g.Name]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ICallTargets returns the defined functions an indirect call may reach:
+// arity-matched functions whose function object is in the callee register's
+// points-to set. Deterministic (module Order).
+func (a *Analysis) ICallTargets(fn string, in *ir.Instr) []string {
+	callee := a.operand(fn, in.Val)
+	var out []string
+	for _, name := range a.Mod.Order {
+		o, taken := a.funcObj[name]
+		if !taken || !callee[o] {
+			continue
+		}
+		if g := a.Mod.Funcs[name]; g != nil && len(g.Params) == len(in.Args) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// AddressTakenTargets returns the taint analyzer's conservative candidate
+// set for an indirect call of the given arity: every funcref'd function with
+// matching parameter count, in module Order.
+func (a *Analysis) AddressTakenTargets(arity int) []string {
+	var out []string
+	for _, name := range a.Mod.Order {
+		if _, taken := a.funcObj[name]; !taken {
+			continue
+		}
+		if g := a.Mod.Funcs[name]; g != nil && len(g.Params) == arity {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// PointsTo returns the solved points-to set of a register or global operand,
+// sorted by object id.
+func (a *Analysis) PointsTo(fn, name string) []Obj {
+	return sortedObjs(a.operand(fn, name))
+}
+
+// Contents returns the field-insensitive contents set of an object, sorted.
+func (a *Analysis) Contents(o Obj) []Obj {
+	if int(o) < 0 || int(o) >= len(a.contents) {
+		return nil
+	}
+	return sortedObjs(a.contents[o])
+}
+
+// Info returns the descriptor of an object.
+func (a *Analysis) Info(o Obj) ObjInfo { return a.objs[o] }
+
+// NumObjects returns the size of the abstract object domain.
+func (a *Analysis) NumObjects() int { return len(a.objs) }
+
+// Passes returns how many fixpoint passes the solver took — bounded by the
+// total growth capacity of the constraint system (termination witness).
+func (a *Analysis) Passes() int { return a.passes }
+
+// PreservedReachable classifies the object domain: the set of objects
+// reachable from the preserved global roots by following contents edges.
+// Everything outside it is transient-or-garbage at restart; a talloc site
+// INSIDE it is exactly the dangling-reference bug class.
+func (a *Analysis) PreservedReachable() map[Obj]bool {
+	reach := map[Obj]bool{}
+	var work []Obj
+	for _, g := range a.Mod.Globals {
+		o := a.globalObj[g]
+		if !reach[o] {
+			reach[o] = true
+			work = append(work, o)
+		}
+	}
+	for len(work) > 0 {
+		o := work[0]
+		work = work[1:]
+		for _, n := range sortedObjs(a.contents[o]) {
+			if !reach[n] {
+				reach[n] = true
+				work = append(work, n)
+			}
+		}
+	}
+	return reach
+}
+
+func sortedObjs(s map[Obj]bool) []Obj {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]Obj, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

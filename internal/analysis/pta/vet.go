@@ -1,0 +1,263 @@
+package pta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phoenix/internal/analysis"
+	"phoenix/internal/ir"
+)
+
+// Finding kinds emitted by Vet.
+const (
+	// KindDangling: a store may make preserved-reachable memory point at a
+	// transient (talloc) allocation — the pointer dangles after restart.
+	KindDangling = "dangling-reference"
+	// KindGap: a store that writes preserved-reachable memory sits outside
+	// every unsafe region the taint instrumentation would bracket — a
+	// restart during it would be treated as safe-point despite a possibly
+	// half-applied modification.
+	KindGap = "unsafe-region-gap"
+	// KindICall: informational — the points-to sets narrowed an indirect
+	// call's target set below the taint analyzer's arity-matched merge.
+	KindICall = "icall-resolution"
+)
+
+// Finding is one position-carrying verifier result. The JSON encoding is
+// part of the phxvet report format and must stay byte-stable.
+type Finding struct {
+	Kind string `json:"kind"`
+	Fn   string `json:"fn"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// Report is the verifier output for one module.
+type Report struct {
+	Entries   []string  `json:"entries"`
+	Funcs     int       `json:"funcs"`
+	Objects   int       `json:"objects"`
+	Preserved int       `json:"preserved_reachable"`
+	Transient int       `json:"transient_sites"`
+	Passes    int       `json:"passes"`
+	Findings  []Finding `json:"findings"`
+}
+
+// Clean reports whether the module is free of preservation-safety defects.
+// icall-resolution findings are informational and do not count against it.
+func (r *Report) Clean() bool {
+	for _, f := range r.Findings {
+		if f.Kind != KindICall {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns the number of findings per kind.
+func (r *Report) Counts() map[string]int {
+	out := map[string]int{}
+	for _, f := range r.Findings {
+		out[f.Kind]++
+	}
+	return out
+}
+
+// covRange is one instrumented unsafe region derived from the taint
+// analyzer's modification refs: either a tight [lo..hi] index range within
+// one block, or the whole function.
+type covRange struct {
+	whole  bool
+	block  int
+	lo, hi int
+}
+
+// Vet runs the preservation-safety verifier: solve points-to, classify the
+// object domain, then check every store against the dangling-reference and
+// unsafe-region-gap rules and every indirect call for target narrowing.
+//
+// The dangling check is whole-program and has no freshness exemption: a
+// preserved-reachable word aimed at a transient site is a defect even when
+// the enclosing object was just allocated, because restart discards the
+// transient arena regardless of publication order.
+//
+// The gap check is scoped to functions reachable from the serving entries
+// and exempts stores whose only preserved targets are allocation sites in
+// entry-reachable functions ("fresh" objects, conservatively treated as
+// possibly not yet published — the allocation-site abstraction cannot
+// separate a node being initialized from one already linked in, but the
+// linked-in writes reachable through tainted pointers are covered by the
+// instrumentation anyway).
+func Vet(m *ir.Module, entries []string) (*Report, error) {
+	for _, e := range entries {
+		if _, ok := m.Funcs[e]; !ok {
+			return nil, fmt.Errorf("pta: unknown entry function %q", e)
+		}
+	}
+	a := Solve(m)
+	preserved := a.PreservedReachable()
+
+	// Serving-reachable functions: BFS over direct calls plus pta-resolved
+	// indirect targets.
+	reachable := map[string]bool{}
+	work := append([]string(nil), entries...)
+	for _, e := range entries {
+		reachable[e] = true
+	}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		m.Funcs[fn].ForEachInstr(func(_ ir.InstrRef, in *ir.Instr) {
+			var targets []string
+			switch in.Op {
+			case ir.OpCall:
+				if _, defined := m.Funcs[in.Fn]; defined {
+					targets = []string{in.Fn}
+				}
+			case ir.OpICall:
+				targets = a.ICallTargets(fn, in)
+			default:
+				return
+			}
+			for _, t := range targets {
+				if !reachable[t] {
+					reachable[t] = true
+					work = append(work, t)
+				}
+			}
+		})
+	}
+
+	// Instrumentation coverage: union over entries of the taint analyzer's
+	// modification ranges (tight same-block bracket, else whole function) —
+	// computed from ModRefs directly so indices match the uninstrumented
+	// module.
+	covs := map[string][]covRange{}
+	for _, e := range entries {
+		an := analysis.New(m)
+		if err := an.Run(e, nil); err != nil {
+			return nil, err
+		}
+		for fn, refs := range an.ModRefs {
+			first, last := refs[0], refs[0]
+			same := true
+			for _, r := range refs {
+				if r.Less(first) {
+					first = r
+				}
+				if last.Less(r) {
+					last = r
+				}
+			}
+			for _, r := range refs {
+				if r.Block != first.Block {
+					same = false
+				}
+			}
+			if same {
+				covs[fn] = append(covs[fn], covRange{block: first.Block, lo: first.Index, hi: last.Index})
+			} else {
+				covs[fn] = append(covs[fn], covRange{whole: true})
+			}
+		}
+	}
+	covered := func(fn string, ref ir.InstrRef) bool {
+		for _, c := range covs[fn] {
+			if c.whole || (c.block == ref.Block && ref.Index >= c.lo && ref.Index <= c.hi) {
+				return true
+			}
+		}
+		return false
+	}
+
+	fresh := map[Obj]bool{}
+	transient := 0
+	for i := range a.objs {
+		switch a.objs[i].Kind {
+		case ObjAlloc:
+			if reachable[a.objs[i].Fn] {
+				fresh[Obj(i)] = true
+			}
+		case ObjTalloc:
+			transient++
+		}
+	}
+
+	var findings []Finding
+	for _, name := range m.Order {
+		fn := name
+		m.Funcs[name].ForEachInstr(func(ref ir.InstrRef, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpStore:
+				tgt := a.PointsTo(fn, in.A)
+				var tgtPreserved, tgtEscaped []Obj
+				for _, o := range tgt {
+					if preserved[o] {
+						tgtPreserved = append(tgtPreserved, o)
+						if !fresh[o] {
+							tgtEscaped = append(tgtEscaped, o)
+						}
+					}
+				}
+				var valTransient []Obj
+				for _, o := range a.PointsTo(fn, in.Val) {
+					if a.objs[o].Kind == ObjTalloc {
+						valTransient = append(valTransient, o)
+					}
+				}
+				if len(tgtPreserved) > 0 && len(valTransient) > 0 {
+					findings = append(findings, Finding{
+						Kind: KindDangling, Fn: fn, Line: in.Pos.Line, Col: in.Pos.Col,
+						Msg: fmt.Sprintf("store may make preserved %s point at transient %s",
+							a.Info(tgtPreserved[0]), a.Info(valTransient[0])),
+					})
+				}
+				if reachable[fn] && len(tgtEscaped) > 0 && !covered(fn, ref) {
+					findings = append(findings, Finding{
+						Kind: KindGap, Fn: fn, Line: in.Pos.Line, Col: in.Pos.Col,
+						Msg: fmt.Sprintf("store to preserved %s is outside every instrumented unsafe region",
+							a.Info(tgtEscaped[0])),
+					})
+				}
+			case ir.OpICall:
+				if !reachable[fn] {
+					return
+				}
+				resolved := a.ICallTargets(fn, in)
+				fallback := a.AddressTakenTargets(len(in.Args))
+				findings = append(findings, Finding{
+					Kind: KindICall, Fn: fn, Line: in.Pos.Line, Col: in.Pos.Col,
+					Msg: fmt.Sprintf("indirect call resolves to %d target(s) [%s] of %d arity-matched candidate(s)",
+						len(resolved), strings.Join(resolved, " "), len(fallback)),
+				})
+			}
+		})
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Msg < b.Msg
+	})
+
+	ents := append([]string(nil), entries...)
+	sort.Strings(ents)
+	return &Report{
+		Entries:   ents,
+		Funcs:     len(m.Order),
+		Objects:   a.NumObjects(),
+		Preserved: len(preserved),
+		Transient: transient,
+		Passes:    a.Passes(),
+		Findings:  findings,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package pta
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"phoenix/internal/analysis"
+	"phoenix/internal/ir"
+)
+
+// TestVetAppModelsClean: every shipped application model must verify clean —
+// the static half of the differential campaign's agreement contract.
+func TestVetAppModelsClean(t *testing.T) {
+	for _, app := range analysis.IRApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			rep, err := Vet(ir.MustParse(app.Src), app.Entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("shipped model not clean:\n%+v", rep.Findings)
+			}
+			if rep.Preserved == 0 || rep.Objects == 0 {
+				t.Fatalf("degenerate object domain: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestVetAppMutantsFlagged: planting a dangling store in each model must
+// produce a dangling-reference finding at exactly the planted position — the
+// static half of the mutant contract.
+func TestVetAppMutantsFlagged(t *testing.T) {
+	for _, app := range analysis.IRApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			m := ir.MustParse(app.Src)
+			for _, mu := range app.Mutants {
+				ref, err := ir.FindStore(m, mu.Fn, mu.NthStore)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mut, pos, err := ir.InsertDanglingStore(m, mu.Fn, ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := Vet(mut, app.Entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, f := range rep.Findings {
+					if f.Kind == KindDangling && f.Fn == mu.Fn && f.Line == pos.Line && f.Col == pos.Col {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("mutant %s#%d (pos %s) not flagged; findings: %+v",
+						mu.Fn, mu.NthStore, pos, rep.Findings)
+				}
+			}
+		})
+	}
+}
+
+// TestVetICallNarrowing: the webcache model's indirect body-fill call must
+// be resolved by points-to, and reported as an informational finding.
+func TestVetICallNarrowing(t *testing.T) {
+	rep, err := Vet(ir.MustParse(analysis.WebcacheModel), []string{"get", "evict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ic []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == KindICall {
+			ic = append(ic, f)
+		}
+	}
+	if len(ic) != 1 {
+		t.Fatalf("icall findings = %+v, want exactly 1", ic)
+	}
+	if ic[0].Fn != "get" {
+		t.Fatalf("icall finding in %s, want get", ic[0].Fn)
+	}
+	if want := "1 target(s) [fill_body]"; !bytes.Contains([]byte(ic[0].Msg), []byte(want)) {
+		t.Fatalf("icall msg %q lacks %q", ic[0].Msg, want)
+	}
+}
+
+// TestVetReportByteStable: the JSON report is deterministic — two
+// independent Vet runs over every model must serialize byte-identically
+// (the property the CI golden check enforces end to end).
+func TestVetReportByteStable(t *testing.T) {
+	for _, app := range analysis.IRApps() {
+		r1, err := Vet(ir.MustParse(app.Src), app.Entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Vet(ir.MustParse(app.Src), app.Entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := json.Marshal(r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := json.Marshal(r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: vet report not byte-stable:\n%s\n%s", app.Name, b1, b2)
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab1", "fig1", "fig9", "tab3", "tab4", "tab5",
 		"fig10", "fig11", "fig12", "fig13", "tab6", "tab7", "tab8", "tab9",
-		"figcluster", "figexplore"}
+		"figcluster", "figexplore", "figvet"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -263,5 +263,24 @@ func TestFigExploreSmoke(t *testing.T) {
 	if strings.Contains(out, "violating") && !strings.Contains(out, ": 0 violating") &&
 		!strings.Contains(out, "minimal:") {
 		t.Fatalf("violating seeds without minimal schedules:\n%s", out)
+	}
+}
+
+// TestFigVetSmoke runs the quick vet differential: every model must verify
+// clean, the campaign must agree end to end, and every mutant line must show
+// both static flagging and dynamic manifestation.
+func TestFigVetSmoke(t *testing.T) {
+	out := runQuick(t, "figvet")
+	if !strings.Contains(out, "vet: 50 seeds") {
+		t.Fatalf("figvet did not run the quick sweep:\n%s", out)
+	}
+	if !strings.Contains(out, "static/dynamic AGREE") {
+		t.Fatalf("figvet campaign disagreed:\n%s", out)
+	}
+	if strings.Contains(out, "clean=false") || strings.Contains(out, "flagged=false") {
+		t.Fatalf("figvet model not clean or mutant unflagged:\n%s", out)
+	}
+	if strings.Count(out, "mutant ") < 5 {
+		t.Fatalf("figvet exercised fewer than 5 mutants:\n%s", out)
 	}
 }

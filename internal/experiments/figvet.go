@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phoenix/internal/analysis"
+	"phoenix/internal/analysis/pta"
+	"phoenix/internal/explore"
+	"phoenix/internal/ir"
+)
+
+// RunFigVet runs the preservation-safety verifier over every application
+// model and then the static/dynamic differential campaign: the points-to
+// verifier's verdicts against the interpreter's restart-audit ground truth,
+// including the seeded dangling-store mutants. The per-model finding counts
+// and the agreement table in EXPERIMENTS.md come from the full profile (500
+// seeds per model); Quick keeps CI at a 50-seed smoke.
+func RunFigVet(o Options) error {
+	o.fill()
+	fmt.Fprintf(o.Out, "static verification (phxvet):\n")
+	for _, app := range analysis.IRApps() {
+		rep, err := pta.Vet(ir.MustParse(app.Src), app.Entries)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "  %-10s funcs=%d objects=%d preserved=%d transient=%d findings=%v clean=%v\n",
+			app.Name, rep.Funcs, rep.Objects, rep.Preserved, rep.Transient, rep.Counts(), rep.Clean())
+	}
+	opts := explore.VetOptions{Seeds: 500, Start: o.Seed}
+	if o.Quick {
+		opts.Seeds = 50
+	}
+	sum, err := explore.CheckVet(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "%s", explore.FmtVetSummary(sum))
+	return nil
+}

@@ -1,0 +1,274 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+
+	"phoenix/internal/analysis"
+	"phoenix/internal/analysis/pta"
+	"phoenix/internal/ir"
+)
+
+// This file implements the vet differential campaign: the phxvet static
+// verifier and the IR interpreter's restart audit are run against the same
+// application models and must agree. Unlike the explore campaign — where
+// oracle violations are results — any static/dynamic disagreement here is a
+// campaign FAILURE:
+//
+//   - a statically-clean model must show zero dynamic dangling observations,
+//     dangling-access faults, and preserved-checksum mismatches across the
+//     whole seed sweep;
+//   - every seeded dangling-store mutant must be flagged statically (kind
+//     dangling-reference, at exactly the planted store's position) AND
+//     manifest dynamically in a fixed small sweep.
+
+// VetOptions parameterises CheckVet.
+type VetOptions struct {
+	// Seeds is how many consecutive seeds to sweep per model (default 200).
+	Seeds int
+	// Start is the first seed (default 1).
+	Start int64
+	// Model restricts the campaign to one application model ("" = all).
+	Model string
+	// Log, when non-nil, receives per-model progress lines.
+	Log io.Writer
+}
+
+// mutantSeeds is the fixed sweep width of the mutant phase: enough runs for
+// every registered mutant to manifest, small enough to keep the phase cheap.
+const mutantSeeds = 8
+
+// VetMutantResult records the two halves of one planted bug's contract.
+type VetMutantResult struct {
+	Fn       string `json:"fn"`
+	NthStore int    `json:"nth_store"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	// Flagged: the verifier reported kind dangling-reference at exactly
+	// (Fn, Line, Col) on the mutant module.
+	Flagged bool `json:"flagged"`
+	// Dynamic: total dynamic violations the mutant produced over the sweep.
+	Dynamic int `json:"dynamic"`
+}
+
+// VetModelResult is one model's differential outcome.
+type VetModelResult struct {
+	Model    string         `json:"model"`
+	Entries  []string       `json:"entries"`
+	Findings map[string]int `json:"findings,omitempty"`
+	Clean    bool           `json:"clean"`
+	Seeds    int            `json:"seeds"`
+	Calls    int            `json:"calls"`
+	Restarts int            `json:"restarts"`
+	// Dangling counts restart-audit observations plus post-restart access
+	// faults on the unmutated model (agreement requires 0 when Clean).
+	Dangling int `json:"dangling"`
+	// ChecksumMismatches counts preserved-checksum changes across restarts.
+	ChecksumMismatches int               `json:"checksum_mismatches"`
+	Mutants            []VetMutantResult `json:"mutants"`
+	Agreement          bool              `json:"agreement"`
+}
+
+// VetSummary is the campaign's deterministic JSON report.
+type VetSummary struct {
+	Start     int64            `json:"start"`
+	Seeds     int              `json:"seeds"`
+	Model     string           `json:"model,omitempty"`
+	Models    []VetModelResult `json:"models"`
+	Agreement bool             `json:"agreement"`
+}
+
+// vetDrive runs one randomized serving schedule against a fresh interpreter:
+// setup, then ops serving calls with 1–3 restarts at random op indices and a
+// final restart, counting dynamic violations. Everything derives from the
+// seeded rng, so the same (model, seed) pair replays identically.
+func vetDrive(app analysis.IRApp, m *ir.Module, seed int64) (calls, restarts, dangling, checksumBad int, err error) {
+	h := fnv.New64a()
+	h.Write([]byte(app.Name))
+	rng := rand.New(rand.NewSource(mix(seed ^ int64(h.Sum64()))))
+
+	in := ir.NewInterp(m)
+	if _, err = in.Call(app.Setup); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("setup: %w", err)
+	}
+	ops := 20 + rng.Intn(40)
+	restartAt := map[int]bool{}
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		restartAt[rng.Intn(ops)] = true
+	}
+	restart := func() {
+		before := in.PreservedChecksum()
+		dangling += len(in.PreserveRestart())
+		if in.PreservedChecksum() != before {
+			checksumBad++
+		}
+		restarts++
+	}
+	for i := 0; i < ops; i++ {
+		c := app.Calls[rng.Intn(len(app.Calls))]
+		args := make([]int64, c.NArgs)
+		for j := range args {
+			args[j] = rng.Int63n(c.ArgMax)
+		}
+		if _, cerr := in.Call(c.Fn, args...); cerr != nil {
+			var de *ir.ErrDangling
+			if !errors.As(cerr, &de) {
+				return calls, restarts, dangling, checksumBad,
+					fmt.Errorf("%s%v: %w", c.Fn, args, cerr)
+			}
+			dangling++ // post-restart access through a dangling pointer
+		}
+		calls++
+		if restartAt[i] {
+			restart()
+		}
+	}
+	restart()
+	return calls, restarts, dangling, checksumBad, nil
+}
+
+// CheckVet runs the differential campaign and returns the summary plus the
+// first campaign failure. Infrastructure errors and static/dynamic
+// disagreements both fail the campaign; the summary is valid either way.
+func CheckVet(o VetOptions) (VetSummary, error) {
+	if o.Seeds <= 0 {
+		o.Seeds = 200
+	}
+	if o.Start == 0 {
+		o.Start = 1
+	}
+	sum := VetSummary{Start: o.Start, Seeds: o.Seeds, Model: o.Model, Agreement: true, Models: []VetModelResult{}}
+	logf := func(format string, args ...interface{}) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, format+"\n", args...)
+		}
+	}
+	var firstErr error
+	fail := func(err error) {
+		sum.Agreement = false
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, app := range analysis.IRApps() {
+		if o.Model != "" && app.Name != o.Model {
+			continue
+		}
+		m, err := ir.Parse(app.Src)
+		if err != nil {
+			return sum, fmt.Errorf("model %s: %w", app.Name, err)
+		}
+		if _, err := m.Validate(); err != nil {
+			return sum, fmt.Errorf("model %s: %w", app.Name, err)
+		}
+		rep, err := pta.Vet(m, app.Entries)
+		if err != nil {
+			return sum, fmt.Errorf("model %s: vet: %w", app.Name, err)
+		}
+		res := VetModelResult{
+			Model:    app.Name,
+			Entries:  rep.Entries,
+			Findings: rep.Counts(),
+			Clean:    rep.Clean(),
+			Seeds:    o.Seeds,
+			Mutants:  []VetMutantResult{},
+		}
+		for i := 0; i < o.Seeds; i++ {
+			calls, restarts, dangling, checksumBad, err := vetDrive(app, m, o.Start+int64(i))
+			if err != nil {
+				return sum, fmt.Errorf("model %s seed %d: %w", app.Name, o.Start+int64(i), err)
+			}
+			res.Calls += calls
+			res.Restarts += restarts
+			res.Dangling += dangling
+			res.ChecksumMismatches += checksumBad
+		}
+		res.Agreement = true
+		if res.Clean && (res.Dangling > 0 || res.ChecksumMismatches > 0) {
+			res.Agreement = false
+			fail(fmt.Errorf("model %s: statically clean but %d dangling + %d checksum violations dynamically",
+				app.Name, res.Dangling, res.ChecksumMismatches))
+		}
+		if !res.Clean {
+			res.Agreement = false
+			fail(fmt.Errorf("model %s: shipped model is not statically clean", app.Name))
+		}
+
+		for _, mu := range app.Mutants {
+			ref, err := ir.FindStore(m, mu.Fn, mu.NthStore)
+			if err != nil {
+				return sum, fmt.Errorf("model %s mutant: %w", app.Name, err)
+			}
+			mut, pos, err := ir.InsertDanglingStore(m, mu.Fn, ref)
+			if err != nil {
+				return sum, fmt.Errorf("model %s mutant: %w", app.Name, err)
+			}
+			mres := VetMutantResult{Fn: mu.Fn, NthStore: mu.NthStore, Line: pos.Line, Col: pos.Col}
+			mrep, err := pta.Vet(mut, app.Entries)
+			if err != nil {
+				return sum, fmt.Errorf("model %s mutant vet: %w", app.Name, err)
+			}
+			for _, f := range mrep.Findings {
+				if f.Kind == pta.KindDangling && f.Fn == mu.Fn && f.Line == pos.Line && f.Col == pos.Col {
+					mres.Flagged = true
+				}
+			}
+			for i := 0; i < mutantSeeds; i++ {
+				_, _, dangling, checksumBad, err := vetDrive(app, mut, o.Start+int64(i))
+				if err != nil {
+					return sum, fmt.Errorf("model %s mutant seed %d: %w", app.Name, o.Start+int64(i), err)
+				}
+				mres.Dynamic += dangling + checksumBad
+			}
+			if !mres.Flagged {
+				res.Agreement = false
+				fail(fmt.Errorf("model %s: mutant %s#%d not flagged statically at %s",
+					app.Name, mu.Fn, mu.NthStore, pos))
+			}
+			if mres.Dynamic == 0 {
+				res.Agreement = false
+				fail(fmt.Errorf("model %s: mutant %s#%d flagged statically but never manifested dynamically",
+					app.Name, mu.Fn, mu.NthStore))
+			}
+			res.Mutants = append(res.Mutants, mres)
+		}
+		if res.Agreement {
+			logf("model %-10s clean=%v %6d calls %5d restarts, %d mutant(s) agree",
+				res.Model, res.Clean, res.Calls, res.Restarts, len(res.Mutants))
+		} else {
+			logf("model %-10s DISAGREEMENT clean=%v dangling=%d checksum=%d",
+				res.Model, res.Clean, res.Dangling, res.ChecksumMismatches)
+		}
+		sum.Models = append(sum.Models, res)
+	}
+	if o.Model != "" && len(sum.Models) == 0 {
+		return sum, fmt.Errorf("vet: unknown model %q", o.Model)
+	}
+	return sum, firstErr
+}
+
+// FmtVetSummary renders the campaign result for terminal output.
+func FmtVetSummary(s VetSummary) string {
+	var b []byte
+	b = append(b, fmt.Sprintf("vet: %d seeds from %d", s.Seeds, s.Start)...)
+	if s.Model != "" {
+		b = append(b, fmt.Sprintf(" (model %s)", s.Model)...)
+	}
+	if s.Agreement {
+		b = append(b, ": static/dynamic AGREE\n"...)
+	} else {
+		b = append(b, ": DISAGREEMENT\n"...)
+	}
+	for _, m := range s.Models {
+		b = append(b, fmt.Sprintf("  %-10s clean=%-5v findings=%v calls=%d restarts=%d dangling=%d checksum_bad=%d\n",
+			m.Model, m.Clean, m.Findings, m.Calls, m.Restarts, m.Dangling, m.ChecksumMismatches)...)
+		for _, mu := range m.Mutants {
+			b = append(b, fmt.Sprintf("    mutant %s#%d @%d:%d flagged=%v dynamic=%d\n",
+				mu.Fn, mu.NthStore, mu.Line, mu.Col, mu.Flagged, mu.Dynamic)...)
+		}
+	}
+	return string(b)
+}

@@ -14,6 +14,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("func f() {\nentry:\n  ret\n}")
 	f.Add("func f(a, b) {\nentry:\n  x = add a, b\n  store a, 0, x\n  cbr x, entry, out\nout:\n  ret x\n}")
 	f.Add("func f() {\nentry:\n  x = funcref f\n  icall x()\n  ret\n}")
+	f.Add("global g\nfunc f() {\nentry:\n  t = talloc 16\n  store g, 0, t\n  ret\n}")
 	f.Add("} ; stray\nfunc ( {")
 	f.Add("func f() {\nentry:\n  store , , \n}")
 	f.Fuzz(func(t *testing.T, src string) {

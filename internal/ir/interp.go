@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Interp executes IR modules against a flat word-addressed memory. It
@@ -12,9 +13,16 @@ import (
 type Interp struct {
 	Mod *Module
 
-	mem     map[int64]int64
-	nextPtr int64
-	globals map[string]int64 // global name → address of its root cell
+	mem      map[int64]int64
+	nextPtr  int64
+	nextTPtr int64
+	globals  map[string]int64 // global name → address of its root cell
+
+	// allocs records every allocation in ascending address order. Preserved-
+	// arena allocations (alloc, global roots) survive PreserveRestart;
+	// transient ones (talloc) are discarded by it and poisoned: any later
+	// load/store into a discarded range faults with ErrDangling.
+	allocs []allocSpan
 
 	// stack is the live state stack.
 	stack []*Frame
@@ -77,6 +85,38 @@ func (e *ErrCrash) Error() string {
 	return fmt.Sprintf("ir: crash injected in %s (stack %v)", e.Fn, e.Stack)
 }
 
+// allocSpan is one allocation's bookkeeping record.
+type allocSpan struct {
+	start, size int64
+	transient   bool
+	discarded   bool
+	fn          string // allocating function ("" for global roots)
+	pos         Pos    // position of the alloc/talloc instruction
+}
+
+// ErrDangling is returned when an instruction dereferences memory that a
+// PreserveRestart discarded — the runtime manifestation of a preserved
+// pointer left dangling into the transient arena.
+type ErrDangling struct {
+	Fn   string // function executing the faulting load/store
+	Pos  Pos    // position of the faulting instruction
+	Addr int64  // discarded address it touched
+}
+
+func (e *ErrDangling) Error() string {
+	return fmt.Sprintf("ir: %s at %s: access to discarded transient memory 0x%x", e.Fn, e.Pos, e.Addr)
+}
+
+// Dangling is one audit record from PreserveRestart: a word of preserved
+// memory that points into the transient arena at restart time.
+type Dangling struct {
+	Addr   int64  `json:"addr"`   // preserved word holding the pointer
+	Target int64  `json:"target"` // where it points (inside a transient span)
+	Fn     string `json:"fn"`     // function that allocated the transient span
+	Line   int    `json:"line"`   // talloc site position
+	Col    int    `json:"col"`
+}
+
 // NewInterp builds an interpreter over the module with fresh memory.
 // Each declared global gets a root cell initialised to a fresh 64-word
 // allocation (a preserved object root).
@@ -85,12 +125,13 @@ func NewInterp(m *Module) *Interp {
 		Mod:       m,
 		mem:       make(map[int64]int64),
 		nextPtr:   0x1000,
+		nextTPtr:  transientBase,
 		globals:   make(map[string]int64),
 		MaxStep:   1 << 20,
 		Externals: make(map[string]func([]int64) int64),
 	}
 	for _, g := range m.Globals {
-		root := in.alloc(64 * 8)
+		root := in.allocSpanned(64*8, false, "", Pos{})
 		in.globals[g] = root
 	}
 	in.funcIDs = make(map[string]int64)
@@ -103,10 +144,141 @@ func NewInterp(m *Module) *Interp {
 	return in
 }
 
+// transientBase is the start of the transient arena's address range. It is
+// far above anything the preserved arena's bump allocator or the models'
+// integer arithmetic can reach, so the restart audit's word scan cannot
+// mistake an accumulated preserved integer for a pointer into a talloc span
+// (the conservative-GC misidentification problem).
+const transientBase = int64(1) << 44
+
 func (in *Interp) alloc(n int64) int64 {
 	p := in.nextPtr
 	in.nextPtr += (n + 15) &^ 15
 	return p
+}
+
+// allocSpanned allocates from the arena matching transient and records the
+// span, keeping in.allocs sorted by start address (the two bump allocators
+// interleave, so append order is not address order).
+func (in *Interp) allocSpanned(n int64, transient bool, fn string, pos Pos) int64 {
+	rounded := (n + 15) &^ 15
+	var p int64
+	if transient {
+		p = in.nextTPtr
+		in.nextTPtr += rounded
+	} else {
+		p = in.alloc(n)
+	}
+	span := allocSpan{start: p, size: rounded, transient: transient, fn: fn, pos: pos}
+	i := sort.Search(len(in.allocs), func(i int) bool { return in.allocs[i].start > p })
+	in.allocs = append(in.allocs, allocSpan{})
+	copy(in.allocs[i+1:], in.allocs[i:])
+	in.allocs[i] = span
+	return p
+}
+
+// findSpan locates the allocation containing addr, or -1.
+func (in *Interp) findSpan(addr int64) int {
+	i := sort.Search(len(in.allocs), func(i int) bool {
+		return in.allocs[i].start+in.allocs[i].size > addr
+	})
+	if i < len(in.allocs) && addr >= in.allocs[i].start {
+		return i
+	}
+	return -1
+}
+
+// checkAccess returns an ErrDangling if addr lies inside a discarded
+// transient span.
+func (in *Interp) checkAccess(addr int64, frame *Frame, instr *Instr) error {
+	if i := in.findSpan(addr); i >= 0 && in.allocs[i].discarded {
+		return &ErrDangling{Fn: frame.Fn, Pos: instr.Pos, Addr: addr}
+	}
+	return nil
+}
+
+// PreserveRestart models a PHOENIX restart over the interpreter's memory:
+// preserved-arena allocations (alloc, global roots) survive in place, the
+// transient arena (talloc) is discarded. Before discarding it audits the
+// preserved heap — every word of preserved memory reachable from the global
+// roots that points into a transient span is reported as a Dangling record,
+// the dynamic ground truth phxvet's dangling-reference finding predicts.
+// Subsequent access to a discarded span faults with ErrDangling.
+func (in *Interp) PreserveRestart() []Dangling {
+	var out []Dangling
+	// BFS from the global roots over surviving (non-transient) spans.
+	visited := make([]bool, len(in.allocs))
+	var queue []int
+	for _, name := range in.Mod.Globals {
+		if i := in.findSpan(in.globals[name]); i >= 0 && !visited[i] {
+			visited[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		a := in.allocs[i]
+		for off := int64(0); off < a.size; off += 8 {
+			addr := a.start + off
+			v, ok := in.mem[addr]
+			if !ok || v == 0 {
+				continue
+			}
+			j := in.findSpan(v)
+			if j < 0 {
+				continue
+			}
+			t := in.allocs[j]
+			if t.transient {
+				out = append(out, Dangling{Addr: addr, Target: v, Fn: t.fn, Line: t.pos.Line, Col: t.pos.Col})
+				continue
+			}
+			if !visited[j] {
+				visited[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Target < out[j].Target
+	})
+	// Discard the transient arena: delete its words and poison the spans.
+	for i := range in.allocs {
+		a := &in.allocs[i]
+		if !a.transient || a.discarded {
+			continue
+		}
+		for off := int64(0); off < a.size; off += 8 {
+			delete(in.mem, a.start+off)
+		}
+		a.discarded = true
+	}
+	return out
+}
+
+// PreservedChecksum is an FNV-1a hash over every preserved-arena word in
+// address order — the IR-level analogue of the kernel's per-frame integrity
+// checksums. It must be invariant across PreserveRestart.
+func (in *Interp) PreservedChecksum() uint64 {
+	h := uint64(14695981039346656037)
+	for _, a := range in.allocs {
+		if a.transient {
+			continue
+		}
+		for off := int64(0); off < a.size; off += 8 {
+			v := uint64(in.mem[a.start+off])
+			for b := 0; b < 8; b++ {
+				h ^= v & 0xff
+				h *= 1099511628211
+				v >>= 8
+			}
+		}
+	}
+	return h
 }
 
 // Global returns the address bound to a global name.
@@ -197,11 +369,21 @@ func (in *Interp) Call(fn string, args ...int64) (int64, error) {
 			}
 			frame.regs[instr.Dst] = v
 		case OpAlloc:
-			frame.regs[instr.Dst] = in.alloc(instr.Imm)
+			frame.regs[instr.Dst] = in.allocSpanned(instr.Imm, false, fn, instr.Pos)
+		case OpTalloc:
+			frame.regs[instr.Dst] = in.allocSpanned(instr.Imm, true, fn, instr.Pos)
 		case OpLoad:
-			frame.regs[instr.Dst] = in.mem[in.reg(frame, instr.A)+instr.Imm]
+			addr := in.reg(frame, instr.A) + instr.Imm
+			if err := in.checkAccess(addr, frame, instr); err != nil {
+				return 0, err
+			}
+			frame.regs[instr.Dst] = in.mem[addr]
 		case OpStore:
-			in.mem[in.reg(frame, instr.A)+instr.Imm] = in.reg(frame, instr.Val)
+			addr := in.reg(frame, instr.A) + instr.Imm
+			if err := in.checkAccess(addr, frame, instr); err != nil {
+				return 0, err
+			}
+			in.mem[addr] = in.reg(frame, instr.Val)
 		case OpGetField:
 			frame.regs[instr.Dst] = in.reg(frame, instr.A) + instr.Imm
 		case OpCall:

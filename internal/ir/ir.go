@@ -23,7 +23,8 @@ const (
 	OpConst Op = iota
 	// OpBin: x = add|sub|mul|lt|eq a, b
 	OpBin
-	// OpAlloc: x = alloc N — allocate N bytes, returns pointer.
+	// OpAlloc: x = alloc N — allocate N bytes from the preserved arena,
+	// returns pointer. Preserved-arena memory survives a PHOENIX restart.
 	OpAlloc
 	// OpLoad: x = load p, off — read the word at p+off.
 	OpLoad
@@ -47,7 +48,30 @@ const (
 	// state transitions U→M and M→E (§3.5's state stack updates).
 	OpUnsafeEnter
 	OpUnsafeExit
+	// OpTalloc: x = talloc N — allocate N bytes of transient memory (regular
+	// heap / stack analogue). Transient memory is discarded by
+	// Interp.PreserveRestart, so a preserved pointer into a talloc'd object
+	// dangles after recovery — the bug class phxvet's dangling-reference
+	// finding reports statically.
+	OpTalloc
 )
+
+// Pos is a source position in the .pir text (1-based; zero means unknown —
+// e.g. instructions built programmatically or inserted by the instrumenter).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsZero reports whether the position is unknown.
+func (p Pos) IsZero() bool { return p.Line == 0 && p.Col == 0 }
+
+func (p Pos) String() string {
+	if p.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
 
 // BinKind is the OpBin operator.
 type BinKind uint8
@@ -82,12 +106,15 @@ type Instr struct {
 	Dst  string  // destination register ("" if none)
 	Bin  BinKind // for OpBin
 	A, B string  // register operands
-	Imm  int64   // OpConst value, OpAlloc size, OpLoad/OpStore/OpGetField offset
+	Imm  int64   // OpConst value, OpAlloc/OpTalloc size, OpLoad/OpStore/OpGetField offset
 	Val  string  // OpStore value register; OpRet value; OpCbr cond
 	Fn   string  // OpCall target
 	Args []string
 	L1   string // branch targets
 	L2   string
+	// Pos is the instruction's position in the source text, threaded through
+	// Parse so analyzer findings and interpreter faults can cite it.
+	Pos Pos
 }
 
 // Block is a labelled basic block.
@@ -153,6 +180,8 @@ func (in *Instr) String() string {
 		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Bin, in.A, in.B)
 	case OpAlloc:
 		return fmt.Sprintf("%s = alloc %d", in.Dst, in.Imm)
+	case OpTalloc:
+		return fmt.Sprintf("%s = talloc %d", in.Dst, in.Imm)
 	case OpLoad:
 		return fmt.Sprintf("%s = load %s, %d", in.Dst, in.A, in.Imm)
 	case OpStore:

@@ -1,0 +1,70 @@
+package ir
+
+import "fmt"
+
+// Seeded-mutant helpers for the phxvet differential campaign: starting from
+// a correct module, InsertDanglingStore plants the exact bug class the
+// verifier's dangling-reference finding exists for — a preserved word made
+// to point into the transient arena — so the campaign can assert the bug is
+// flagged statically at the right position AND manifests dynamically.
+
+// FindStore returns the InstrRef of the nth store instruction (0-based, in
+// layout order) of fn.
+func FindStore(m *Module, fn string, nth int) (InstrRef, error) {
+	f, ok := m.Funcs[fn]
+	if !ok {
+		return InstrRef{}, fmt.Errorf("ir: FindStore: unknown function %q", fn)
+	}
+	seen := 0
+	var found InstrRef
+	ok = false
+	f.ForEachInstr(func(ref InstrRef, in *Instr) {
+		if in.Op != OpStore {
+			return
+		}
+		if seen == nth && !ok {
+			found, ok = ref, true
+		}
+		seen++
+	})
+	if !ok {
+		return InstrRef{}, fmt.Errorf("ir: FindStore: %s has %d store(s), want index %d", fn, seen, nth)
+	}
+	return found, nil
+}
+
+// InsertDanglingStore returns a copy of m in which the store at (fn, ref)
+// is immediately followed by a store of a freshly talloc'd buffer to the
+// same address — overwriting the just-written preserved word with a pointer
+// into the transient arena. The injected instructions carry the original
+// store's source position, which is also returned: a verifier that reports
+// the planted bug must report it at exactly this position.
+func InsertDanglingStore(m *Module, fn string, ref InstrRef) (*Module, Pos, error) {
+	nm := m.Clone()
+	f, ok := nm.Funcs[fn]
+	if !ok {
+		return nil, Pos{}, fmt.Errorf("ir: InsertDanglingStore: unknown function %q", fn)
+	}
+	if ref.Block >= len(f.Blocks) || ref.Index >= len(f.Blocks[ref.Block].Instrs) {
+		return nil, Pos{}, fmt.Errorf("ir: InsertDanglingStore: ref out of range")
+	}
+	b := f.Blocks[ref.Block]
+	orig := b.Instrs[ref.Index]
+	if orig.Op != OpStore {
+		return nil, Pos{}, fmt.Errorf("ir: InsertDanglingStore: instruction at %s b%d:%d is not a store", fn, ref.Block, ref.Index)
+	}
+	const reg = "__dangle"
+	tall := Instr{Op: OpTalloc, Dst: reg, Imm: 16, Pos: orig.Pos}
+	dang := Instr{Op: OpStore, A: orig.A, Imm: orig.Imm, Val: reg, Pos: orig.Pos}
+	// Insert the dangling store after the original, the talloc before it.
+	b.Instrs = insertInstr(b.Instrs, ref.Index+1, dang)
+	b.Instrs = insertInstr(b.Instrs, ref.Index, tall)
+	return nm, orig.Pos, nil
+}
+
+func insertInstr(instrs []Instr, i int, in Instr) []Instr {
+	instrs = append(instrs, Instr{})
+	copy(instrs[i+1:], instrs[i:])
+	instrs[i] = in
+	return instrs
+}

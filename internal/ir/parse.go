@@ -15,6 +15,7 @@ import (
 //	  x = const N
 //	  x = add|sub|mul|lt|eq a, b
 //	  x = alloc N
+//	  x = talloc N
 //	  x = load p, off
 //	  store p, off, v
 //	  x = field p, off
@@ -35,12 +36,16 @@ func Parse(src string) (*Module, error) {
 		if i := strings.Index(line, ";"); i >= 0 {
 			line = line[:i]
 		}
-		line = strings.TrimSpace(line)
-		if line == "" {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
 			continue
 		}
+		// Column of the first non-blank byte (1-based), for instruction
+		// positions and parse errors.
+		col := strings.Index(line, trimmed) + 1
+		line = trimmed
 		fail := func(format string, args ...interface{}) error {
-			return fmt.Errorf("ir: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+			return fmt.Errorf("ir: line %d:%d: %s", ln+1, col, fmt.Sprintf(format, args...))
 		}
 		switch {
 		case strings.HasPrefix(line, "global "):
@@ -95,6 +100,7 @@ func Parse(src string) (*Module, error) {
 			if err != nil {
 				return nil, fail("%v", err)
 			}
+			in.Pos = Pos{Line: ln + 1, Col: col}
 			curBlock.Instrs = append(curBlock.Instrs, in)
 		}
 	}
@@ -187,15 +193,19 @@ func parseRHS(rhs string) (Instr, error) {
 			return Instr{}, fmt.Errorf("const: %v", err)
 		}
 		return Instr{Op: OpConst, Imm: v}, nil
-	case "alloc":
+	case "alloc", "talloc":
 		if len(fields) != 2 {
-			return Instr{}, fmt.Errorf("alloc wants one size")
+			return Instr{}, fmt.Errorf("%s wants one size", fields[0])
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return Instr{}, fmt.Errorf("alloc: %v", err)
+			return Instr{}, fmt.Errorf("%s: %v", fields[0], err)
 		}
-		return Instr{Op: OpAlloc, Imm: v}, nil
+		op := OpAlloc
+		if fields[0] == "talloc" {
+			op = OpTalloc
+		}
+		return Instr{Op: op, Imm: v}, nil
 	case "add", "sub", "mul", "lt", "eq":
 		kind := map[string]BinKind{"add": BinAdd, "sub": BinSub, "mul": BinMul, "lt": BinLt, "eq": BinEq}[fields[0]]
 		args := splitArgs(strings.TrimPrefix(rhs, fields[0]+" "))

@@ -1,0 +1,180 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// cleanSrc keeps its transient buffer private: the talloc'd scratch is read
+// and written but never linked into preserved memory.
+const cleanSrc = `
+global root
+
+func setup() {
+entry:
+  box = alloc 32
+  store root, 0, box
+  ret
+}
+
+func work(v) {
+entry:
+  tmp = talloc 16
+  store tmp, 0, v
+  x = load tmp, 0
+  box = load root, 0
+  store box, 8, x
+  ret x
+}
+`
+
+// leakySrc links the talloc'd node straight into the preserved box — the
+// dangling-reference bug class.
+const leakySrc = `
+global root
+
+func setup() {
+entry:
+  box = alloc 32
+  store root, 0, box
+  ret
+}
+
+func leak(v) {
+entry:
+  t = talloc 16
+  store t, 0, v
+  box = load root, 0
+  store box, 8, t
+  ret v
+}
+
+func read() {
+entry:
+  box = load root, 0
+  p = load box, 8
+  x = load p, 0
+  ret x
+}
+`
+
+func TestParsePositions(t *testing.T) {
+	m := MustParse(cleanSrc)
+	f := m.Funcs["work"]
+	in := f.Entry().Instrs[0] // tmp = talloc 16
+	if in.Op != OpTalloc {
+		t.Fatalf("first instr of work = %v", in.Op)
+	}
+	if in.Pos.Line != 13 || in.Pos.Col != 3 {
+		t.Fatalf("talloc pos = %s, want 13:3", in.Pos)
+	}
+	// Round trip preserves the instruction stream (positions are not part of
+	// the textual format).
+	m2 := MustParse(m.String())
+	if m2.String() != m.String() {
+		t.Fatal("talloc module not String-stable")
+	}
+}
+
+func TestParseErrorCarriesPosition(t *testing.T) {
+	_, err := Parse("func f() {\nentry:\n  x = bogus 1\n  ret\n}")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "line 3:3") {
+		t.Fatalf("error lacks line:col position: %v", err)
+	}
+}
+
+func TestPreserveRestartCleanModule(t *testing.T) {
+	m := MustParse(cleanSrc)
+	in := NewInterp(m)
+	if _, err := in.Call("setup"); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(1); v <= 5; v++ {
+		if _, err := in.Call("work", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := in.PreservedChecksum()
+	if dangling := in.PreserveRestart(); len(dangling) != 0 {
+		t.Fatalf("clean module reported dangling pointers: %+v", dangling)
+	}
+	if after := in.PreservedChecksum(); after != before {
+		t.Fatalf("preserved checksum changed across restart: %x -> %x", before, after)
+	}
+	// The surviving heap still works.
+	if _, err := in.Call("work", 9); err != nil {
+		t.Fatalf("post-restart call failed: %v", err)
+	}
+}
+
+func TestPreserveRestartDetectsDangling(t *testing.T) {
+	m := MustParse(leakySrc)
+	in := NewInterp(m)
+	if _, err := in.Call("setup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("leak", 42); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-restart the transient node is alive and readable.
+	if v, err := in.Call("read"); err != nil || v != 42 {
+		t.Fatalf("pre-restart read = %d, %v", v, err)
+	}
+	dangling := in.PreserveRestart()
+	if len(dangling) != 1 {
+		t.Fatalf("audit found %d dangling pointers, want 1: %+v", len(dangling), dangling)
+	}
+	if dangling[0].Fn != "leak" || dangling[0].Line == 0 {
+		t.Fatalf("dangling record lacks talloc site attribution: %+v", dangling[0])
+	}
+	// Post-restart the dangling pointer faults when chased.
+	_, err := in.Call("read")
+	var de *ErrDangling
+	if !errors.As(err, &de) {
+		t.Fatalf("post-restart read = %v, want ErrDangling", err)
+	}
+	if de.Fn != "read" || de.Pos.Line == 0 {
+		t.Fatalf("ErrDangling lacks position: %+v", de)
+	}
+	// A second restart re-reports the still-dangling word.
+	if again := in.PreserveRestart(); len(again) != 1 {
+		t.Fatalf("second audit found %d, want 1", len(again))
+	}
+}
+
+func TestInsertDanglingStore(t *testing.T) {
+	m := MustParse(cleanSrc)
+	ref, err := FindStore(m, "setup", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, pos, err := InsertDanglingStore(m, "setup", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.IsZero() {
+		t.Fatal("mutant position is zero")
+	}
+	if _, err := mut.Validate(); err != nil {
+		t.Fatalf("mutant does not validate: %v", err)
+	}
+	// Original is untouched.
+	if m.String() == mut.String() {
+		t.Fatal("mutation did not change the module")
+	}
+	// Dynamically the mutant dangles: root now points at a talloc'd buffer.
+	in := NewInterp(mut)
+	if _, err := in.Call("setup"); err != nil {
+		t.Fatal(err)
+	}
+	if dangling := in.PreserveRestart(); len(dangling) == 0 {
+		t.Fatal("mutant restart audit found no dangling pointer")
+	}
+	if _, err := FindStore(m, "setup", 7); err == nil {
+		t.Fatal("FindStore accepted out-of-range index")
+	}
+}

@@ -1,0 +1,172 @@
+// Package lint implements the repo's determinism lint: a stdlib-only
+// (go/parser + go/ast) source check over the deterministic-simulation
+// packages, flagging constructs that would break same-seed byte-identical
+// reruns:
+//
+//   - time.Now() — wall-clock reads; deterministic code must ride the
+//     simulated clocks;
+//   - package-level math/rand calls (rand.Intn, rand.Int63, ...) — the
+//     global generator is shared mutable state; deterministic code must
+//     thread a rand.New(rand.NewSource(seed)) instance (rand.New and
+//     rand.NewSource themselves are fine);
+//   - ranging over a map inside a function that produces JSON (calls
+//     json.Marshal or is itself a MarshalJSON method) — map iteration order
+//     is randomized, so any JSON assembled from it is not byte-stable.
+//
+// The check is a test-time gate (see lint_test.go), not a Vet-style
+// analysis pass: it runs over non-test files only, since tests may
+// legitimately use wall-clock time for timeouts.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Issue is one determinism violation.
+type Issue struct {
+	File string
+	Line int
+	Rule string
+	Msg  string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", i.File, i.Line, i.Rule, i.Msg)
+}
+
+// CheckDir lints every non-test .go file in dir (non-recursive) and returns
+// the issues sorted by (file, line).
+func CheckDir(dir string) ([]Issue, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var issues []Issue
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fi, err := checkFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		issues = append(issues, fi...)
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].File != issues[j].File {
+			return issues[i].File < issues[j].File
+		}
+		return issues[i].Line < issues[j].Line
+	})
+	return issues, nil
+}
+
+// randDeterministic lists math/rand selectors that are construction, not
+// draws from the shared global generator.
+var randDeterministic = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func checkFile(path string) ([]Issue, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Only flag selector uses when the package is actually imported under
+	// the expected name (no aliasing tricks in this repo, but be precise).
+	imports := map[string]string{} // local name → import path
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		name := p[strings.LastIndex(p, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		imports[name] = p
+	}
+	var issues []Issue
+	add := func(pos token.Pos, rule, msg string) {
+		issues = append(issues, Issue{File: path, Line: fset.Position(pos).Line, Rule: rule, Msg: msg})
+	}
+	// pkgCall matches a call of the form pkg.Sel(...) against an import path.
+	pkgCall := func(call *ast.CallExpr, importPath string) (string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Obj != nil { // shadowed by a local binding
+			return "", false
+		}
+		if imports[id.Name] != importPath {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// Does this function produce JSON? Then map iteration inside it is
+		// suspect.
+		jsonProducer := fn.Name.Name == "MarshalJSON"
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if s, ok := pkgCall(call, "encoding/json"); ok && (s == "Marshal" || s == "MarshalIndent") {
+					jsonProducer = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if s, ok := pkgCall(node, "time"); ok && s == "Now" {
+					add(node.Pos(), "wallclock", "time.Now in deterministic code; use the simulated clock")
+				}
+				if s, ok := pkgCall(node, "math/rand"); ok && !randDeterministic[s] {
+					add(node.Pos(), "globalrand",
+						fmt.Sprintf("package-level rand.%s draws from shared global state; thread a seeded *rand.Rand", s))
+				}
+			case *ast.RangeStmt:
+				if jsonProducer && rangesOverMap(node) {
+					add(node.Pos(), "maporder",
+						"map iteration in a JSON-producing function; iterate sorted keys for byte-stable output")
+				}
+			}
+			return true
+		})
+	}
+	return issues, nil
+}
+
+// rangesOverMap heuristically detects `for k, v := range m` over a map: a
+// two-value range whose expression is not an obvious slice/array/channel
+// construct. Without type information the tell is the value identifier
+// pattern — we flag only ranges whose expression is a plain identifier or
+// selector with a map-suggesting declared type nearby. To stay stdlib-only
+// and zero-config the check is syntactic: a range with BOTH key and value
+// bound, where the key is not the conventional index name (i, j, n, idx),
+// which in this codebase separates map walks from slice walks.
+func rangesOverMap(r *ast.RangeStmt) bool {
+	if r.Key == nil || r.Value == nil {
+		return false
+	}
+	k, ok := r.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch k.Name {
+	case "i", "j", "n", "idx", "_":
+		return false
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDeterministicPackagesClean is the gate: the deterministic-simulation
+// packages must be free of wall-clock reads, global-rand draws, and
+// map-order-dependent JSON assembly. (Test files are exempt — e.g. the race
+// harness legitimately uses wall-clock timeouts.)
+func TestDeterministicPackagesClean(t *testing.T) {
+	for _, dir := range []string{
+		"../netsim",
+		"../cluster",
+		"../explore",
+		"../simclock",
+		"../experiments",
+	} {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			issues, err := CheckDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range issues {
+				t.Errorf("%s", i)
+			}
+		})
+	}
+}
+
+// TestLintFlagsViolations feeds the lint synthetic violations of each rule
+// and asserts they are caught (and that clean equivalents are not).
+func TestLintFlagsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("bad.go", `package p
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+)
+
+func wall() int64 { return time.Now().UnixNano() }
+
+func draw() int { return rand.Intn(6) }
+
+func encode(m map[string]int) []byte {
+	total := 0
+	for k, v := range m {
+		_ = k
+		total += v
+	}
+	b, _ := json.Marshal(total)
+	return b
+}
+`)
+	write("good.go", `package p
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+)
+
+func seeded(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(6) }
+
+func encodeSorted(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]int, 0, len(keys))
+	for i, k := range keys {
+		_ = i
+		vals = append(vals, m[k])
+	}
+	b, _ := json.Marshal(vals)
+	return b
+}
+`)
+	write("skip_test.go", `package p
+
+import "time"
+
+func inTest() int64 { return time.Now().UnixNano() }
+`)
+	issues, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]int{}
+	for _, i := range issues {
+		if filepath.Base(i.File) != "bad.go" {
+			t.Errorf("issue outside bad.go: %s", i)
+		}
+		rules[i.Rule]++
+	}
+	for _, want := range []string{"wallclock", "globalrand", "maporder"} {
+		if rules[want] != 1 {
+			t.Errorf("rule %s flagged %d time(s), want 1 (all: %v)", want, rules[want], issues)
+		}
+	}
+}
