@@ -8,6 +8,8 @@
 //	phoenix-bench -run fig10,tab7 # selected experiments
 //	phoenix-bench -quick          # reduced scale (CI-sized)
 //	phoenix-bench -list           # list experiment IDs
+//	phoenix-bench -preserve -out BENCH_preserve.json    # record the preserve trajectory
+//	phoenix-bench -preserve -check BENCH_preserve.json  # gate against the baseline
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"phoenix/internal/experiments"
+	"phoenix/internal/perftraj"
 )
 
 func main() {
@@ -27,8 +30,16 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
+		preserve  = flag.Bool("preserve", false, "collect the preserve-path perf trajectory instead of the experiments")
+		out       = flag.String("out", "", "with -preserve: write the trajectory JSON to this file")
+		check     = flag.String("check", "", "with -preserve: fail if any metric regresses >20% vs this baseline file")
 	)
 	flag.Parse()
+
+	if *preserve {
+		preserveTrajectory(*out, *check)
+		return
+	}
 
 	all := experiments.All()
 	if *ablations || *run != "" {
@@ -67,4 +78,60 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// tolerance is the regression gate: a metric more than 20% slower than the
+// checked-in baseline fails the run.
+const tolerance = 0.20
+
+// preserveTrajectory collects the deterministic preserve-path metrics,
+// optionally records them to a baseline file, and optionally gates the run
+// against an existing baseline.
+func preserveTrajectory(out, check string) {
+	traj, err := perftraj.Collect()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf trajectory: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("preserve trajectory (schema v%d, %d pages, simulated clock):\n", traj.Schema, traj.Pages)
+	for _, m := range traj.Metrics {
+		fmt.Printf("  %-28s %12d sim-ns\n", m.Name, m.SimNanos)
+	}
+	if out != "" {
+		data, err := perftraj.Encode(traj)
+		if err == nil {
+			err = os.WriteFile(out, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perf trajectory: write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if check == "" {
+		return
+	}
+	data, err := os.ReadFile(check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf trajectory: %v\n", err)
+		os.Exit(1)
+	}
+	base, err := perftraj.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf trajectory: baseline %s: %v\n", check, err)
+		os.Exit(1)
+	}
+	regs, err := perftraj.Compare(base, traj, tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf trajectory: compare: %v\n", err)
+		os.Exit(1)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %-28s %d -> %d sim-ns (%.2fx, gate %.0f%%)\n",
+				r.Name, r.BaselineNanos, r.CurrentNanos, r.Ratio, tolerance*100)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no metric regressed >%.0f%% vs %s\n", tolerance*100, check)
 }

@@ -126,6 +126,14 @@ func (accountingOracle) Check(o *Observation) []string {
 		add("checksum mismatches (%d) != integrity fallbacks (%d): a detection was not contained",
 			c["checksum_mismatches"], c["integrity_fallbacks"])
 	}
+	if c["incremental_audit_divergences"] > 0 {
+		add("incremental verification unsound: %d commits passed the delta checksum walk but failed the full walk",
+			c["incremental_audit_divergences"])
+	}
+	if c["checksums_reused"] > 0 && c["preserves_committed"] == 0 {
+		add("checksum reuse (%d) without any committed preserve: the delta baseline leaked through a failed commit",
+			c["checksums_reused"])
+	}
 	if c["preserves_committed"] > c["preserves_staged"] {
 		add("preserves committed (%d) exceed staged (%d)", c["preserves_committed"], c["preserves_staged"])
 	}

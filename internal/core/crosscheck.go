@@ -76,9 +76,14 @@ func (rt *Runtime) StartCrossCheck(spec CrossCheckSpec) *CrossCheck {
 	m := rt.proc.Machine
 	cc := &CrossCheck{rt: rt, spec: spec, started: m.Clock.Now()}
 
-	// Fork: copy every preserved range into an isolated snapshot space.
+	// Fork: copy every preserved range into an isolated snapshot space. The
+	// charge follows the copy-on-write model: every page pays a PTE scan, but
+	// only pages dirtied since the last verified commit pay the full fork
+	// copy — clean pages are pinned by the commit's checksums, so the
+	// snapshot can share them. Right after a PHOENIX restart most preserved
+	// pages are clean, which is what keeps the fork off the critical path.
 	snapshot := mem.NewAddressSpace()
-	pages := 0
+	pages, dirty := 0, 0
 	for _, r := range rt.PreservedRanges() {
 		n := mem.PagesFor(r.Len)
 		start := mem.PageBase(r.Start)
@@ -88,8 +93,9 @@ func (rt *Runtime) StartCrossCheck(spec CrossCheckSpec) *CrossCheck {
 			continue
 		}
 		pages += n
+		dirty += rt.proc.AS.DirtyPagesIn(start, n)
 	}
-	m.Clock.Advance(time.Duration(pages) * m.Model.ForkPerPage)
+	m.Clock.Advance(m.Model.ForkCoW(pages, dirty))
 
 	si := spec.SnapshotDump(snapshot)
 	sr, bgDur := spec.ReferenceRecover()

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"phoenix/internal/costmodel"
+	"phoenix/internal/heap"
+	"phoenix/internal/mem"
+)
+
+// TestCrossCheckForkWalksDirtySet pins the copy-on-write fork charge: the
+// cross-check fork right after a PHOENIX restart pays the full fork copy only
+// for pages dirtied since the verified commit, plus a per-page scan. Two
+// identical setups differing only in how many preserved pages were written
+// post-restart must differ by exactly that many ForkPerPage units.
+func TestCrossCheckForkWalksDirtySet(t *testing.T) {
+	forkCharge := func(extraPages int) (time.Duration, int) {
+		_, p := newProc(t)
+		rt := Init(p, nil)
+		h, _ := rt.OpenHeap(heap.Options{})
+		state := h.Alloc(32 * mem.PageSize)
+		for i := 0; i < 32; i++ {
+			p.AS.WriteU64(state+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+		}
+		info := h.Alloc(16)
+		p.AS.WritePtr(info, state)
+		np, err := rt.Restart(RestartPlan{InfoAddr: info, WithHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt2 := Init(np, nil)
+		rt2.OpenHeap(heap.Options{})
+		for i := 0; i < extraPages; i++ {
+			np.AS.WriteU64(state+mem.VAddr(i)*mem.PageSize, 0xF00)
+		}
+		m := np.Machine
+		before := m.Clock.Now()
+		rt2.StartCrossCheck(CrossCheckSpec{
+			SnapshotDump:     func(*mem.AddressSpace) StateDump { return StateDump{} },
+			ReferenceRecover: func() (StateDump, time.Duration) { return StateDump{}, time.Second },
+		})
+		pages := 0
+		for _, r := range rt2.PreservedRanges() {
+			pages += mem.PagesFor(r.Len)
+		}
+		return m.Clock.Now() - before, pages
+	}
+
+	clean, pages := forkCharge(0)
+	written, _ := forkCharge(7)
+	m := costmodel.Default()
+	if diff := written - clean; diff != 7*m.ForkPerPage {
+		t.Fatalf("7 dirtied pages changed the fork charge by %v, want %v", diff, 7*m.ForkPerPage)
+	}
+	// The clean fork still cannot be cheaper than the scan over every
+	// preserved page — the irreducible O(preserved) term.
+	if clean < time.Duration(pages)*m.DirtyScanPerPage {
+		t.Fatalf("clean fork charge %v below the scan floor for %d pages", clean, pages)
+	}
+	// And it must be far below the eager fork the old model charged.
+	if clean >= time.Duration(pages)*m.ForkPerPage {
+		t.Fatalf("clean fork charge %v not below eager fork %v", clean, time.Duration(pages)*m.ForkPerPage)
+	}
+}

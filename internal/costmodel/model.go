@@ -71,6 +71,19 @@ type Model struct {
 	// cross-check validation's background process and by fork snapshots).
 	ForkPerPage time.Duration
 
+	// ChecksumPerPage is the per-page cost of computing the FNV-1a integrity
+	// checksum preserve_exec stamps into the preserve info block. At ~2.7 GB/s
+	// for a byte-at-a-time FNV over a 4 KiB page this is the dominant preserve
+	// cost once the preserved set grows, which is what incremental (delta)
+	// checksumming amortises.
+	ChecksumPerPage time.Duration
+
+	// DirtyScanPerPage is the per-page cost of reading one soft-dirty bit
+	// during the delta-preserve walk (a PTE read, no data touch). It is what
+	// an incremental preserve still pays for every preserved page, dirty or
+	// clean — the irreducible O(preserved) term, ~300x cheaper than hashing.
+	DirtyScanPerPage time.Duration
+
 	// FreezeFixed is the stop-the-world cost CRIU pays to freeze the process
 	// before dumping, per snapshot.
 	FreezeFixed time.Duration
@@ -116,6 +129,8 @@ func Default() Model {
 		MarshalPerByte:     4 * time.Nanosecond,
 		LogReplayPerRecord: 2 * time.Microsecond,
 		ForkPerPage:        150 * time.Nanosecond,
+		ChecksumPerPage:    1500 * time.Nanosecond,
+		DirtyScanPerPage:   5 * time.Nanosecond,
 		FreezeFixed:        3 * time.Millisecond,
 		RequestBase:        12 * time.Microsecond,
 		MemOp:              60 * time.Nanosecond,
@@ -155,3 +170,26 @@ func (m Model) PreserveExec(movedPages, copiedPages int) time.Duration {
 
 // Exec returns the modelled duration of a plain restart (no preservation).
 func (m Model) Exec() time.Duration { return m.ExecBase }
+
+// PreserveExecDelta returns the modelled duration of an incremental
+// preserve_exec: the PTE moves and partial-page copies of PreserveExec, plus
+// a soft-dirty scan over every preserved page (scannedPages) and fresh
+// checksums only for the pages actually hashed (hashedPages — dirty or
+// cache-miss pages). Clean cached pages contribute only the scan term, which
+// is why commit latency scales with the write rate rather than the preserved
+// set.
+func (m Model) PreserveExecDelta(movedPages, copiedPages, hashedPages, scannedPages int) time.Duration {
+	return m.PreserveExec(movedPages, copiedPages) +
+		time.Duration(hashedPages)*m.ChecksumPerPage +
+		time.Duration(scannedPages)*m.DirtyScanPerPage
+}
+
+// ForkCoW returns the modelled duration of a copy-on-write fork over a region
+// of totalPages of which dirtyPages must be duplicated eagerly: every page
+// costs a PTE scan, and only the dirty ones pay the full fork copy. The
+// cross-check validator uses this once dirty tracking lets it walk just the
+// modified set.
+func (m Model) ForkCoW(totalPages, dirtyPages int) time.Duration {
+	return time.Duration(totalPages)*m.DirtyScanPerPage +
+		time.Duration(dirtyPages)*m.ForkPerPage
+}

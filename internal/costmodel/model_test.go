@@ -58,6 +58,53 @@ func TestDiskTimes(t *testing.T) {
 	}
 }
 
+func TestPreserveExecDeltaShape(t *testing.T) {
+	m := Default()
+	const pages = 10000 // ~40 MB preserved set
+
+	full := m.PreserveExecDelta(pages, 0, pages, pages)
+	delta1pct := m.PreserveExecDelta(pages, 0, pages/100, pages)
+	if delta1pct*5 > full {
+		t.Fatalf("1%% dirty delta preserve %v not ≥5x cheaper than full %v", delta1pct, full)
+	}
+	// A delta preserve never beats the work it actually does: both terms of
+	// the incremental walk are additive on top of the plain move cost.
+	if m.PreserveExecDelta(pages, 0, 0, pages) <= m.PreserveExec(pages, 0) {
+		t.Fatal("delta preserve with zero hashed pages lost its dirty-scan term")
+	}
+	// Hashing everything plus the scan costs at least the full-walk hash.
+	if full <= m.PreserveExec(pages, 0)+time.Duration(pages)*m.ChecksumPerPage {
+		t.Fatal("full delta preserve dropped the scan term")
+	}
+	// Monotone in hashed pages.
+	if m.PreserveExecDelta(pages, 0, 10, pages) >= m.PreserveExecDelta(pages, 0, 100, pages) {
+		t.Fatal("delta preserve not monotone in hashed pages")
+	}
+	// The scan is far cheaper than the hash — otherwise incremental preserve
+	// could not win.
+	if m.DirtyScanPerPage*100 > m.ChecksumPerPage {
+		t.Fatalf("dirty scan %v too close to checksum %v for deltas to pay off",
+			m.DirtyScanPerPage, m.ChecksumPerPage)
+	}
+}
+
+func TestForkCoWShape(t *testing.T) {
+	m := Default()
+	const pages = 10000
+	eager := time.Duration(pages) * m.ForkPerPage
+	cow := m.ForkCoW(pages, pages/100)
+	if cow*5 > eager {
+		t.Fatalf("CoW fork over 1%% dirty %v not ≥5x cheaper than eager fork %v", cow, eager)
+	}
+	// Fully dirty CoW costs more than eager fork (scan term on top).
+	if m.ForkCoW(pages, pages) <= eager {
+		t.Fatal("fully-dirty CoW fork should cost the eager fork plus the scan")
+	}
+	if m.ForkCoW(0, 0) != 0 {
+		t.Fatal("empty CoW fork should be free")
+	}
+}
+
 func TestUnmarshalDominatesLoad(t *testing.T) {
 	// §2.1: loading a 6 GB RDB takes ~53.5 s, far more than raw disk read.
 	m := Default()

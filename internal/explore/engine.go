@@ -92,6 +92,10 @@ func runSingle(sch Schedule) (*registry.Observation, error) {
 		return nil, fmt.Errorf("explore: unknown app %q", sch.App)
 	}
 	m := kernel.NewMachine(sch.Seed)
+	// Shadow every incremental verification with the full checksum walk: any
+	// mismatch the delta protocol would miss shows up as an
+	// incremental_audit_divergences count for the accounting oracle.
+	m.AuditIncremental = true
 	inj := faultinject.New()
 	app, gen := mk(inj)
 	cfg := recovery.Config{

@@ -83,6 +83,14 @@ type Machine struct {
 	// committed, aborted) machine-wide.
 	Counters *metrics.RecoveryCounters
 
+	// AuditIncremental, when set, makes every verified preserve_exec run the
+	// full checksum walk alongside the incremental one and count (in
+	// Counters.IncrementalAuditDivergences) any commit the incremental walk
+	// would pass but the full walk would fail. The audit is a pure read-back:
+	// it charges no simulated time and never changes the commit outcome, so
+	// exploration campaigns can leave it on for every seed.
+	AuditIncremental bool
+
 	nextPID int
 	rng     *rand.Rand
 }
@@ -135,10 +143,24 @@ type Handoff struct {
 	MovedPages  int
 	CopiedPages int
 	// VerifiedChecksums counts the integrity checksums (one per moved frame
-	// plus one per partial-page copy) the kernel stamped into the preserve
-	// info block at stage time and re-verified in the new address space after
-	// commit. Zero when verification was skipped.
+	// plus one per partial-page copy) the preserve info block covered and the
+	// kernel validated after commit — freshly re-hashed pages directly, and
+	// clean cached pages by the delta argument (verified at the prior commit,
+	// moved by pointer, not dirtied since). Zero when verification was
+	// skipped.
 	VerifiedChecksums int
+	// ReusedChecksums counts how many of those checksums were reused from the
+	// prior verified commit's cache instead of re-hashed — the incremental
+	// preservation win.
+	ReusedChecksums int
+	// PageSums is the per-page checksum cache carried in the preserve info
+	// block: the verified FNV-1a sum of every fully-moved page as of this
+	// commit. The next PreserveExec reuses these sums for pages whose
+	// soft-dirty bit is still clear, hashing only pages written since. Nil
+	// when verification was skipped — an unverified commit must never become
+	// the baseline, or a silently corrupted frame would be laundered into a
+	// "known good" sum.
+	PageSums map[mem.PageNum]uint64
 	// FallbackReason is set when this exec is a non-PHOENIX restart after a
 	// fallback decision, so the new process knows recovery mode is off.
 	FallbackReason string
@@ -291,14 +313,32 @@ func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
 	if !plan.skipVerify {
 		verified = plan.checksums()
 		m.Counters.ChecksumsVerified.Add(int64(verified))
+		m.Counters.ChecksumsReused.Add(int64(plan.reused))
 	}
-	m.Clock.Advance(m.Model.PreserveExec(plan.moved, plan.copied))
+	// The clock is charged per the delta model: PTE moves and copies as
+	// before, full hashes only for the pages actually hashed (stage + verify),
+	// plus a soft-dirty bit scan over every preserved page.
+	m.Clock.Advance(m.Model.PreserveExecDelta(plan.moved, plan.copied, plan.hashed, plan.moved))
 	np.preserved = &Handoff{
 		InfoAddr:          spec.InfoAddr,
 		Ranges:            ranges,
 		MovedPages:        plan.moved,
 		CopiedPages:       plan.copied,
 		VerifiedChecksums: verified,
+		ReusedChecksums:   plan.reused,
+	}
+	if !plan.skipVerify {
+		// This commit is the new delta baseline: record the verified per-page
+		// sums in the handoff and clear the soft-dirty bits of every
+		// fully-moved page in the successor. Both happen only on a verified
+		// commit — a SkipVerify commit propagates no cache and clears no bits
+		// (nothing proved the content matches the sums), and an aborted or
+		// integrity-failed commit never reaches here, so the rolled-back
+		// source keeps its dirty bits and the old cache stays valid.
+		np.preserved.PageSums = plan.cacheSums()
+		for _, mv := range plan.moves {
+			np.AS.ClearDirty(mv.start, mv.pages)
+		}
 	}
 	m.Counters.PreservesCommitted.Add(1)
 	p.dead = true
@@ -306,12 +346,15 @@ func (p *Process) PreserveExec(spec ExecSpec) (*Process, error) {
 }
 
 // pageMove is one staged zero-copy PTE transfer of a contiguous aligned run.
-// sums holds the stage-time FNV-1a checksum of each page in the run, recorded
-// into the preserve info block while the source was still whole.
+// sums holds the FNV-1a checksum of each page in the run, recorded into the
+// preserve info block while the source was still whole. cached[i] marks sums
+// reused from the prior verified commit's cache (the page's soft-dirty bit was
+// still clear) rather than re-hashed.
 type pageMove struct {
-	start mem.VAddr
-	pages int
-	sums  []uint64
+	start  mem.VAddr
+	pages  int
+	sums   []uint64
+	cached []bool
 }
 
 // partialCopy is one staged partial-page transfer: the bytes were read from
@@ -337,6 +380,12 @@ type preservePlan struct {
 	pages  map[mem.PageNum]bool
 	moved  int
 	copied int
+	// hashed counts full FNV passes actually computed for this plan (stage
+	// plus verify); reused counts sums taken from the prior commit's cache.
+	// Together they drive the delta cost model: the clock is charged for
+	// hashed pages plus a per-page dirty-bit scan, not for the preserved set.
+	hashed int
+	reused int
 	// skipVerify suppresses the post-commit checksum comparison (ExecSpec's
 	// knob; the sums themselves are always staged).
 	skipVerify bool
@@ -345,6 +394,21 @@ type preservePlan struct {
 // checksums returns the number of integrity checksums the plan stages: one
 // per moved frame plus one per partial copy.
 func (plan *preservePlan) checksums() int { return plan.moved + len(plan.copies) }
+
+// cacheSums builds the per-page checksum cache a verified commit hands to the
+// successor: the sum of every fully-moved page. Pages that only received a
+// partial copy are excluded — the rest of such a page is image- or
+// zero-backed, so its full-page sum is not what was staged, and partial
+// copies are restaged fresh on every preserve anyway.
+func (plan *preservePlan) cacheSums() map[mem.PageNum]uint64 {
+	out := make(map[mem.PageNum]uint64, plan.moved)
+	for _, mv := range plan.moves {
+		for i := 0; i < mv.pages; i++ {
+			out[mem.PageOf(mv.start)+mem.PageNum(i)] = mv.sums[i]
+		}
+	}
+	return out
+}
 
 // stagePreserve validates every range against both address spaces and stages
 // the transfers without mutating anything. Partial-page bytes are captured
@@ -428,6 +492,7 @@ func (p *Process) planCopy(plan *preservePlan, lo, hi mem.VAddr) error {
 	})
 	plan.pages[mem.PageOf(lo)] = true
 	plan.copied++
+	plan.hashed++ // partial copies are always freshly hashed, never cached
 	return nil
 }
 
@@ -452,10 +517,31 @@ func (p *Process) planMove(plan *preservePlan, lo, hi mem.VAddr) error {
 	}
 	pages := int((hi - lo) / mem.PageSize)
 	sums := make([]uint64, pages)
-	for i := range sums {
-		sums[i] = p.AS.PageChecksum(mem.PageOf(lo) + mem.PageNum(i))
+	cached := make([]bool, pages)
+	var cache map[mem.PageNum]uint64
+	if p.preserved != nil {
+		cache = p.preserved.PageSums
 	}
-	plan.moves = append(plan.moves, pageMove{start: lo, pages: pages, sums: sums})
+	for i := range sums {
+		pg := mem.PageOf(lo) + mem.PageNum(i)
+		// Reuse the cached sum only when it is provably current: the page was
+		// verified at the last commit, its frame is still resident (Unmap or a
+		// whole-page Zero since would have released it), and no write path has
+		// set its soft-dirty bit. Everything else is hashed fresh — which for
+		// a non-resident page is the O(1) zero-page sum, never a stale cache
+		// entry.
+		if c, ok := cache[pg]; ok && p.AS.PageResident(pg) && !p.AS.PageDirty(pg) {
+			sums[i] = c
+			cached[i] = true
+			plan.reused++
+		} else {
+			sums[i] = p.AS.PageChecksum(pg)
+			if p.AS.PageResident(pg) {
+				plan.hashed++
+			}
+		}
+	}
+	plan.moves = append(plan.moves, pageMove{start: lo, pages: pages, sums: sums, cached: cached})
 	plan.moved += pages
 	return nil
 }
@@ -525,7 +611,15 @@ func (p *Process) commitPreserve(np *Process, plan *preservePlan) error {
 	// holds. A mismatch rolls the whole transfer back — the successor must
 	// never boot from silently corrupted preserved state.
 	if !plan.skipVerify {
-		if err := verifyChecksums(np.AS, plan); err != nil {
+		err := verifyChecksums(np.AS, plan)
+		if m.AuditIncremental && err == nil {
+			if full := verifyFull(np.AS, plan); full != nil {
+				// The incremental walk validated less than the full walk
+				// would: a corrupted frame slipped past the delta argument.
+				m.Counters.IncrementalAuditDivergences.Add(1)
+			}
+		}
+		if err != nil {
 			m.Counters.ChecksumMismatches.Add(1)
 			rollback()
 			return err
@@ -562,10 +656,44 @@ func (p *Process) injectCorruption(np *Process, plan *preservePlan) {
 	}
 }
 
-// verifyChecksums re-reads every transferred frame from the destination
-// address space and compares it against the checksum staged while the source
-// was whole.
+// verifyChecksums re-reads transferred frames from the destination address
+// space and compares them against the checksums staged while the source was
+// whole. The walk is incremental: a page whose sum was reused from the prior
+// verified commit's cache is skipped when its destination frame is still
+// clean — it was verified then, the frame moved by pointer, and any
+// corruption since (including FlipBit, which goes through the MMU) would have
+// set its soft-dirty bit. Freshly-hashed pages, partial copies, and cached
+// pages that arrive dirty are always compared.
 func verifyChecksums(dst *mem.AddressSpace, plan *preservePlan) error {
+	for _, mv := range plan.moves {
+		for i := 0; i < mv.pages; i++ {
+			addr := mv.start + mem.VAddr(i)*mem.PageSize
+			pg := mem.PageOf(addr)
+			if mv.cached[i] && !dst.PageDirty(pg) {
+				continue
+			}
+			if dst.PageResident(pg) {
+				plan.hashed++
+			}
+			if got := dst.PageChecksum(pg); got != mv.sums[i] {
+				return &IntegrityError{Addr: addr, Want: mv.sums[i], Got: got}
+			}
+		}
+	}
+	for _, cp := range plan.copies {
+		plan.hashed++
+		if got := mem.Checksum(dst.ReadBytes(cp.addr, len(cp.data))); got != cp.sum {
+			return &IntegrityError{Addr: cp.addr, Want: cp.sum, Got: got}
+		}
+	}
+	return nil
+}
+
+// verifyFull is the non-incremental walk: every transferred frame is re-read
+// and compared, cache or not. It is the audit oracle AuditIncremental runs
+// beside verifyChecksums to prove the incremental walk never validates less;
+// it mutates no counters and charges no simulated time.
+func verifyFull(dst *mem.AddressSpace, plan *preservePlan) error {
 	for _, mv := range plan.moves {
 		for i := 0; i < mv.pages; i++ {
 			addr := mv.start + mem.VAddr(i)*mem.PageSize

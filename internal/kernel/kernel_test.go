@@ -245,8 +245,33 @@ func TestPreserveExecCostScalesWithPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := m.Clock.Now() - before
-	want := m.Model.PreserveExec(pages, 0)
+	// Untouched pages are non-resident: the walk pays the per-page dirty
+	// scan and the PTE moves, but hashes nothing (zero-page sums are O(1)).
+	want := m.Model.PreserveExecDelta(pages, 0, 0, pages)
 	if got != want {
 		t.Fatalf("preserve_exec charged %v, want %v", got, want)
+	}
+
+	// Resident pages are hashed at stage and again at verify on a first
+	// preserve (no cache yet), so the charge gains 2 hashes per written page.
+	m2 := NewMachine(1)
+	p2, _ := m2.Spawn(nil)
+	if _, err := p2.AS.Map(region, pages, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	const written = 32
+	for i := 0; i < written; i++ {
+		p2.AS.WriteU64(region+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+	}
+	before = m2.Clock.Now()
+	if _, err := p2.PreserveExec(ExecSpec{
+		Ranges: []linker.Range{{Start: region, Len: pages * mem.PageSize}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got = m2.Clock.Now() - before
+	want = m2.Model.PreserveExecDelta(pages, 0, 2*written, pages)
+	if got != want {
+		t.Fatalf("preserve_exec with %d resident pages charged %v, want %v", written, got, want)
 	}
 }

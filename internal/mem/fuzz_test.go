@@ -114,3 +114,150 @@ func FuzzPageIO(f *testing.F) {
 		}
 	})
 }
+
+// pageState is the observable state of one page: what a reader sees, what the
+// integrity layer would stamp, and what the preservation machinery tracks.
+type pageState struct {
+	content  []byte
+	sum      uint64
+	dirty    bool
+	resident bool
+}
+
+func capturePages(as *AddressSpace, base VAddr, pages int) []pageState {
+	out := make([]pageState, pages)
+	for i := 0; i < pages; i++ {
+		p := PageOf(base) + PageNum(i)
+		out[i] = pageState{
+			content:  as.ReadBytes(base+VAddr(i)*PageSize, PageSize),
+			sum:      as.PageChecksum(p),
+			dirty:    as.PageDirty(p),
+			resident: as.PageResident(p),
+		}
+	}
+	return out
+}
+
+type mappingState struct {
+	start VAddr
+	pages int
+	kind  Kind
+	name  string
+}
+
+func captureMappings(as *AddressSpace) []mappingState {
+	var out []mappingState
+	for _, m := range as.Mappings() {
+		out = append(out, mappingState{m.Start, m.Pages, m.Kind, m.Name})
+	}
+	return out
+}
+
+// FuzzMoveUnmoveRoundTrip: MovePages followed by UnmovePages restores the
+// source byte-exactly — mappings, frame residency, dirty bits, and per-page
+// checksums — and leaves the destination empty, for arbitrary ranges that
+// partially cover several mappings. This is the rollback contract preserve_exec
+// leans on when a mid-commit fault aborts the transfer: the dying process must
+// come back exactly as it was, including the soft-dirty baseline.
+func FuzzMoveUnmoveRoundTrip(f *testing.F) {
+	f.Add([]byte("phoenix"), uint32(0), uint32(9), uint32(0), uint32(0))
+	f.Add(bytes.Repeat([]byte{0xEE}, 5000), uint32(1), uint32(6), uint32(2*PageSize), uint32(7*PageSize+3))
+	f.Add([]byte{1}, uint32(4), uint32(2), uint32(PageSize), uint32(0))     // inside middle mapping
+	f.Add([]byte{}, uint32(2), uint32(4), uint32(3*PageSize), uint32(100)) // straddles all three
+
+	f.Fuzz(func(t *testing.T, data []byte, startPg, numPg, zeroOff, flipOff uint32) {
+		const totalPages = 9
+		if len(data) > 3*PageSize {
+			data = data[:3*PageSize]
+		}
+		src := NewAddressSpace()
+		// Three adjacent mappings — pages [0,3), [3,5), [5,9) — so a single
+		// move range can partially cover more than one of them.
+		for _, m := range []struct {
+			pg, n int
+			name  string
+		}{{0, 3, "a"}, {3, 2, "b"}, {5, 4, "c"}} {
+			if _, err := src.Map(fuzzBase+VAddr(m.pg)*PageSize, m.n, KindCustom, m.name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mutate through several paths so the snapshot holds a mix of
+		// resident/non-resident and dirty/clean pages.
+		span := totalPages*PageSize - len(data)
+		src.WriteAt(fuzzBase+VAddr(int(zeroOff)%(span+1)), data)
+		src.Zero(fuzzBase+VAddr(zeroOff)%(totalPages*PageSize-64), 64)
+		src.FlipBit(fuzzBase+VAddr(flipOff)%(totalPages*PageSize), uint(flipOff))
+		src.ClearDirty(fuzzBase, int(startPg)%totalPages+1)
+
+		before := capturePages(src, fuzzBase, totalPages)
+		beforeMaps := captureMappings(src)
+
+		s := int(startPg) % totalPages
+		n := 1 + int(numPg)%(totalPages-s)
+		moveStart := fuzzBase + VAddr(s)*PageSize
+
+		dst := NewAddressSpace()
+		if _, err := src.MovePages(dst, moveStart, n); err != nil {
+			t.Fatal(err)
+		}
+
+		// The destination observes exactly the moved pages' pre-move state:
+		// zero-copy means content, checksums, and dirty bits are the same
+		// physical frames.
+		got := capturePages(dst, moveStart, n)
+		for i, g := range got {
+			w := before[s+i]
+			if !bytes.Equal(g.content, w.content) || g.sum != w.sum || g.dirty != w.dirty || g.resident != w.resident {
+				t.Fatalf("page %d after MovePages: (sum=%#x dirty=%v resident=%v) want (sum=%#x dirty=%v resident=%v)",
+					s+i, g.sum, g.dirty, g.resident, w.sum, w.dirty, w.resident)
+			}
+		}
+		dstPages := 0
+		for _, m := range dst.Mappings() {
+			dstPages += m.Pages
+			orig := src.FindMapping(m.Start)
+			if orig == nil || orig.Kind != m.Kind || orig.Name != m.Name {
+				t.Fatalf("mirror mapping %q at %#x does not match a source mapping", m.Name, uint64(m.Start))
+			}
+		}
+		if dstPages != n {
+			t.Fatalf("destination maps %d pages, want %d", dstPages, n)
+		}
+
+		dst.UnmovePages(src, moveStart, n)
+
+		// Source is restored byte-exactly: mappings, content, residency,
+		// dirty bits, checksums.
+		afterMaps := captureMappings(src)
+		if len(afterMaps) != len(beforeMaps) {
+			t.Fatalf("mapping count changed across round-trip: %d != %d", len(afterMaps), len(beforeMaps))
+		}
+		for i := range afterMaps {
+			if afterMaps[i] != beforeMaps[i] {
+				t.Fatalf("mapping %d changed across round-trip: %+v != %+v", i, afterMaps[i], beforeMaps[i])
+			}
+		}
+		after := capturePages(src, fuzzBase, totalPages)
+		for i := range after {
+			if !bytes.Equal(after[i].content, before[i].content) {
+				t.Fatalf("page %d content changed across round-trip", i)
+			}
+			if after[i].sum != before[i].sum {
+				t.Fatalf("page %d checksum changed across round-trip: %#x != %#x", i, after[i].sum, before[i].sum)
+			}
+			if after[i].dirty != before[i].dirty {
+				t.Fatalf("page %d dirty bit changed across round-trip: %v != %v", i, after[i].dirty, before[i].dirty)
+			}
+			if after[i].resident != before[i].resident {
+				t.Fatalf("page %d residency changed across round-trip: %v != %v", i, after[i].resident, before[i].resident)
+			}
+		}
+		// The destination is fully cleaned up: no mirror mappings, no frames.
+		if ms := dst.Mappings(); len(ms) != 0 {
+			t.Fatalf("destination still has %d mappings after UnmovePages", len(ms))
+		}
+		if dst.ResidentPages() != 0 || len(dst.DirtySet()) != 0 {
+			t.Fatal("destination still holds frames after UnmovePages")
+		}
+	})
+}

@@ -90,11 +90,20 @@ func (k Kind) String() string {
 
 // Frame is a physical page frame. Data is allocated on first write; a nil
 // Data reads as zeros.
+//
+// Dirty is the frame's soft-dirty bit: set by every write path (including
+// FlipBit, which models DMA/DRAM corruption that bypasses application-level
+// store instrumentation but still goes through the MMU where soft-dirty
+// lives), and cleared only by the preservation machinery after a verified
+// commit. Because the bit lives on the frame, it travels with the frame
+// through MovePages/UnmovePages and is duplicated by CopyPages/Clone.
 type Frame struct {
-	Data []byte
+	Data  []byte
+	Dirty bool
 }
 
 func (f *Frame) materialize() []byte {
+	f.Dirty = true
 	if f.Data == nil {
 		f.Data = make([]byte, PageSize)
 	}
@@ -157,12 +166,15 @@ func (as *AddressSpace) Map(start VAddr, pages int, kind Kind, name string) (*Ma
 	return m, nil
 }
 
-// overlap returns any mapping intersecting [lo,hi).
+// overlap returns any mapping intersecting [lo,hi). The mappings slice is
+// sorted by Start and non-overlapping, so the first candidate is the first
+// mapping whose end lies past lo; it intersects iff it starts before hi.
 func (as *AddressSpace) overlap(lo, hi VAddr) *Mapping {
-	for _, m := range as.mappings {
-		if m.Start < hi && lo < m.End() {
-			return m
-		}
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].End() > lo
+	})
+	if i < len(as.mappings) && as.mappings[i].Start < hi {
+		return as.mappings[i]
 	}
 	return nil
 }
@@ -191,11 +203,21 @@ func (as *AddressSpace) Unmap(start VAddr) error {
 	return fmt.Errorf("mem: Unmap: no mapping at %#x", uint64(start))
 }
 
-// Grow extends mapping m by extra pages (used by the sbrk path). The new
-// range must not collide with another mapping.
+// Grow extends mapping m by extra pages (used by the sbrk path). The mapping
+// must belong to this address space — growing a stale pointer from before an
+// Unmap, or a mapping of a different space, would corrupt the sorted
+// non-overlapping invariant — and the new range must not collide with another
+// mapping.
 func (as *AddressSpace) Grow(m *Mapping, extra int) error {
 	if extra <= 0 {
 		return fmt.Errorf("mem: Grow %s: non-positive extra %d", m.Name, extra)
+	}
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].Start >= m.Start
+	})
+	if i >= len(as.mappings) || as.mappings[i] != m {
+		return fmt.Errorf("mem: Grow %s: mapping [%#x,%#x) not owned by this address space",
+			m.Name, uint64(m.Start), uint64(m.End()))
 	}
 	newEnd := m.End() + VAddr(extra)*PageSize
 	if ov := as.overlap(m.End(), newEnd); ov != nil {
@@ -298,7 +320,11 @@ func (as *AddressSpace) ReadBytes(addr VAddr, n int) []byte {
 	return buf
 }
 
-// Zero writes n zero bytes at addr.
+// Zero writes n zero bytes at addr. A frame left entirely zero is released
+// back to the unmaterialized state (its bookkeeping entry and dirty bit
+// remain), so large clears shrink the resident set instead of inflating the
+// preserve/checksum working set with pages that read identically to untouched
+// ones.
 func (as *AddressSpace) Zero(addr VAddr, n int) {
 	as.checkRange(addr, n, "write")
 	off := 0
@@ -311,9 +337,22 @@ func (as *AddressSpace) Zero(addr VAddr, n int) {
 			for i := range d {
 				d[i] = 0
 			}
+			f.Dirty = true
+			if allZero(f.Data) {
+				f.Data = nil
+			}
 		}
 		off += cnt
 	}
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ReadU8 reads one byte at addr.
@@ -472,10 +511,13 @@ func (as *AddressSpace) CopyPages(dst *AddressSpace, start VAddr, pages int, kin
 	copied := 0
 	for i := 0; i < pages; i++ {
 		p := PageOf(start) + PageNum(i)
-		if f, ok := as.frames[p]; ok && f.Data != nil {
+		if f, ok := as.frames[p]; ok {
 			nf := dst.frame(p)
-			nf.Data = append([]byte(nil), f.Data...)
-			copied++
+			nf.Dirty = f.Dirty // snapshot preserves tracking state, it is not a write
+			if f.Data != nil {
+				nf.Data = append([]byte(nil), f.Data...)
+				copied++
+			}
 		}
 	}
 	return copied, nil
@@ -492,7 +534,7 @@ func (as *AddressSpace) Clone() *AddressSpace {
 		cp.insert(&nm)
 	}
 	for p, f := range as.frames {
-		nf := &Frame{}
+		nf := &Frame{Dirty: f.Dirty}
 		if f.Data != nil {
 			nf.Data = append([]byte(nil), f.Data...)
 		}
@@ -536,10 +578,83 @@ func (as *AddressSpace) PageChecksum(p PageNum) uint64 {
 // FlipBit inverts one bit of the byte at addr, materializing the frame if
 // needed. It is the corruption primitive behind the kernel.preserve.corrupt
 // fault-injection site: a simulated hardware/DMA bit flip that bypasses the
-// store instrumentation application code routes through.
+// store instrumentation application code routes through. It still sets the
+// frame's soft-dirty bit — soft-dirty is an MMU property, not an
+// instrumentation property — which is what lets delta checksums catch flips
+// in pages the application never wrote: a "clean" page whose content changed
+// is by definition corrupted, and it must re-enter the checksum walk.
 func (as *AddressSpace) FlipBit(addr VAddr, bit uint) {
 	as.checkRange(addr, 1, "write")
 	as.frame(PageOf(addr)).materialize()[addr%PageSize] ^= 1 << (bit % 8)
+}
+
+// PageDirty reports whether page p carries a set soft-dirty bit.
+func (as *AddressSpace) PageDirty(p PageNum) bool {
+	f := as.frames[p]
+	return f != nil && f.Dirty
+}
+
+// PageResident reports whether page p has materialized data. A non-resident
+// page reads as zeros and checksums as the zero page in O(1).
+func (as *AddressSpace) PageResident(p PageNum) bool {
+	f := as.frames[p]
+	return f != nil && f.Data != nil
+}
+
+// DirtySet returns the numbers of every dirty page, in ascending order.
+func (as *AddressSpace) DirtySet() []PageNum {
+	var out []PageNum
+	for p, f := range as.frames {
+		if f.Dirty {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyPages returns the number of dirty pages.
+func (as *AddressSpace) DirtyPages() int {
+	n := 0
+	for _, f := range as.frames {
+		if f.Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyPagesIn returns how many pages of [start, start+pages*PageSize) are
+// dirty.
+func (as *AddressSpace) DirtyPagesIn(start VAddr, pages int) int {
+	n := 0
+	for p := PageOf(start); p < PageOf(start)+PageNum(pages); p++ {
+		if as.PageDirty(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// ClearDirty clears the soft-dirty bits of [start, start+pages*PageSize).
+// Only the preservation machinery may call it, and only after a verified
+// commit: clearing establishes "content matches the recorded checksums" as
+// the new baseline, so clearing without having recorded (and verified) the
+// content breaks the delta-checksum invariant.
+func (as *AddressSpace) ClearDirty(start VAddr, pages int) {
+	for p := PageOf(start); p < PageOf(start)+PageNum(pages); p++ {
+		if f := as.frames[p]; f != nil {
+			f.Dirty = false
+		}
+	}
+}
+
+// ClearAllDirty clears every soft-dirty bit in the address space. Same
+// contract as ClearDirty; used by whole-process incremental checkpoints.
+func (as *AddressSpace) ClearAllDirty() {
+	for _, f := range as.frames {
+		f.Dirty = false
+	}
 }
 
 // ResidentPages returns the number of frames with materialized data.

@@ -39,6 +39,16 @@ type RecoveryCounters struct {
 	// frame whose post-commit contents diverged from the stage-time checksum
 	// (a bit flip in the preservation channel). Each one aborts the preserve.
 	ChecksumMismatches atomic.Int64
+	// ChecksumsReused counts per-frame checksums the incremental preserve
+	// path reused from the prior verified commit's cache instead of
+	// re-hashing, because the page's soft-dirty bit was still clear.
+	ChecksumsReused atomic.Int64
+	// IncrementalAuditDivergences counts verified commits where the
+	// incremental checksum walk passed but the audit-mode full walk found a
+	// mismatch — the incremental walk validated less than the full walk
+	// would. Any nonzero value is a soundness bug in dirty tracking or the
+	// delta-checksum protocol; the exploration oracles flag it.
+	IncrementalAuditDivergences atomic.Int64
 	// RecoveryFaultFallbacks counts driver fallbacks taken because
 	// preserve_exec itself failed operationally (as opposed to
 	// unsafe-region, grace-window, cross-check, or integrity fallbacks).
@@ -66,16 +76,18 @@ func NewRecoveryCounters() *RecoveryCounters { return &RecoveryCounters{} }
 // atomically (the map as a whole is not one consistent cut).
 func (c *RecoveryCounters) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"preserves_staged":         c.PreservesStaged.Load(),
-		"preserves_committed":      c.PreservesCommitted.Load(),
-		"preserves_aborted":        c.PreservesAborted.Load(),
-		"checksums_verified":       c.ChecksumsVerified.Load(),
-		"checksum_mismatches":      c.ChecksumMismatches.Load(),
-		"recovery_fault_fallbacks": c.RecoveryFaultFallbacks.Load(),
-		"integrity_fallbacks":      c.IntegrityFallbacks.Load(),
-		"breaker_trips":            c.BreakerTrips.Load(),
-		"escalations":              c.Escalations.Load(),
-		"deescalations":            c.Deescalations.Load(),
+		"preserves_staged":              c.PreservesStaged.Load(),
+		"preserves_committed":           c.PreservesCommitted.Load(),
+		"preserves_aborted":             c.PreservesAborted.Load(),
+		"checksums_verified":            c.ChecksumsVerified.Load(),
+		"checksum_mismatches":           c.ChecksumMismatches.Load(),
+		"checksums_reused":              c.ChecksumsReused.Load(),
+		"incremental_audit_divergences": c.IncrementalAuditDivergences.Load(),
+		"recovery_fault_fallbacks":      c.RecoveryFaultFallbacks.Load(),
+		"integrity_fallbacks":           c.IntegrityFallbacks.Load(),
+		"breaker_trips":                 c.BreakerTrips.Load(),
+		"escalations":                   c.Escalations.Load(),
+		"deescalations":                 c.Deescalations.Load(),
 	}
 }
 

@@ -1,0 +1,240 @@
+// Package perftraj collects the preserve-path performance trajectory: a
+// small, schema-versioned set of simulated-clock metrics for the operations
+// the incremental-preservation work optimises (preserve_exec commit latency
+// at several dirty fractions, restart-to-first-request, and the cost-model
+// scan/fork terms). Because every metric is read off the deterministic
+// simulation clock, the collected numbers are bit-stable across hosts and
+// runs — which is what lets a checked-in BENCH_preserve.json act as a CI
+// regression gate instead of a flaky wall-clock threshold.
+package perftraj
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"phoenix/internal/core"
+	"phoenix/internal/heap"
+	"phoenix/internal/kernel"
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+// SchemaVersion gates baseline comparisons: a trajectory written under a
+// different schema never silently compares against this code's metrics.
+const SchemaVersion = 1
+
+// Pages is the preserved-set size every scenario uses — large enough that
+// the O(pages) and O(dirty) terms separate cleanly.
+const Pages = 10000
+
+// Metric is one named simulated-clock measurement.
+type Metric struct {
+	Name     string `json:"name"`
+	SimNanos int64  `json:"sim_nanos"`
+}
+
+// Trajectory is the full collected set, ordered deterministically.
+type Trajectory struct {
+	Schema  int      `json:"schema"`
+	Pages   int      `json:"pages"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get returns a metric by name.
+func (t Trajectory) Get(name string) (int64, bool) {
+	for _, m := range t.Metrics {
+		if m.Name == name {
+			return m.SimNanos, true
+		}
+	}
+	return 0, false
+}
+
+// region is where scenarios map the preserved set.
+const region = mem.VAddr(0x2000_0000)
+
+// PreserveCommit measures preserve_exec commit latency over a pages-sized
+// preserved range: the first preserve (no cache, every resident page hashed)
+// and a second preserve after exactly dirty pages were rewritten, which
+// exercises the delta-checksum path. Both durations are simulated time.
+func PreserveCommit(pages, dirty int) (first, second time.Duration, err error) {
+	m := kernel.NewMachine(1)
+	p, err := m.Spawn(nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := p.AS.Map(region, pages, mem.KindCustom, "state"); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < pages; i++ {
+		p.AS.WriteU64(region+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+	}
+	spec := kernel.ExecSpec{Ranges: []linker.Range{{Start: region, Len: pages * mem.PageSize}}}
+
+	t0 := m.Clock.Now()
+	np, err := p.PreserveExec(spec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("first preserve: %w", err)
+	}
+	first = m.Clock.Now() - t0
+
+	// Rewrite dirty pages spread evenly across the set, so the delta walk
+	// cannot benefit from range locality.
+	if dirty > 0 {
+		stride := pages / dirty
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < dirty; i++ {
+			np.AS.WriteU64(region+mem.VAddr(i*stride%pages)*mem.PageSize, 0xD1D1)
+		}
+	}
+	t1 := m.Clock.Now()
+	if _, err := np.PreserveExec(spec); err != nil {
+		return 0, 0, fmt.Errorf("second preserve (%d dirty): %w", dirty, err)
+	}
+	second = m.Clock.Now() - t1
+	return first, second, nil
+}
+
+// RestartToFirstRequest measures the full optimistic-recovery critical path
+// in simulated time: PHOENIX restart of a process holding a pages-sized heap
+// state, re-initialisation in the successor, and the first read of preserved
+// state — the moment the application can serve again.
+func RestartToFirstRequest(pages int) (time.Duration, error) {
+	m := kernel.NewMachine(1)
+	bld := linker.NewBuilder("perftraj", 0x0010_0000)
+	bld.Var("cfg", 8, linker.SecData)
+	p, err := m.Spawn(bld.Build())
+	if err != nil {
+		return 0, err
+	}
+	rt := core.Init(p, nil)
+	h, err := rt.OpenHeap(heap.Options{})
+	if err != nil {
+		return 0, err
+	}
+	state := h.Alloc(pages * mem.PageSize)
+	if state == mem.NullPtr {
+		return 0, fmt.Errorf("perftraj: %d-page alloc failed", pages)
+	}
+	for i := 0; i < pages; i++ {
+		p.AS.WriteU64(state+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+	}
+	info := h.Alloc(16)
+	p.AS.WritePtr(info, state)
+
+	t0 := m.Clock.Now()
+	np, err := rt.Restart(core.RestartPlan{InfoAddr: info, WithHeap: true})
+	if err != nil {
+		return 0, err
+	}
+	rt2 := core.Init(np, nil)
+	if _, err := rt2.OpenHeap(heap.Options{}); err != nil {
+		return 0, err
+	}
+	got := np.AS.ReadPtr(rt2.RecoveryInfo())
+	if v := np.AS.ReadU64(got); v != 1 {
+		return 0, fmt.Errorf("perftraj: preserved state reads %#x after restart", v)
+	}
+	return m.Clock.Now() - t0, nil
+}
+
+// Collect runs every scenario and returns the trajectory.
+func Collect() (Trajectory, error) {
+	t := Trajectory{Schema: SchemaVersion, Pages: Pages}
+	add := func(name string, d time.Duration) {
+		t.Metrics = append(t.Metrics, Metric{Name: name, SimNanos: int64(d)})
+	}
+
+	full, d1, err := PreserveCommit(Pages, Pages/100) // 1% dirty
+	if err != nil {
+		return t, err
+	}
+	_, d10, err := PreserveCommit(Pages, Pages/10) // 10% dirty
+	if err != nil {
+		return t, err
+	}
+	_, d100, err := PreserveCommit(Pages, Pages) // 100% dirty
+	if err != nil {
+		return t, err
+	}
+	add("preserve_commit_full", full)
+	add("preserve_commit_dirty_1pct", d1)
+	add("preserve_commit_dirty_10pct", d10)
+	add("preserve_commit_dirty_100pct", d100)
+
+	restart, err := RestartToFirstRequest(Pages)
+	if err != nil {
+		return t, err
+	}
+	add("restart_to_first_request", restart)
+
+	// Cost-model terms the incremental path leans on, pinned so a model
+	// change shows up in the trajectory diff rather than only downstream.
+	model := kernel.NewMachine(1).Model
+	add("dirty_scan", time.Duration(Pages)*model.DirtyScanPerPage)
+	add("checksum_hash", time.Duration(Pages)*model.ChecksumPerPage)
+	add("fork_cow_clean", model.ForkCoW(Pages, 0))
+	return t, nil
+}
+
+// Regression is one metric that moved past the comparison tolerance.
+type Regression struct {
+	Name          string  `json:"name"`
+	BaselineNanos int64   `json:"baseline_nanos"`
+	CurrentNanos  int64   `json:"current_nanos"`
+	Ratio         float64 `json:"ratio"`
+}
+
+// Compare checks current against baseline: any metric slower than
+// baseline*(1+tolerance) is a regression, and a baseline metric missing from
+// current is an error (a renamed metric must update the baseline in the same
+// change). Improvements are not flagged — refreshing the checked-in baseline
+// on a win is deliberate, not forced.
+func Compare(baseline, current Trajectory, tolerance float64) ([]Regression, error) {
+	if baseline.Schema != current.Schema {
+		return nil, fmt.Errorf("perftraj: schema mismatch: baseline v%d vs current v%d", baseline.Schema, current.Schema)
+	}
+	if baseline.Pages != current.Pages {
+		return nil, fmt.Errorf("perftraj: page-count mismatch: baseline %d vs current %d", baseline.Pages, current.Pages)
+	}
+	var regs []Regression
+	for _, b := range baseline.Metrics {
+		cur, ok := current.Get(b.Name)
+		if !ok {
+			return nil, fmt.Errorf("perftraj: baseline metric %q missing from current trajectory", b.Name)
+		}
+		if b.SimNanos <= 0 {
+			return nil, fmt.Errorf("perftraj: baseline metric %q is non-positive (%d)", b.Name, b.SimNanos)
+		}
+		ratio := float64(cur) / float64(b.SimNanos)
+		if ratio > 1+tolerance {
+			regs = append(regs, Regression{Name: b.Name, BaselineNanos: b.SimNanos, CurrentNanos: cur, Ratio: ratio})
+		}
+	}
+	return regs, nil
+}
+
+// Encode renders the trajectory as stable, human-diffable JSON.
+func Encode(t Trajectory) ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a trajectory, rejecting unknown fields so baseline drift is
+// loud.
+func Decode(data []byte) (Trajectory, error) {
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("perftraj: %w", err)
+	}
+	if t.Schema != SchemaVersion {
+		return t, fmt.Errorf("perftraj: unsupported schema v%d (this build speaks v%d)", t.Schema, SchemaVersion)
+	}
+	return t, nil
+}

@@ -1,0 +1,101 @@
+package perftraj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCollectDeterministic: the trajectory is a pure function — two
+// collections encode byte-identically, which is what makes the checked-in
+// baseline a meaningful gate.
+func TestCollectDeterministic(t *testing.T) {
+	a, err := Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := Encode(a)
+	jb, _ := Encode(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("collections diverged:\n%s\n%s", ja, jb)
+	}
+	for _, m := range a.Metrics {
+		if m.SimNanos <= 0 {
+			t.Fatalf("metric %s is non-positive: %d", m.Name, m.SimNanos)
+		}
+	}
+}
+
+// TestIncrementalSpeedup pins the headline acceptance criterion: preserve
+// commit at 1% dirty is at least 5x faster than at 100% dirty for the
+// 10k-page set.
+func TestIncrementalSpeedup(t *testing.T) {
+	traj, err := Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, ok1 := traj.Get("preserve_commit_dirty_1pct")
+	d100, ok100 := traj.Get("preserve_commit_dirty_100pct")
+	if !ok1 || !ok100 {
+		t.Fatalf("trajectory lacks the dirty-fraction metrics: %+v", traj.Metrics)
+	}
+	if ratio := float64(d100) / float64(d1); ratio < 5 {
+		t.Fatalf("1%% dirty commit only %.1fx faster than 100%% (want >= 5x): %d vs %d ns", ratio, d1, d100)
+	}
+	full, _ := traj.Get("preserve_commit_full")
+	if d100 > full {
+		t.Fatalf("100%% dirty incremental commit (%d) slower than the cold full commit (%d)", d100, full)
+	}
+}
+
+// TestCompare covers the gate semantics: within-tolerance passes, a slow
+// metric regresses, a missing metric errors, and schema drift errors.
+func TestCompare(t *testing.T) {
+	base := Trajectory{Schema: SchemaVersion, Pages: Pages, Metrics: []Metric{
+		{Name: "a", SimNanos: 1000}, {Name: "b", SimNanos: 2000},
+	}}
+	cur := Trajectory{Schema: SchemaVersion, Pages: Pages, Metrics: []Metric{
+		{Name: "a", SimNanos: 1150}, {Name: "b", SimNanos: 2500},
+	}}
+	regs, err := Compare(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("want exactly metric b flagged, got %+v", regs)
+	}
+
+	missing := Trajectory{Schema: SchemaVersion, Pages: Pages, Metrics: []Metric{{Name: "a", SimNanos: 1}}}
+	if _, err := Compare(base, missing, 0.20); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing metric not rejected: %v", err)
+	}
+	drift := cur
+	drift.Schema = SchemaVersion + 1
+	if _, err := Compare(base, drift, 0.20); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema drift not rejected: %v", err)
+	}
+}
+
+// TestEncodeDecodeRoundTrip: the JSON survives a round trip and rejects
+// unsupported schemas.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	traj := Trajectory{Schema: SchemaVersion, Pages: Pages, Metrics: []Metric{{Name: "x", SimNanos: 7}}}
+	data, err := Encode(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Get("x"); v != 7 {
+		t.Fatalf("round trip lost the metric: %+v", back)
+	}
+	if _, err := Decode([]byte(`{"schema": 999, "pages": 1, "metrics": []}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}

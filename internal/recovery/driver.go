@@ -56,6 +56,11 @@ type Config struct {
 	// CheckpointInterval is the Builtin/CRIU snapshot period (0 disables
 	// periodic snapshots).
 	CheckpointInterval time.Duration
+	// IncrementalCheckpoint makes periodic CRIU snapshots soft-dirty deltas
+	// after the first full dump: each snapshot writes only pages dirtied
+	// since the previous one, and a restore reads the whole chain. Only
+	// meaningful under ModeCRIU.
+	IncrementalCheckpoint bool
 	// WatchdogTimeout is how long a hang persists before a forced restart.
 	WatchdogTimeout time.Duration
 	// DisablePersistence turns the app's builtin persistence off even under
@@ -115,6 +120,9 @@ func (c Config) Validate() error {
 		if c.Supervise {
 			return fmt.Errorf("recovery: Supervise requires ModePhoenix (got %v): the escalation ladder starts at PHOENIX", c.Mode)
 		}
+	}
+	if c.IncrementalCheckpoint && c.Mode != ModeCRIU {
+		return fmt.Errorf("recovery: IncrementalCheckpoint requires ModeCRIU (got %v): only CRIU snapshots dump page deltas", c.Mode)
 	}
 	if c.CheckpointInterval < 0 {
 		return fmt.Errorf("recovery: negative CheckpointInterval %v", c.CheckpointInterval)
@@ -416,7 +424,11 @@ func (h *Harness) maybeSnapshot() {
 		h.App.Checkpoint()
 		h.Stat.CheckpointsTaken++
 	case ModeCRIU:
-		h.criuImage = CRIUSnapshot(h.proc)
+		if h.Cfg.IncrementalCheckpoint {
+			h.criuImage = CRIUSnapshotIncremental(h.proc, h.criuImage)
+		} else {
+			h.criuImage = CRIUSnapshot(h.proc)
+		}
 		h.Stat.CheckpointsTaken++
 	case ModePhoenix:
 		// PHOENIX leaves the application's own persistence cadence alone;
