@@ -17,7 +17,11 @@
 // differentially validates the phxvet static verifier — every application
 // model must verify clean AND stay violation-free under randomized dynamic
 // schedules, and every seeded dangling-store mutant must be flagged
-// statically at the planted position and manifest dynamically.
+// statically at the planted position and manifest dynamically; "microreboot"
+// measures the recovery-granularity windows — the simulated unavailability of
+// the same mid-request fault recovered by request rewind, component
+// microreboot, PHOENIX preserve_exec, builtin restart, and vanilla restart —
+// and requires each finer granularity to strictly beat the coarser ones.
 //
 // Usage:
 //
@@ -32,6 +36,8 @@
 //	phxinject -campaign explore -seeds 50 -app kvstore -json
 //	phxinject -campaign vet -seeds 200            # static/dynamic differential
 //	phxinject -campaign vet -seeds 50 -app kvstore -json
+//	phxinject -campaign microreboot               # granularity windows, all apps
+//	phxinject -campaign microreboot -app boost -json
 package main
 
 import (
@@ -54,7 +60,7 @@ func main() {
 		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		v        = flag.Bool("v", false, "print per-run outcomes")
-		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, explore, vet")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, explore, vet, microreboot")
 		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
 		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
 		jsonOut  = flag.Bool("json", false, "cluster/explore/vet campaigns: emit the full report as deterministic JSON")
@@ -85,8 +91,13 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "microreboot":
+		if err := runMicrorebootCampaign(*app, *seed, *jsonOut); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, explore, or vet)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, explore, vet, or microreboot)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -282,6 +293,38 @@ func runExploreCampaign(app string, start int64, seeds int, jsonOut, verbose boo
 		fmt.Printf("%s\n", out)
 	} else {
 		fmt.Print(explore.FmtSummary(sum))
+	}
+	return cerr
+}
+
+// runMicrorebootCampaign measures the recovery-granularity windows: for each
+// application, the simulated unavailability (crash → first answered request)
+// at every ladder rung it supports — rewind, microreboot, PHOENIX, builtin,
+// vanilla — and enforces the granularity ordering rewind < microreboot <
+// process-level recovery.
+func runMicrorebootCampaign(only string, seed int64, jsonOut bool) error {
+	specs := registry.MicrorebootSpecs(seed)
+	if only != "" {
+		var keep []recovery.MicrorebootSpec
+		for _, s := range specs {
+			if s.Name == only {
+				keep = append(keep, s)
+			}
+		}
+		if keep == nil {
+			return fmt.Errorf("unknown app %q (have %v)", only, registry.Names())
+		}
+		specs = keep
+	}
+	res, cerr := recovery.CheckMicroreboot(specs, recovery.MicrorebootConfig{Seed: seed})
+	if jsonOut {
+		out, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		fmt.Print(recovery.FmtMicroreboot(res))
 	}
 	return cerr
 }

@@ -24,6 +24,15 @@ entry:
 }
 `
 
+// KVComponents partitions the kvstore model for the domain-isolation check:
+// the read path (reader, lookup) versus the mutating path that owns the
+// dictionary. Kept separate from KVModel, which other campaigns reuse
+// standalone and must stay byte-identical.
+const KVComponents = `
+component reader reader lookup
+component writer setup handler delete insert link table
+`
+
 // WebcacheModel mirrors the webcache app (Varnish/Squid-style URL→object
 // cache): a preserved chain of cache entries rooted at the global `cache`,
 // an indirect call through a preserved function pointer for body fill, and a
@@ -124,6 +133,9 @@ out:
   z = const 0
   ret z
 }
+
+component reader find
+component index setup get link_front evict fill_body cache
 `
 
 // LSMDBModel mirrors the lsmdb app: puts prepend to a preserved memtable
@@ -234,6 +246,9 @@ miss:
   z = const 0
   ret z
 }
+
+component reader get
+component writer setup put flush db
 `
 
 // BoostModel mirrors the boost app (gradient-boosting trainer): preserved
@@ -420,16 +435,28 @@ type IRMutant struct {
 	NthStore int
 }
 
+// IRCrossMutant names a cross-domain write to plant with
+// ir.InsertCrossDomainStore: a constant store from Fn into Global at Off.
+// Offsets target scalar counter fields so the mutant violates component
+// isolation without corrupting any pointer chain — the differential campaign
+// asserts the static flag, not a dynamic crash.
+type IRCrossMutant struct {
+	Fn     string
+	Global string
+	Off    int64
+}
+
 // IRApp bundles one application model for phxvet: the IR source, its setup
 // function, the serving entry points (roots for the static verifier and the
 // dynamic drivers), and the seeded mutants the differential campaign plants.
 type IRApp struct {
-	Name    string
-	Src     string
-	Setup   string
-	Entries []string
-	Calls   []IRCall
-	Mutants []IRMutant
+	Name         string
+	Src          string
+	Setup        string
+	Entries      []string
+	Calls        []IRCall
+	Mutants      []IRMutant
+	CrossMutants []IRCrossMutant
 }
 
 // IRApps returns the model registry in deterministic (name) order.
@@ -445,14 +472,15 @@ func IRApps() []IRApp {
 		},
 		{
 			Name:    "kvstore",
-			Src:     KVModel + KVSetup,
+			Src:     KVModel + KVSetup + KVComponents,
 			Setup:   "setup",
 			Entries: []string{"handler", "reader"},
 			Calls: []IRCall{
 				{Fn: "handler", NArgs: 2, ArgMax: 8},
 				{Fn: "reader", NArgs: 1, ArgMax: 8},
 			},
-			Mutants: []IRMutant{{Fn: "link", NthStore: 1}}, // store b, 0, node
+			Mutants:      []IRMutant{{Fn: "link", NthStore: 1}},                     // store b, 0, node
+			CrossMutants: []IRCrossMutant{{Fn: "reader", Global: "table", Off: 16}}, // reader bumps writer's count
 		},
 		{
 			Name:    "lsmdb",
@@ -463,7 +491,8 @@ func IRApps() []IRApp {
 				{Fn: "put", NArgs: 2, ArgMax: 8},
 				{Fn: "get", NArgs: 1, ArgMax: 8},
 			},
-			Mutants: []IRMutant{{Fn: "flush", NthStore: 0}}, // store e, 0, l0
+			Mutants:      []IRMutant{{Fn: "flush", NthStore: 0}},             // store e, 0, l0
+			CrossMutants: []IRCrossMutant{{Fn: "get", Global: "db", Off: 8}}, // get scribbles writer's memtable count
 		},
 		{
 			Name:    "particle",
@@ -482,7 +511,8 @@ func IRApps() []IRApp {
 				{Fn: "get", NArgs: 1, ArgMax: 8},
 				{Fn: "evict", NArgs: 0, ArgMax: 1},
 			},
-			Mutants: []IRMutant{{Fn: "link_front", NthStore: 0}}, // store e, 0, head
+			Mutants:      []IRMutant{{Fn: "link_front", NthStore: 0}},             // store e, 0, head
+			CrossMutants: []IRCrossMutant{{Fn: "find", Global: "cache", Off: 16}}, // find bumps index's hit counter
 		},
 	}
 }

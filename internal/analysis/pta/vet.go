@@ -22,6 +22,12 @@ const (
 	// KindICall: informational — the points-to sets narrowed an indirect
 	// call's target set below the taint analyzer's arity-matched merge.
 	KindICall = "icall-resolution"
+	// KindCrossDomain: a function assigned to one component may store into
+	// preserved-reachable state owned by a different component. Such a write
+	// escapes its rewind domain: discarding the request's pages or
+	// microrebooting the writer's component cannot undo it, so the
+	// sub-process recovery rungs are unsound for this module.
+	KindCrossDomain = "cross-domain-store"
 )
 
 // Finding is one position-carrying verifier result. The JSON encoding is
@@ -220,6 +226,32 @@ func Vet(m *ir.Module, entries []string) (*Report, error) {
 						Msg: fmt.Sprintf("store to preserved %s is outside every instrumented unsafe region",
 							a.Info(tgtEscaped[0])),
 					})
+				}
+				// Domain isolation: a component-assigned function writing
+				// preserved state homed in another component. No freshness
+				// exemption — even a just-allocated object belongs to the
+				// component of its allocating function, and a foreign write
+				// to it outlives the writer's rewind domain.
+				if home := m.ComponentOf(fn); home != "" {
+					for _, o := range tgtPreserved {
+						var owner string
+						switch a.objs[o].Kind {
+						case ObjGlobal:
+							owner = m.ComponentOf(a.objs[o].Name)
+						case ObjAlloc:
+							owner = m.ComponentOf(a.objs[o].Fn)
+						default:
+							continue
+						}
+						if owner != "" && owner != home {
+							findings = append(findings, Finding{
+								Kind: KindCrossDomain, Fn: fn, Line: in.Pos.Line, Col: in.Pos.Col,
+								Msg: fmt.Sprintf("component %s stores into preserved %s owned by component %s",
+									home, a.Info(o), owner),
+							})
+							break
+						}
+					}
 				}
 			case ir.OpICall:
 				if !reachable[fn] {

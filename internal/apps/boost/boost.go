@@ -111,7 +111,8 @@ type Trainer struct {
 	// iterations after a restart is recompute, not progress.
 	highWater uint64
 
-	armedBug string
+	armedBug  string
+	armedComp string
 	// crashMidStage makes the named stage body panic halfway through its
 	// sample loop (tests of the rollback path).
 	crashMidStage string
@@ -216,6 +217,7 @@ func (tr *Trainer) Main(rt *core.Runtime) error {
 		ctx := simds.NewCtx(h, m.Clock, m.Model)
 		tr.vault = core.OpenStageVault(ctx, as.ReadPtr(hdr+offVault))
 		tr.stages = rt.NewStages(hdr + offTracker)
+		tr.repairComponents()
 		rt.FinishRecovery(false) // workspace dominates memory: skip cleanup (§4.2.2)
 		return nil
 	}
@@ -273,6 +275,11 @@ func (tr *Trainer) charge(units int) {
 // Handle implements recovery.App: one request = one boosting iteration.
 // effective=false marks recomputation of previously completed work.
 func (tr *Trainer) Handle(req *workload.Request) (ok, effective bool) {
+	if tr.armedComp != "" {
+		comp := tr.armedComp
+		tr.armedComp = ""
+		tr.fireComponentCrash(comp)
+	}
 	if tr.armedBug != "" {
 		bug := tr.armedBug
 		tr.armedBug = ""

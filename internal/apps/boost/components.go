@@ -1,0 +1,244 @@
+package boost
+
+import (
+	"fmt"
+	"math"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/mem"
+	"phoenix/internal/recovery"
+)
+
+// Component-level recovery for the trainer. The workspace splits into two
+// rebootable components below the process:
+//
+//   - "preds": the prediction vector. Its contents are a pure function of
+//     the committed model (fold trees 0..K-1 in order), so a reboot zeroes
+//     it and re-applies the trees — the same recompute loadCheckpoint uses.
+//   - "grads": the residual vector, derived from preds (grads = y - preds),
+//     so it depends on "preds" and cascades when preds reboots.
+//
+// The fold count K is read off the stage tracker: once the predict stage of
+// iteration it has committed (stage >= 1), preds holds trees 0..it-1; before
+// it (stage == 0 with no pending pre-image), preds holds trees 0..it-2. A
+// crash mid-predict leaves the preserve flag set and preds mid-fold — in that
+// window the vector is not a function of committed state, so verification
+// skips it (the stage vault's restore hook rolls it back on re-run).
+
+// predsTreeCount returns how many trees are folded into preds, or ok=false
+// when the predict stage is mid-flight and the count is indeterminate.
+func (tr *Trainer) predsTreeCount() (k uint64, ok bool) {
+	as := tr.rt.Proc().AS
+	iter := as.ReadU64(tr.hdr + offTracker)
+	stage := as.ReadU64(tr.hdr + offTracker + 8)
+	flag := as.ReadU64(tr.hdr + offTracker + 16)
+	if stage >= 1 {
+		return iter, true
+	}
+	if flag != 0 {
+		return 0, false
+	}
+	if iter == 0 {
+		return 0, true
+	}
+	return iter - 1, true
+}
+
+// recomputePreds folds trees 0..k-1 into a fresh Go-side buffer, using the
+// same nesting (tree-major, sample-minor) as the incremental predict stages
+// so the float accumulation is bit-exact.
+func (tr *Trainer) recomputePreds(k uint64) []float64 {
+	as := tr.rt.Proc().AS
+	n := int(as.ReadU64(tr.hdr + offN))
+	f := int(as.ReadU64(tr.hdr + offF))
+	X := as.ReadPtr(tr.hdr + offX)
+	trees := as.ReadPtr(tr.hdr + offTrees)
+	out := make([]float64, n)
+	for i := uint64(0); i < k; i++ {
+		tree := as.ReadPtr(trees + mem.VAddr(i*8))
+		feat := int(as.ReadU64(tree))
+		thr := math.Float64frombits(as.ReadU64(tree + 8))
+		left := math.Float64frombits(as.ReadU64(tree + 16))
+		right := math.Float64frombits(as.ReadU64(tree + 24))
+		for s := 0; s < n; s++ {
+			x := tr.f64(X + mem.VAddr((s*f+feat)*8))
+			d := left
+			if x >= thr {
+				d = right
+			}
+			out[s] += tr.cfg.LearningRate * d
+		}
+	}
+	return out
+}
+
+// Components implements recovery.ComponentApp.
+func (tr *Trainer) Components() []recovery.Component {
+	return []recovery.Component{
+		{Name: "preds"},
+		{Name: "grads", Deps: []string{"preds"}},
+	}
+}
+
+// RebootComponent implements recovery.ComponentApp.
+func (tr *Trainer) RebootComponent(name string) (int, error) {
+	as := tr.rt.Proc().AS
+	if as.ReadU64(tr.hdr+offMagic) != hdrMagic {
+		return 0, fmt.Errorf("boost: header magic corrupt")
+	}
+	n := int(as.ReadU64(tr.hdr + offN))
+	preds := as.ReadPtr(tr.hdr + offPreds)
+	grads := as.ReadPtr(tr.hdr + offGrads)
+	switch name {
+	case "preds":
+		k, ok := tr.predsTreeCount()
+		if !ok {
+			// Mid-predict: rebuild the pre-fold image; the stage vault's
+			// restore hook reinstates the same bytes before the re-run.
+			iter := as.ReadU64(tr.hdr + offTracker)
+			if iter > 0 {
+				k = iter - 1
+			}
+		}
+		want := tr.recomputePreds(k)
+		for i := 0; i < n; i++ {
+			tr.setF64(preds+mem.VAddr(i*8), want[i])
+		}
+		return n, nil
+	case "grads":
+		for i := 0; i < n; i++ {
+			tr.setF64(grads+mem.VAddr(i*8),
+				tr.f64(tr.rt.Proc().AS.ReadPtr(tr.hdr+offY)+mem.VAddr(i*8))-tr.f64(preds+mem.VAddr(i*8)))
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("boost: unknown component %q", name)
+	}
+}
+
+// VerifyComponents implements recovery.ComponentApp: preds must be the exact
+// fold of the committed trees whenever the fold count is determinate, and
+// grads must be the exact residuals once the gradient stage of the current
+// iteration has committed (or still pristine/consistent at boot-like states).
+func (tr *Trainer) VerifyComponents() error {
+	as := tr.rt.Proc().AS
+	if as.ReadU64(tr.hdr+offMagic) != hdrMagic {
+		return fmt.Errorf("boost: header magic corrupt")
+	}
+	n := int(as.ReadU64(tr.hdr + offN))
+	f := int(as.ReadU64(tr.hdr + offF))
+	nt := as.ReadU64(tr.hdr + offNTrees)
+	if nt > uint64(tr.cfg.MaxIters) {
+		return fmt.Errorf("boost: ntrees %d exceeds MaxIters %d", nt, tr.cfg.MaxIters)
+	}
+	trees := as.ReadPtr(tr.hdr + offTrees)
+	for i := uint64(0); i < nt; i++ {
+		tree := as.ReadPtr(trees + mem.VAddr(i*8))
+		if tree == mem.NullPtr {
+			return fmt.Errorf("boost: committed tree %d is null", i)
+		}
+		if feat := as.ReadU64(tree); feat >= uint64(f) {
+			return fmt.Errorf("boost: tree %d split feature %d out of range", i, feat)
+		}
+	}
+	preds := as.ReadPtr(tr.hdr + offPreds)
+	grads := as.ReadPtr(tr.hdr + offGrads)
+	y := as.ReadPtr(tr.hdr + offY)
+	stage := as.ReadU64(tr.hdr + offTracker + 8)
+	k, determinate := tr.predsTreeCount()
+	if determinate {
+		if k > nt {
+			return fmt.Errorf("boost: tracker implies %d folded trees but only %d committed", k, nt)
+		}
+		want := tr.recomputePreds(k)
+		for i := 0; i < n; i++ {
+			got := tr.f64(preds + mem.VAddr(i*8))
+			if math.Float64bits(got) != math.Float64bits(want[i]) {
+				return fmt.Errorf("boost: preds[%d] = %v, want fold of %d trees = %v (dangling prediction state)", i, got, k, want[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		g := math.Float64bits(tr.f64(grads + mem.VAddr(i*8)))
+		res := math.Float64bits(tr.f64(y+mem.VAddr(i*8)) - tr.f64(preds+mem.VAddr(i*8)))
+		switch {
+		case stage >= 2:
+			// Gradient stage committed this iteration: exact residuals.
+			if g != res {
+				return fmt.Errorf("boost: grads[%d] inconsistent with y-preds after gradient stage (dangling residual state)", i)
+			}
+		case stage == 0 && determinate:
+			// Boot/checkpoint/pre-predict boundary: pristine zeros or the
+			// previous iteration's residuals (which equal y-preds here,
+			// since preds has not folded a new tree since they were taken).
+			if g != 0 && g != res {
+				return fmt.Errorf("boost: grads[%d] neither pristine nor consistent with preds (dangling residual state)", i)
+			}
+		}
+	}
+	return nil
+}
+
+// ArmComponentCrash implements recovery.ComponentApp: the next request
+// scribbles on the named component's state and panics with the crash
+// attributed to it.
+func (tr *Trainer) ArmComponentCrash(name string) { tr.armedComp = name }
+
+func (tr *Trainer) fireComponentCrash(comp string) {
+	as := tr.rt.Proc().AS
+	switch comp {
+	case "preds":
+		preds := as.ReadPtr(tr.hdr + offPreds)
+		tr.setF64(preds, tr.f64(preds)+0.5)
+	case "grads":
+		grads := as.ReadPtr(tr.hdr + offGrads)
+		tr.setF64(grads, tr.f64(grads)+0.5)
+	default:
+		panic(fmt.Sprintf("boost: unknown component %q", comp))
+	}
+	panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "boost: fault in component " + comp, Component: comp})
+}
+
+// Rewindable implements recovery.RewindableApp: an iteration touches only
+// simulated memory (the checkpoint file is written by Checkpoint, outside the
+// request path), so a domain discard rolls the whole request back.
+func (tr *Trainer) Rewindable() bool { return true }
+
+// repairComponents runs during PHOENIX recovery: a component scribble
+// survives a process restart byte-for-byte (restart preserves the workspace),
+// so recovery recomputes the derived vectors and fixes any slot that
+// disagrees. Writes happen only on mismatch — a clean recovery is
+// byte-identical and clock-identical to one without this pass.
+func (tr *Trainer) repairComponents() {
+	as := tr.rt.Proc().AS
+	n := int(as.ReadU64(tr.hdr + offN))
+	k, determinate := tr.predsTreeCount()
+	if !determinate || k > as.ReadU64(tr.hdr+offNTrees) {
+		return
+	}
+	preds := as.ReadPtr(tr.hdr + offPreds)
+	grads := as.ReadPtr(tr.hdr + offGrads)
+	y := as.ReadPtr(tr.hdr + offY)
+	want := tr.recomputePreds(k)
+	repaired := 0
+	for i := 0; i < n; i++ {
+		if math.Float64bits(tr.f64(preds+mem.VAddr(i*8))) != math.Float64bits(want[i]) {
+			tr.setF64(preds+mem.VAddr(i*8), want[i])
+			repaired++
+		}
+	}
+	stage := as.ReadU64(tr.hdr + offTracker + 8)
+	for i := 0; i < n; i++ {
+		g := math.Float64bits(tr.f64(grads + mem.VAddr(i*8)))
+		res := tr.f64(y+mem.VAddr(i*8)) - tr.f64(preds+mem.VAddr(i*8))
+		consistent := g == math.Float64bits(res)
+		pristineOK := stage < 2 && g == 0
+		if !consistent && !pristineOK {
+			tr.setF64(grads+mem.VAddr(i*8), res)
+			repaired++
+		}
+	}
+	if repaired > 0 {
+		tr.charge(repaired)
+	}
+}

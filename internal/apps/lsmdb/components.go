@@ -1,0 +1,134 @@
+package lsmdb
+
+import (
+	"fmt"
+
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+)
+
+// Component-level recovery for the store. Two components sit below the
+// process:
+//
+//   - "memtable": the preserved skiplist. Its safe discard is a flush — the
+//     contents move to a sorted run on disk and a fresh skiplist takes over,
+//     exactly the path MakeRoomForWrite runs when the table fills.
+//   - "sstreader": the Go-side run index (the MANIFEST analogue). It is pure
+//     cache over the on-disk runs and rebuilds from a disk scan. It depends
+//     on "memtable" because a flush emits a new run the index must pick up.
+//
+// The store is NOT rewindable: every put appends to the WAL on the simulated
+// disk before touching the memtable, and a rewind-domain discard cannot undo
+// a disk append. ArmComponentCrash therefore plants no scribble either — any
+// pre-crash corruption of the memtable would be made durable by the flush
+// that reboots it.
+
+// Components implements recovery.ComponentApp.
+func (db *DB) Components() []recovery.Component {
+	return []recovery.Component{
+		{Name: "memtable"},
+		{Name: "sstreader", Deps: []string{"memtable"}},
+	}
+}
+
+// RebootComponent implements recovery.ComponentApp.
+func (db *DB) RebootComponent(name string) (int, error) {
+	switch name {
+	case "memtable":
+		n := int(db.mt.Len())
+		db.flush()
+		return n, nil
+	case "sstreader":
+		return db.rebuildRunIndex(), nil
+	default:
+		return 0, fmt.Errorf("lsmdb: unknown component %q", name)
+	}
+}
+
+// rebuildRunIndex reconstructs db.ssts from the on-disk runs. Run names are
+// sst-%06d with a monotonically increasing counter (flush and compaction
+// both allocate from it, and compaction unlinks its inputs), so the
+// surviving files in descending-counter order ARE the newest-first index.
+func (db *DB) rebuildRunIndex() int {
+	m := db.rt.Proc().Machine
+	var runs []sst
+	for i := db.nextSST - 1; i >= 0; i-- {
+		name := fmt.Sprintf("sst-%06d", i)
+		data, ok := m.Disk.ReadFile(name)
+		if !ok {
+			continue
+		}
+		runs = append(runs, summarizeRun(name, data))
+	}
+	db.ssts = runs
+	return len(runs)
+}
+
+// summarizeRun derives a handle from a run image. Runs are written in key
+// order, so the first record carries the min key and the last the max.
+func summarizeRun(name string, data []byte) sst {
+	s := sst{name: name, bytes: int64(len(data))}
+	forEachKV(data, func(k string, v []byte) {
+		if s.records == 0 {
+			s.min = k
+		}
+		s.max = k
+		s.records++
+	})
+	return s
+}
+
+// VerifyComponents implements recovery.ComponentApp: the memtable header
+// must validate, the info block must point at it, and the run index must
+// agree byte-for-byte with the on-disk runs — no dangling handles to
+// unlinked files, no stale metadata, no run on disk the index forgot.
+func (db *DB) VerifyComponents() error {
+	as := db.rt.Proc().AS
+	if as.ReadU64(db.info+16) != infoMagic {
+		return fmt.Errorf("lsmdb: info block magic corrupt")
+	}
+	if as.ReadPtr(db.info) != db.mt.Addr() {
+		return fmt.Errorf("lsmdb: info block points at stale memtable (dangling root)")
+	}
+	if !db.mt.ValidateHeader() {
+		return fmt.Errorf("lsmdb: memtable header failed validation")
+	}
+	m := db.rt.Proc().Machine
+	indexed := make(map[string]bool, len(db.ssts))
+	prev := db.nextSST
+	for _, s := range db.ssts {
+		i := 0
+		if _, err := fmt.Sscanf(s.name, "sst-%06d", &i); err != nil || i >= prev {
+			return fmt.Errorf("lsmdb: run index out of order at %s", s.name)
+		}
+		prev = i
+		indexed[s.name] = true
+		data, ok := m.Disk.ReadFile(s.name)
+		if !ok {
+			return fmt.Errorf("lsmdb: run index references unlinked file %s (dangling handle)", s.name)
+		}
+		if want := summarizeRun(s.name, data); s != want {
+			return fmt.Errorf("lsmdb: run handle %s disagrees with on-disk contents (stale metadata)", s.name)
+		}
+	}
+	for i := 0; i < db.nextSST; i++ {
+		name := fmt.Sprintf("sst-%06d", i)
+		if _, ok := m.Disk.ReadFile(name); ok && !indexed[name] {
+			return fmt.Errorf("lsmdb: on-disk run %s missing from index", name)
+		}
+	}
+	return nil
+}
+
+// ArmComponentCrash implements recovery.ComponentApp: the next request
+// panics with the crash attributed to the named component.
+func (db *DB) ArmComponentCrash(name string) { db.armedComp = name }
+
+func (db *DB) fireComponentCrash(comp string) {
+	switch comp {
+	case "memtable", "sstreader":
+		panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "lsmdb: fault in component " + comp, Component: comp})
+	default:
+		panic(fmt.Sprintf("lsmdb: unknown component %q", comp))
+	}
+}

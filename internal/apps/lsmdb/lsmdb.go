@@ -82,8 +82,9 @@ type DB struct {
 	ssts    []sst // newest first
 	nextSST int
 
-	armedBug string
-	inflight string
+	armedBug  string
+	armedComp string
+	inflight  string
 
 	stats Stats
 }
@@ -219,6 +220,11 @@ func (db *DB) Handle(req *workload.Request) (ok, effective bool) {
 	m := db.rt.Proc().Machine
 	m.Clock.Advance(m.Model.RequestBase)
 	db.inflight = req.Key
+	if db.armedComp != "" {
+		comp := db.armedComp
+		db.armedComp = ""
+		db.fireComponentCrash(comp)
+	}
 	if db.armedBug != "" {
 		bug := db.armedBug
 		db.armedBug = ""

@@ -360,6 +360,11 @@ func (s *Sim) Handle(req *workload.Request) (ok, effective bool) {
 	return true, true
 }
 
+// Rewindable implements recovery.RewindableApp: a simulation step touches
+// only simulated memory (checkpoints are written by Checkpoint, outside the
+// request path), so a rewind-domain discard rolls the whole step back.
+func (s *Sim) Rewindable() bool { return true }
+
 // Energy returns total kinetic + field energy (a physics sanity invariant:
 // bounded over the run).
 func (s *Sim) Energy() float64 {

@@ -60,6 +60,15 @@ type Observation struct {
 	Stats            recovery.Stats
 	Counters         map[string]int64
 	FinalLevel       recovery.Level
+	// Floor is the ladder rung the harness started at and may de-escalate
+	// back to (LevelRewind when rewind domains are on, LevelPhoenix
+	// otherwise); Domains reports whether requests ran inside rewind domains.
+	Floor   recovery.Level
+	Domains bool
+	// ComponentViolations carries failures of the application's own
+	// VerifyComponents invariant (dangling cross-component state), gathered
+	// by the engine after every recovery episode.
+	ComponentViolations []string
 	// Terminated carries the driver's terminal error (retry-budget
 	// exhaustion) when the run stopped early; empty otherwise.
 	Terminated string
@@ -88,6 +97,7 @@ func OraclesFor(app string, clusterMode bool) []Oracle {
 	if app == "kvstore" || app == "lsmdb" {
 		out = append(out, durabilityOracle{})
 	}
+	out = append(out, componentOracle{})
 	return out
 }
 
@@ -164,7 +174,7 @@ type ladderOracle struct{}
 func (ladderOracle) Name() string { return "ladder" }
 
 func parseLevel(s string) (recovery.Level, bool) {
-	for l := recovery.LevelPhoenix; l <= recovery.LevelVanilla; l++ {
+	for l := recovery.LevelRewind; l <= recovery.LevelVanilla; l++ {
 		if l.String() == s {
 			return l, true
 		}
@@ -186,7 +196,7 @@ func (ladderOracle) Check(o *Observation) []string {
 	if o.Stats.DroppedEvents > 0 {
 		return v
 	}
-	level := recovery.LevelPhoenix
+	level := o.Floor
 	esc, deesc := 0, 0
 	for i, ev := range o.Stats.Events {
 		switch ev.Kind {
@@ -213,8 +223,8 @@ func (ladderOracle) Check(o *Observation) []string {
 			if to != level-1 {
 				add("event %d: de-escalation %v -> %v skips rungs", i, level, to)
 			}
-			if to < recovery.LevelPhoenix {
-				add("event %d: de-escalation above the top rung (%v)", i, to)
+			if to < o.Floor {
+				add("event %d: de-escalation above the harness floor (%v < %v)", i, to, o.Floor)
 			}
 			level = to
 			deesc++
@@ -293,6 +303,53 @@ func (durabilityOracle) Check(o *Observation) []string {
 				v = append(v, fmt.Sprintf("step %d: stale read of %q after a vanilla-rung boot that never re-wrote it", st.Index, st.Key))
 			}
 		}
+	}
+	return v
+}
+
+// --- component oracle ---
+
+// componentOracle judges the sub-process rungs. Its primary clause surfaces
+// failures of the application's own VerifyComponents invariant — dangling
+// state left across a component boundary after any recovery is exactly the
+// bug microreboot literature warns about. The accounting clauses pin the
+// rewind/microreboot counters to the configuration: no rewind without
+// domains, no domain discard without domains, and driver stats must agree
+// with the kernel counters.
+type componentOracle struct{}
+
+func (componentOracle) Name() string { return "component" }
+
+func (componentOracle) Check(o *Observation) []string {
+	var v []string
+	add := func(format string, args ...interface{}) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	for _, m := range o.ComponentViolations {
+		add("dangling component state after recovery: %s", m)
+	}
+	c := o.Counters
+	if c["rewinds"] != int64(o.Stats.Rewinds) {
+		add("rewind counters disagree: counters=%d stats=%d", c["rewinds"], o.Stats.Rewinds)
+	}
+	if c["microreboots"] != int64(o.Stats.Microreboots) {
+		add("microreboot counters disagree: counters=%d stats=%d", c["microreboots"], o.Stats.Microreboots)
+	}
+	if !o.Domains {
+		if o.Stats.Rewinds > 0 {
+			add("%d rewind recoveries without rewind domains enabled", o.Stats.Rewinds)
+		}
+		if c["domain_discards"] > 0 {
+			add("%d domain discards without rewind domains enabled", c["domain_discards"])
+		}
+	}
+	if c["domain_discards"] < int64(o.Stats.Rewinds) {
+		add("domain discards (%d) below rewind recoveries (%d): a rewind kept its domain", c["domain_discards"], o.Stats.Rewinds)
+	}
+	if o.Floor > recovery.LevelRewind && o.Stats.Rewinds > 0 {
+		add("rewind recoveries (%d) with floor %v above the rewind rung", o.Stats.Rewinds, o.Floor)
+	}
+	if o.Floor > recovery.LevelMicroreboot && o.Stats.Microreboots > 0 {
+		add("microreboots (%d) with floor %v above the microreboot rung", o.Stats.Microreboots, o.Floor)
 	}
 	return v
 }

@@ -83,6 +83,40 @@ func Names() []string {
 	return names
 }
 
+// MicrorebootSpecs bundles every application with the fault hooks the
+// recovery-granularity campaign drives, in deterministic name order: a
+// scripted mid-request bug that crashes on transient state only (so every
+// ladder rung can recover from it) and, for component-declaring apps, the
+// root component whose crash cascades through the graph. The explore
+// package's fault tables are pinned against these by test.
+func MicrorebootSpecs(seed int64) []recovery.MicrorebootSpec {
+	bugs := map[string]string{
+		"kvstore":          "R1",
+		"lsmdb":            "L1",
+		"boost":            "X1",
+		"particle":         "VP1",
+		"webcache-varnish": "VA1",
+		"webcache-squid":   "S3",
+	}
+	comps := map[string]string{
+		"lsmdb":            "memtable",
+		"boost":            "preds",
+		"webcache-varnish": "lru",
+		"webcache-squid":   "lru",
+	}
+	factories := Factories(seed)
+	var out []recovery.MicrorebootSpec
+	for _, name := range Names() {
+		out = append(out, recovery.MicrorebootSpec{
+			Name:      name,
+			Mk:        factories[name],
+			Bug:       bugs[name],
+			Component: comps[name],
+		})
+	}
+	return out
+}
+
 // ClusterProfile returns the client-population profile the cluster campaign
 // drives against the named system. The storage apps get a Zipfian read-heavy
 // keyspace that the warm phase pre-populates (so reads are effective until a

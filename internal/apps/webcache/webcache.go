@@ -23,6 +23,7 @@ import (
 	"phoenix/internal/kernel"
 	"phoenix/internal/linker"
 	"phoenix/internal/mem"
+	"phoenix/internal/recovery"
 	"phoenix/internal/simds"
 	"phoenix/internal/workload"
 )
@@ -125,8 +126,9 @@ type Cache struct {
 
 	web *workload.Web // object size/cacheability oracle (backend model)
 
-	armedBug string
-	inflight string
+	armedBug  string
+	armedComp string
+	inflight  string
 
 	stats Stats
 }
@@ -229,15 +231,23 @@ func (c *Cache) Main(rt *core.Runtime) error {
 		}
 		// Reset refcounts: preserved objects may carry references from
 		// requests of the dead process (§3.4 special handling; the Varnish
-		// port's refcount discount).
+		// port's refcount discount). The same walk re-derives the cached-bytes
+		// accounting — like refcounts it is transient bookkeeping the dead
+		// process may have left mid-update, so it is recomputed rather than
+		// trusted (the write only happens when the preserved total is wrong).
+		var total uint64
 		c.lru.Iterate(func(_ mem.VAddr, payload uint64) bool {
 			obj := mem.VAddr(payload)
 			if as.ReadU32(obj+objOffRef) != 0 {
 				as.WriteU32(obj+objOffRef, 0)
 				c.stats.RefResets++
 			}
+			total += as.ReadU64(obj + objOffLen)
 			return true
 		})
+		if as.ReadU64(root+16) != total {
+			as.WriteU64(root+16, total)
+		}
 		if c.cfg.Cleanup {
 			c.markAll(h)
 			rt.FinishRecovery(true)
@@ -288,6 +298,11 @@ func (c *Cache) Handle(req *workload.Request) (ok, effective bool) {
 		bug := c.armedBug
 		c.armedBug = ""
 		c.fireBug(bug)
+	}
+	if c.armedComp != "" {
+		comp := c.armedComp
+		c.armedComp = ""
+		c.fireComponentCrash(comp)
 	}
 	c.stats.Gets++
 	as := c.rt.Proc().AS
@@ -534,6 +549,118 @@ func (c *Cache) Dump() core.StateDump {
 func (c *Cache) CrossCheck(rt *core.Runtime) (core.CrossCheckSpec, bool) {
 	return core.CrossCheckSpec{}, false
 }
+
+// --- component graph (microreboot support) ---
+
+// Components implements recovery.ComponentApp: the recency component ("lru")
+// owns the LRU order and per-object refcounts, and the accounting component
+// ("stats") derives the cached-bytes total from the object table. stats
+// depends on lru, so killing lru cascades into an accounting rebuild.
+func (c *Cache) Components() []recovery.Component {
+	return []recovery.Component{
+		{Name: "lru"},
+		{Name: "stats", Deps: []string{"lru"}},
+	}
+}
+
+// RebootComponent implements recovery.ComponentApp: the named component's
+// transient state is discarded and re-derived from the object table, which is
+// the authoritative (preserved) state.
+func (c *Cache) RebootComponent(name string) (int, error) {
+	as := c.rt.Proc().AS
+	n := 0
+	switch name {
+	case "lru":
+		// Discard the recency order and in-flight refcounts: every object is
+		// relinked to the front in table order with its refcount cleared
+		// (the same refcount discount a process-level recovery applies).
+		c.dict.Iterate(func(_ []byte, val uint64) bool {
+			obj := mem.VAddr(val)
+			if as.ReadU32(obj+objOffRef) != 0 {
+				as.WriteU32(obj+objOffRef, 0)
+				c.stats.RefResets++
+			}
+			c.lru.MoveToFront(as.ReadPtr(obj + objOffLRU))
+			n++
+			return true
+		})
+		return n, nil
+	case "stats":
+		// Re-derive the cached-bytes accounting from the object table.
+		var total uint64
+		c.dict.Iterate(func(_ []byte, val uint64) bool {
+			total += as.ReadU64(mem.VAddr(val) + objOffLen)
+			n++
+			return true
+		})
+		as.WriteU64(c.root+16, total)
+		return n, nil
+	}
+	return 0, fmt.Errorf("webcache: unknown component %q", name)
+}
+
+// VerifyComponents implements recovery.ComponentApp: between requests, no
+// component may hold state dangling into another — every object's LRU node
+// must round-trip back to the object, the two indexes must agree on size, no
+// refcount may survive outside a request, and the accounting total must match
+// the object table.
+func (c *Cache) VerifyComponents() error {
+	as := c.rt.Proc().AS
+	if d, l := c.dict.Len(), c.lru.Len(); d != l {
+		return fmt.Errorf("webcache: dict has %d objects but lru has %d nodes", d, l)
+	}
+	var total uint64
+	var bad error
+	c.dict.Iterate(func(key []byte, val uint64) bool {
+		obj := mem.VAddr(val)
+		node := as.ReadPtr(obj + objOffLRU)
+		if mem.VAddr(c.lru.Payload(node)) != obj {
+			bad = fmt.Errorf("webcache: object %q's LRU node dangles", string(key))
+			return false
+		}
+		if r := as.ReadU32(obj + objOffRef); r != 0 {
+			bad = fmt.Errorf("webcache: object %q holds %d refs outside any request", string(key), r)
+			return false
+		}
+		total += as.ReadU64(obj + objOffLen)
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if got := as.ReadU64(c.root + 16); got != total {
+		return fmt.Errorf("webcache: cached-bytes accounting %d != object total %d", got, total)
+	}
+	return nil
+}
+
+// ArmComponentCrash implements recovery.ComponentApp: the next request
+// scribbles over the named component's transient state and dies attributed to
+// it.
+func (c *Cache) ArmComponentCrash(name string) { c.armedComp = name }
+
+func (c *Cache) fireComponentCrash(comp string) {
+	as := c.rt.Proc().AS
+	switch comp {
+	case "lru":
+		// Leak a reference on the hottest object mid-request (the §3.4
+		// refcount hazard, scoped to the recency component).
+		if front := c.lru.Front(); front != mem.NullPtr {
+			obj := mem.VAddr(c.lru.Payload(front))
+			as.WriteU32(obj+objOffRef, as.ReadU32(obj+objOffRef)+1)
+		}
+	case "stats":
+		// Tear the accounting mid-update.
+		as.WriteU64(c.root+16, as.ReadU64(c.root+16)+977)
+	}
+	panic(&kernel.Crash{Sig: kernel.SIGABRT,
+		Reason: "webcache: fault in component " + comp, Component: comp})
+}
+
+// Rewindable implements recovery.RewindableApp: the request path touches only
+// simulated memory (the backend fetch just advances the clock), so a rewind
+// domain rolls a faulting request back completely.
+func (c *Cache) Rewindable() bool { return true }
 
 // --- real-bug scenarios (Table 5, VA1–VA4 and S1–S5) ---
 

@@ -112,6 +112,32 @@ type Model struct {
 	// §3.5). Together with allocator tracking this is PHOENIX's runtime
 	// overhead source (Table 8).
 	UnsafeMark time.Duration
+
+	// DomainBegin is the fixed cost of opening a per-request rewind domain:
+	// arming the copy-on-write capture is O(1) — pre-images are taken lazily
+	// at first touch, so entry pays no per-page term.
+	DomainBegin time.Duration
+
+	// DomainCoWPerPage is the per-page cost of the lazy pre-image capture a
+	// rewind domain pays for each page the request writes (one page copy plus
+	// undo-log bookkeeping). Charged when the domain closes, per touched page.
+	DomainCoWPerPage time.Duration
+
+	// DomainRestorePerPage is the additional per-page cost DiscardDomain pays
+	// to write the captured pre-image back (a second page copy); a commit
+	// drops the undo log without paying it.
+	DomainRestorePerPage time.Duration
+
+	// MicrorebootFixed is the fixed cost of a component microreboot:
+	// quiescing the component, walking the dependency cascade, and swapping
+	// its transient state — well below a process restart (no exec, no
+	// preserve), well above a request rewind.
+	MicrorebootFixed time.Duration
+
+	// ComponentReinitPerUnit is the per-unit cost of rebuilding one unit of a
+	// component's derived state during a microreboot (a dictionary entry
+	// relinked, a WAL record replayed, a sample's prediction recomputed).
+	ComponentReinitPerUnit time.Duration
 }
 
 // Default returns the calibrated model described in the package comment.
@@ -138,6 +164,12 @@ func Default() Model {
 		GCSweepPerChunk:    40 * time.Nanosecond,
 		ComputePerUnit:     25 * time.Nanosecond,
 		UnsafeMark:         120 * time.Nanosecond,
+
+		DomainBegin:            300 * time.Nanosecond,
+		DomainCoWPerPage:       450 * time.Nanosecond,
+		DomainRestorePerPage:   420 * time.Nanosecond,
+		MicrorebootFixed:       25 * time.Microsecond,
+		ComponentReinitPerUnit: 800 * time.Nanosecond,
 	}
 }
 
@@ -182,6 +214,29 @@ func (m Model) PreserveExecDelta(movedPages, copiedPages, hashedPages, scannedPa
 	return m.PreserveExec(movedPages, copiedPages) +
 		time.Duration(hashedPages)*m.ChecksumPerPage +
 		time.Duration(scannedPages)*m.DirtyScanPerPage
+}
+
+// RewindCommit returns the modelled duration of closing a rewind domain and
+// keeping its writes: the deferred CoW capture for every touched page, then
+// dropping the undo log.
+func (m Model) RewindCommit(touchedPages int) time.Duration {
+	return time.Duration(touchedPages) * m.DomainCoWPerPage
+}
+
+// RewindDiscard returns the modelled duration of rolling a rewind domain
+// back: the CoW capture plus the pre-image write-back, per touched page. This
+// is the rewind rung's whole unavailability window — no exec, no preserve,
+// no checksum walk.
+func (m Model) RewindDiscard(touchedPages int) time.Duration {
+	return time.Duration(touchedPages) * (m.DomainCoWPerPage + m.DomainRestorePerPage)
+}
+
+// Microreboot returns the modelled duration of microrebooting components
+// whose reinitialisation rebuilds reinitUnits units of derived state across
+// cascaded components.
+func (m Model) Microreboot(components, reinitUnits int) time.Duration {
+	return time.Duration(components)*m.MicrorebootFixed +
+		time.Duration(reinitUnits)*m.ComponentReinitPerUnit
 }
 
 // ForkCoW returns the modelled duration of a copy-on-write fork over a region

@@ -141,7 +141,7 @@ func FmtSummary(s Summary) string {
 		}
 	}
 	fmt.Fprintf(&b, "  modes: single=%d cluster=%d\n", modes["single"], modes["cluster"])
-	for _, name := range []string{"accounting", "ladder", "durability", "cluster"} {
+	for _, name := range []string{"accounting", "ladder", "durability", "component", "cluster"} {
 		if n := byOracle[name]; n > 0 {
 			fmt.Fprintf(&b, "  oracle %-12s violated by %d seed(s)\n", name, n)
 		}

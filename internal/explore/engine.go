@@ -112,6 +112,10 @@ func runSingle(sch Schedule) (*registry.Observation, error) {
 		DisableChecksums:   sch.DisableChecksums,
 		CheckpointInterval: 5 * time.Millisecond,
 	}
+	if sch.Domains {
+		cfg.RewindDomains = true
+		cfg.Supervisor.Floor = recovery.LevelRewind
+	}
 	h := recovery.NewHarness(m, cfg, app, gen, inj)
 	if err := h.Boot(); err != nil {
 		return nil, fmt.Errorf("explore: %s boot: %w", sch.App, err)
@@ -121,6 +125,34 @@ func runSingle(sch Schedule) (*registry.Observation, error) {
 		App:               sch.App,
 		Seed:              sch.Seed,
 		ChecksumsDisabled: sch.DisableChecksums,
+		Floor:             cfg.Supervisor.Floor,
+		Domains:           sch.Domains,
+	}
+
+	// verifyComponents runs the application's cross-component invariant after
+	// a recovery episode. It runs on the offline clock (an oracle must not
+	// perturb the timeline) and only on checksummed runs — with verification
+	// off, a silently committed bit flip may legitimately corrupt component
+	// state, which is the accounting oracle's finding, not a dangling-state
+	// bug. A simulated crash *inside* the verifier is itself a violation: the
+	// invariant walk dereferenced dangling state.
+	verifyComponents := func(where string) {
+		ca, ok := app.(recovery.ComponentApp)
+		if !ok || sch.DisableChecksums {
+			return
+		}
+		m.Clock.RunOffline(func() {
+			var verr error
+			ci := h.Proc().Run(func() { verr = ca.VerifyComponents() })
+			switch {
+			case ci != nil:
+				obs.ComponentViolations = append(obs.ComponentViolations,
+					fmt.Sprintf("%s: component verification crashed: %s", where, ci.Reason))
+			case verr != nil:
+				obs.ComponentViolations = append(obs.ComponentViolations,
+					fmt.Sprintf("%s: %v", where, verr))
+			}
+		})
 	}
 	armed := make(map[string]bool)
 	// collect retires one arming: if its fault fired, credit the right
@@ -160,6 +192,7 @@ func runSingle(sch Schedule) (*registry.Observation, error) {
 			Escalated:     d.Escalations > before.Escalations,
 			Deescalated:   d.Deescalations > before.Deescalations,
 		})
+		verifyComponents(fmt.Sprintf("after recovery at step %d", atStep))
 	}
 
 	terminal := func(err error) (bool, error) {
@@ -191,6 +224,18 @@ func runSingle(sch Schedule) (*registry.Observation, error) {
 				inj.ArmAfter(ev.Site, spec.Type, ev.Skip)
 				inj.Enable()
 				armed[ev.Site] = true
+			case KindComponentKill:
+				ca, ok := app.(recovery.ComponentApp)
+				if !ok {
+					return nil, fmt.Errorf("explore: componentkill event but %s declares no components", sch.App)
+				}
+				ca.ArmComponentCrash(ev.Site)
+			case KindDomainFault:
+				ba, ok := app.(interface{ ArmBug(string) })
+				if !ok {
+					return nil, fmt.Errorf("explore: domainfault event but %s has no scripted bugs", sch.App)
+				}
+				ba.ArmBug(ev.Site)
 			case KindKill:
 				ci := h.Proc().Run(func() { h.Proc().AS.ReadU64(crashVA) })
 				if ci == nil {

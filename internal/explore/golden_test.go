@@ -83,6 +83,38 @@ func TestGoldenClusterRun(t *testing.T) {
 	}
 }
 
+// TestGoldenMicrorebootCampaign pins the recovery-granularity campaign (what
+// `phxinject -campaign microreboot -json` emits) to byte-identical JSON
+// across same-seed runs, and requires the granularity ordering the campaign
+// enforces to actually have been measured on at least three applications.
+func TestGoldenMicrorebootCampaign(t *testing.T) {
+	run := func() []recovery.MicrorebootOutcome {
+		outs, err := recovery.CheckMicroreboot(registry.MicrorebootSpecs(7), recovery.MicrorebootConfig{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	first := run()
+	a, b := mustJSON(t, first), mustJSON(t, run())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("microreboot outcomes diverged across same-seed runs:\n%s\n%s", a, b)
+	}
+	fullLadder := 0
+	for _, o := range first {
+		rungs := map[string]bool{}
+		for _, w := range o.Windows {
+			rungs[w.Granularity] = true
+		}
+		if rungs["rewind"] && rungs["microreboot"] && rungs["phoenix"] {
+			fullLadder++
+		}
+	}
+	if fullLadder < 3 {
+		t.Fatalf("only %d app(s) measured the full rewind/microreboot/phoenix ladder, want >= 3", fullLadder)
+	}
+}
+
 func TestGoldenExploreCampaign(t *testing.T) {
 	run := func() []byte {
 		sum, err := CheckExplore(Options{Seeds: 6, Start: 1})

@@ -43,6 +43,16 @@ const (
 	KindPartition = "partition"
 	// KindLinkFault arms one netsim.link.* site with Skip (cluster only).
 	KindLinkFault = "linkfault"
+	// KindComponentKill arms a one-shot crash attributed to the component
+	// named by Site, just before request At. The crash fires mid-request —
+	// after a small write to the component's state — so it exercises the
+	// sub-process rungs: rewind-domain discard and component microreboot.
+	KindComponentKill = "componentkill"
+	// KindDomainFault arms the application bug named by Site just before
+	// request At: a crash mid-request *without* component attribution, which
+	// a rewind floor must roll back and the ladder must then escalate past
+	// the microreboot rung.
+	KindDomainFault = "domainfault"
 )
 
 // Event is one element of a fault schedule. Field meaning depends on Kind;
@@ -72,6 +82,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s(node%d)@[%d,%d)µs", e.Kind, e.Node, e.AtUs, e.AtUs+e.DurUs)
 	case KindLinkFault:
 		return fmt.Sprintf("linkfault(%s+%d)", e.Site, e.Skip)
+	case KindComponentKill:
+		return fmt.Sprintf("componentkill(%s)@%d", e.Site, e.At)
+	case KindDomainFault:
+		return fmt.Sprintf("domainfault(%s)@%d", e.Site, e.At)
 	}
 	return e.Kind
 }
@@ -91,8 +105,13 @@ type Schedule struct {
 	// DisableChecksums runs the harness with post-commit integrity
 	// verification off — the configuration under which an injected bit flip
 	// commits silently, which the accounting oracle must flag.
-	DisableChecksums bool    `json:"disable_checksums,omitempty"`
-	Events           []Event `json:"events"`
+	DisableChecksums bool `json:"disable_checksums,omitempty"`
+	// Domains runs the harness with rewind domains on and the supervisor
+	// floor at the rewind rung, so recovery climbs rewind → microreboot →
+	// process ladder. Old schedules decode with Domains false and behave
+	// exactly as before.
+	Domains bool    `json:"domains,omitempty"`
+	Events  []Event `json:"events"`
 }
 
 // kindRank orders same-instant events deterministically: armings land before
@@ -103,16 +122,20 @@ func kindRank(kind string) int {
 		return 0
 	case KindArm:
 		return 1
-	case KindLinkFault:
+	case KindComponentKill:
 		return 2
-	case KindDrain:
+	case KindDomainFault:
 		return 3
-	case KindPartition:
+	case KindLinkFault:
 		return 4
-	case KindKill:
+	case KindDrain:
 		return 5
+	case KindPartition:
+		return 6
+	case KindKill:
+		return 7
 	}
-	return 6
+	return 8
 }
 
 func sortEvents(evs []Event) {
@@ -135,6 +158,31 @@ func sortEvents(evs []Event) {
 		}
 		return a.Skip < b.Skip
 	})
+}
+
+// componentGraph lists each application's rebootable components, in declared
+// order, for the component-kill draw. The table mirrors the apps' own
+// ComponentApp declarations (TestComponentGraphMatchesApps keeps them in
+// sync); apps without an entry never draw component kills.
+var componentGraph = map[string][]string{
+	"webcache-varnish": {"lru", "stats"},
+	"webcache-squid":   {"lru", "stats"},
+	"lsmdb":            {"memtable", "sstreader"},
+	"boost":            {"preds", "grads"},
+}
+
+// midRequestFaults names, per application, one scripted bug that crashes
+// mid-request on temporary state only — safe to fire at any ladder rung. The
+// domain-fault draw arms it so schedules exercise partial-request rollback
+// (and, for non-rewindable apps, the fall-through past the sub-process
+// rungs).
+var midRequestFaults = map[string]string{
+	"kvstore":          "R1",
+	"lsmdb":            "L1",
+	"boost":            "X1",
+	"particle":         "VP1",
+	"webcache-varnish": "VA1",
+	"webcache-squid":   "S3",
 }
 
 // mix is a splitmix64 finalizer: math/rand sources seeded with *adjacent*
@@ -199,6 +247,35 @@ func generateSingle(rng *rand.Rand, seed int64, app string) Schedule {
 			Kind:  KindCalm,
 			At:    5 + rng.Intn(sch.Steps-5),
 			DurUs: (30*time.Second + time.Duration(rng.Intn(60))*time.Second).Microseconds(),
+		})
+	}
+	// Half the seeds run with rewind domains on (floor at the rewind rung);
+	// the other half keep the process-level floor, so both ladder shapes stay
+	// under search.
+	sch.Domains = rng.Intn(2) == 0
+	// Draw counts and positions unconditionally so forcing an app never
+	// changes the schedule shape (TestGenerateForcedApp): apps without a
+	// component graph spend the same draws on extra mid-request bugs.
+	comps := componentGraph[app]
+	ckills := rng.Intn(3)
+	for i := 0; i < ckills; i++ {
+		at := 5 + rng.Intn(sch.Steps-5)
+		pick := rng.Intn(2)
+		if len(comps) > 0 {
+			sch.Events = append(sch.Events, Event{
+				Kind: KindComponentKill, At: at, Site: comps[pick%len(comps)],
+			})
+		} else {
+			sch.Events = append(sch.Events, Event{
+				Kind: KindDomainFault, At: at, Site: midRequestFaults[app],
+			})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sch.Events = append(sch.Events, Event{
+			Kind: KindDomainFault,
+			At:   5 + rng.Intn(sch.Steps-5),
+			Site: midRequestFaults[app],
 		})
 	}
 	sortEvents(sch.Events)

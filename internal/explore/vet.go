@@ -23,7 +23,11 @@ import (
 //     whole seed sweep;
 //   - every seeded dangling-store mutant must be flagged statically (kind
 //     dangling-reference, at exactly the planted store's position) AND
-//     manifest dynamically in a fixed small sweep.
+//     manifest dynamically in a fixed small sweep;
+//   - every seeded cross-domain mutant must be flagged statically (kind
+//     cross-domain-store, at exactly the planted position). These mutants
+//     target scalar counters, so no dynamic manifestation is required — the
+//     sweep only asserts the mutant module still executes without error.
 
 // VetOptions parameterises CheckVet.
 type VetOptions struct {
@@ -54,6 +58,22 @@ type VetMutantResult struct {
 	Dynamic int `json:"dynamic"`
 }
 
+// VetCrossMutantResult records one planted cross-domain write's contract:
+// the verifier must flag it (kind cross-domain-store) at exactly the anchor
+// position returned by ir.InsertCrossDomainStore.
+type VetCrossMutantResult struct {
+	Fn      string `json:"fn"`
+	Global  string `json:"global"`
+	Off     int64  `json:"off"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Flagged bool   `json:"flagged"`
+	// Dynamic: violations observed over the sweep. Informational — counter
+	// scribbles show up as checksum perturbations only when a restart lands
+	// between the scribble and the next legitimate overwrite.
+	Dynamic int `json:"dynamic"`
+}
+
 // VetModelResult is one model's differential outcome.
 type VetModelResult struct {
 	Model    string         `json:"model"`
@@ -67,9 +87,10 @@ type VetModelResult struct {
 	// faults on the unmutated model (agreement requires 0 when Clean).
 	Dangling int `json:"dangling"`
 	// ChecksumMismatches counts preserved-checksum changes across restarts.
-	ChecksumMismatches int               `json:"checksum_mismatches"`
-	Mutants            []VetMutantResult `json:"mutants"`
-	Agreement          bool              `json:"agreement"`
+	ChecksumMismatches int                    `json:"checksum_mismatches"`
+	Mutants            []VetMutantResult      `json:"mutants"`
+	CrossMutants       []VetCrossMutantResult `json:"cross_mutants"`
+	Agreement          bool                   `json:"agreement"`
 }
 
 // VetSummary is the campaign's deterministic JSON report.
@@ -169,12 +190,13 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 			return sum, fmt.Errorf("model %s: vet: %w", app.Name, err)
 		}
 		res := VetModelResult{
-			Model:    app.Name,
-			Entries:  rep.Entries,
-			Findings: rep.Counts(),
-			Clean:    rep.Clean(),
-			Seeds:    o.Seeds,
-			Mutants:  []VetMutantResult{},
+			Model:        app.Name,
+			Entries:      rep.Entries,
+			Findings:     rep.Counts(),
+			Clean:        rep.Clean(),
+			Seeds:        o.Seeds,
+			Mutants:      []VetMutantResult{},
+			CrossMutants: []VetCrossMutantResult{},
 		}
 		for i := 0; i < o.Seeds; i++ {
 			calls, restarts, dangling, checksumBad, err := vetDrive(app, m, o.Start+int64(i))
@@ -235,9 +257,39 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 			}
 			res.Mutants = append(res.Mutants, mres)
 		}
+
+		for _, cm := range app.CrossMutants {
+			mut, pos, err := ir.InsertCrossDomainStore(m, cm.Fn, cm.Global, cm.Off)
+			if err != nil {
+				return sum, fmt.Errorf("model %s cross mutant: %w", app.Name, err)
+			}
+			cres := VetCrossMutantResult{Fn: cm.Fn, Global: cm.Global, Off: cm.Off, Line: pos.Line, Col: pos.Col}
+			mrep, err := pta.Vet(mut, app.Entries)
+			if err != nil {
+				return sum, fmt.Errorf("model %s cross mutant vet: %w", app.Name, err)
+			}
+			for _, f := range mrep.Findings {
+				if f.Kind == pta.KindCrossDomain && f.Fn == cm.Fn && f.Line == pos.Line && f.Col == pos.Col {
+					cres.Flagged = true
+				}
+			}
+			for i := 0; i < mutantSeeds; i++ {
+				_, _, dangling, checksumBad, err := vetDrive(app, mut, o.Start+int64(i))
+				if err != nil {
+					return sum, fmt.Errorf("model %s cross mutant seed %d: %w", app.Name, o.Start+int64(i), err)
+				}
+				cres.Dynamic += dangling + checksumBad
+			}
+			if !cres.Flagged {
+				res.Agreement = false
+				fail(fmt.Errorf("model %s: cross mutant %s->%s+%d not flagged statically at %s",
+					app.Name, cm.Fn, cm.Global, cm.Off, pos))
+			}
+			res.CrossMutants = append(res.CrossMutants, cres)
+		}
 		if res.Agreement {
-			logf("model %-10s clean=%v %6d calls %5d restarts, %d mutant(s) agree",
-				res.Model, res.Clean, res.Calls, res.Restarts, len(res.Mutants))
+			logf("model %-10s clean=%v %6d calls %5d restarts, %d mutant(s) + %d cross mutant(s) agree",
+				res.Model, res.Clean, res.Calls, res.Restarts, len(res.Mutants), len(res.CrossMutants))
 		} else {
 			logf("model %-10s DISAGREEMENT clean=%v dangling=%d checksum=%d",
 				res.Model, res.Clean, res.Dangling, res.ChecksumMismatches)
@@ -268,6 +320,10 @@ func FmtVetSummary(s VetSummary) string {
 		for _, mu := range m.Mutants {
 			b = append(b, fmt.Sprintf("    mutant %s#%d @%d:%d flagged=%v dynamic=%d\n",
 				mu.Fn, mu.NthStore, mu.Line, mu.Col, mu.Flagged, mu.Dynamic)...)
+		}
+		for _, cm := range m.CrossMutants {
+			b = append(b, fmt.Sprintf("    cross-mutant %s->%s+%d @%d:%d flagged=%v dynamic=%d\n",
+				cm.Fn, cm.Global, cm.Off, cm.Line, cm.Col, cm.Flagged, cm.Dynamic)...)
 		}
 	}
 	return string(b)

@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const componentSample = `
+global g
+
+func f() {
+entry:
+  x = const 1
+  store g, 0, x
+  ret
+}
+
+func h() {
+entry:
+  v = load g, 0
+  ret v
+}
+
+component writer f g
+component reader h
+`
+
+func TestParseComponents(t *testing.T) {
+	m, err := Parse(componentSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) != 2 {
+		t.Fatalf("parsed %d components", len(m.Components))
+	}
+	if _, err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for member, want := range map[string]string{"f": "writer", "g": "writer", "h": "reader", "nope": ""} {
+		if got := m.ComponentOf(member); got != want {
+			t.Errorf("ComponentOf(%s) = %q, want %q", member, got, want)
+		}
+	}
+	// Round trip: components must render and re-parse byte-stably.
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Fatal("String not stable across round trip with components")
+	}
+	if m2.ComponentOf("g") != "writer" {
+		t.Fatal("component membership lost in round trip")
+	}
+}
+
+func TestComponentParseErrors(t *testing.T) {
+	if _, err := Parse("func f() {\ncomponent a f\n}"); err == nil ||
+		!strings.Contains(err.Error(), "component inside function") {
+		t.Errorf("component inside function: got %v", err)
+	}
+	if _, err := Parse("component lonely"); err == nil ||
+		!strings.Contains(err.Error(), "at least one member") {
+		t.Errorf("memberless component: got %v", err)
+	}
+}
+
+func TestComponentValidate(t *testing.T) {
+	base := func() *Module {
+		m, err := Parse(componentSample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		mut  func(*Module)
+		want string
+	}{
+		{"dup-name", func(m *Module) {
+			m.Components = append(m.Components, ComponentDecl{Name: "writer", Members: []string{"h"}})
+		}, "duplicate component"},
+		{"empty-members", func(m *Module) {
+			m.Components = append(m.Components, ComponentDecl{Name: "idle"})
+		}, "no members"},
+		{"dup-member", func(m *Module) {
+			m.Components = append(m.Components, ComponentDecl{Name: "other", Members: []string{"f"}})
+		}, "in both component"},
+		{"unknown-member", func(m *Module) {
+			m.Components = append(m.Components, ComponentDecl{Name: "ghost", Members: []string{"missing"}})
+		}, "neither a function nor a global"},
+	}
+	for _, tc := range cases {
+		m := base()
+		tc.mut(m)
+		_, err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestInsertCrossDomainStore(t *testing.T) {
+	m := MustParse(componentSample)
+	mut, pos, err := InsertCrossDomainStore(m, "h", "g", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor is h's original first instruction.
+	orig := m.Funcs["h"].Entry().Instrs[0].Pos
+	if pos != orig {
+		t.Fatalf("anchor pos %v, want %v", pos, orig)
+	}
+	// The source module is untouched; the mutant gained two instructions.
+	if n := len(m.Funcs["h"].Entry().Instrs); n != 2 {
+		t.Fatalf("source module mutated: %d instrs", n)
+	}
+	e := mut.Funcs["h"].Entry().Instrs
+	if len(e) != 4 || e[0].Op != OpConst || e[1].Op != OpStore ||
+		e[1].A != "g" || e[1].Imm != 8 || e[1].Pos != pos {
+		t.Fatalf("unexpected mutant entry block: %+v", e)
+	}
+	if _, err := mut.Validate(); err != nil {
+		t.Fatalf("mutant does not validate: %v", err)
+	}
+	if _, _, err := InsertCrossDomainStore(m, "missing", "g", 0); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, _, err := InsertCrossDomainStore(m, "h", "missing", 0); err == nil {
+		t.Error("unknown global accepted")
+	}
+}

@@ -148,12 +148,25 @@ func (f *Func) BlockByLabel(label string) *Block {
 	return nil
 }
 
+// ComponentDecl assigns functions and globals to one named recovery
+// component ("component <name> <member...>" in the .pir text). The phxvet
+// domain-isolation check uses the partition: a store executed by one
+// component's code must not target preserved state homed in another
+// component — such a write would survive the other component's microreboot
+// as dangling state.
+type ComponentDecl struct {
+	Name string
+	// Members are function and global names belonging to the component.
+	Members []string
+}
+
 // Module is a set of functions plus named globals (roots of preserved
-// state).
+// state) and optional component declarations.
 type Module struct {
-	Funcs   map[string]*Func
-	Order   []string // declaration order, for deterministic output
-	Globals []string
+	Funcs      map[string]*Func
+	Order      []string // declaration order, for deterministic output
+	Globals    []string
+	Components []ComponentDecl
 }
 
 // NewModule returns an empty module.
@@ -225,6 +238,9 @@ func (m *Module) String() string {
 	for _, g := range m.Globals {
 		fmt.Fprintf(&sb, "global %s\n", g)
 	}
+	for _, c := range m.Components {
+		fmt.Fprintf(&sb, "component %s %s\n", c.Name, strings.Join(c.Members, " "))
+	}
 	for _, name := range m.Order {
 		f := m.Funcs[name]
 		fmt.Fprintf(&sb, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
@@ -278,10 +294,29 @@ func (f *Func) Clone() *Func {
 	return nf
 }
 
+// ComponentOf returns the component a function or global belongs to ("" when
+// unassigned or the module declares no components).
+func (m *Module) ComponentOf(member string) string {
+	for _, c := range m.Components {
+		for _, mem := range c.Members {
+			if mem == member {
+				return c.Name
+			}
+		}
+	}
+	return ""
+}
+
 // Clone deep-copies the module.
 func (m *Module) Clone() *Module {
 	nm := NewModule()
 	nm.Globals = append([]string(nil), m.Globals...)
+	for _, c := range m.Components {
+		nm.Components = append(nm.Components, ComponentDecl{
+			Name:    c.Name,
+			Members: append([]string(nil), c.Members...),
+		})
+	}
 	for _, name := range m.Order {
 		if err := nm.AddFunc(m.Funcs[name].Clone()); err != nil {
 			panic(err) // clone of a valid module cannot collide
@@ -295,6 +330,33 @@ func (m *Module) Clone() *Module {
 // names are treated as externals and allowed; Validate reports them).
 func (m *Module) Validate() (externals []string, err error) {
 	seenExt := map[string]bool{}
+	compNames := map[string]bool{}
+	owner := map[string]string{}
+	for _, c := range m.Components {
+		if compNames[c.Name] {
+			return nil, fmt.Errorf("ir: duplicate component %q", c.Name)
+		}
+		compNames[c.Name] = true
+		if len(c.Members) == 0 {
+			return nil, fmt.Errorf("ir: component %q has no members", c.Name)
+		}
+		for _, mem := range c.Members {
+			if prev, dup := owner[mem]; dup {
+				return nil, fmt.Errorf("ir: member %q in both component %q and %q", mem, prev, c.Name)
+			}
+			owner[mem] = c.Name
+			_, isFunc := m.Funcs[mem]
+			isGlobal := false
+			for _, g := range m.Globals {
+				if g == mem {
+					isGlobal = true
+				}
+			}
+			if !isFunc && !isGlobal {
+				return nil, fmt.Errorf("ir: component %q member %q is neither a function nor a global", c.Name, mem)
+			}
+		}
+	}
 	for _, name := range m.Order {
 		f := m.Funcs[name]
 		if len(f.Blocks) == 0 {

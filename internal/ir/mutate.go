@@ -62,6 +62,43 @@ func InsertDanglingStore(m *Module, fn string, ref InstrRef) (*Module, Pos, erro
 	return nm, orig.Pos, nil
 }
 
+// InsertCrossDomainStore returns a copy of m in which function fn's entry
+// block opens with a store of a constant into the named global at the given
+// offset — a cross-component write when fn and the global belong to
+// different components. The planted instructions carry the position of fn's
+// original first instruction (the anchor), which is also returned: a
+// verifier that reports the planted bug must report it at exactly this
+// position. The offset should name a scalar counter field so the mutant
+// perturbs component state without corrupting any pointer chain — the bug
+// class is isolation violation, not memory unsafety.
+func InsertCrossDomainStore(m *Module, fn, global string, off int64) (*Module, Pos, error) {
+	nm := m.Clone()
+	f, ok := nm.Funcs[fn]
+	if !ok {
+		return nil, Pos{}, fmt.Errorf("ir: InsertCrossDomainStore: unknown function %q", fn)
+	}
+	declared := false
+	for _, g := range nm.Globals {
+		if g == global {
+			declared = true
+		}
+	}
+	if !declared {
+		return nil, Pos{}, fmt.Errorf("ir: InsertCrossDomainStore: unknown global %q", global)
+	}
+	b := f.Entry()
+	if b == nil || len(b.Instrs) == 0 {
+		return nil, Pos{}, fmt.Errorf("ir: InsertCrossDomainStore: %s has no instructions", fn)
+	}
+	anchor := b.Instrs[0].Pos
+	const reg = "__xd"
+	cns := Instr{Op: OpConst, Dst: reg, Imm: 7, Pos: anchor}
+	xd := Instr{Op: OpStore, A: global, Imm: off, Val: reg, Pos: anchor}
+	b.Instrs = insertInstr(b.Instrs, 0, cns)
+	b.Instrs = insertInstr(b.Instrs, 1, xd)
+	return nm, anchor, nil
+}
+
 func insertInstr(instrs []Instr, i int, in Instr) []Instr {
 	instrs = append(instrs, Instr{})
 	copy(instrs[i+1:], instrs[i:])

@@ -10,6 +10,7 @@ import (
 // ';' starts a comment):
 //
 //	global <name>
+//	component <name> <member> [<member>...]
 //	func <name>(<p1>, <p2>, ...) {
 //	<label>:
 //	  x = const N
@@ -53,6 +54,15 @@ func Parse(src string) (*Module, error) {
 				return nil, fail("global inside function")
 			}
 			m.Globals = append(m.Globals, strings.TrimSpace(strings.TrimPrefix(line, "global ")))
+		case strings.HasPrefix(line, "component "):
+			if cur != nil {
+				return nil, fail("component inside function")
+			}
+			fields := strings.Fields(strings.TrimPrefix(line, "component "))
+			if len(fields) < 2 {
+				return nil, fail("component wants a name and at least one member")
+			}
+			m.Components = append(m.Components, ComponentDecl{Name: fields[0], Members: fields[1:]})
 		case strings.HasPrefix(line, "func "):
 			if cur != nil {
 				return nil, fail("nested func")

@@ -54,6 +54,10 @@ func (s Signal) String() string {
 type Crash struct {
 	Sig    Signal
 	Reason string
+	// Component optionally names the application component whose code raised
+	// the failure, letting the supervisor try a component-scoped recovery
+	// (microreboot) before escalating to a process-level restart.
+	Component string
 }
 
 func (c *Crash) Error() string { return fmt.Sprintf("kernel: %s: %s", c.Sig, c.Reason) }
@@ -61,10 +65,11 @@ func (c *Crash) Error() string { return fmt.Sprintf("kernel: %s: %s", c.Sig, c.R
 // CrashInfo describes a caught failure, handed to the registered signal
 // handler.
 type CrashInfo struct {
-	Sig    Signal
-	Reason string
-	Addr   mem.VAddr // faulting address for SIGSEGV
-	Time   time.Duration
+	Sig       Signal
+	Reason    string
+	Addr      mem.VAddr // faulting address for SIGSEGV
+	Time      time.Duration
+	Component string // component that raised the failure, when known
 }
 
 // Machine is the simulated host: one clock, one cost model, one disk, and a
@@ -710,6 +715,42 @@ func verifyFull(dst *mem.AddressSpace, plan *preservePlan) error {
 	return nil
 }
 
+// BeginRewindDomain opens a per-request rewind domain on the process's
+// address space, charging the O(1) arming cost. Pre-images are captured
+// lazily at first touch, so entry pays no per-page term.
+func (p *Process) BeginRewindDomain() error {
+	if err := p.AS.BeginRewindDomain(); err != nil {
+		return err
+	}
+	p.Machine.Clock.Advance(p.Machine.Model.DomainBegin)
+	return nil
+}
+
+// CommitRewindDomain closes the open rewind domain keeping its writes,
+// charging the deferred CoW capture per touched page. It returns the touched
+// page count.
+func (p *Process) CommitRewindDomain() (int, error) {
+	n, err := p.AS.CommitDomain()
+	if err != nil {
+		return 0, err
+	}
+	p.Machine.Clock.Advance(p.Machine.Model.RewindCommit(n))
+	return n, nil
+}
+
+// DiscardRewindDomain closes the open rewind domain rolling every touched
+// page back byte-exactly, charging the CoW capture plus pre-image write-back
+// per touched page. It returns the restored page count.
+func (p *Process) DiscardRewindDomain() (int, error) {
+	n, err := p.AS.DiscardDomain()
+	if err != nil {
+		return 0, err
+	}
+	p.Machine.Clock.Advance(p.Machine.Model.RewindDiscard(n))
+	p.Machine.Counters.DomainDiscards.Add(1)
+	return n, nil
+}
+
 // Exec replaces the process with a fresh image and no preserved state — a
 // plain restart. reason annotates why (e.g. a PHOENIX fallback).
 func (p *Process) Exec(reason string) (*Process, error) {
@@ -768,7 +809,7 @@ func (p *Process) Run(f func()) (ci *CrashInfo) {
 		case *mem.Fault:
 			ci = &CrashInfo{Sig: SIGSEGV, Reason: v.Error(), Addr: v.Addr, Time: p.Machine.Clock.Now()}
 		case *Crash:
-			ci = &CrashInfo{Sig: v.Sig, Reason: v.Reason, Time: p.Machine.Clock.Now()}
+			ci = &CrashInfo{Sig: v.Sig, Reason: v.Reason, Time: p.Machine.Clock.Now(), Component: v.Component}
 		default:
 			panic(r)
 		}

@@ -134,6 +134,9 @@ type AddressSpace struct {
 	frames   map[PageNum]*Frame
 	mappings []*Mapping // sorted by Start, non-overlapping
 
+	// domain is the open rewind domain's undo log, nil when none (rewind.go).
+	domain *rewindDomain
+
 	// ASLRBase is the randomized layout offset chosen at first startup and
 	// reused across PHOENIX restarts (§3.3, ASLR compatibility).
 	ASLRBase VAddr
@@ -163,6 +166,9 @@ func (as *AddressSpace) Map(start VAddr, pages int, kind Kind, name string) (*Ma
 			name, uint64(start), uint64(m.End()), ov.Name, uint64(ov.Start), uint64(ov.End()))
 	}
 	as.insert(m)
+	if as.domain != nil {
+		as.domain.journal = append(as.domain.journal, mapUndo{kind: undoMap, m: m})
+	}
 	return m, nil
 }
 
@@ -193,6 +199,14 @@ func (as *AddressSpace) insert(m *Mapping) {
 func (as *AddressSpace) Unmap(start VAddr) error {
 	for i, m := range as.mappings {
 		if m.Start == start {
+			if as.domain != nil {
+				// Snapshot every frame the unmap is about to drop, then
+				// journal the mapping so a discard can re-insert it.
+				for p := PageOf(m.Start); p < PageOf(m.End()); p++ {
+					as.touch(p)
+				}
+				as.domain.journal = append(as.domain.journal, mapUndo{kind: undoUnmap, m: m})
+			}
 			for p := PageOf(m.Start); p < PageOf(m.End()); p++ {
 				delete(as.frames, p)
 			}
@@ -224,6 +238,9 @@ func (as *AddressSpace) Grow(m *Mapping, extra int) error {
 		return fmt.Errorf("mem: Grow %s: collides with %s", m.Name, ov.Name)
 	}
 	m.Pages += extra
+	if as.domain != nil {
+		as.domain.journal = append(as.domain.journal, mapUndo{kind: undoGrow, m: m, extra: extra})
+	}
 	return nil
 }
 
@@ -307,6 +324,7 @@ func (as *AddressSpace) WriteAt(addr VAddr, buf []byte) {
 		p := PageOf(addr + VAddr(off))
 		pgOff := int((addr + VAddr(off)) % PageSize)
 		n := min(PageSize-pgOff, len(buf)-off)
+		as.touch(p)
 		data := as.frame(p).materialize()
 		copy(data[pgOff:pgOff+n], buf[off:off+n])
 		off += n
@@ -333,6 +351,7 @@ func (as *AddressSpace) Zero(addr VAddr, n int) {
 		pgOff := int((addr + VAddr(off)) % PageSize)
 		cnt := min(PageSize-pgOff, n-off)
 		if f := as.frames[p]; f != nil && f.Data != nil {
+			as.touch(p)
 			d := f.Data[pgOff : pgOff+cnt]
 			for i := range d {
 				d[i] = 0
@@ -368,6 +387,7 @@ func (as *AddressSpace) ReadU8(addr VAddr) byte {
 // WriteU8 writes one byte at addr.
 func (as *AddressSpace) WriteU8(addr VAddr, v byte) {
 	as.checkRange(addr, 1, "write")
+	as.touch(PageOf(addr))
 	as.frame(PageOf(addr)).materialize()[addr%PageSize] = v
 }
 
@@ -394,6 +414,7 @@ func (as *AddressSpace) ReadU64(addr VAddr) uint64 {
 func (as *AddressSpace) WriteU64(addr VAddr, v uint64) {
 	if addr%PageSize <= PageSize-8 {
 		as.checkRange(addr, 8, "write")
+		as.touch(PageOf(addr))
 		d := as.frame(PageOf(addr)).materialize()
 		o := addr % PageSize
 		d[o] = byte(v)
@@ -585,6 +606,7 @@ func (as *AddressSpace) PageChecksum(p PageNum) uint64 {
 // is by definition corrupted, and it must re-enter the checksum walk.
 func (as *AddressSpace) FlipBit(addr VAddr, bit uint) {
 	as.checkRange(addr, 1, "write")
+	as.touch(PageOf(addr))
 	as.frame(PageOf(addr)).materialize()[addr%PageSize] ^= 1 << (bit % 8)
 }
 
@@ -634,6 +656,20 @@ func (as *AddressSpace) DirtyPagesIn(start VAddr, pages int) int {
 		}
 	}
 	return n
+}
+
+// DirtySetIn returns the dirty pages of [start, start+pages*PageSize) in
+// ascending order. A clean range returns nil — not a zero-length allocated
+// slice — so the hot preserve loop and rewind-domain entry produce no garbage
+// when there is nothing to report.
+func (as *AddressSpace) DirtySetIn(start VAddr, pages int) []PageNum {
+	var out []PageNum
+	for p := PageOf(start); p < PageOf(start)+PageNum(pages); p++ {
+		if as.PageDirty(p) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // ClearDirty clears the soft-dirty bits of [start, start+pages*PageSize).

@@ -66,6 +66,17 @@ type RecoveryCounters struct {
 	// Deescalations counts upward ladder transitions back toward PHOENIX
 	// after a stable serving period.
 	Deescalations atomic.Int64
+	// Rewinds counts faulting requests recovered by discarding their rewind
+	// domain in-process — the cheapest rung, below any restart.
+	Rewinds atomic.Int64
+	// Microreboots counts component-level reboots: one component's transient
+	// state discarded and reinitialised (dependents cascading) while the
+	// process keeps its address space.
+	Microreboots atomic.Int64
+	// DomainDiscards counts rewind-domain discards at the kernel layer,
+	// whatever triggered them (the rewind rung or a campaign probe). Each one
+	// restored the touched pages byte-exactly.
+	DomainDiscards atomic.Int64
 }
 
 // NewRecoveryCounters returns zeroed counters.
@@ -88,6 +99,9 @@ func (c *RecoveryCounters) Snapshot() map[string]int64 {
 		"breaker_trips":                 c.BreakerTrips.Load(),
 		"escalations":                   c.Escalations.Load(),
 		"deescalations":                 c.Deescalations.Load(),
+		"rewinds":                       c.Rewinds.Load(),
+		"microreboots":                  c.Microreboots.Load(),
+		"domain_discards":               c.DomainDiscards.Load(),
 	}
 }
 

@@ -98,6 +98,53 @@ func PreserveCommit(pages, dirty int) (first, second time.Duration, err error) {
 	return first, second, nil
 }
 
+// RewindDomainRoundTrip measures the per-request rewind-domain primitives in
+// simulated time: opening a domain on a process with a pages-sized mapped
+// state (O(1) — capture is lazy), then discarding it after the request wrote
+// touched pages (the rewind rung's whole unavailability window: CoW capture
+// plus pre-image write-back, O(touched) and independent of pages).
+func RewindDomainRoundTrip(pages, touched int) (begin, discard time.Duration, err error) {
+	m := kernel.NewMachine(1)
+	p, err := m.Spawn(nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := p.AS.Map(region, pages, mem.KindCustom, "state"); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < pages; i++ {
+		p.AS.WriteU64(region+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+	}
+
+	t0 := m.Clock.Now()
+	if err := p.BeginRewindDomain(); err != nil {
+		return 0, 0, err
+	}
+	begin = m.Clock.Now() - t0
+
+	// Touch pages spread evenly across the set, as PreserveCommit does.
+	stride := pages / touched
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < touched; i++ {
+		p.AS.WriteU64(region+mem.VAddr(i*stride%pages)*mem.PageSize, 0xBEEF)
+	}
+	t1 := m.Clock.Now()
+	n, err := p.DiscardRewindDomain()
+	if err != nil {
+		return 0, 0, err
+	}
+	if n != touched {
+		return 0, 0, fmt.Errorf("perftraj: discard rolled back %d pages, want %d", n, touched)
+	}
+	discard = m.Clock.Now() - t1
+	if v := p.AS.ReadU64(region); v != 1 {
+		return 0, 0, fmt.Errorf("perftraj: page 0 reads %#x after discard", v)
+	}
+	return begin, discard, nil
+}
+
 // RestartToFirstRequest measures the full optimistic-recovery critical path
 // in simulated time: PHOENIX restart of a process holding a pages-sized heap
 // state, re-initialisation in the successor, and the first read of preserved
@@ -170,6 +217,18 @@ func Collect() (Trajectory, error) {
 		return t, err
 	}
 	add("restart_to_first_request", restart)
+
+	begin, disc1, err := RewindDomainRoundTrip(Pages, Pages/100) // 1% touched
+	if err != nil {
+		return t, err
+	}
+	_, disc10, err := RewindDomainRoundTrip(Pages, Pages/10) // 10% touched
+	if err != nil {
+		return t, err
+	}
+	add("rewind_domain_begin", begin)
+	add("rewind_discard_touched_1pct", disc1)
+	add("rewind_discard_touched_10pct", disc10)
 
 	// Cost-model terms the incremental path leans on, pinned so a model
 	// change shows up in the trajectory diff rather than only downstream.

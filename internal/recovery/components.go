@@ -1,0 +1,94 @@
+package recovery
+
+import "fmt"
+
+// This file defines the component graph that powers the microreboot rung.
+// Microreboot (Candea et al.) restarts individual components instead of the
+// whole process; here an application declares which pieces of its state are
+// independently rebootable and how they depend on each other, and the driver
+// reboots the faulting component — plus its transitive dependents — while
+// the process keeps its address space.
+
+// Component is one node of an application's component graph.
+type Component struct {
+	// Name identifies the component; it is what kernel.Crash.Component and
+	// the explore engine's component-kill action reference.
+	Name string
+	// Deps names the components this one derives state from. When any of
+	// them reboots, this component's transient state may be dangling, so the
+	// cascade reboots it too.
+	Deps []string
+}
+
+// ComponentApp is implemented by applications that declare a component graph
+// and support component-level recovery.
+type ComponentApp interface {
+	// Components returns the component graph in a stable order.
+	Components() []Component
+	// RebootComponent discards and reinitialises the named component's
+	// transient state. The driver has already rolled back any in-flight
+	// request (via the rewind domain) before calling it. It returns the
+	// number of reinit units actually rebuilt, for cost accounting.
+	RebootComponent(name string) (int, error)
+	// VerifyComponents cross-checks component-level invariants (no dangling
+	// references across component boundaries); the explore engine calls it
+	// after every recovery.
+	VerifyComponents() error
+	// ArmComponentCrash arms a one-shot crash attributed to the named
+	// component: the next request panics with kernel.Crash{Component: name}
+	// after performing a small write, exercising the sub-process rungs.
+	ArmComponentCrash(name string)
+}
+
+// RewindableApp marks applications whose request handlers touch only
+// simulated memory, so a rewind-domain discard rolls the whole request back.
+// Apps with Go-side per-request side effects (WAL appends, disk writes) must
+// not implement it — a domain discard cannot undo those.
+type RewindableApp interface {
+	// Rewindable reports whether requests may run inside rewind domains in
+	// the app's current configuration.
+	Rewindable() bool
+}
+
+// cascade returns the reboot set for a crash in component name: the component
+// itself plus every transitive dependent, in the graph's declared order so
+// reboot order is deterministic. Unknown names return an error — a crash
+// attributed to a component the app never declared means the attribution
+// plumbing is broken, and silently rebooting nothing would mask it.
+func cascade(graph []Component, name string) ([]Component, error) {
+	found := false
+	for _, c := range graph {
+		if c.Name == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("recovery: component %q not in graph", name)
+	}
+	doomed := map[string]bool{name: true}
+	// Dependents cascade transitively: iterate until no new component joins
+	// the set (graphs are tiny, quadratic is fine).
+	for changed := true; changed; {
+		changed = false
+		for _, c := range graph {
+			if doomed[c.Name] {
+				continue
+			}
+			for _, d := range c.Deps {
+				if doomed[d] {
+					doomed[c.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []Component
+	for _, c := range graph {
+		if doomed[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

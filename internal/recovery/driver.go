@@ -73,9 +73,15 @@ type Config struct {
 	// ModePhoenix; the zero value keeps verification on.
 	DisableChecksums bool
 	// Supervise enables the crash-loop breaker and escalation ladder
-	// (PHOENIX → builtin → vanilla with exponential backoff). Only
-	// meaningful under ModePhoenix.
+	// (PHOENIX → builtin → vanilla with exponential backoff, extended
+	// downward to microreboot and rewind when Supervisor.Floor opts in).
+	// Only meaningful under ModePhoenix.
 	Supervise bool
+	// RewindDomains routes each request through a per-request rewind domain
+	// when the app is rewindable: a faulting request's page writes are rolled
+	// back byte-exactly, and the LevelRewind rung recovers without any
+	// restart. Only meaningful under ModePhoenix.
+	RewindDomains bool
 	// Supervisor parameterises the breaker/ladder; zero fields take
 	// defaults. Ignored unless Supervise is set.
 	Supervisor SupervisorConfig
@@ -119,6 +125,9 @@ func (c Config) Validate() error {
 		}
 		if c.Supervise {
 			return fmt.Errorf("recovery: Supervise requires ModePhoenix (got %v): the escalation ladder starts at PHOENIX", c.Mode)
+		}
+		if c.RewindDomains {
+			return fmt.Errorf("recovery: RewindDomains requires ModePhoenix (got %v): rewind is a rung below the PHOENIX ladder", c.Mode)
 		}
 	}
 	if c.IncrementalCheckpoint && c.Mode != ModeCRIU {
@@ -216,13 +225,24 @@ type Stats struct {
 	BreakerTrips  int
 	Escalations   int
 	Deescalations int
+	// Rewinds counts faulting requests recovered at LevelRewind: the request's
+	// rewind domain discarded in-process, no restart of any kind.
+	Rewinds int
+	// Microreboots counts component-level recoveries at LevelMicroreboot: one
+	// component (plus cascaded dependents) discarded and reinitialised while
+	// the process kept its address space.
+	Microreboots int
 	// BackoffTotal is the cumulative simulated time spent holding restarts.
 	BackoffTotal time.Duration
 	// Events is the bounded diagnostic log, oldest first. When it reaches
 	// Config.EventCap the oldest half is dropped; DroppedEvents counts how
-	// many entries were discarded that way over the run.
+	// many entries were discarded that way over the run, and DroppedByKind
+	// breaks the loss down per event kind — so a campaign report can still
+	// say "the ring dropped 3 de-escalations" even though their details are
+	// gone.
 	Events           []Event
 	DroppedEvents    int
+	DroppedByKind    map[EventKind]int
 	CheckpointsTaken int
 }
 
@@ -290,6 +310,15 @@ func (h *Harness) EscalationLevel() Level {
 	return h.sup.Level()
 }
 
+// LadderFloor returns the cheapest rung the ladder de-escalates back to
+// (LevelPhoenix when supervision is off).
+func (h *Harness) LadderFloor() Level {
+	if h.sup == nil {
+		return LevelPhoenix
+	}
+	return h.sup.cfg.Floor
+}
+
 // Runtime returns the live PHOENIX runtime (nil before Boot).
 func (h *Harness) Runtime() *core.Runtime { return h.rt }
 
@@ -329,6 +358,12 @@ func (h *Harness) Boot() error {
 func (h *Harness) event(kind EventKind, detail string) {
 	if limit := h.Cfg.EventCap; limit > 0 && len(h.Stat.Events) >= limit {
 		drop := len(h.Stat.Events) - limit/2
+		if h.Stat.DroppedByKind == nil {
+			h.Stat.DroppedByKind = make(map[EventKind]int)
+		}
+		for _, e := range h.Stat.Events[:drop] {
+			h.Stat.DroppedByKind[e.Kind]++
+		}
 		kept := copy(h.Stat.Events, h.Stat.Events[drop:])
 		h.Stat.Events = h.Stat.Events[:kept]
 		h.Stat.DroppedEvents += drop
@@ -361,9 +396,19 @@ func (h *Harness) ServeRequest(req *workload.Request) (ok, effective bool, err e
 		}
 	}
 	h.Stat.Requests++
+	if h.Cfg.RewindDomains && h.rewindable() {
+		if err := h.proc.BeginRewindDomain(); err != nil {
+			return false, false, err
+		}
+	}
 	ci := h.proc.Run(func() { ok, effective = h.App.Handle(req) })
 	now := h.M.Clock.Now()
 	if ci == nil {
+		if h.proc.AS.DomainActive() {
+			if _, err := h.proc.CommitRewindDomain(); err != nil {
+				return false, false, err
+			}
+		}
 		h.TL.Record(now, ok, effective)
 		if ok && h.pendingResume {
 			h.TL.MarkResumed(now)
@@ -496,6 +541,30 @@ func (h *Harness) handleFailure(ci *kernel.CrashInfo) error {
 	case ModeCRIU:
 		return h.criuRestart()
 	case ModePhoenix:
+		// Sub-process rungs: rewind the request in place, then (or instead)
+		// microreboot the faulting component. Either one that succeeds ends
+		// the recovery with the process still alive; one that cannot apply
+		// (no open domain, no component graph, unattributed crash, reinit
+		// failure) falls through to the next rung down.
+		if level == LevelRewind {
+			if done, err := h.rewindRecover(); done || err != nil {
+				return err
+			}
+		}
+		if level <= LevelMicroreboot {
+			if done, err := h.microreboot(ci); done || err != nil {
+				return err
+			}
+		}
+		// Process-level recovery from here on: any still-open domain is
+		// closed keeping its bytes, so restart semantics are unchanged from
+		// the pre-domain driver (the crashed request's partial writes are
+		// visible to the restart plan exactly as they always were).
+		if h.proc.AS.DomainActive() {
+			if _, err := h.proc.CommitRewindDomain(); err != nil {
+				return err
+			}
+		}
 		switch level {
 		case LevelBuiltin:
 			return h.plainRestart("escalated: builtin")
@@ -505,6 +574,82 @@ func (h *Harness) handleFailure(ci *kernel.CrashInfo) error {
 		return h.phoenixRestart(ci)
 	}
 	return fmt.Errorf("recovery: unknown mode %v", h.Cfg.Mode)
+}
+
+// rewindable reports whether the app consents to rewind domains in its
+// current configuration.
+func (h *Harness) rewindable() bool {
+	ra, ok := h.App.(RewindableApp)
+	return ok && ra.Rewindable()
+}
+
+// rewindRecover attempts LevelRewind recovery: discard the faulting request's
+// rewind domain, rolling its page writes back byte-exactly. The process never
+// stopped (Run recovered the panic), so nothing restarts. It reports whether
+// the rung applied — false when no domain was open (the app is not
+// rewindable, or domains are off).
+func (h *Harness) rewindRecover() (bool, error) {
+	if !h.proc.AS.DomainActive() {
+		return false, nil
+	}
+	n, err := h.proc.DiscardRewindDomain()
+	if err != nil {
+		return false, err
+	}
+	h.Stat.Rewinds++
+	h.M.Counters.Rewinds.Add(1)
+	h.event(EvRewind, fmt.Sprintf("%d pages restored", n))
+	return true, nil
+}
+
+// microreboot attempts LevelMicroreboot recovery: discard the in-flight
+// request's domain (its partial cross-component writes must not survive the
+// component they landed in), then discard and reinitialise the faulting
+// component plus its transitive dependents. It reports whether the rung
+// applied — false (falling through to a process restart) when the app
+// declares no component graph, the crash carries no component attribution,
+// or a reinit fails.
+func (h *Harness) microreboot(ci *kernel.CrashInfo) (bool, error) {
+	ca, ok := h.App.(ComponentApp)
+	if !ok {
+		return false, nil
+	}
+	if h.proc.AS.DomainActive() {
+		if _, err := h.proc.DiscardRewindDomain(); err != nil {
+			return false, err
+		}
+	}
+	if ci.Component == "" {
+		return false, nil
+	}
+	set, err := cascade(ca.Components(), ci.Component)
+	if err != nil {
+		// Attribution named a component the app never declared; component
+		// recovery cannot target anything, so escalate.
+		h.event(EvFallback, err.Error())
+		return false, nil
+	}
+	units := 0
+	for _, c := range set {
+		var n int
+		var rebootErr error
+		// A reboot walking corrupted structures can itself fault; convert
+		// that into an escalation, not a simulator crash.
+		if crash := h.proc.Run(func() { n, rebootErr = ca.RebootComponent(c.Name) }); crash != nil {
+			h.event(EvFallback, fmt.Sprintf("microreboot %s crashed: %s", c.Name, crash.Reason))
+			return false, nil
+		}
+		if rebootErr != nil {
+			h.event(EvFallback, fmt.Sprintf("microreboot %s: %v", c.Name, rebootErr))
+			return false, nil
+		}
+		units += n
+	}
+	h.M.Clock.Advance(h.M.Model.Microreboot(len(set), units))
+	h.Stat.Microreboots++
+	h.M.Counters.Microreboots.Add(1)
+	h.event(EvMicroreboot, fmt.Sprintf("%s (%d components, %d units)", ci.Component, len(set), units))
+	return true, nil
 }
 
 // plainRestart tears down and reboots; Builtin recovery happens inside

@@ -36,4 +36,11 @@ const (
 	// EvDeescalate records an upward ladder transition back toward PHOENIX
 	// after a stable serving period.
 	EvDeescalate EventKind = "de-escalate"
+	// EvRewind records a faulting request recovered by discarding its rewind
+	// domain in-process — no restart of any kind.
+	EvRewind EventKind = "rewind"
+	// EvMicroreboot records a component-level reboot: the faulting
+	// component's transient state discarded and reinitialised, dependents
+	// cascading, while the process kept its address space.
+	EvMicroreboot EventKind = "microreboot"
 )

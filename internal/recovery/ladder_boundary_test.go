@@ -1,0 +1,116 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+)
+
+// Boundary tests for the extended ladder: with a sub-process floor the rungs
+// must be visited in order (rewind → microreboot → phoenix → builtin →
+// vanilla), each rung must get its own fresh breaker window, and stable
+// serving must walk the ladder back down one rung per period, stopping
+// exactly at the configured floor.
+
+// TestExtendedLadderEscalationOrder: starting at the rewind floor, each
+// breaker trip moves exactly one rung, in ladder order, and the ladder
+// saturates at vanilla.
+func TestExtendedLadderEscalationOrder(t *testing.T) {
+	s := NewSupervisor(SupervisorConfig{BreakerK: 2, Window: time.Hour, Floor: LevelRewind})
+	if s.Level() != LevelRewind {
+		t.Fatalf("supervisor did not start at its floor: %v", s.Level())
+	}
+	want := []Level{LevelMicroreboot, LevelPhoenix, LevelBuiltin, LevelVanilla}
+	at := time.Duration(0)
+	for _, next := range want {
+		// First crash at this rung: no trip (K=2, fresh window per rung).
+		at += time.Second
+		if d := s.OnCrash(at); d.Tripped {
+			t.Fatalf("first crash at %v tripped immediately", s.Level())
+		}
+		at += time.Second
+		d := s.OnCrash(at)
+		if !d.Tripped || d.Level != next || s.Level() != next {
+			t.Fatalf("second crash should trip one rung to %v, got tripped=%v level=%v", next, d.Tripped, s.Level())
+		}
+	}
+	// At vanilla the ladder is saturated: further crashes never trip.
+	for i := 0; i < 4; i++ {
+		at += time.Second
+		if d := s.OnCrash(at); d.Tripped || s.Level() != LevelVanilla {
+			t.Fatalf("vanilla rung escalated further: tripped=%v level=%v", d.Tripped, s.Level())
+		}
+	}
+}
+
+// TestPerRungBreakerWindow: the crash history is cleared on every level
+// change, so each rung needs K crashes of its own — crashes counted at the
+// rewind rung must not pre-trip the microreboot rung's breaker.
+func TestPerRungBreakerWindow(t *testing.T) {
+	s := NewSupervisor(SupervisorConfig{BreakerK: 3, Window: time.Hour, Floor: LevelRewind})
+	s.OnCrash(1 * time.Second)
+	s.OnCrash(2 * time.Second)
+	d := s.OnCrash(3 * time.Second)
+	if !d.Tripped || s.Level() != LevelMicroreboot {
+		t.Fatalf("3rd crash should trip rewind -> microreboot, got tripped=%v level=%v", d.Tripped, s.Level())
+	}
+	// The three rewind-rung crashes are history: microreboot's window starts
+	// empty, so the next two crashes (well inside the window) must not trip.
+	if d := s.OnCrash(4 * time.Second); d.Tripped {
+		t.Fatal("1st microreboot-rung crash tripped on inherited history")
+	}
+	if d := s.OnCrash(5 * time.Second); d.Tripped {
+		t.Fatal("2nd microreboot-rung crash tripped on inherited history")
+	}
+	if d := s.OnCrash(6 * time.Second); !d.Tripped || s.Level() != LevelPhoenix {
+		t.Fatalf("3rd microreboot-rung crash should trip to phoenix, got tripped=%v level=%v", d.Tripped, s.Level())
+	}
+}
+
+// TestDeescalationToRewindFloor: stable serving steps the ladder down one
+// rung per full stable period and stops exactly at the rewind floor — never
+// above it, never oscillating past it.
+func TestDeescalationToRewindFloor(t *testing.T) {
+	const SP = 30 * time.Second
+	s := NewSupervisor(SupervisorConfig{BreakerK: 2, Window: time.Hour, StablePeriod: SP, Floor: LevelRewind})
+	// Walk all the way up to vanilla.
+	at := time.Duration(0)
+	for s.Level() != LevelVanilla {
+		at += time.Second
+		s.OnCrash(at)
+	}
+	// Each full stable period steps down exactly one rung.
+	want := []Level{LevelBuiltin, LevelPhoenix, LevelMicroreboot, LevelRewind}
+	for _, next := range want {
+		if de, _ := s.NoteServing(at + SP - time.Nanosecond); de {
+			t.Fatalf("de-escalated to %v one nanosecond early", next)
+		}
+		at += SP
+		de, to := s.NoteServing(at)
+		if !de || to != next || s.Level() != next {
+			t.Fatalf("stable period should step down to %v, got de=%v to=%v", next, de, to)
+		}
+	}
+	// At the floor, further stable serving holds — no step below LevelRewind.
+	if de, to := s.NoteServing(at + 2*SP); de || to != LevelRewind {
+		t.Fatalf("ladder moved below its floor: de=%v to=%v", de, to)
+	}
+}
+
+// TestFloorValidation: SupervisorConfig rejects floors outside the ladder,
+// and Config.Validate refuses RewindDomains without ModePhoenix (the rewind
+// rung hangs off the PHOENIX driver).
+func TestFloorValidation(t *testing.T) {
+	if err := (SupervisorConfig{Floor: LevelRewind - 1}).Validate(); err == nil {
+		t.Fatal("floor below LevelRewind validated")
+	}
+	if err := (SupervisorConfig{Floor: LevelVanilla + 1}).Validate(); err == nil {
+		t.Fatal("floor above LevelVanilla validated")
+	}
+	if err := (SupervisorConfig{Floor: LevelRewind}).Validate(); err != nil {
+		t.Fatalf("rewind floor rejected: %v", err)
+	}
+	bad := Config{Mode: ModeBuiltin, RewindDomains: true}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("RewindDomains under ModeBuiltin validated")
+	}
+}

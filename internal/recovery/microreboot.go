@@ -1,0 +1,268 @@
+package recovery
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+)
+
+// This file implements the recovery-granularity campaign: CheckMicroreboot
+// measures, for one application and one mid-request fault, the simulated
+// unavailability window — crash to first answered request — at every rung of
+// the extended ladder it supports: request rewind, component microreboot,
+// PHOENIX preserve_exec, builtin restart, and vanilla restart. The campaign's
+// contract is the granularity ordering itself: a rewind must be cheaper than
+// a microreboot, and a microreboot cheaper than any process-level recovery,
+// on the same fault under the same workload.
+
+// MicrorebootSpec names one application plus the fault hooks the granularity
+// campaign drives: a scripted mid-request bug (armed via the app's ArmBug
+// method) for the rewind and process-level rungs, and a component name (armed
+// via ComponentApp.ArmComponentCrash) for the microreboot rung. Empty hooks
+// skip the rungs that need them.
+type MicrorebootSpec struct {
+	Name string
+	Mk   AppFactory
+	// Bug is a scripted fault that crashes mid-request on transient state
+	// only, so every rung can recover from it.
+	Bug string
+	// Component is the component whose crash exercises the microreboot rung
+	// ("" when the app declares no component graph).
+	Component string
+}
+
+// MicrorebootConfig parameterises CheckMicroreboot.
+type MicrorebootConfig struct {
+	// Seed is the machine seed (runs are deterministic replays).
+	Seed int64
+	// Warm is how many requests to serve before the fault (default 40).
+	Warm int
+	// Limit bounds how many post-fault requests may pass before the first
+	// answered one; exceeding it fails the campaign (default 50).
+	Limit int
+}
+
+// GranularityWindow is one measured rung: the unavailability window from the
+// instant the faulting request was issued to the completion of the first
+// answered request after it.
+type GranularityWindow struct {
+	// Granularity names the rung the harness was pinned to: "rewind",
+	// "microreboot", "phoenix", "builtin", or "vanilla".
+	Granularity string `json:"granularity"`
+	// Window is the measured unavailability (simulated time, ns in JSON).
+	Window time.Duration `json:"window_ns"`
+	// Mechanism reports what actually recovered the fault (e.g. a phoenix-
+	// pinned run that hit an unsafe region reports "fallback").
+	Mechanism string `json:"mechanism"`
+	// Requests counts requests from the faulting one to the first answered
+	// one, inclusive.
+	Requests int `json:"requests"`
+}
+
+// MicrorebootOutcome is one application's granularity table, cheapest rung
+// first.
+type MicrorebootOutcome struct {
+	App     string              `json:"app"`
+	Windows []GranularityWindow `json:"windows"`
+}
+
+func (o MicrorebootOutcome) String() string {
+	parts := make([]string, 0, len(o.Windows))
+	for _, w := range o.Windows {
+		parts = append(parts, fmt.Sprintf("%s=%v", w.Granularity, w.Window))
+	}
+	return fmt.Sprintf("%s: %s", o.App, strings.Join(parts, " "))
+}
+
+// CheckMicroreboot measures every supported rung for every spec and enforces
+// the granularity contract: for each application, rewind < microreboot <
+// process-level recovery (whichever of those rungs the app supports). All
+// timing flows through the simulated clock, so outcomes are deterministic.
+func CheckMicroreboot(specs []MicrorebootSpec, cfg MicrorebootConfig) ([]MicrorebootOutcome, error) {
+	if cfg.Warm <= 0 {
+		cfg.Warm = 40
+	}
+	if cfg.Limit <= 0 {
+		cfg.Limit = 50
+	}
+	var out []MicrorebootOutcome
+	for _, spec := range specs {
+		o, err := checkOneApp(spec, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func checkOneApp(spec MicrorebootSpec, cfg MicrorebootConfig) (MicrorebootOutcome, error) {
+	o := MicrorebootOutcome{App: spec.Name}
+	// Probe the app's capabilities once on a throwaway instance.
+	probe, _ := spec.Mk(faultinject.New())
+	ra, isRewindable := probe.(RewindableApp)
+	rewind := spec.Bug != "" && isRewindable && ra.Rewindable()
+	_, isComponent := probe.(ComponentApp)
+	micro := spec.Component != "" && isComponent
+
+	byRung := map[string]time.Duration{}
+	for _, gran := range []string{"rewind", "microreboot", "phoenix", "builtin", "vanilla"} {
+		switch {
+		case gran == "rewind" && !rewind,
+			gran == "microreboot" && !micro,
+			spec.Bug == "" && gran != "microreboot":
+			continue
+		}
+		w, err := measureWindow(spec, gran, cfg)
+		if err != nil {
+			return o, fmt.Errorf("%s/%s: %w", spec.Name, gran, err)
+		}
+		o.Windows = append(o.Windows, w)
+		byRung[gran] = w.Window
+	}
+
+	// The contract: each finer granularity must strictly beat the next
+	// coarser one on the same application.
+	type edge struct{ fine, coarse string }
+	for _, e := range []edge{
+		{"rewind", "microreboot"},
+		{"rewind", "phoenix"},
+		{"microreboot", "phoenix"},
+	} {
+		f, fok := byRung[e.fine]
+		c, cok := byRung[e.coarse]
+		if fok && cok && f >= c {
+			return o, fmt.Errorf("%s: %s window %v is not below %s window %v (%s)",
+				spec.Name, e.fine, f, e.coarse, c, o)
+		}
+	}
+	return o, nil
+}
+
+// measureWindow runs one application once, pinned to one ladder rung, fires
+// the fault, and measures crash → first answered request on the simulated
+// clock.
+func measureWindow(spec MicrorebootSpec, gran string, cfg MicrorebootConfig) (GranularityWindow, error) {
+	w := GranularityWindow{Granularity: gran}
+	m := kernel.NewMachine(cfg.Seed)
+	inj := faultinject.New()
+	app, gen := spec.Mk(inj)
+
+	var hcfg Config
+	switch gran {
+	case "rewind", "microreboot":
+		hcfg.Mode = ModePhoenix
+		hcfg.Supervise = true
+		hcfg.RewindDomains = gran == "rewind"
+		floor := LevelMicroreboot
+		if gran == "rewind" {
+			floor = LevelRewind
+		}
+		// A nanosecond of backoff keeps the supervisor's state machine honest
+		// while leaving the window dominated by the mechanism under
+		// measurement, not the hold-down policy.
+		hcfg.Supervisor = SupervisorConfig{
+			Floor:       floor,
+			BackoffBase: time.Nanosecond,
+			BackoffMax:  time.Nanosecond,
+		}
+	case "phoenix":
+		hcfg.Mode = ModePhoenix
+	case "builtin":
+		hcfg.Mode = ModeBuiltin
+	case "vanilla":
+		hcfg.Mode = ModeVanilla
+	default:
+		return w, fmt.Errorf("unknown granularity %q", gran)
+	}
+
+	h := NewHarness(m, hcfg, app, gen, inj)
+	if err := h.Boot(); err != nil {
+		return w, err
+	}
+	if err := h.RunRequests(cfg.Warm); err != nil {
+		return w, err
+	}
+
+	if gran == "microreboot" {
+		app.(ComponentApp).ArmComponentCrash(spec.Component)
+	} else {
+		ba, ok := app.(interface{ ArmBug(string) })
+		if !ok {
+			return w, fmt.Errorf("app has no ArmBug method for bug %q", spec.Bug)
+		}
+		ba.ArmBug(spec.Bug)
+	}
+
+	start := m.Clock.Now()
+	recovered := false
+	for i := 0; i < cfg.Limit && !recovered; i++ {
+		ok, _, err := h.ServeRequest(h.Gen.Next())
+		if err != nil {
+			return w, err
+		}
+		w.Requests++
+		if i == 0 && h.Stat.Failures == 0 {
+			return w, fmt.Errorf("armed fault did not fire")
+		}
+		if ok {
+			w.Window = m.Clock.Now() - start
+			recovered = true
+		}
+	}
+	if !recovered {
+		return w, fmt.Errorf("no answered request within %d after the fault", cfg.Limit)
+	}
+
+	// Per-rung sanity: the pinned rung — and only it — must have recovered.
+	s := h.Stat
+	fallbacks := s.UnsafeFallbacks + s.GraceFallbacks + s.CrossFallbacks +
+		s.RecoveryFaultFallbacks + s.IntegrityFallbacks + s.BootFailures
+	switch gran {
+	case "rewind":
+		if s.Rewinds != 1 || s.Microreboots != 0 || s.PhoenixRestarts != 0 || s.OtherRestarts != 0 || fallbacks != 0 {
+			return w, fmt.Errorf("rewind rung leaked: rewinds=%d microreboots=%d phoenix=%d other=%d fallbacks=%d",
+				s.Rewinds, s.Microreboots, s.PhoenixRestarts, s.OtherRestarts, fallbacks)
+		}
+	case "microreboot":
+		if s.Microreboots != 1 || s.Rewinds != 0 || s.PhoenixRestarts != 0 || s.OtherRestarts != 0 || fallbacks != 0 {
+			return w, fmt.Errorf("microreboot rung leaked: rewinds=%d microreboots=%d phoenix=%d other=%d fallbacks=%d",
+				s.Rewinds, s.Microreboots, s.PhoenixRestarts, s.OtherRestarts, fallbacks)
+		}
+	default:
+		if s.Rewinds != 0 || s.Microreboots != 0 {
+			return w, fmt.Errorf("sub-process rung ran while pinned to %s: rewinds=%d microreboots=%d",
+				gran, s.Rewinds, s.Microreboots)
+		}
+	}
+	switch {
+	case s.Rewinds > 0:
+		w.Mechanism = "rewind"
+	case s.Microreboots > 0:
+		w.Mechanism = "microreboot"
+	case s.PhoenixRestarts > 0:
+		w.Mechanism = "preserve_exec"
+	case fallbacks > 0:
+		w.Mechanism = "fallback"
+	default:
+		w.Mechanism = "restart"
+	}
+	return w, nil
+}
+
+// FmtMicroreboot renders the campaign result for terminal output: one row per
+// application, one column per measured rung.
+func FmtMicroreboot(outs []MicrorebootOutcome) string {
+	var b strings.Builder
+	for _, o := range outs {
+		fmt.Fprintf(&b, "%-18s", o.App)
+		for _, w := range o.Windows {
+			fmt.Fprintf(&b, " %s=%v(%s)", w.Granularity, w.Window, w.Mechanism)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -19,12 +19,21 @@ import (
 // driver feeds it crash and serving instants from simclock, so every breaker
 // and backoff decision is deterministic and wall-clock-free.
 
-// Level is a rung of the escalation ladder, ordered cheapest-first.
-type Level int
-
+// Level is a rung of the escalation ladder, ordered cheapest-first. The two
+// sub-process rungs sit below zero so LevelPhoenix keeps its zero value:
+// existing zero-valued Decisions, outcomes, and configs still mean "process
+// PHOENIX", and only harnesses that opt in via SupervisorConfig.Floor start
+// below it.
 const (
+	// LevelRewind discards the faulting request's rewind domain in-process:
+	// no restart at all, just a byte-exact rollback of the request's writes.
+	LevelRewind Level = iota - 2
+	// LevelMicroreboot discards and reinitialises one component's transient
+	// state (dependents cascade along the component graph) while the process
+	// keeps its address space.
+	LevelMicroreboot
 	// LevelPhoenix attempts partial-state-preserving restarts.
-	LevelPhoenix Level = iota
+	LevelPhoenix
 	// LevelBuiltin abandons preservation and restarts into the
 	// application's own persistence (RDB/WAL-style default recovery).
 	LevelBuiltin
@@ -33,8 +42,14 @@ const (
 	LevelVanilla
 )
 
+type Level int
+
 func (l Level) String() string {
 	switch l {
+	case LevelRewind:
+		return "rewind"
+	case LevelMicroreboot:
+		return "microreboot"
 	case LevelPhoenix:
 		return "phoenix"
 	case LevelBuiltin:
@@ -66,6 +81,12 @@ type SupervisorConfig struct {
 	// period; exceeding it makes OnCrash report exhaustion, and the driver
 	// surfaces a terminal error instead of looping forever (default 16).
 	RetryBudget int
+	// Floor is the cheapest rung the ladder starts at and de-escalates back
+	// to. The zero value is LevelPhoenix — the pre-component behaviour — so
+	// only harnesses whose app declares a component graph (and, for
+	// LevelRewind, routes requests through rewind domains) opt into the
+	// sub-process rungs.
+	Floor Level
 }
 
 func (c *SupervisorConfig) fill() {
@@ -107,6 +128,9 @@ func (c SupervisorConfig) Validate() error {
 	if c.RetryBudget < 0 {
 		return fmt.Errorf("RetryBudget %d is negative", c.RetryBudget)
 	}
+	if c.Floor < LevelRewind || c.Floor > LevelVanilla {
+		return fmt.Errorf("Floor %d is not a ladder rung", int(c.Floor))
+	}
 	return nil
 }
 
@@ -139,11 +163,11 @@ type Supervisor struct {
 	everCrash bool
 }
 
-// NewSupervisor builds a supervisor starting at LevelPhoenix. Zero config
-// fields take the documented defaults.
+// NewSupervisor builds a supervisor starting at the configured Floor
+// (LevelPhoenix by default). Zero config fields take the documented defaults.
 func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 	cfg.fill()
-	return &Supervisor{cfg: cfg}
+	return &Supervisor{cfg: cfg, level: cfg.Floor}
 }
 
 // Level returns the current ladder rung.
@@ -195,7 +219,7 @@ func (s *Supervisor) OnCrash(now time.Duration) Decision {
 // NoteServing tells the supervisor the system answered a request at the
 // simulated instant now. Once a full StablePeriod has passed since the last
 // crash, the backoff and breaker history reset and — if the ladder is below
-// PHOENIX — the level steps back up one rung. Each further rung requires
+// the floor — the level steps back up one rung. Each further rung requires
 // another full stable period, so a flapping system climbs back slowly.
 func (s *Supervisor) NoteServing(now time.Duration) (deescalated bool, to Level) {
 	if !s.everCrash || now-s.lastCrash < s.cfg.StablePeriod {
@@ -203,7 +227,7 @@ func (s *Supervisor) NoteServing(now time.Duration) (deescalated bool, to Level)
 	}
 	s.consec = 0
 	s.window = s.window[:0]
-	if s.level > LevelPhoenix {
+	if s.level > s.cfg.Floor {
 		s.level--
 		// Restart the stability clock for the next rung.
 		s.lastCrash = now
