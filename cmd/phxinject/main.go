@@ -11,7 +11,12 @@
 // de-escalate cycle; "cluster" drives client traffic through a replicated
 // serving tier over a simulated network while nodes are killed, drained, and
 // partitioned on a schedule, and requires PHOENIX's measured availability to
-// strictly beat a vanilla restart's under identical faults; "explore" sweeps
+// strictly beat a vanilla restart's under identical faults; "shard" drives
+// open-loop traffic through a sharded serving fabric while replicas are
+// killed and shards are live-migrated mid-traffic, and requires PHOENIX to
+// beat vanilla on availability and on the migration cutover window (delta
+// convergence vs stop-and-copy), with zero lost acked writes and zero
+// non-owner serves; "explore" sweeps
 // randomized fault schedules (one per seed) against per-app invariant
 // oracles, shrinking every violation to a minimal replayable artifact; "vet"
 // differentially validates the phxvet static verifier — every application
@@ -32,6 +37,8 @@
 //	phxinject -campaign escalation -app kvstore -crashes 9
 //	phxinject -campaign cluster          # availability under traffic, all apps
 //	phxinject -campaign cluster -app kvstore -json
+//	phxinject -campaign shard            # sharded fabric: kills + live migration
+//	phxinject -campaign shard -app kvstore -json
 //	phxinject -campaign explore -seeds 200        # randomized schedule search
 //	phxinject -campaign explore -seeds 50 -app kvstore -json
 //	phxinject -campaign vet -seeds 200            # static/dynamic differential
@@ -53,6 +60,7 @@ import (
 	"phoenix/internal/explore"
 	"phoenix/internal/ir"
 	"phoenix/internal/recovery"
+	"phoenix/internal/shard"
 )
 
 func main() {
@@ -60,7 +68,7 @@ func main() {
 		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		v        = flag.Bool("v", false, "print per-run outcomes")
-		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, explore, vet, microreboot")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, shard, explore, vet, microreboot")
 		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
 		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
 		jsonOut  = flag.Bool("json", false, "cluster/explore/vet campaigns: emit the full report as deterministic JSON")
@@ -81,6 +89,11 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "shard":
+		if err := runShardCampaign(*app, *seed, *jsonOut); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	case "explore":
 		if err := runExploreCampaign(*app, *seed, *seeds, *jsonOut, *v); err != nil {
 			fatalf("%v", err)
@@ -97,7 +110,7 @@ func main() {
 		}
 		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, explore, vet, or microreboot)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, shard, explore, vet, or microreboot)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -269,6 +282,39 @@ func runClusterCampaign(only string, seed int64, jsonOut bool) error {
 	} else {
 		for _, r := range res {
 			fmt.Print(cluster.FmtComparison(r))
+		}
+	}
+	return cerr
+}
+
+// runShardCampaign runs the sharded-fabric availability comparison: per
+// shardable system, PHOENIX vs builtin vs vanilla under the same
+// kill-and-rebalance schedule, with the live-migration and lost-write
+// contracts enforced (and every mode double-run byte-identically).
+func runShardCampaign(only string, seed int64, jsonOut bool) error {
+	systems := registry.ShardSystems(seed)
+	if only != "" {
+		var keep []shard.System
+		for _, s := range systems {
+			if s.Name == only {
+				keep = append(keep, s)
+			}
+		}
+		if keep == nil {
+			return fmt.Errorf("unknown app %q (have %v)", only, registry.ShardNames())
+		}
+		systems = keep
+	}
+	res, cerr := shard.CheckShard(systems, shard.Options{Seed: seed})
+	if jsonOut {
+		out, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		for _, r := range res {
+			fmt.Print(shard.FmtComparison(r))
 		}
 	}
 	return cerr

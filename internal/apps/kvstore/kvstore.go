@@ -333,11 +333,23 @@ func (kv *KV) setKey(key string, value []byte, log bool) {
 			value = value[:n] // silently truncated payload: corruption
 		}
 	}
+	// Stage the write before entering the unsafe region: the value blob is
+	// allocated and filled, and the redo record encoded, while the durable
+	// chains are still untouched. A crash during staging leaves the
+	// dictionary, expiry table, and redo log exactly consistent — the staged
+	// blob is unreferenced garbage the recovery sweep reclaims — so only the
+	// chain-linking instants below need the unsafe bracket. This is what
+	// makes the whole handler rewind-safe: everything it mutates lives in
+	// simulated memory, and nothing durable changes until the publish step.
+	newBlob := kv.ctx.NewBlob(value)
+	var redoRec []byte
+	if log && kv.redo != nil {
+		redoRec = encodeRedo('S', key, value)
+	}
 	// NOTE: no defer — a crash inside the region must leave the counter
 	// raised so the restart handler sees the mid-update state, exactly as
 	// the C instrumentation behaves (no cleanup runs on SIGSEGV).
 	rt.UnsafeBegin("kv")
-	newBlob := kv.ctx.NewBlob(value)
 	doSet := func() {
 		old, existed := kv.dict.Set([]byte(key), uint64(newBlob))
 		if existed {
@@ -361,8 +373,8 @@ func (kv *KV) setKey(key string, value []byte, log bool) {
 		kv.dict.Set([]byte(key), uint64(0xDEAD0000))
 		panic(&kernel.Crash{Sig: kernel.SIGSEGV, Reason: "kv: crash during dict resize"})
 	}
-	if log && kv.redo != nil {
-		append_ := func() { kv.redo.Append(encodeRedo('S', key, value)) }
+	if redoRec != nil {
+		append_ := func() { kv.redo.Append(redoRec) }
 		if inj != nil {
 			inj.Do("kv.redo.append", append_)
 		} else {
@@ -375,8 +387,14 @@ func (kv *KV) setKey(key string, value []byte, log bool) {
 func (kv *KV) handleDel(req *workload.Request) (bool, bool) {
 	kv.stats.Dels++
 	rt := kv.rt
-	rt.UnsafeBegin("kv")
 	inj := kv.inj
+	// Stage the redo record before the unsafe region, mirroring setKey: the
+	// unsafe bracket covers only the in-place chain surgery.
+	var redoRec []byte
+	if kv.redo != nil {
+		redoRec = encodeRedo('D', req.Key, nil)
+	}
+	rt.UnsafeBegin("kv")
 	old, found := kv.dict.Delete([]byte(req.Key))
 	if inj != nil {
 		found = inj.Cond("kv.del.found", found)
@@ -390,12 +408,22 @@ func (kv *KV) handleDel(req *workload.Request) (bool, bool) {
 		}
 	}
 	kv.expires.Delete([]byte(req.Key))
-	if kv.redo != nil && found {
-		kv.redo.Append(encodeRedo('D', req.Key, nil))
+	if redoRec != nil && found {
+		kv.redo.Append(redoRec)
 	}
 	rt.UnsafeEnd("kv")
 	return true, found
 }
+
+// Rewindable implements recovery.RewindableApp: every byte a request
+// handler mutates — dictionary chains, expiry table, redo log, and the
+// allocator metadata under all three — lives in simulated memory, so a
+// rewind-domain discard rolls a faulting request back byte-exactly. Writes
+// are staged before publication (setKey/handleDel), so even the blast
+// radius of a mid-request crash is an unreferenced staged blob, and the
+// harness resets the unsafe counters after a successful discard to match
+// the restored memory.
+func (kv *KV) Rewindable() bool { return true }
 
 // --- builtin persistence (RDB) ---
 

@@ -15,6 +15,7 @@ import (
 
 	"phoenix/internal/cluster"
 	"phoenix/internal/recovery"
+	"phoenix/internal/shard"
 )
 
 // TraceStep records one served request of a single-harness run, in order.
@@ -73,6 +74,9 @@ type Observation struct {
 	// exhaustion) when the run stopped early; empty otherwise.
 	Terminated string
 	Cluster    *cluster.Report
+	// Shard carries the sharded-fabric report when the schedule ran in shard
+	// mode (kills plus live migrations under open-loop traffic).
+	Shard *shard.Report
 }
 
 // Oracle is one invariant checked against a completed run. Check returns one
@@ -402,6 +406,79 @@ func (clusterOracle) Check(o *Observation) []string {
 		}
 		if int64(nd.PhoenixRestarts) != c["preserves_committed"] {
 			add("node %d: phoenix restarts (%d) != committed preserves (%d)", nd.Node, nd.PhoenixRestarts, c["preserves_committed"])
+		}
+	}
+	return v
+}
+
+// ShardOracles returns the invariants for shard-mode schedules. One oracle
+// carries the whole contract because every clause judges the same report.
+func ShardOracles() []Oracle { return []Oracle{shardOracle{}} }
+
+// --- shard oracle ---
+
+// shardOracle judges a sharded-fabric run: ownership is single (no request
+// is ever served by a node whose shard placement had already flipped), no
+// acknowledged write is lost across a live migration, the request and move
+// ledgers balance, unavailability windows are well-formed, and per-node
+// kernel counters stay internally consistent.
+type shardOracle struct{}
+
+func (shardOracle) Name() string { return "shard" }
+
+func (shardOracle) Check(o *Observation) []string {
+	var v []string
+	add := func(format string, args ...interface{}) { v = append(v, fmt.Sprintf(format, args...)) }
+	r := o.Shard
+	if r == nil {
+		return []string{"shard observation carries no report"}
+	}
+	if r.NonOwnerServes != 0 {
+		add("%d requests served by a non-owner across ownership flips", r.NonOwnerServes)
+	}
+	if r.LostAcked != 0 {
+		add("%d acknowledged writes lost across migration (keys %v)", r.LostAcked, r.LostKeys)
+	}
+	if r.Served+r.Retried+r.Stale+r.Failed > r.Requests {
+		add("request ledger overflows: served=%d retried=%d stale=%d failed=%d of %d",
+			r.Served, r.Retried, r.Stale, r.Failed, r.Requests)
+	}
+	if r.AvailabilityPct < 0 || r.AvailabilityPct > 100 {
+		add("availability %.2f%% outside [0,100]", r.AvailabilityPct)
+	}
+	nodes := r.Shards*r.Replicas + r.Spares
+	for _, w := range r.Windows {
+		if w.EndUs < w.StartUs || w.DurUs != w.EndUs-w.StartUs {
+			add("malformed kill window on node %d: [%d,%d] dur %d", w.Node, w.StartUs, w.EndUs, w.DurUs)
+		}
+		if w.Node < 0 || w.Node >= nodes || w.Shard < 0 || w.Shard >= r.Shards {
+			add("kill window names nonexistent slot: node %d shard %d", w.Node, w.Shard)
+		}
+	}
+	if got := r.MovesCompleted + r.MovesAborted + r.MovesSkipped; got != len(r.MoveReports) {
+		add("move ledger unbalanced: %d completed + %d aborted + %d skipped != %d moves",
+			r.MovesCompleted, r.MovesAborted, r.MovesSkipped, len(r.MoveReports))
+	}
+	for _, m := range r.MoveReports {
+		if m.Completed && (m.EndUs < m.FreezeUs || m.FreezeUs < m.StartUs) {
+			add("move of shard %d has a time-travelling freeze: start=%d freeze=%d end=%d",
+				m.Shard, m.StartUs, m.FreezeUs, m.EndUs)
+		}
+		if m.Completed && m.CutoverUs > m.FrozenUs {
+			add("move of shard %d cut over for longer than it was frozen: cutover=%d frozen=%d",
+				m.Shard, m.CutoverUs, m.FrozenUs)
+		}
+		if m.Completed && m.DstNode < 0 {
+			add("completed move of shard %d has no destination", m.Shard)
+		}
+	}
+	for _, nd := range r.Nodes {
+		c := nd.Counters
+		if c["preserves_committed"] > c["preserves_staged"] {
+			add("node %d: committed preserves (%d) exceed staged (%d)", nd.Node, c["preserves_committed"], c["preserves_staged"])
+		}
+		if c["checksum_mismatches"] != c["integrity_fallbacks"] {
+			add("node %d: checksum mismatches (%d) != integrity fallbacks (%d)", nd.Node, c["checksum_mismatches"], c["integrity_fallbacks"])
 		}
 	}
 	return v

@@ -18,6 +18,7 @@ import (
 	"phoenix/internal/cluster"
 	"phoenix/internal/faultinject"
 	"phoenix/internal/recovery"
+	"phoenix/internal/shard"
 	"phoenix/internal/workload"
 )
 
@@ -91,7 +92,7 @@ func Names() []string {
 // package's fault tables are pinned against these by test.
 func MicrorebootSpecs(seed int64) []recovery.MicrorebootSpec {
 	bugs := map[string]string{
-		"kvstore":          "R1",
+		"kvstore":          "R3",
 		"lsmdb":            "L1",
 		"boost":            "X1",
 		"particle":         "VP1",
@@ -173,6 +174,57 @@ func ClusterProfile(name string, seed int64) cluster.Profile {
 		}
 	}
 	panic("registry: no cluster profile for system " + name)
+}
+
+// ShardNames returns the systems the sharded campaign runs: the
+// key-addressed stores. The caches are read-only traffic (the lost-write
+// ledger would audit nothing) and the compute apps have no keyspace to
+// shard.
+func ShardNames() []string { return []string{"kvstore", "lsmdb"} }
+
+// ShardProfile returns the open-loop client profile the shard campaign
+// drives against the named system: a Zipfian read-heavy keyspace large
+// enough that each shard's arc holds real state (so stop-and-copy migration
+// has something to ship), warmed before traffic, with read hedging on.
+func ShardProfile(name string, seed int64) shard.Profile {
+	switch name {
+	case "kvstore", "lsmdb":
+		const records, valueSize = 1024, 64
+		p := shard.Profile{
+			Proto: workload.NewYCSB(workload.YCSBConfig{
+				Seed: seed, Records: records, ReadFrac: 0.7, InsertFrac: 0.05,
+				ValueSize: valueSize, ZipfianKeys: true,
+			}),
+			Population: 2_000_000,
+			HedgeDelay: 4 * time.Millisecond,
+		}
+		// Pre-populate the YCSB keyspace: the ring splits these across the
+		// shards, each replica group warming exactly its own arc.
+		for i := uint64(0); i < records; i++ {
+			key := fmt.Sprintf("user%010d", i)
+			p.Warm = append(p.Warm, &workload.Request{
+				Seq: i + 1, Op: workload.OpInsert, Key: key,
+				Value: workload.Value(key, 1, valueSize),
+			})
+		}
+		return p
+	}
+	panic("registry: no shard profile for system " + name)
+}
+
+// ShardSystems bundles the shardable applications with their campaign
+// profiles, in deterministic name order.
+func ShardSystems(seed int64) []shard.System {
+	factories := Factories(seed)
+	var out []shard.System
+	for _, name := range ShardNames() {
+		out = append(out, shard.System{
+			Name:    name,
+			Factory: factories[name],
+			Profile: ShardProfile(name, seed),
+		})
+	}
+	return out
 }
 
 // ClusterSystems bundles every registered application with its campaign

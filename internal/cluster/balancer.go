@@ -17,6 +17,24 @@ import (
 type balancer struct {
 	c       *Cluster
 	lastAck []time.Duration
+	// stale tracks which nodes are currently past the staleness horizon, so
+	// the probe log records health *transitions* once rather than on every
+	// tick.
+	stale []bool
+
+	// events is the per-node probe log: every ack plus each health
+	// transition. Long campaigns generate one ack per node per probe
+	// interval forever, so the log is bounded exactly like the harness
+	// event ring: at ProbeEventCap the oldest half is discarded and
+	// droppedByKind accounts for the loss.
+	events        []ProbeEvent
+	droppedEvents int
+	droppedByKind map[ProbeEventKind]int
+	// staleCount/recoverCount tally health transitions per node as plain
+	// counters, immune to ring compaction, so node reports stay exact even
+	// after the detailed log has wrapped.
+	staleCount   []int
+	recoverCount []int
 
 	// partitionResponses counts non-refusal responses received from the
 	// currently partitioned node. The fabric cuts them, so the count must
@@ -24,17 +42,67 @@ type balancer struct {
 	partitionResponses int
 }
 
+// ProbeEventKind classifies one balancer probe-log entry.
+type ProbeEventKind string
+
+const (
+	// ProbeAck is a node answering a health probe.
+	ProbeAck ProbeEventKind = "ack"
+	// ProbeStale is a node crossing the staleness horizon: the balancer
+	// starts routing around it.
+	ProbeStale ProbeEventKind = "stale"
+	// ProbeRecover is the first ack from a node that had gone stale.
+	ProbeRecover ProbeEventKind = "recover"
+)
+
+// ProbeEvent is one entry of the balancer's bounded probe log.
+type ProbeEvent struct {
+	At   time.Duration
+	Node int
+	Kind ProbeEventKind
+}
+
 func newBalancer(c *Cluster) *balancer {
-	return &balancer{c: c, lastAck: make([]time.Duration, c.cfg.Replicas)}
+	return &balancer{
+		c:            c,
+		lastAck:      make([]time.Duration, c.cfg.Replicas),
+		stale:        make([]bool, c.cfg.Replicas),
+		staleCount:   make([]int, c.cfg.Replicas),
+		recoverCount: make([]int, c.cfg.Replicas),
+	}
 }
 
 func (lb *balancer) start() { lb.probe() }
 
 func (lb *balancer) probe() {
 	for i := range lb.c.nodes {
+		if !lb.healthy(i) && !lb.stale[i] {
+			lb.stale[i] = true
+			lb.staleCount[i]++
+			lb.probeEvent(i, ProbeStale)
+		}
 		lb.c.net.Send(lbID, nodeID(i), probeEnv{})
 	}
 	lb.c.clk.AfterFunc(lb.c.cfg.ProbeInterval, lb.probe)
+}
+
+// probeEvent appends to the probe log, compacting the way the harness event
+// ring does: at the cap the oldest half is dropped and the loss is counted
+// per kind, so a campaign report can still say what kind of history is gone.
+func (lb *balancer) probeEvent(node int, kind ProbeEventKind) {
+	if limit := lb.c.cfg.ProbeEventCap; limit > 0 && len(lb.events) >= limit {
+		drop := len(lb.events) - limit/2
+		if lb.droppedByKind == nil {
+			lb.droppedByKind = make(map[ProbeEventKind]int)
+		}
+		for _, e := range lb.events[:drop] {
+			lb.droppedByKind[e.Kind]++
+		}
+		kept := copy(lb.events, lb.events[drop:])
+		lb.events = lb.events[:kept]
+		lb.droppedEvents += drop
+	}
+	lb.events = append(lb.events, ProbeEvent{At: lb.c.clk.Now(), Node: node, Kind: kind})
 }
 
 // healthy reports whether the node acked a probe recently enough to route
@@ -51,6 +119,12 @@ func (lb *balancer) handle(m netsim.Message) {
 		lb.onResponse(env)
 	case ackEnv:
 		lb.lastAck[env.Node] = lb.c.clk.Now()
+		if lb.stale[env.Node] {
+			lb.stale[env.Node] = false
+			lb.recoverCount[env.Node]++
+			lb.probeEvent(env.Node, ProbeRecover)
+		}
+		lb.probeEvent(env.Node, ProbeAck)
 	}
 }
 

@@ -126,6 +126,11 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeStale is how long without an ack before a node is routed around.
 	ProbeStale time.Duration
+	// ProbeEventCap bounds the balancer's probe-event log: once the log
+	// reaches the cap the oldest half is discarded and the loss is counted
+	// per kind, mirroring the harness event ring. 0 takes the default
+	// (4096); negative keeps the log unbounded.
+	ProbeEventCap int
 	// Profile shapes the client population.
 	Profile Profile
 	// Inj, when non-nil, is the network-level injector (netsim.link.* sites).
@@ -143,6 +148,9 @@ func (c *Config) fill() {
 	}
 	if c.ProbeStale <= 0 {
 		c.ProbeStale = 5 * time.Millisecond
+	}
+	if c.ProbeEventCap == 0 {
+		c.ProbeEventCap = 4096
 	}
 	if c.Link.Latency == 0 {
 		c.Link.Latency = 100 * time.Microsecond

@@ -1,0 +1,52 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/cluster"
+	"phoenix/internal/recovery"
+)
+
+// TestProbeTransitionsAccountedInRun runs one small cluster with a kill and
+// checks the report surfaces the probe accounting: the killed node goes
+// stale and recovers, per-node transition counters survive even with a tiny
+// ring, and the ring honors its cap.
+func TestProbeTransitionsAccountedInRun(t *testing.T) {
+	const seed = 11
+	mk := registry.Factories(seed)["kvstore"]
+	prof := registry.ClusterProfile("kvstore", seed)
+	cfg := cluster.Config{
+		System:        "kvstore",
+		Seed:          seed,
+		Recovery:      recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: prof.CheckpointInterval},
+		Profile:       prof,
+		ProbeEventCap: 32,
+	}
+	sched := cluster.Schedule{Kills: []cluster.Kill{{At: prof.RunFor / 4, Node: 1}}}
+	rep, err := cluster.Run(cfg, mk, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProbeEvents > 32 {
+		t.Fatalf("probe log holds %d entries, cap is 32", rep.ProbeEvents)
+	}
+	if rep.ProbeDropped == 0 {
+		t.Fatal("a full run through a cap-32 ring dropped nothing")
+	}
+	if rep.ProbeDroppedByKind[string(cluster.ProbeAck)] == 0 {
+		t.Fatal("dropped acks not accounted by kind")
+	}
+	var node cluster.NodeReport
+	for _, n := range rep.Nodes {
+		if n.Node == 1 {
+			node = n
+		}
+	}
+	if node.ProbeStales == 0 {
+		t.Fatalf("killed node 1 never went stale: %+v", node)
+	}
+	if node.ProbeRecovers == 0 {
+		t.Fatalf("killed node 1 never recovered per the probe log: %+v", node)
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"testing"
+
+	"phoenix/internal/simclock"
+)
+
+// TestProbeEventRingBounded drives the balancer's probe log past its cap and
+// checks the harness-mirroring compaction: the log never exceeds the cap,
+// the oldest half is what gets dropped, and the loss is accounted per kind.
+func TestProbeEventRingBounded(t *testing.T) {
+	lb := &balancer{c: &Cluster{cfg: Config{ProbeEventCap: 8}, clk: simclock.New()}}
+
+	for i := 0; i < 100; i++ {
+		kind := ProbeAck
+		if i%10 == 0 {
+			kind = ProbeStale
+		}
+		lb.probeEvent(i%3, kind)
+		if len(lb.events) > 8 {
+			t.Fatalf("after %d events the log holds %d entries, cap is 8", i+1, len(lb.events))
+		}
+	}
+	if lb.droppedEvents == 0 {
+		t.Fatal("100 events through a cap-8 ring dropped nothing")
+	}
+	total := 0
+	for _, n := range lb.droppedByKind {
+		total += n
+	}
+	if total != lb.droppedEvents {
+		t.Fatalf("droppedByKind sums to %d, droppedEvents is %d", total, lb.droppedEvents)
+	}
+	if lb.droppedByKind[ProbeStale] == 0 {
+		t.Fatal("stale transitions were dropped but not accounted by kind")
+	}
+	if kept := len(lb.events) + lb.droppedEvents; kept != 100 {
+		t.Fatalf("kept+dropped = %d, want 100", kept)
+	}
+}
+
+// TestProbeEventRingUnbounded checks the negative-cap escape hatch.
+func TestProbeEventRingUnbounded(t *testing.T) {
+	lb := &balancer{c: &Cluster{cfg: Config{ProbeEventCap: -1}, clk: simclock.New()}}
+	for i := 0; i < 10_000; i++ {
+		lb.probeEvent(0, ProbeAck)
+	}
+	if len(lb.events) != 10_000 || lb.droppedEvents != 0 {
+		t.Fatalf("unbounded log: kept %d dropped %d, want 10000/0", len(lb.events), lb.droppedEvents)
+	}
+}

@@ -15,6 +15,8 @@ type NodeReport struct {
 	DrainRefusals      int   `json:"drain_refusals"`
 	StartedDuringDrain int   `json:"started_during_drain"`
 	Kills              int   `json:"kills"`
+	ProbeStales        int   `json:"probe_stales"`
+	ProbeRecovers      int   `json:"probe_recovers"`
 	RecoveryUs         int64 `json:"recovery_us"`
 	PhoenixRestarts    int   `json:"phoenix_restarts"`
 	OtherRestarts      int   `json:"other_restarts"`
@@ -65,6 +67,14 @@ type Report struct {
 	DrainRefusals      int `json:"drain_refusals"`
 	PartitionResponses int `json:"partition_responses"`
 
+	// ProbeEvents is the size of the balancer's (bounded) probe log at the
+	// end of the run; ProbeDropped counts entries the ring compaction
+	// discarded, broken down per kind in ProbeDroppedByKind (maps marshal
+	// with sorted keys, so the export stays deterministic).
+	ProbeEvents        int            `json:"probe_events"`
+	ProbeDropped       int            `json:"probe_dropped"`
+	ProbeDroppedByKind map[string]int `json:"probe_dropped_by_kind,omitempty"`
+
 	NetSent           int `json:"net_sent"`
 	NetDelivered      int `json:"net_delivered"`
 	NetDropped        int `json:"net_dropped"`
@@ -111,6 +121,8 @@ func (c *Cluster) report(sched Schedule) Report {
 
 		Kills:              len(sched.Kills),
 		PartitionResponses: c.lb.partitionResponses,
+		ProbeEvents:        len(c.lb.events),
+		ProbeDropped:       c.lb.droppedEvents,
 
 		NetSent:           c.net.Stat.Sent,
 		NetDelivered:      c.net.Stat.Delivered,
@@ -118,6 +130,12 @@ func (c *Cluster) report(sched Schedule) Report {
 		NetDuplicated:     c.net.Stat.Duplicated,
 		NetPartitionDrops: c.net.Stat.PartitionDrops,
 		NetInjectedDrops:  c.net.Stat.InjectedDrops,
+	}
+	if len(c.lb.droppedByKind) > 0 {
+		rep.ProbeDroppedByKind = make(map[string]int, len(c.lb.droppedByKind))
+		for k, n := range c.lb.droppedByKind {
+			rep.ProbeDroppedByKind[string(k)] = n
+		}
 	}
 	if rep.Requests > 0 {
 		rep.AvailabilityPct = 100 * float64(rep.Served+rep.Retried) / float64(rep.Requests)
@@ -153,6 +171,8 @@ func (c *Cluster) report(sched Schedule) Report {
 			DrainRefusals:      nd.drainRefusals,
 			StartedDuringDrain: nd.startedDuringDrain,
 			Kills:              nd.kills,
+			ProbeStales:        c.lb.staleCount[nd.idx],
+			ProbeRecovers:      c.lb.recoverCount[nd.idx],
 			RecoveryUs:         nd.recoveryTotal.Microseconds(),
 			PhoenixRestarts:    nd.h.Stat.PhoenixRestarts,
 			OtherRestarts:      nd.h.Stat.OtherRestarts,

@@ -241,6 +241,18 @@ type RestartPlan struct {
 // process (phx_restart). The caller — normally the recovery driver — then
 // re-enters the application's main function on the new process.
 func (rt *Runtime) Restart(plan RestartPlan) (*kernel.Process, error) {
+	spec, err := rt.ResolveSpec(plan)
+	if err != nil {
+		return nil, err
+	}
+	return rt.proc.PreserveExec(spec)
+}
+
+// ResolveSpec expands a restart plan into the concrete preserve_exec spec —
+// heap and allocator ranges gathered at call time — without executing it.
+// Restart uses it on the crash path; live shard migration re-resolves it
+// every copy round so the tracked page set follows the live heap.
+func (rt *Runtime) ResolveSpec(plan RestartPlan) (kernel.ExecSpec, error) {
 	spec := kernel.ExecSpec{
 		InfoAddr:    plan.InfoAddr,
 		WithSection: plan.WithSection,
@@ -248,7 +260,7 @@ func (rt *Runtime) Restart(plan RestartPlan) (*kernel.Process, error) {
 	}
 	if plan.WithHeap {
 		if rt.mainHeap == nil {
-			return nil, fmt.Errorf("core: Restart with_heap but no heap opened")
+			return kernel.ExecSpec{}, fmt.Errorf("core: Restart with_heap but no heap opened")
 		}
 		spec.Ranges = append(spec.Ranges, rt.mainHeap.PreservedRanges()...)
 	}
@@ -256,7 +268,7 @@ func (rt *Runtime) Restart(plan RestartPlan) (*kernel.Process, error) {
 		spec.Ranges = append(spec.Ranges, h.PreservedRanges()...)
 	}
 	spec.Ranges = append(spec.Ranges, plan.Ranges...)
-	return rt.proc.PreserveExec(spec)
+	return spec, nil
 }
 
 // Fallback tears the process down with a plain restart carrying reason —
@@ -270,6 +282,13 @@ func (rt *Runtime) Fallback(reason string) (*kernel.Process, error) {
 // another failure triggers an automatic fallback instead of a second
 // PHOENIX attempt (§3.2).
 const SecondFailureGrace = 10 * time.Second
+
+// DisarmGrace marks this incarnation as a planned handoff — a live
+// migration adoption — rather than a failure recovery. The §3.2 rule
+// guards against crash loops (a preserved state that keeps crashing its
+// successor), but nothing failed on the way into an adopted start, so the
+// next crash is a first failure and deserves a full PHOENIX attempt.
+func (rt *Runtime) DisarmGrace() { rt.restartedAt = 0 }
 
 // WithinGrace reports whether the current failure falls inside the
 // second-failure window of a PHOENIX-mode start.

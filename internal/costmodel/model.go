@@ -138,6 +138,25 @@ type Model struct {
 	// component's derived state during a microreboot (a dictionary entry
 	// relinked, a WAL record replayed, a sample's prediction recomputed).
 	ComponentReinitPerUnit time.Duration
+
+	// MigrateRoundFixed is the per-round fixed cost of one shard-migration
+	// copy round: snapshotting the dirty set, setting up the transfer, and
+	// the control-plane round trip with the destination.
+	MigrateRoundFixed time.Duration
+
+	// MigratePerPage is the per-page cost of shipping one preserved page to
+	// another machine during live shard migration (read + transfer + install;
+	// the fabric's link latency is charged separately by netsim). It is paid
+	// only for pages whose content actually changed since the previous round,
+	// which is what makes migration cost track the write rate.
+	MigratePerPage time.Duration
+
+	// MigrateCutoverFixed is the fixed cost of the migration cutover: freezing
+	// the shard's routing, the final ownership handshake, and unfreezing. The
+	// cutover additionally pays MigratePerPage for the final dirty delta and
+	// the dirty-scan/hash terms for detecting it — so the cutover window
+	// scales with the final delta, never with the shard size.
+	MigrateCutoverFixed time.Duration
 }
 
 // Default returns the calibrated model described in the package comment.
@@ -170,6 +189,10 @@ func Default() Model {
 		DomainRestorePerPage:   420 * time.Nanosecond,
 		MicrorebootFixed:       25 * time.Microsecond,
 		ComponentReinitPerUnit: 800 * time.Nanosecond,
+
+		MigrateRoundFixed:   8 * time.Microsecond,
+		MigratePerPage:      900 * time.Nanosecond, // page read + wire + install at ~4.5 GB/s
+		MigrateCutoverFixed: 20 * time.Microsecond,
 	}
 }
 
@@ -237,6 +260,25 @@ func (m Model) RewindDiscard(touchedPages int) time.Duration {
 func (m Model) Microreboot(components, reinitUnits int) time.Duration {
 	return time.Duration(components)*m.MicrorebootFixed +
 		time.Duration(reinitUnits)*m.ComponentReinitPerUnit
+}
+
+// MigrateRound returns the modelled duration of one live-migration copy
+// round: a soft-dirty scan over every preserved page of the shard, a fresh
+// hash for each candidate page (to detect content actually changed since the
+// last round), and the transfer cost for the pages that were re-shipped.
+func (m Model) MigrateRound(scannedPages, hashedPages, shippedPages int) time.Duration {
+	return m.MigrateRoundFixed +
+		time.Duration(scannedPages)*m.DirtyScanPerPage +
+		time.Duration(hashedPages)*m.ChecksumPerPage +
+		time.Duration(shippedPages)*m.MigratePerPage
+}
+
+// MigrateCutover returns the modelled duration of the migration cutover
+// window: the fixed freeze/handshake cost plus one final delta round. Only
+// the final delta's pages are hashed and shipped, so the window is a
+// function of the write rate during the last round, not of the shard size.
+func (m Model) MigrateCutover(scannedPages, hashedPages, shippedPages int) time.Duration {
+	return m.MigrateCutoverFixed + m.MigrateRound(scannedPages, hashedPages, shippedPages)
 }
 
 // ForkCoW returns the modelled duration of a copy-on-write fork over a region

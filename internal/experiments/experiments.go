@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"tab8", "Table 8: runtime overhead", RunTab8},
 		{"tab9", "Table 9: memory reuse", RunTab9},
 		{"figcluster", "Cluster figure: availability under traffic for replicated PHOENIX vs builtin vs vanilla", RunFigCluster},
+		{"figshard", "Shard figure: sharded fabric availability with per-shard kills and preserve-riding live migration", RunFigShard},
 		{"figexplore", "Exploration campaign: randomized fault-schedule search with oracle checking and failing-seed shrinking", RunFigExplore},
 		{"figvet", "Vet differential: points-to preservation-safety verifier vs dynamic restart-audit ground truth", RunFigVet},
 	}

@@ -14,7 +14,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab1", "fig1", "fig9", "tab3", "tab4", "tab5",
 		"fig10", "fig11", "fig12", "fig13", "tab6", "tab7", "tab8", "tab9",
-		"figcluster", "figexplore", "figvet"}
+		"figcluster", "figshard", "figexplore", "figvet"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -282,5 +282,25 @@ func TestFigVetSmoke(t *testing.T) {
 	}
 	if strings.Count(out, "mutant ") < 5 {
 		t.Fatalf("figvet exercised fewer than 5 mutants:\n%s", out)
+	}
+}
+
+// TestFigShardSmoke runs the quick sharded-fabric comparison: the contract
+// check inside CheckShard does the heavy lifting; here we require the
+// figure's own lines — per-shard kill windows all recovered and at least
+// one completed migration with its delta trajectory.
+func TestFigShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runQuick(t, "figshard")
+	if !strings.Contains(out, "kvstore") || !strings.Contains(out, "PHOENIX") {
+		t.Fatalf("figshard incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "unrecovered at run end") {
+		t.Fatalf("figshard left a kill window open:\n%s", out)
+	}
+	if !strings.Contains(out, "delta rounds") {
+		t.Fatalf("figshard reports no completed migration:\n%s", out)
 	}
 }

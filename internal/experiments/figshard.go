@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/shard"
+)
+
+// RunFigShard measures the sharded serving fabric: for each shardable
+// application, a consistent-hash ring of per-shard replica groups serves an
+// open-loop client population while the identical kill-and-rebalance
+// schedule — replica kills, a live shard migration, and a ring change, all
+// mid-traffic — is replayed against PHOENIX, the application's builtin
+// recovery, and a vanilla restart. The figure reports per-mode
+// availability, latency percentiles, total unavailability, the migration
+// cutover window, and the per-move delta-round trajectory; the per-shard
+// kill windows show the sharding dividend over the whole-replica clusters
+// of figcluster.
+//
+// The run doubles as the campaign's contract check: CheckShard asserts the
+// availability ordering, that PHOENIX's delta-converged cutover beats the
+// non-preserving modes' stop-and-copy, that no acked write is lost and no
+// request is served by a non-owner, and that a same-seed rerun is
+// byte-identical.
+func RunFigShard(o Options) error {
+	o.fill()
+	systems := registry.ShardSystems(o.Seed)
+	if o.Quick {
+		var keep []shard.System
+		for _, s := range systems {
+			if s.Name == "kvstore" {
+				keep = append(keep, s)
+			}
+		}
+		systems = keep
+	}
+	res, err := shard.CheckShard(systems, shard.Options{Seed: o.Seed})
+	for _, r := range res {
+		fmt.Fprintf(o.Out, "%s\n", shard.FmtComparison(r))
+		for _, w := range r.Phoenix.Windows {
+			state := "recovered"
+			if !w.Closed {
+				state = "unrecovered at run end"
+			}
+			fmt.Fprintf(o.Out, "  phoenix shard %d/%d (node %d): unavailable %dµs (%s)\n",
+				w.Shard, w.Replica, w.Node, w.DurUs, state)
+		}
+		for _, mv := range r.Phoenix.MoveReports {
+			if !mv.Completed {
+				continue
+			}
+			fmt.Fprintf(o.Out, "  phoenix move shard %d (%s): %d delta rounds, %d pages shipped, final delta %d, cutover %dµs\n",
+				mv.Shard, mv.Reason, len(mv.Rounds), mv.ShippedPages, mv.FinalDelta, mv.CutoverUs)
+		}
+	}
+	return err
+}

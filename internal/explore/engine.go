@@ -13,6 +13,7 @@ import (
 	"phoenix/internal/mem"
 	"phoenix/internal/netsim"
 	"phoenix/internal/recovery"
+	"phoenix/internal/shard"
 )
 
 // crashVA is the synthetic "kill -9": an address no layout maps (same class
@@ -50,6 +51,8 @@ func Run(sch Schedule) (Outcome, error) {
 	switch sch.Mode {
 	case "cluster":
 		obs, err = runCluster(sch)
+	case "shard":
+		obs, err = runShard(sch)
 	case "single":
 		obs, err = runSingle(sch)
 	default:
@@ -73,7 +76,16 @@ func Run(sch Schedule) (Outcome, error) {
 		out.Recoveries = obs.Cluster.Kills
 		out.FinalLevel = ""
 	}
-	for _, oracle := range registry.OraclesFor(sch.App, sch.Mode == "cluster") {
+	if obs.Shard != nil {
+		out.Requests = obs.Shard.Requests
+		out.Recoveries = obs.Shard.Kills
+		out.FinalLevel = ""
+	}
+	oracles := registry.OraclesFor(sch.App, sch.Mode == "cluster")
+	if sch.Mode == "shard" {
+		oracles = registry.ShardOracles()
+	}
+	for _, oracle := range oracles {
 		for _, msg := range oracle.Check(obs) {
 			out.Violations = append(out.Violations, Violation{Oracle: oracle.Name(), Msg: msg})
 		}
@@ -347,5 +359,58 @@ func runCluster(sch Schedule) (*registry.Observation, error) {
 		App:     sch.App,
 		Seed:    sch.Seed,
 		Cluster: &rep,
+	}, nil
+}
+
+// shardRunFor overrides the shard profile's traffic window for explored
+// schedules: long enough that kills, migrations, and ring changes all land
+// inside open-loop load, short enough that a 500-seed sweep stays cheap.
+// GenerateShard draws its event instants against the same window.
+const shardRunFor = 120 * time.Millisecond
+
+// runShard replays the schedule against the sharded serving fabric: kills,
+// live shard moves, and ring changes become the fabric's rebalance script,
+// and the fabric's own oracles (ownership epochs, acked-write ledger) report
+// through the shard observation.
+func runShard(sch Schedule) (*registry.Observation, error) {
+	mk, ok := registry.Factories(sch.Seed)[sch.App]
+	if !ok {
+		return nil, fmt.Errorf("explore: unknown app %q", sch.App)
+	}
+	prof := registry.ShardProfile(sch.App, sch.Seed)
+	prof.RunFor = shardRunFor
+
+	var ssched shard.Schedule
+	for _, ev := range sch.Events {
+		at := time.Duration(ev.AtUs) * time.Microsecond
+		switch ev.Kind {
+		case KindKill:
+			ssched.Kills = append(ssched.Kills, shard.Kill{At: at, Shard: ev.Shard, Replica: ev.Replica})
+		case KindShardMove:
+			ssched.Moves = append(ssched.Moves, shard.Move{At: at, Shard: ev.Shard, Replica: ev.Replica})
+		case KindRingChange:
+			ssched.RingChanges = append(ssched.RingChanges, shard.RingChange{At: at, Shard: ev.Shard})
+		default:
+			return nil, fmt.Errorf("explore: event %s invalid in shard mode", ev)
+		}
+	}
+
+	cfg := shard.Config{
+		System:   sch.App,
+		Shards:   sch.Shards,
+		Replicas: sch.Replicas,
+		Spares:   sch.Spares,
+		Seed:     sch.Seed,
+		Recovery: recovery.Config{Mode: recovery.ModePhoenix, CheckpointInterval: prof.CheckpointInterval},
+		Profile:  prof,
+	}
+	rep, err := shard.Run(cfg, mk, ssched)
+	if err != nil {
+		return nil, fmt.Errorf("explore: shard run: %w", err)
+	}
+	return &registry.Observation{
+		App:   sch.App,
+		Seed:  sch.Seed,
+		Shard: &rep,
 	}, nil
 }

@@ -53,6 +53,11 @@ const (
 	// a rewind floor must roll back and the ladder must then escalate past
 	// the microreboot rung.
 	KindDomainFault = "domainfault"
+	// KindShardMove live-migrates replica (Shard, Replica) to a spare at
+	// AtUs, and KindRingChange rotates Shard's ring placement (shard mode
+	// only). Shard-mode kills reuse KindKill with (Shard, Replica) targets.
+	KindShardMove  = "shardmove"
+	KindRingChange = "ringchange"
 )
 
 // Event is one element of a fault schedule. Field meaning depends on Kind;
@@ -65,6 +70,9 @@ type Event struct {
 	Skip  int    `json:"skip,omitempty"`
 	Node  int    `json:"node,omitempty"`
 	DurUs int64  `json:"dur_us,omitempty"`
+	// Shard/Replica target shard-mode kills and moves.
+	Shard   int `json:"shard,omitempty"`
+	Replica int `json:"replica,omitempty"`
 }
 
 func (e Event) String() string {
@@ -76,6 +84,10 @@ func (e Event) String() string {
 			return fmt.Sprintf("kill(node%d)@%dµs", e.Node, e.AtUs)
 		}
 		return fmt.Sprintf("kill@%d", e.At)
+	case KindShardMove:
+		return fmt.Sprintf("shardmove(%d/%d)@%dµs", e.Shard, e.Replica, e.AtUs)
+	case KindRingChange:
+		return fmt.Sprintf("ringchange(%d)@%dµs", e.Shard, e.AtUs)
 	case KindCalm:
 		return fmt.Sprintf("calm(%dµs)@%d", e.DurUs, e.At)
 	case KindDrain, KindPartition:
@@ -100,8 +112,13 @@ type Schedule struct {
 	Mode string `json:"mode"`
 	// Steps is the single-mode request count.
 	Steps int `json:"steps,omitempty"`
-	// Replicas is the cluster-mode node count.
+	// Replicas is the cluster-mode node count, or the shard-mode replicas
+	// per shard.
 	Replicas int `json:"replicas,omitempty"`
+	// Shards and Spares shape the shard-mode fabric: Shards replica groups
+	// plus a warm spare pool migrations draw from.
+	Shards int `json:"shards,omitempty"`
+	Spares int `json:"spares,omitempty"`
 	// DisableChecksums runs the harness with post-commit integrity
 	// verification off — the configuration under which an injected bit flip
 	// commits silently, which the accounting oracle must flag.
@@ -134,8 +151,12 @@ func kindRank(kind string) int {
 		return 6
 	case KindKill:
 		return 7
+	case KindShardMove:
+		return 8
+	case KindRingChange:
+		return 9
 	}
-	return 8
+	return 10
 }
 
 func sortEvents(evs []Event) {
@@ -156,6 +177,12 @@ func sortEvents(evs []Event) {
 		if a.Node != b.Node {
 			return a.Node < b.Node
 		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		if a.Replica != b.Replica {
+			return a.Replica < b.Replica
+		}
 		return a.Skip < b.Skip
 	})
 }
@@ -175,9 +202,13 @@ var componentGraph = map[string][]string{
 // mid-request on temporary state only — safe to fire at any ladder rung. The
 // domain-fault draw arms it so schedules exercise partial-request rollback
 // (and, for non-rewindable apps, the fall-through past the sub-process
-// rungs).
+// rungs). kvstore uses R3 (null deref on a request-scoped object), not R1:
+// R1's overflow-sized allocation touches a page set large enough that a
+// rewind-domain discard costs more than a whole preserve_exec, which is a
+// real property of huge-footprint faults but the wrong vector for measuring
+// the rewind rung.
 var midRequestFaults = map[string]string{
-	"kvstore":          "R1",
+	"kvstore":          "R3",
 	"lsmdb":            "L1",
 	"boost":            "X1",
 	"particle":         "VP1",
@@ -325,6 +356,61 @@ func generateCluster(rng *rand.Rand, seed int64, app string) Schedule {
 			Kind: KindLinkFault,
 			Site: linkSites[rng.Intn(len(linkSites))],
 			Skip: rng.Intn(200),
+		})
+	}
+	sortEvents(sch.Events)
+	return sch
+}
+
+// GenerateShard maps one seed to one shard-mode schedule: replica kills,
+// live shard moves, and ring changes landing mid-traffic on a sharded
+// fabric. It is a separate entry point rather than a Generate arm because
+// Generate's draw sequence is pinned by golden schedule tests; the extra
+// mix round keeps its schedules decorrelated from Generate's at the same
+// seed. app restricts the draw to one shardable application ("" draws one
+// at random). The mapping is pure: same (seed, app), same schedule.
+func GenerateShard(seed int64, app string) Schedule {
+	rng := rand.New(rand.NewSource(mix(mix(seed))))
+	names := registry.ShardNames()
+	// Burn the app draw unconditionally, as Generate does, so forcing an app
+	// never shifts the later draws.
+	pick := names[rng.Intn(len(names))]
+	if app == "" {
+		app = pick
+	}
+	sch := Schedule{
+		Seed:     seed,
+		App:      app,
+		Mode:     "shard",
+		Shards:   2 + rng.Intn(3),
+		Replicas: 1 + rng.Intn(2),
+		Spares:   1 + rng.Intn(2),
+	}
+	runUs := shardRunFor.Microseconds()
+	window := func() int64 { return runUs/10 + rng.Int63n(runUs*7/10) }
+	kills := 1 + rng.Intn(2)
+	for i := 0; i < kills; i++ {
+		sch.Events = append(sch.Events, Event{
+			Kind:    KindKill,
+			Shard:   rng.Intn(sch.Shards),
+			Replica: rng.Intn(sch.Replicas),
+			AtUs:    window(),
+		})
+	}
+	moves := 1 + rng.Intn(2)
+	for i := 0; i < moves; i++ {
+		sch.Events = append(sch.Events, Event{
+			Kind:    KindShardMove,
+			Shard:   rng.Intn(sch.Shards),
+			Replica: rng.Intn(sch.Replicas),
+			AtUs:    window(),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		sch.Events = append(sch.Events, Event{
+			Kind:  KindRingChange,
+			Shard: rng.Intn(sch.Shards),
+			AtUs:  window(),
 		})
 	}
 	sortEvents(sch.Events)

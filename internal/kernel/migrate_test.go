@@ -1,0 +1,333 @@
+package kernel
+
+import (
+	"testing"
+
+	"phoenix/internal/linker"
+	"phoenix/internal/mem"
+)
+
+const migRegion = mem.VAddr(0x2000_0000)
+
+// migSetup spawns a source process with pages preserved pages of KindCustom
+// state and a fixed-spec migration to a fresh destination machine.
+func migSetup(t *testing.T, pages int) (*Process, *Machine, *Migration) {
+	t.Helper()
+	src, err := NewMachine(1).Spawn(testImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.AS.Map(migRegion, pages, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		src.AS.WriteU64(migRegion+mem.VAddr(i)*mem.PageSize, uint64(1000+i))
+	}
+	dst := NewMachine(2)
+	mg, err := StartMigration(src, dst, func() (ExecSpec, error) {
+		return ExecSpec{
+			InfoAddr: migRegion + 64,
+			Ranges:   []linker.Range{{Start: migRegion, Len: pages * mem.PageSize}},
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst, mg
+}
+
+func TestMigrationDeltaRoundsConverge(t *testing.T) {
+	src, _, mg := migSetup(t, 16)
+
+	st, err := mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 16 || st.Hashed != 16 || st.Shipped != 16 {
+		t.Fatalf("first round = %+v, want full copy of 16 pages", st)
+	}
+
+	// Touch three pages; the next round ships exactly those.
+	for i := 0; i < 3; i++ {
+		src.AS.WriteU64(migRegion+mem.VAddr(i)*mem.PageSize, uint64(2000+i))
+	}
+	st, err = mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 16 || st.Hashed != 3 || st.Shipped != 3 {
+		t.Fatalf("second round = %+v, want 3 hashed and shipped", st)
+	}
+
+	// Quiesced source: the dirty set is converged, nothing ships.
+	st, err = mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hashed != 0 || st.Shipped != 0 {
+		t.Fatalf("quiesced round = %+v, want nothing hashed or shipped", st)
+	}
+
+	// Rewriting a page with identical bytes re-hashes (the stamp moved) but
+	// does not re-ship (the checksum did not).
+	src.AS.WriteU64(migRegion, 2000)
+	st, err = mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hashed != 1 || st.Shipped != 0 {
+		t.Fatalf("same-content rewrite round = %+v, want 1 hashed 0 shipped", st)
+	}
+}
+
+func TestMigrationCutover(t *testing.T) {
+	src, dst, mg := migSetup(t, 8)
+	if _, err := mg.DeltaRound(); err != nil {
+		t.Fatal(err)
+	}
+	src.AS.WriteU64(migRegion+5*mem.PageSize, 5555)
+
+	np, st, err := mg.Cutover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shipped != 1 {
+		t.Fatalf("cutover shipped %d pages, want only the final delta of 1", st.Shipped)
+	}
+	if np.Machine != dst {
+		t.Fatal("successor not on the destination machine")
+	}
+	if !src.Dead() {
+		t.Fatal("source still alive after cutover — preserved state has two owners")
+	}
+	if np.AS.ASLRBase != src.AS.ASLRBase {
+		t.Fatal("ASLR base not carried to the destination")
+	}
+	for i := 0; i < 8; i++ {
+		want := uint64(1000 + i)
+		if i == 5 {
+			want = 5555
+		}
+		if got := np.AS.ReadU64(migRegion + mem.VAddr(i)*mem.PageSize); got != want {
+			t.Fatalf("page %d: got %d, want %d", i, got, want)
+		}
+	}
+	h := np.Handoff()
+	if h == nil || h.MovedPages != 8 || h.InfoAddr != migRegion+64 {
+		t.Fatalf("handoff wrong: %+v", h)
+	}
+	if h.FallbackReason != "" {
+		t.Fatalf("handoff carries fallback reason %q", h.FallbackReason)
+	}
+	// Image reloaded into the gaps on the destination.
+	if v := np.AS.ReadU8(np.Image.Vars["counter"].Addr); v != 42 {
+		t.Fatal("image not loaded in destination successor")
+	}
+	if !mg.Done() {
+		t.Fatal("migration not marked done")
+	}
+	if _, err := mg.DeltaRound(); err == nil {
+		t.Fatal("rounds after cutover should fail")
+	}
+}
+
+// TestMigrationCutoverScalesWithDelta is acceptance criterion (c): the
+// cutover window tracks the final dirty delta, not the shard size. With the
+// same 4-page final delta, quadrupling the shard adds only the per-page
+// stamp-scan term (5ns/page); growing the delta at fixed size adds the full
+// hash+ship cost per page.
+func TestMigrationCutoverScalesWithDelta(t *testing.T) {
+	cutoverCost := func(pages, delta int) (cost int64) {
+		src, _, mg := migSetup(t, pages)
+		if _, err := mg.DeltaRound(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < delta; i++ {
+			src.AS.WriteU64(migRegion+mem.VAddr(i)*mem.PageSize, uint64(7000+i))
+		}
+		_, st, err := mg.Cutover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Shipped != delta {
+			t.Fatalf("cutover shipped %d, want %d", st.Shipped, delta)
+		}
+		return int64(st.Cost)
+	}
+
+	model := NewMachine(0).Model
+	small := cutoverCost(64, 4)
+	large := cutoverCost(256, 4)
+	if large-small != int64(192*model.DirtyScanPerPage) {
+		t.Fatalf("4x shard size changed cutover by %dns, want only the scan term %dns",
+			large-small, int64(192*model.DirtyScanPerPage))
+	}
+	wide := cutoverCost(64, 32)
+	perPage := int64(model.ChecksumPerPage + model.MigratePerPage)
+	if wide-small != 28*perPage {
+		t.Fatalf("28 extra delta pages changed cutover by %dns, want %dns",
+			wide-small, 28*perPage)
+	}
+	// The headline shape: a 4x bigger shard moves the window by less than
+	// one extra delta page would.
+	if large-small >= perPage {
+		t.Fatalf("shard-size dependence (%dns) not dominated by one delta page (%dns)",
+			large-small, perPage)
+	}
+}
+
+// TestMigrationSeesRewindDiscard pins the change-detection soundness edge:
+// a rewind-domain discard restores pre-image bytes without an application
+// write, and the migration must still notice the content changed back.
+func TestMigrationSeesRewindDiscard(t *testing.T) {
+	src, _, mg := migSetup(t, 4)
+	if _, err := mg.DeltaRound(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := src.AS.BeginRewindDomain(); err != nil {
+		t.Fatal(err)
+	}
+	src.AS.WriteU64(migRegion, 4242)
+	// Mid-domain round ships the in-flight write.
+	st, err := mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shipped != 1 {
+		t.Fatalf("mid-domain round shipped %d, want 1", st.Shipped)
+	}
+	if _, err := src.AS.DiscardDomain(); err != nil {
+		t.Fatal(err)
+	}
+
+	np, st, err := mg.Cutover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shipped != 1 {
+		t.Fatalf("cutover after discard shipped %d, want the restored page", st.Shipped)
+	}
+	if got := np.AS.ReadU64(migRegion); got != 1000 {
+		t.Fatalf("destination holds %d, want the discarded request's pre-image 1000", got)
+	}
+}
+
+func TestMigrationFollowsGrowingRangeSet(t *testing.T) {
+	src, err := NewMachine(1).Spawn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.AS.Map(migRegion, 4, mem.KindCustom, "state"); err != nil {
+		t.Fatal(err)
+	}
+	src.AS.WriteU64(migRegion, 1)
+	pages := 4
+	mg, err := StartMigration(src, NewMachine(2), func() (ExecSpec, error) {
+		return ExecSpec{
+			InfoAddr: migRegion,
+			Ranges:   []linker.Range{{Start: migRegion, Len: pages * mem.PageSize}},
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.DeltaRound(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "heap" grows mid-migration; the next round tracks the new pages.
+	m := src.AS.FindMapping(migRegion)
+	if err := src.AS.Grow(m, 2); err != nil {
+		t.Fatal(err)
+	}
+	pages = 6
+	src.AS.WriteU64(migRegion+5*mem.PageSize, 66)
+	st, err := mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 6 {
+		t.Fatalf("scanned %d pages after growth, want 6", st.Scanned)
+	}
+	np, _, err := mg.Cutover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := np.AS.ReadU64(migRegion + 5*mem.PageSize); got != 66 {
+		t.Fatalf("grown page lost: got %d, want 66", got)
+	}
+	if np.Handoff().MovedPages != 6 {
+		t.Fatalf("handoff moved %d pages, want 6", np.Handoff().MovedPages)
+	}
+}
+
+func TestMigrationSourceDeathAndAbort(t *testing.T) {
+	src, _, mg := migSetup(t, 4)
+	if _, err := mg.DeltaRound(); err != nil {
+		t.Fatal(err)
+	}
+	src.Kill()
+	if _, err := mg.DeltaRound(); err == nil {
+		t.Fatal("round on dead source should fail")
+	}
+	if _, _, err := mg.Cutover(); err == nil {
+		t.Fatal("cutover on dead source should fail")
+	}
+
+	_, _, mg2 := migSetup(t, 4)
+	mg2.Abort()
+	if !mg2.Aborted() {
+		t.Fatal("not aborted")
+	}
+	if _, err := mg2.DeltaRound(); err == nil {
+		t.Fatal("round after abort should fail")
+	}
+}
+
+func TestMigrationZeroedPageShipsAsZeros(t *testing.T) {
+	src, _, mg := migSetup(t, 4)
+	if _, err := mg.DeltaRound(); err != nil {
+		t.Fatal(err)
+	}
+	// Fully zeroing releases the frame data; the destination must read zeros,
+	// not the previously shipped bytes.
+	src.AS.Zero(migRegion+2*mem.PageSize, mem.PageSize)
+	np, st, err := mg.Cutover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shipped != 1 {
+		t.Fatalf("cutover shipped %d, want the zeroed page", st.Shipped)
+	}
+	if got := np.AS.ReadU64(migRegion + 2*mem.PageSize); got != 0 {
+		t.Fatalf("zeroed page reads %d on destination, want 0", got)
+	}
+}
+
+func TestMigrationChargesClocks(t *testing.T) {
+	src, dst, mg := migSetup(t, 8)
+	model := src.Machine.Model
+
+	srcBefore := src.Machine.Clock.Now()
+	st, err := mg.DeltaRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := src.Machine.Clock.Now() - srcBefore; d != model.MigrateRound(8, 8, 8) || d != st.Cost {
+		t.Fatalf("round charged %v, want %v (= stats %v)", d, model.MigrateRound(8, 8, 8), st.Cost)
+	}
+
+	srcBefore = src.Machine.Clock.Now()
+	dstBefore := dst.Clock.Now()
+	_, st, err = mg.Cutover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := src.Machine.Clock.Now() - srcBefore; d != model.MigrateCutover(8, 0, 0) || d != st.Cost {
+		t.Fatalf("cutover charged source %v, want %v", d, model.MigrateCutover(8, 0, 0))
+	}
+	if d := dst.Clock.Now() - dstBefore; d != dst.Model.Exec() || d != st.InstallCost {
+		t.Fatalf("cutover charged destination %v, want %v", d, dst.Model.Exec())
+	}
+}

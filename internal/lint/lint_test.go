@@ -14,6 +14,7 @@ func TestDeterministicPackagesClean(t *testing.T) {
 	for _, dir := range []string{
 		"../netsim",
 		"../cluster",
+		"../shard",
 		"../explore",
 		"../simclock",
 		"../experiments",

@@ -97,9 +97,18 @@ func (k Kind) String() string {
 // lives), and cleared only by the preservation machinery after a verified
 // commit. Because the bit lives on the frame, it travels with the frame
 // through MovePages/UnmovePages and is duplicated by CopyPages/Clone.
+// Gen is the frame's write-generation stamp: the value of the owning
+// address space's monotonic write counter at the frame's last content
+// mutation (writes, Zero, FlipBit, rewind-domain discard restores, and
+// arrival via MovePages/CopyPages all count). Within one address space two
+// distinct mutation events never share a stamp, so an observer that records
+// PageGen(p) knows the page's bytes are unchanged for exactly as long as the
+// stamp is. Live shard migration uses this to find its per-round delta
+// without touching the preserve machinery's soft-dirty baseline.
 type Frame struct {
 	Data  []byte
 	Dirty bool
+	Gen   uint64
 }
 
 func (f *Frame) materialize() []byte {
@@ -136,6 +145,12 @@ type AddressSpace struct {
 
 	// domain is the open rewind domain's undo log, nil when none (rewind.go).
 	domain *rewindDomain
+
+	// writeGen is the monotonic write-generation counter stamped onto frames
+	// at every content mutation (see Frame.Gen). It only ever increases, so a
+	// stamp is never reused — not even when a frame entry is deleted and a
+	// fresh one created at the same page number.
+	writeGen uint64
 
 	// ASLRBase is the randomized layout offset chosen at first startup and
 	// reused across PHOENIX restarts (§3.3, ASLR compatibility).
@@ -295,6 +310,26 @@ func (as *AddressSpace) frame(p PageNum) *Frame {
 	return f
 }
 
+// write returns page p's materialized data for mutation, stamping the frame
+// with a fresh write generation first. Every byte-mutating path funnels
+// through it (or stamps explicitly, as Zero and DiscardDomain do), which is
+// what makes PageGen a sound change detector.
+func (as *AddressSpace) write(p PageNum) []byte {
+	f := as.frame(p)
+	as.writeGen++
+	f.Gen = as.writeGen
+	return f.materialize()
+}
+
+// stamp assigns frame f a fresh write generation from this address space.
+// Frames arriving from another address space (MovePages/CopyPages and their
+// rollbacks) must be re-stamped: their old stamps were drawn from a different
+// counter and could collide with generations this space already handed out.
+func (as *AddressSpace) stamp(f *Frame) {
+	as.writeGen++
+	f.Gen = as.writeGen
+}
+
 // ReadAt copies len(buf) bytes at addr into buf. It panics with *Fault if
 // any byte of the range is unmapped.
 func (as *AddressSpace) ReadAt(addr VAddr, buf []byte) {
@@ -325,7 +360,7 @@ func (as *AddressSpace) WriteAt(addr VAddr, buf []byte) {
 		pgOff := int((addr + VAddr(off)) % PageSize)
 		n := min(PageSize-pgOff, len(buf)-off)
 		as.touch(p)
-		data := as.frame(p).materialize()
+		data := as.write(p)
 		copy(data[pgOff:pgOff+n], buf[off:off+n])
 		off += n
 	}
@@ -357,6 +392,7 @@ func (as *AddressSpace) Zero(addr VAddr, n int) {
 				d[i] = 0
 			}
 			f.Dirty = true
+			as.stamp(f)
 			if allZero(f.Data) {
 				f.Data = nil
 			}
@@ -388,7 +424,7 @@ func (as *AddressSpace) ReadU8(addr VAddr) byte {
 func (as *AddressSpace) WriteU8(addr VAddr, v byte) {
 	as.checkRange(addr, 1, "write")
 	as.touch(PageOf(addr))
-	as.frame(PageOf(addr)).materialize()[addr%PageSize] = v
+	as.write(PageOf(addr))[addr%PageSize] = v
 }
 
 // ReadU64 reads a little-endian uint64 at addr (which may straddle pages).
@@ -415,7 +451,7 @@ func (as *AddressSpace) WriteU64(addr VAddr, v uint64) {
 	if addr%PageSize <= PageSize-8 {
 		as.checkRange(addr, 8, "write")
 		as.touch(PageOf(addr))
-		d := as.frame(PageOf(addr)).materialize()
+		d := as.write(PageOf(addr))
 		o := addr % PageSize
 		d[o] = byte(v)
 		d[o+1] = byte(v >> 8)
@@ -489,6 +525,7 @@ func (as *AddressSpace) MovePages(dst *AddressSpace, start VAddr, pages int) (in
 	moved := 0
 	for p := PageOf(start); p < PageOf(end); p++ {
 		if f, ok := as.frames[p]; ok {
+			dst.stamp(f)
 			dst.frames[p] = f
 			delete(as.frames, p)
 		}
@@ -508,6 +545,7 @@ func (as *AddressSpace) UnmovePages(src *AddressSpace, start VAddr, pages int) {
 	end := start + VAddr(pages)*PageSize
 	for p := PageOf(start); p < PageOf(end); p++ {
 		if f, ok := as.frames[p]; ok {
+			src.stamp(f)
 			src.frames[p] = f
 			delete(as.frames, p)
 		}
@@ -535,6 +573,7 @@ func (as *AddressSpace) CopyPages(dst *AddressSpace, start VAddr, pages int, kin
 		if f, ok := as.frames[p]; ok {
 			nf := dst.frame(p)
 			nf.Dirty = f.Dirty // snapshot preserves tracking state, it is not a write
+			dst.stamp(nf)      // but the generation is per-space: re-stamp on arrival
 			if f.Data != nil {
 				nf.Data = append([]byte(nil), f.Data...)
 				copied++
@@ -550,12 +589,13 @@ func (as *AddressSpace) CopyPages(dst *AddressSpace, start VAddr, pages int, kin
 func (as *AddressSpace) Clone() *AddressSpace {
 	cp := NewAddressSpace()
 	cp.ASLRBase = as.ASLRBase
+	cp.writeGen = as.writeGen // faithful snapshot: stamps stay valid as a set
 	for _, m := range as.mappings {
 		nm := *m
 		cp.insert(&nm)
 	}
 	for p, f := range as.frames {
-		nf := &Frame{Dirty: f.Dirty}
+		nf := &Frame{Dirty: f.Dirty, Gen: f.Gen}
 		if f.Data != nil {
 			nf.Data = append([]byte(nil), f.Data...)
 		}
@@ -607,7 +647,21 @@ func (as *AddressSpace) PageChecksum(p PageNum) uint64 {
 func (as *AddressSpace) FlipBit(addr VAddr, bit uint) {
 	as.checkRange(addr, 1, "write")
 	as.touch(PageOf(addr))
-	as.frame(PageOf(addr)).materialize()[addr%PageSize] ^= 1 << (bit % 8)
+	as.write(PageOf(addr))[addr%PageSize] ^= 1 << (bit % 8)
+}
+
+// PageGen returns page p's write-generation stamp; 0 means the page has
+// never been mutated in this address space (it reads as zeros, or carries a
+// pre-stamp snapshot). Equal stamps across two observations of the same
+// address space guarantee the page's bytes did not change in between; a
+// changed stamp says only that they may have. Migration delta rounds scan
+// stamps (cheap) and re-hash only stamp-changed pages (expensive), so round
+// cost tracks the write rate, not the shard size.
+func (as *AddressSpace) PageGen(p PageNum) uint64 {
+	if f := as.frames[p]; f != nil {
+		return f.Gen
+	}
+	return 0
 }
 
 // PageDirty reports whether page p carries a set soft-dirty bit.

@@ -130,6 +130,13 @@ func (as *AddressSpace) DiscardDomain() (int, error) {
 		}
 		f.Data = rec.data
 		f.Dirty = rec.dirty
+		// The restore rewrites the page's bytes, so it is a content mutation
+		// from any generation observer's point of view — an observer that
+		// recorded the mid-domain stamp must not conclude "unchanged" now
+		// that the pre-image is back. The soft-dirty bit, by contrast, is
+		// rolled back: it belongs to the preserve baseline, which the
+		// pre-image bytes still match.
+		as.stamp(f)
 	}
 	return len(d.pages), nil
 }

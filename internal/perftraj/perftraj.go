@@ -1,8 +1,9 @@
 // Package perftraj collects the preserve-path performance trajectory: a
 // small, schema-versioned set of simulated-clock metrics for the operations
 // the incremental-preservation work optimises (preserve_exec commit latency
-// at several dirty fractions, restart-to-first-request, and the cost-model
-// scan/fork terms). Because every metric is read off the deterministic
+// at several dirty fractions, restart-to-first-request, live-migration delta
+// rounds and cutover windows, and the cost-model scan/fork terms). Because
+// every metric is read off the deterministic
 // simulation clock, the collected numbers are bit-stable across hosts and
 // runs — which is what lets a checked-in BENCH_preserve.json act as a CI
 // regression gate instead of a flaky wall-clock threshold.
@@ -28,7 +29,9 @@ const SchemaVersion = 1
 // the O(pages) and O(dirty) terms separate cleanly.
 const Pages = 10000
 
-// Metric is one named simulated-clock measurement.
+// Metric is one named measurement: simulated-clock nanoseconds for latency
+// metrics, or a raw count for the migrate_rounds/pages_shipped volume
+// metrics — both deterministic, both gated by the same regression ratio.
 type Metric struct {
 	Name     string `json:"name"`
 	SimNanos int64  `json:"sim_nanos"`
@@ -145,6 +148,104 @@ func RewindDomainRoundTrip(pages, touched int) (begin, discard time.Duration, er
 	return begin, discard, nil
 }
 
+// MigrationCosts accounts one live-migration round trip at a fixed dirty
+// fraction. Durations are simulated clock; Rounds and ShippedPages are
+// counts (stored in the trajectory under the same ratio gate — a convergence
+// regression shows up as a page-volume jump just as a cost-model regression
+// shows up as a latency jump).
+type MigrationCosts struct {
+	// FirstRound is the initial full-copy delta round: every page hashed
+	// and shipped while the source keeps serving.
+	FirstRound time.Duration
+	// DeltaRound is a steady-state round after dirty pages were rewritten:
+	// O(pages) stamp scan plus O(dirty) hash and ship.
+	DeltaRound time.Duration
+	// Cutover is the freeze window: the final delta round over dirty pages
+	// plus successor construction on the destination (source + destination
+	// clock time — the shard traffic is frozen across both).
+	Cutover time.Duration
+	// Rounds is the number of copy rounds including the cutover's final one.
+	Rounds int
+	// ShippedPages is the total transfer volume across all rounds.
+	ShippedPages int
+}
+
+// MigrationRoundTrip measures the preserve-riding live migration (the shard
+// rebalancing mechanism) over a pages-sized preserved set: a first full-copy
+// round, one steady-state delta round after dirty pages were rewritten, and
+// the cutover with a final delta of the same dirty size. The cutover window
+// must scale with dirty, not pages — that contrast is what the trajectory
+// pins by collecting it at 1% and 100% dirty.
+func MigrationRoundTrip(pages, dirty int) (MigrationCosts, error) {
+	var mc MigrationCosts
+	m := kernel.NewMachine(1)
+	src, err := m.Spawn(nil)
+	if err != nil {
+		return mc, err
+	}
+	if _, err := src.AS.Map(region, pages, mem.KindCustom, "state"); err != nil {
+		return mc, err
+	}
+	for i := 0; i < pages; i++ {
+		src.AS.WriteU64(region+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+	}
+	dst := kernel.NewMachine(2)
+	mg, err := kernel.StartMigration(src, dst, func() (kernel.ExecSpec, error) {
+		return kernel.ExecSpec{
+			InfoAddr: region + 64,
+			Ranges:   []linker.Range{{Start: region, Len: pages * mem.PageSize}},
+		}, nil
+	})
+	if err != nil {
+		return mc, err
+	}
+
+	t0 := m.Clock.Now()
+	if _, err := mg.DeltaRound(); err != nil {
+		return mc, fmt.Errorf("first round: %w", err)
+	}
+	mc.FirstRound = m.Clock.Now() - t0
+
+	// Rewrite dirty pages spread evenly, as PreserveCommit does, then run
+	// one steady-state round. Each wave writes fresh values — same-content
+	// rewrites would dedup at the checksum and never ship.
+	redirty := func(val uint64) {
+		stride := pages / dirty
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < dirty; i++ {
+			src.AS.WriteU64(region+mem.VAddr(i*stride%pages)*mem.PageSize, val)
+		}
+	}
+	redirty(0xD1D1)
+	t1 := m.Clock.Now()
+	st, err := mg.DeltaRound()
+	if err != nil {
+		return mc, fmt.Errorf("delta round: %w", err)
+	}
+	mc.DeltaRound = m.Clock.Now() - t1
+	if st.Shipped != dirty {
+		return mc, fmt.Errorf("perftraj: delta round shipped %d pages, want %d", st.Shipped, dirty)
+	}
+
+	// Final delta of the same size, then cutover. The freeze window is the
+	// serial source + destination time.
+	redirty(0xD1D2)
+	t2, d2 := m.Clock.Now(), dst.Clock.Now()
+	np, _, err := mg.Cutover()
+	if err != nil {
+		return mc, fmt.Errorf("cutover: %w", err)
+	}
+	mc.Cutover = (m.Clock.Now() - t2) + (dst.Clock.Now() - d2)
+	mc.Rounds = mg.Rounds()
+	mc.ShippedPages = mg.ShippedPages()
+	if v := np.AS.ReadU64(region + mem.PageSize); v != 2 && dirty < pages {
+		return mc, fmt.Errorf("perftraj: page 1 reads %#x on the destination", v)
+	}
+	return mc, nil
+}
+
 // RestartToFirstRequest measures the full optimistic-recovery critical path
 // in simulated time: PHOENIX restart of a process holding a pages-sized heap
 // state, re-initialisation in the successor, and the first read of preserved
@@ -229,6 +330,26 @@ func Collect() (Trajectory, error) {
 	add("rewind_domain_begin", begin)
 	add("rewind_discard_touched_1pct", disc1)
 	add("rewind_discard_touched_10pct", disc10)
+
+	// Live-migration trajectory: steady-state delta rounds and the cutover
+	// freeze window at 1% and 100% final delta. The count metrics (rounds,
+	// pages shipped) ride the same >tolerance ratio gate — a convergence
+	// regression inflates transfer volume even when per-page costs hold.
+	mc1, err := MigrationRoundTrip(Pages, Pages/100) // 1% write rate
+	if err != nil {
+		return t, err
+	}
+	mc100, err := MigrationRoundTrip(Pages, Pages) // degenerate stop-and-copy
+	if err != nil {
+		return t, err
+	}
+	add("migrate_first_round", mc1.FirstRound)
+	add("migrate_delta_round_1pct", mc1.DeltaRound)
+	add("migrate_cutover_dirty_1pct", mc1.Cutover)
+	add("migrate_cutover_dirty_100pct", mc100.Cutover)
+	t.Metrics = append(t.Metrics,
+		Metric{Name: "migrate_rounds_1pct", SimNanos: int64(mc1.Rounds)},
+		Metric{Name: "migrate_pages_shipped_1pct", SimNanos: int64(mc1.ShippedPages)})
 
 	// Cost-model terms the incremental path leans on, pinned so a model
 	// change shows up in the trajectory diff rather than only downstream.

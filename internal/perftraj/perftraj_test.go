@@ -52,6 +52,35 @@ func TestIncrementalSpeedup(t *testing.T) {
 	}
 }
 
+// TestMigrationCutoverScaling pins the live-migration claim the shard
+// fabric rides: the cutover freeze window at a 1% final delta is far
+// smaller than the degenerate stop-and-copy cutover at 100%, and the
+// steady-state delta round beats the first full-copy round.
+func TestMigrationCutoverScaling(t *testing.T) {
+	mc1, err := MigrationRoundTrip(Pages, Pages/100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc100, err := MigrationRoundTrip(Pages, Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(mc100.Cutover) / float64(mc1.Cutover); ratio < 3 {
+		t.Fatalf("1%%-delta cutover only %.1fx faster than stop-and-copy (want >= 3x): %d vs %d ns",
+			ratio, mc1.Cutover, mc100.Cutover)
+	}
+	if mc1.DeltaRound >= mc1.FirstRound {
+		t.Fatalf("steady-state round (%d ns) not cheaper than full-copy round (%d ns)",
+			mc1.DeltaRound, mc1.FirstRound)
+	}
+	if mc1.Rounds != 3 {
+		t.Fatalf("round trip ran %d rounds, want 3 (full, delta, cutover)", mc1.Rounds)
+	}
+	if want := Pages + 2*Pages/100; mc1.ShippedPages != want {
+		t.Fatalf("shipped %d pages, want %d (full set + two 1%% deltas)", mc1.ShippedPages, want)
+	}
+}
+
 // TestCompare covers the gate semantics: within-tolerance passes, a slow
 // metric regresses, a missing metric errors, and schema drift errors.
 func TestCompare(t *testing.T) {

@@ -351,6 +351,47 @@ func (h *Harness) Boot() error {
 	return h.App.Main(h.rt)
 }
 
+// AdoptPreserved binds the harness to a process migrated in from another
+// machine (the destination side of a shard-migration cutover) and boots the
+// application exactly as after a PHOENIX restart: Main runs in recovery
+// mode against the preserved pages the migration installed. The harness
+// must not have booted; it owns the destination machine the process was
+// built on. A crash during the adopting boot degrades to the application's
+// default recovery on this machine, mirroring a failed PHOENIX boot.
+func (h *Harness) AdoptPreserved(np *kernel.Process) error {
+	if h.proc != nil {
+		return fmt.Errorf("recovery: AdoptPreserved on a booted harness")
+	}
+	if np == nil || np.Machine != h.M {
+		return fmt.Errorf("recovery: AdoptPreserved: process not on this harness's machine")
+	}
+	persist := h.Cfg.Mode == ModeBuiltin || h.Cfg.Mode == ModePhoenix
+	if h.Cfg.DisablePersistence {
+		persist = false
+	}
+	h.App.SetPersistence(persist)
+	h.proc = np
+	h.rt = h.newRuntime(np)
+	h.ccGen++
+	h.lastCkpt = h.M.Clock.Now()
+	h.event(EvAdopt, fmt.Sprintf("%d preserved pages", np.Handoff().MovedPages))
+	bootCrash := np.Run(func() {
+		if err := h.App.Main(h.rt); err != nil {
+			panic(&kernel.Crash{Sig: kernel.SIGABRT, Reason: "main: " + err.Error()})
+		}
+	})
+	if bootCrash != nil {
+		h.Stat.BootFailures++
+		h.event(EvFallback, "crash during adopting boot: "+bootCrash.Reason)
+		return h.fallbackRestart("adopt boot crash")
+	}
+	// An adoption is a planned handoff, not a crash recovery: leaving the
+	// second-failure grace armed would cold-restart — and lose — the moved
+	// state on the first real crash after a migration.
+	h.rt.DisarmGrace()
+	return nil
+}
+
 // event appends a diagnostic event, compacting the log when it reaches the
 // configured cap: the oldest half is dropped in one copy, which keeps the
 // slice chronological, bounds memory at EventCap entries, and amortises to
@@ -596,6 +637,13 @@ func (h *Harness) rewindRecover() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	// The discard rolled simulated memory back to the top of the request,
+	// where no unsafe region was open — but the unsafe counters are runtime
+	// state, not simulated memory, so a crash inside an UnsafeBegin/End
+	// bracket leaves them raised. Reset them to match the restored memory:
+	// without this, one rewound mid-region crash would poison IsSafe and
+	// turn every later process-level restart into an unsafe fallback.
+	h.rt.Unsafe().Reset()
 	h.Stat.Rewinds++
 	h.M.Counters.Rewinds.Add(1)
 	h.event(EvRewind, fmt.Sprintf("%d pages restored", n))
@@ -645,6 +693,10 @@ func (h *Harness) microreboot(ci *kernel.CrashInfo) (bool, error) {
 		}
 		units += n
 	}
+	// Same argument as rewindRecover: no handler is running anymore and the
+	// faulting component was just reinitialised, so a counter left raised by
+	// the mid-region crash no longer describes anything live.
+	h.rt.Unsafe().Reset()
 	h.M.Clock.Advance(h.M.Model.Microreboot(len(set), units))
 	h.Stat.Microreboots++
 	h.M.Counters.Microreboots.Add(1)

@@ -43,4 +43,8 @@ const (
 	// component's transient state discarded and reinitialised, dependents
 	// cascading, while the process kept its address space.
 	EvMicroreboot EventKind = "microreboot"
+	// EvAdopt records this harness adopting a process migrated in from
+	// another machine: the shard-migration cutover handed it preserved pages
+	// under a Handoff, and Main booted down the PHOENIX recovery path.
+	EvAdopt EventKind = "adopt"
 )

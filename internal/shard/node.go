@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"phoenix/internal/netsim"
+	"phoenix/internal/recovery"
+	"phoenix/internal/simclock"
+)
+
+type nodeState int
+
+const (
+	// stateSpare is a cold standby: machine and harness constructed, app
+	// never booted — the only state AdoptPreserved accepts, so spares are
+	// the only legal migration destinations.
+	stateSpare nodeState = iota
+	stateServing
+	stateDown
+	// stateRetired is a migration source after cutover: its process is
+	// dead (single-owner invariant) and it serves nothing ever again.
+	stateRetired
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateSpare:
+		return "spare"
+	case stateServing:
+		return "serving"
+	case stateDown:
+		return "down"
+	case stateRetired:
+		return "retired"
+	}
+	return "?"
+}
+
+// node is one fabric member: a recovery harness over an application
+// instance, serving one request at a time from a FIFO queue. Active nodes
+// own exactly one shard replica; spares own nothing until a migration
+// lands on them. The harness's machine clock is the node's stopwatch; the
+// fabric clock orders its interactions with the world.
+type node struct {
+	f   *Fabric
+	idx int
+	id  netsim.NodeID
+	h   *recovery.Harness
+
+	state   nodeState
+	shard   int // -1 while spare/retired
+	replica int
+
+	queue      []dispatchEnv
+	busy       bool
+	completion *simclock.Timer
+
+	// accounting
+	accepted      int
+	refused       int
+	kills         int
+	recoveryTotal time.Duration
+}
+
+func (nd *node) handle(m netsim.Message) {
+	switch env := m.Payload.(type) {
+	case dispatchEnv:
+		nd.onRequest(env)
+	case probeEnv:
+		// Only a serving owner acks; spares, retired, and down nodes go
+		// dark so the router routes reads around them.
+		if nd.state == stateServing {
+			nd.f.net.Send(nd.id, routerID, ackEnv{Node: nd.idx})
+		}
+	}
+}
+
+func (nd *node) respond(env dispatchEnv, ok, eff, refused bool) respEnv {
+	return respEnv{
+		Client: env.Client, RID: env.RID, Attempt: env.Attempt,
+		Shard: env.Shard, Node: nd.idx, Epoch: env.Epoch, KillEpoch: nd.kills,
+		Ok: ok, Effective: eff, Refused: refused, Op: env.Req.Op, Fan: env.Fan,
+	}
+}
+
+func (nd *node) onRequest(env dispatchEnv) {
+	if nd.state != stateServing {
+		nd.refused++
+		nd.f.net.Send(nd.id, routerID, nd.respond(env, false, false, true))
+		return
+	}
+	nd.accepted++
+	nd.queue = append(nd.queue, env)
+	nd.startNext()
+}
+
+// startNext dispatches the queue head: the harness computes the outcome and
+// service duration on the node's machine clock, and the response lands that
+// far in the fabric's future (single-server queueing).
+func (nd *node) startNext() {
+	if nd.busy || nd.state != stateServing || len(nd.queue) == 0 {
+		return
+	}
+	env := nd.queue[0]
+	nd.queue = nd.queue[1:]
+	nd.busy = true
+
+	nd.syncClock()
+	before := nd.h.M.Clock.Now()
+	ok, eff, err := nd.h.ServeRequest(env.Req)
+	if err != nil {
+		nd.f.fail(fmt.Errorf("shard: node %d serve: %w", nd.idx, err))
+		return
+	}
+	dur := nd.h.M.Clock.Now() - before
+	resp := nd.respond(env, ok, eff, false)
+	nd.completion = nd.f.clk.AfterFunc(dur, func() {
+		nd.busy = false
+		nd.completion = nil
+		nd.f.net.Send(nd.id, routerID, resp)
+		nd.startNext()
+	})
+}
+
+// syncClock pulls the machine clock forward to fabric time (never backward).
+func (nd *node) syncClock() {
+	if now := nd.f.clk.Now(); now > nd.h.M.Clock.Now() {
+		nd.h.M.Clock.AdvanceTo(now)
+	}
+}
+
+// kill crashes the node's process at fabric time and drives the harness's
+// real recovery path; the node is down for exactly the simulated recovery
+// duration. A migration sourcing from this node aborts first — its buffered
+// baseline dies with the process.
+func (nd *node) kill() {
+	if nd.state != stateServing && nd.state != stateDown {
+		return
+	}
+	if nd.state == stateDown {
+		return
+	}
+	nd.f.abortMigrationsFrom(nd.idx, "source killed")
+	nd.state = stateDown
+	nd.kills++
+	// Queued requests and the in-flight one vanish with the process and
+	// will never produce responses; the router's in-flight ledger must
+	// forget them or a frozen shard would never drain. (Requests still on
+	// the wire do get refused by the down node, so they drain normally.)
+	lost := len(nd.queue)
+	if nd.completion != nil {
+		nd.f.clk.Stop(nd.completion)
+		nd.completion = nil
+		lost++
+	}
+	nd.busy = false
+	nd.f.router.forgetInflight(nd.idx, lost)
+	nd.queue = nil
+
+	nd.f.openKillWindow(nd)
+
+	nd.syncClock()
+	before := nd.h.M.Clock.Now()
+	ci := nd.h.Proc().Run(func() { nd.h.Proc().AS.ReadU64(crashVA) })
+	if ci == nil {
+		nd.f.fail(fmt.Errorf("shard: node %d synthetic crash did not register", nd.idx))
+		return
+	}
+	if err := nd.h.HandleFailureForREPL(ci); err != nil {
+		nd.f.fail(fmt.Errorf("shard: node %d recovery: %w", nd.idx, err))
+		return
+	}
+	rec := nd.h.M.Clock.Now() - before
+	nd.recoveryTotal += rec
+	nd.f.clk.AfterFunc(rec, func() {
+		if nd.state == stateDown {
+			nd.state = stateServing
+			nd.startNext()
+		}
+	})
+}
+
+// retire marks a migration source dead-for-good after its cutover. Any
+// requests still queued were dispatched pre-freeze and already drained by
+// construction; the guard keeps the invariant visible.
+func (nd *node) retire() {
+	nd.state = stateRetired
+	nd.shard, nd.replica = -1, 0
+	if len(nd.queue) != 0 {
+		nd.f.fail(fmt.Errorf("shard: node %d retired with %d queued requests", nd.idx, len(nd.queue)))
+	}
+}

@@ -1,0 +1,105 @@
+package shard_test
+
+// Race-hammer for the sharded fabric: each run is single-threaded by design
+// (one simclock drives the router, the open-loop frontend, node recovery,
+// and the migration state machines), so the concurrency hazard worth hunting
+// is shared package state — a stray global in the ring, router, kernel
+// migration, or app layers that two independent fabrics would stomp. This
+// test runs full sharded runs concurrently under -race with kills, moves,
+// and ring changes all active, requires same-seed runs to stay
+// byte-identical even while racing each other, and checks no goroutine
+// outlives the runs.
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"phoenix/internal/recovery"
+	"phoenix/internal/shard"
+)
+
+func hammerOnce(t *testing.T, seed int64) shard.Report {
+	t.Helper()
+	cfg, mk, _ := smokeConfig(seed, recovery.ModePhoenix)
+	d := cfg.Profile.RunFor
+	// Kill-and-rebalance heavy: every shard is either killed or moved.
+	sched := shard.Schedule{
+		Kills: []shard.Kill{
+			{At: d / 4, Shard: 0, Replica: 0},
+			{At: d / 3, Shard: 1, Replica: 1},
+			{At: d / 2, Shard: 2, Replica: 0},
+		},
+		Moves:       []shard.Move{{At: d * 2 / 5, Shard: 3, Replica: 1}},
+		RingChanges: []shard.RingChange{{At: d * 3 / 5, Shard: 1}},
+	}
+	rep, err := shard.Run(cfg, mk, sched)
+	if err != nil {
+		t.Errorf("seed %d: %v", seed, err)
+		return shard.Report{}
+	}
+	return rep
+}
+
+func TestShardRaceHammer(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// 3 seeds × 2 concurrent runs each: the duplicate pairs double as a
+	// determinism check under contention.
+	const seedCount, dup = 3, 2
+	reports := make([]shard.Report, seedCount*dup)
+	var wg sync.WaitGroup
+	for i := range reports {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i] = hammerOnce(t, int64(i%seedCount)+1)
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for s := 0; s < seedCount; s++ {
+		a, b := reports[s], reports[s+seedCount]
+		ja, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("seed %d: concurrent same-seed runs diverged:\n%s\n%s", s+1, ja, jb)
+		}
+		if a.Kills != 3 || a.Requests == 0 {
+			t.Fatalf("seed %d: hammer run exercised nothing: %s", s+1, a)
+		}
+		if a.MovesCompleted == 0 {
+			t.Fatalf("seed %d: no move completed under the hammer schedule: %s", s+1, a)
+		}
+		if a.NonOwnerServes != 0 || a.LostAcked != 0 {
+			t.Fatalf("seed %d: oracle violation under the hammer schedule: %s", s+1, a)
+		}
+	}
+
+	// Goroutine-leak check: nothing the runs started may outlive them. A few
+	// settle retries tolerate runtime-internal goroutines winding down.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

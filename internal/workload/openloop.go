@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// OpenLoop is a deterministic open-loop arrival process: request arrival
+// times are drawn from an exponential inter-arrival distribution (a
+// Poisson process) against the simulated clock, independent of when earlier
+// requests complete. That is the property closed-loop clients lack — a slow
+// or dead shard cannot slow the offered load down, so unavailability shows
+// up as queueing and timeouts instead of politely paced retries. Each
+// arrival is attributed to one of Population logical clients, which is how
+// a campaign simulates millions of users with a handful of integers.
+//
+// Determinism: the stream is a pure function of the seed. Inter-arrival
+// draws are quantized to integer nanoseconds (floored at 1ns so time always
+// advances), and the clock argument is the simulation clock, never the wall
+// clock.
+type OpenLoop struct {
+	rng  *rand.Rand
+	mean time.Duration
+	pop  int64
+	next time.Duration
+}
+
+// NewOpenLoop builds an arrival process with the given mean inter-arrival
+// time over a population of logical clients, starting at simulated time
+// start. mean must be positive; pop must be at least 1.
+func NewOpenLoop(seed int64, mean time.Duration, pop int64, start time.Duration) *OpenLoop {
+	if mean <= 0 {
+		panic("workload: OpenLoop mean must be positive")
+	}
+	if pop < 1 {
+		panic("workload: OpenLoop population must be at least 1")
+	}
+	return &OpenLoop{
+		rng:  rand.New(rand.NewSource(seed)),
+		mean: mean,
+		pop:  pop,
+		next: start,
+	}
+}
+
+// Next returns the next arrival: its absolute simulated time and the logical
+// client it belongs to. Successive calls are strictly increasing in time.
+func (o *OpenLoop) Next() (at time.Duration, client int64) {
+	gap := time.Duration(math.Round(o.rng.ExpFloat64() * float64(o.mean)))
+	if gap < 1 {
+		gap = 1
+	}
+	o.next += gap
+	return o.next, o.rng.Int63n(o.pop)
+}
+
+// Clone returns an independent arrival process with the same parameters,
+// re-seeded and restarted at start.
+func (o *OpenLoop) Clone(seed int64, start time.Duration) *OpenLoop {
+	return NewOpenLoop(seed, o.mean, o.pop, start)
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	a := NewOpenLoop(42, 50*time.Microsecond, 1_000_000, 0)
+	b := NewOpenLoop(42, 50*time.Microsecond, 1_000_000, 0)
+	prev := time.Duration(-1)
+	for i := 0; i < 10_000; i++ {
+		at1, c1 := a.Next()
+		at2, c2 := b.Next()
+		if at1 != at2 || c1 != c2 {
+			t.Fatalf("arrival %d diverged: (%v,%d) vs (%v,%d)", i, at1, c1, at2, c2)
+		}
+		if at1 <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %v after %v", i, at1, prev)
+		}
+		prev = at1
+		if c1 < 0 || c1 >= 1_000_000 {
+			t.Fatalf("client %d outside population", c1)
+		}
+	}
+}
+
+func TestOpenLoopMeanRate(t *testing.T) {
+	const mean = 100 * time.Microsecond
+	o := NewOpenLoop(7, mean, 10, 0)
+	const n = 50_000
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		last, _ = o.Next()
+	}
+	got := float64(last) / n
+	if got < 0.95*float64(mean) || got > 1.05*float64(mean) {
+		t.Fatalf("empirical mean inter-arrival %v, want within 5%% of %v",
+			time.Duration(got), mean)
+	}
+}
+
+func TestOpenLoopCloneIndependent(t *testing.T) {
+	o := NewOpenLoop(1, time.Millisecond, 100, 0)
+	o.Next()
+	o.Next()
+	c := o.Clone(1, 0)
+	fresh := NewOpenLoop(1, time.Millisecond, 100, 0)
+	for i := 0; i < 100; i++ {
+		at1, c1 := c.Next()
+		at2, c2 := fresh.Next()
+		if at1 != at2 || c1 != c2 {
+			t.Fatalf("clone diverged from fresh stream at %d", i)
+		}
+	}
+}
