@@ -109,8 +109,13 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "concurrency":
+		if err := runConcurrencyCampaign(*app, *seed, *jsonOut); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, shard, explore, vet, or microreboot)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, shard, explore, vet, microreboot, or concurrency)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -371,6 +376,38 @@ func runMicrorebootCampaign(only string, seed int64, jsonOut bool) error {
 		fmt.Printf("%s\n", out)
 	} else {
 		fmt.Print(recovery.FmtMicroreboot(res))
+	}
+	return cerr
+}
+
+// runConcurrencyCampaign runs the concurrent-serving campaign: for each
+// snapshot-serving application, batches of reads off committed MVCC versions
+// at 1/4/16 readers with a mid-run PHOENIX kill, enforcing the reader
+// speedup, the zero-stale oracle, and the modelled parallel-vs-serial
+// preserve staging comparison.
+func runConcurrencyCampaign(only string, seed int64, jsonOut bool) error {
+	specs := registry.ConcurrencySpecs(seed)
+	if only != "" {
+		var keep []recovery.ConcurrencySpec
+		for _, s := range specs {
+			if s.Name == only {
+				keep = append(keep, s)
+			}
+		}
+		if keep == nil {
+			return fmt.Errorf("unknown app %q (have %v)", only, registry.ConcurrencyNames())
+		}
+		specs = keep
+	}
+	res, cerr := recovery.CheckConcurrency(specs, recovery.ConcurrencyConfig{Seed: seed})
+	if jsonOut {
+		out, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		fmt.Print(recovery.FmtConcurrency(res))
 	}
 	return cerr
 }

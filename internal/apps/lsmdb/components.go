@@ -17,11 +17,11 @@ import (
 //     cache over the on-disk runs and rebuilds from a disk scan. It depends
 //     on "memtable" because a flush emits a new run the index must pick up.
 //
-// The store is NOT rewindable: every put appends to the WAL on the simulated
-// disk before touching the memtable, and a rewind-domain discard cannot undo
-// a disk append. ArmComponentCrash therefore plants no scribble either — any
-// pre-crash corruption of the memtable would be made durable by the flush
-// that reboots it.
+// The store is rewindable via the RewindableApp + RewindObserver pair in
+// rewind.go: the domain discard restores the memtable pages, and AfterRewind
+// repairs the Go-side effects (the WAL append, the memtable handle).
+// ArmComponentCrash plants no scribble — any pre-crash corruption of the
+// memtable would be made durable by the flush that reboots it.
 
 // Components implements recovery.ComponentApp.
 func (db *DB) Components() []recovery.Component {

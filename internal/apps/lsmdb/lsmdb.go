@@ -82,6 +82,10 @@ type DB struct {
 	ssts    []sst // newest first
 	nextSST int
 
+	// walMark is the WAL length at the top of the in-flight request, the
+	// truncation floor AfterRewind repairs the log back to.
+	walMark int64
+
 	armedBug  string
 	armedComp string
 	inflight  string
@@ -220,6 +224,7 @@ func (db *DB) Handle(req *workload.Request) (ok, effective bool) {
 	m := db.rt.Proc().Machine
 	m.Clock.Advance(m.Model.RequestBase)
 	db.inflight = req.Key
+	db.walMark = m.Disk.Size(walFile)
 	if db.armedComp != "" {
 		comp := db.armedComp
 		db.armedComp = ""

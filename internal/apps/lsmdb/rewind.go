@@ -1,0 +1,42 @@
+package lsmdb
+
+import "phoenix/internal/simds"
+
+// Rewind-domain support. A put's page writes (memtable insert, info block)
+// all land in simulated memory, which the domain discard restores
+// byte-exactly — but the put also appends to the WAL on the Go-side simulated
+// disk, and (on a flush) swaps the Go-side memtable handle and run index. The
+// store therefore rides the rewind rung as a RewindableApp + RewindObserver
+// pair: Handle marks the WAL length at the top of every request, and
+// AfterRewind re-syncs the Go side with the rolled-back memory — the WAL is
+// truncated back to the mark (the rewound request's append must not resurrect
+// through a later replay as an acked write that never was), and the memtable
+// handle reopens from the restored info block.
+//
+// A flush inside the rewound request is the one case the repair cannot fully
+// invert: the emitted run stays on disk (its contents equal the rolled-back
+// memtable, so reads stay correct) and the flush's WAL truncation stands
+// (shorter than the mark, so the guard skips it).
+
+// Rewindable implements recovery.RewindableApp.
+func (db *DB) Rewindable() bool { return true }
+
+// AfterRewind implements recovery.RewindObserver.
+func (db *DB) AfterRewind() {
+	as := db.rt.Proc().AS
+	m := db.rt.Proc().Machine
+	// Follow the restored info block: if the rewound request flushed, the
+	// live Go handle points at the successor skiplist while memory rolled
+	// back to the predecessor.
+	db.mt = simds.OpenSkiplist(db.ctx, as.ReadPtr(db.info))
+	// Undo the request's WAL append.
+	floor := db.walMark
+	if floor < 0 {
+		floor = 0
+	}
+	if cur := m.Disk.Size(walFile); cur > floor {
+		if data, ok := m.Disk.ReadFile(walFile); ok {
+			m.Disk.WriteFile(walFile, data[:floor])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package lsmdb
+
+import (
+	"testing"
+	"time"
+
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+// TestRewindRepairsGoSideEffects drives the rewind rung end to end on the one
+// app whose request handlers have Go-side effects a domain discard cannot
+// undo. The lsm.put.partial fault crashes a put after its WAL append and
+// mid-memtable-insert (a poisoned value is already in the skiplist), so a
+// correct recovery needs both halves of the RewindableApp + RewindObserver
+// pair: the domain discard rolls the simulated memory (both inserts) back
+// byte-exactly, and AfterRewind truncates the WAL to the top-of-request mark —
+// otherwise the rewound put would resurrect through a later WAL replay as an
+// acked write that never was — and reopens the memtable handle from the
+// restored info block.
+func TestRewindRepairsGoSideEffects(t *testing.T) {
+	m := kernel.NewMachine(41)
+	inj := faultinject.New()
+	db := New(Config{MemtableThreshold: 1 << 30}, inj)
+	rcfg := recovery.Config{
+		Mode: recovery.ModePhoenix, Supervise: true, RewindDomains: true,
+		Supervisor: recovery.SupervisorConfig{
+			Floor:       recovery.LevelRewind,
+			BackoffBase: time.Nanosecond,
+			BackoffMax:  time.Nanosecond,
+		},
+	}
+	h := recovery.NewHarness(m, rcfg, db, workload.NewFillSeq(64), inj)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunRequests(100); err != nil {
+		t.Fatal(err)
+	}
+
+	before := db.Dump()
+	walBefore := m.Disk.Size(walFile)
+	inj.Arm("lsm.put.partial", faultinject.CompInversion)
+	inj.Enable()
+	victim := &workload.Request{Op: workload.OpInsert, Key: "rewind-victim", Value: []byte("poison")}
+	ok, _, err := h.ServeRequest(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("crashing put reported ok")
+	}
+	if !inj.Fired("lsm.put.partial") {
+		t.Fatal("armed fault did not fire")
+	}
+
+	// The crash recovered at LevelRewind: no restart of any kind.
+	if h.Stat.Rewinds != 1 || h.Stat.PhoenixRestarts != 0 || h.Stat.Failures != 1 {
+		t.Fatalf("stats %+v, want exactly one rewind and no restart", h.Stat)
+	}
+	// The rewound put's WAL append is gone and its inserts rolled back.
+	if got := m.Disk.Size(walFile); got != walBefore {
+		t.Fatalf("WAL is %d bytes after rewind, want %d (append not truncated)", got, walBefore)
+	}
+	after := db.Dump()
+	if _, present := after[victim.Key]; present {
+		t.Fatal("rewound insert still visible in the store")
+	}
+	if len(after) != len(before) {
+		t.Fatalf("rewind changed the dataset: %d keys, want %d", len(after), len(before))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("key %q = %q after rewind, want %q", k, after[k], v)
+		}
+	}
+
+	// The store keeps serving through the reopened memtable handle: the same
+	// put, unfaulted, lands durably.
+	okk, eff, err := h.ServeRequest(victim)
+	if err != nil || !okk || !eff {
+		t.Fatalf("post-rewind put failed: ok=%v eff=%v err=%v", okk, eff, err)
+	}
+	if m.Disk.Size(walFile) <= walBefore {
+		t.Fatal("post-rewind put did not append to the WAL")
+	}
+	ok, eff = db.Handle(&workload.Request{Op: workload.OpRead, Key: victim.Key})
+	if !ok || !eff {
+		t.Fatal("post-rewind put not readable")
+	}
+	if err := h.RunRequests(50); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Fatal("memtable handle dead after rewind")
+	}
+}

@@ -1,0 +1,49 @@
+package lsmdb
+
+import (
+	"phoenix/internal/mem"
+	"phoenix/internal/simds"
+	"phoenix/internal/workload"
+)
+
+// OpenSnapshotReader implements recovery.SnapshotServer: point reads served
+// off a frozen MVCC view of the memtable plus immutable images of the sorted
+// runs. The memtable is read straight from the view; the runs live on the
+// Go-side simulated disk, which the view does not cover, so the closure
+// captures per-run byte copies while it is still on the writer thread — after
+// that, readers never touch Disk or db.ssts concurrently with the writer.
+// (Disk.ReadFile hands back copies, and the capture's read cost is charged to
+// the writer's clock, where all snapshot costs land.)
+func (db *DB) OpenSnapshotReader(view *mem.AddressSpace) func(req *workload.Request) (ok, effective bool) {
+	m := db.rt.Proc().Machine
+	c := simds.SnapshotCtx(view, m.Model)
+	mt := simds.OpenSkiplist(c, view.ReadPtr(db.info))
+	type frozenRun struct {
+		min, max string
+		data     []byte
+	}
+	runs := make([]frozenRun, 0, len(db.ssts))
+	for _, s := range db.ssts {
+		if data, ok := m.Disk.ReadFile(s.name); ok {
+			runs = append(runs, frozenRun{min: s.min, max: s.max, data: data})
+		}
+	}
+	return func(req *workload.Request) (ok, effective bool) {
+		if req.Op != workload.OpRead {
+			return false, false
+		}
+		key := req.Key
+		if v, found := mt.Get([]byte(key)); found {
+			_, tomb := mtDecode(v)
+			return true, !tomb
+		}
+		for _, r := range runs {
+			if r.min <= key && key <= r.max {
+				if val, hit := lookupRun(r.data, key); hit {
+					return true, val != nil
+				}
+			}
+		}
+		return true, false
+	}
+}

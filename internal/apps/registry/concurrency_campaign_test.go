@@ -1,0 +1,192 @@
+package registry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"phoenix/internal/apps/registry"
+	"phoenix/internal/faultinject"
+	"phoenix/internal/kernel"
+	"phoenix/internal/recovery"
+	"phoenix/internal/workload"
+)
+
+// TestConcurrencyCampaignGolden runs the concurrent-serving campaign twice on
+// the same seed and requires byte-identical JSON — the property the CI step
+// checks end-to-end through phxinject. It also pins the campaign's headline
+// contract: every snapshot-serving app present, ≥2x throughput at 4 readers,
+// a PHOENIX restart ridden mid-run, and a clean stale oracle.
+func TestConcurrencyCampaignGolden(t *testing.T) {
+	run := func() []recovery.ConcurrencyOutcome {
+		t.Helper()
+		outs, err := recovery.CheckConcurrency(registry.ConcurrencySpecs(1), recovery.ConcurrencyConfig{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same-seed campaign runs diverged:\n%s\n%s", ja, jb)
+	}
+
+	names := registry.ConcurrencyNames()
+	if len(a) != len(names) {
+		t.Fatalf("campaign covered %d apps, want %d", len(a), len(names))
+	}
+	for i, o := range a {
+		if o.App != names[i] {
+			t.Errorf("outcome %d is %q, want %q", i, o.App, names[i])
+		}
+		if o.Speedup4v1 < 2.0 {
+			t.Errorf("%s: 4-reader speedup %.2f below 2.0", o.App, o.Speedup4v1)
+		}
+		if o.PhoenixRestarts < 1 {
+			t.Errorf("%s: campaign rode no PHOENIX restart", o.App)
+		}
+		if o.Stale != 0 {
+			t.Errorf("%s: stale oracle fired %d times", o.App, o.Stale)
+		}
+		if o.PreserveParallelNs >= o.PreserveSerialNs {
+			t.Errorf("%s: modelled parallel preserve %dns not below serial %dns",
+				o.App, o.PreserveParallelNs, o.PreserveSerialNs)
+		}
+	}
+}
+
+// TestConcurrencySpecsServeSnapshots keeps ConcurrencyNames honest: an app is
+// listed if and only if it actually implements recovery.SnapshotServer, so
+// adding snapshot serving to an app (or dropping it) without updating the
+// campaign roster fails here instead of silently shrinking coverage.
+func TestConcurrencySpecsServeSnapshots(t *testing.T) {
+	listed := map[string]bool{}
+	for _, n := range registry.ConcurrencyNames() {
+		listed[n] = true
+	}
+	factories := registry.Factories(1)
+	for _, name := range registry.Names() {
+		app, _ := factories[name](faultinject.New())
+		_, serves := app.(recovery.SnapshotServer)
+		if serves && !listed[name] {
+			t.Errorf("%s implements SnapshotServer but is missing from ConcurrencyNames", name)
+		}
+		if !serves && listed[name] {
+			t.Errorf("%s is in ConcurrencyNames but does not implement SnapshotServer", name)
+		}
+	}
+	for n := range listed {
+		if _, ok := factories[n]; !ok {
+			t.Errorf("ConcurrencyNames lists unknown app %q", n)
+		}
+	}
+}
+
+// TestSnapshotServersAreRewindable pins the rewind contract for the serving
+// apps: every app the concurrency campaign drives also consents to rewind
+// domains (the sub-process rung rides under the same battery), and lsmdb —
+// whose request handlers append to the Go-side WAL — carries the
+// RewindObserver repair hook a domain discard alone cannot replace.
+func TestSnapshotServersAreRewindable(t *testing.T) {
+	factories := registry.Factories(1)
+	for _, name := range registry.ConcurrencyNames() {
+		app, _ := factories[name](faultinject.New())
+		ra, ok := app.(recovery.RewindableApp)
+		if !ok || !ra.Rewindable() {
+			t.Errorf("%s: snapshot-serving app is not rewindable", name)
+		}
+	}
+	lsm, _ := factories["lsmdb"](faultinject.New())
+	if _, ok := lsm.(recovery.RewindObserver); !ok {
+		t.Error("lsmdb lost its RewindObserver repair hook: a rewound put would resurrect its WAL append")
+	}
+}
+
+// BenchmarkServeConcurrent reports simulated serving throughput off committed
+// MVCC snapshots across the reader ladder. The metric of record is
+// sim_ops_per_sec (wall time on a 1-core CI box says nothing); the acceptance
+// bar — ≥2x ops/sec at 4 readers vs 1 on at least two apps — is enforced
+// deterministically by TestConcurrencyCampaignGolden, this benchmark makes the
+// same curve visible in bench output.
+func BenchmarkServeConcurrent(b *testing.B) {
+	for _, name := range registry.ConcurrencyNames() {
+		for _, readers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/readers=%d", name, readers), func(b *testing.B) {
+				bench := newServeBench(b, name)
+				b.ResetTimer()
+				var simNs float64
+				for i := 0; i < b.N; i++ {
+					simNs += bench.batch(b, readers)
+				}
+				b.ReportMetric(float64(len(bench.reads)*b.N)/(simNs/1e9), "sim_ops/s")
+			})
+		}
+	}
+}
+
+type serveBench struct {
+	h     *recovery.Harness
+	reads []*workload.Request
+}
+
+func newServeBench(b *testing.B, name string) *serveBench {
+	b.Helper()
+	const keys = 64
+	m := kernel.NewMachine(1)
+	inj := faultinject.New()
+	app, gen := registry.Factories(1)[name](inj)
+	h := recovery.NewHarness(m, recovery.Config{Mode: recovery.ModePhoenix}, app, gen, inj)
+	if err := h.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	isCache := strings.HasPrefix(name, "webcache")
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("bench-%04d", i)
+		req := &workload.Request{Op: workload.OpInsert, Key: key, Value: []byte(key)}
+		if isCache {
+			req = &workload.Request{Op: workload.OpWebGet, Key: key, Size: 256, Cacheable: true}
+		}
+		if _, _, err := h.ServeRequest(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sb := &serveBench{h: h}
+	for i := 0; i < 128; i++ {
+		key := fmt.Sprintf("bench-%04d", i%keys)
+		if isCache {
+			sb.reads = append(sb.reads, &workload.Request{Op: workload.OpWebGet, Key: key})
+		} else {
+			sb.reads = append(sb.reads, &workload.Request{Op: workload.OpRead, Key: key})
+		}
+	}
+	return sb
+}
+
+// batch runs one commit+serve cycle and returns the simulated nanoseconds it
+// cost.
+func (sb *serveBench) batch(b *testing.B, readers int) float64 {
+	b.Helper()
+	m := sb.h.M
+	before := m.Clock.Now()
+	if _, err := sb.h.SnapshotCommit(); err != nil {
+		b.Fatal(err)
+	}
+	eff, stale, err := sb.h.ServeSnapshotReads(sb.reads, readers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if eff != len(sb.reads) || stale != 0 {
+		b.Fatalf("batch served %d/%d effective, stale=%d", eff, len(sb.reads), stale)
+	}
+	return float64(m.Clock.Now() - before)
+}

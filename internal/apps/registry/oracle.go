@@ -385,6 +385,9 @@ func (clusterOracle) Check(o *Observation) []string {
 	if r.AvailabilityPct < 0 || r.AvailabilityPct > 100 {
 		add("availability %.2f%% outside [0,100]", r.AvailabilityPct)
 	}
+	if r.SnapshotStale != 0 {
+		add("%d snapshot reads observed pages mutated under a frozen MVCC version", r.SnapshotStale)
+	}
 	for _, w := range r.Windows {
 		if w.EndUs < w.StartUs || w.DurUs != w.EndUs-w.StartUs {
 			add("malformed unavailability window on node %d: [%d,%d] dur %d", w.Node, w.StartUs, w.EndUs, w.DurUs)
@@ -445,6 +448,9 @@ func (shardOracle) Check(o *Observation) []string {
 	}
 	if r.AvailabilityPct < 0 || r.AvailabilityPct > 100 {
 		add("availability %.2f%% outside [0,100]", r.AvailabilityPct)
+	}
+	if r.SnapshotStale != 0 {
+		add("%d snapshot reads observed pages mutated under a frozen MVCC version", r.SnapshotStale)
 	}
 	nodes := r.Shards*r.Replicas + r.Spares
 	for _, w := range r.Windows {

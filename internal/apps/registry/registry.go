@@ -118,6 +118,24 @@ func MicrorebootSpecs(seed int64) []recovery.MicrorebootSpec {
 	return out
 }
 
+// ConcurrencyNames lists the applications that implement
+// recovery.SnapshotServer — the ones the concurrent-serving campaign can
+// drive (TestConcurrencySpecsServeSnapshots keeps the list honest).
+func ConcurrencyNames() []string {
+	return []string{"kvstore", "lsmdb", "webcache-squid", "webcache-varnish"}
+}
+
+// ConcurrencySpecs bundles the snapshot-serving applications for the
+// concurrent-serving campaign, in deterministic name order.
+func ConcurrencySpecs(seed int64) []recovery.ConcurrencySpec {
+	factories := Factories(seed)
+	var out []recovery.ConcurrencySpec
+	for _, name := range ConcurrencyNames() {
+		out = append(out, recovery.ConcurrencySpec{Name: name, Mk: factories[name]})
+	}
+	return out
+}
+
 // ClusterProfile returns the client-population profile the cluster campaign
 // drives against the named system. The storage apps get a Zipfian read-heavy
 // keyspace that the warm phase pre-populates (so reads are effective until a

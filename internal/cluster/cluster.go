@@ -173,12 +173,23 @@ type Window struct {
 	Node     int
 }
 
+// SnapshotRead schedules one concurrent-read batch on a node at a cluster
+// time: the node commits an MVCC snapshot and serves Count in-distribution
+// reads off it at a fan-out of Readers (see recovery.SnapshotReadBatch).
+type SnapshotRead struct {
+	At      time.Duration
+	Node    int
+	Count   int // batch size (0 = default 16)
+	Readers int // modelled reader fan-out (0 = 1)
+}
+
 // Schedule is the fault script a run executes. The same schedule is replayed
 // against every recovery mode under comparison.
 type Schedule struct {
-	Kills      []Kill
-	Drains     []Window
-	Partitions []Window
+	Kills         []Kill
+	Drains        []Window
+	Partitions    []Window
+	SnapshotReads []SnapshotRead
 }
 
 // DefaultSchedule kills node 0 at 25% and node 1 at 50% of the traffic
@@ -333,6 +344,11 @@ func Run(cfg Config, mk recovery.AppFactory, sched Schedule) (Report, error) {
 		w := w
 		clk.AfterFunc(w.From, func() { c.partitionStart(w.Node) })
 		clk.AfterFunc(w.To, c.partitionEnd)
+	}
+	for _, sr := range sched.SnapshotReads {
+		sr := sr
+		nd := c.nodes[sr.Node]
+		clk.AfterFunc(sr.At, func() { nd.snapshotRead(sr.Count, sr.Readers) })
 	}
 
 	clk.Advance(cfg.Profile.RunFor + cfg.Profile.Settle)

@@ -39,6 +39,9 @@ type node struct {
 	startedDuringDrain int
 	kills              int
 	recoveryTotal      time.Duration
+	snapshotReads      int
+	snapshotEffective  int
+	snapshotStale      int
 }
 
 func (nd *node) handle(m netsim.Message) {
@@ -158,6 +161,36 @@ func (nd *node) kill() {
 		nd.state = stateServing
 		nd.startNext()
 	})
+}
+
+// snapshotRead executes one scheduled concurrent-read batch: commit an MVCC
+// snapshot of the node's live state and serve count reads off it at the given
+// fan-out. A down node skips the batch (there is no state to freeze); a
+// draining node still serves — snapshot reads are exactly the traffic a
+// draining replica can keep answering. Apps without snapshot support skip
+// silently, so mixed-system schedules stay replayable.
+func (nd *node) snapshotRead(count, readers int) {
+	if nd.state == stateDown {
+		return
+	}
+	if _, ok := nd.h.App.(recovery.SnapshotServer); !ok {
+		return
+	}
+	if count <= 0 {
+		count = 16
+	}
+	if readers <= 0 {
+		readers = 1
+	}
+	nd.syncClock()
+	eff, stale, err := nd.h.SnapshotReadBatch(count, readers)
+	if err != nil {
+		nd.c.fail(fmt.Errorf("cluster: node %d snapshot read: %w", nd.idx, err))
+		return
+	}
+	nd.snapshotReads++
+	nd.snapshotEffective += eff
+	nd.snapshotStale += stale
 }
 
 // drainStart begins connection draining: the in-flight request finishes, the

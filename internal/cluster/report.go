@@ -21,6 +21,9 @@ type NodeReport struct {
 	PhoenixRestarts    int   `json:"phoenix_restarts"`
 	OtherRestarts      int   `json:"other_restarts"`
 	Checkpoints        int   `json:"checkpoints"`
+	SnapshotReads      int   `json:"snapshot_reads"`
+	SnapshotEffective  int   `json:"snapshot_effective"`
+	SnapshotStale      int   `json:"snapshot_stale"`
 	// Counters is the node machine's recovery-counter snapshot; JSON maps
 	// marshal with sorted keys, so the export is deterministic.
 	Counters map[string]int64 `json:"counters"`
@@ -66,6 +69,12 @@ type Report struct {
 
 	DrainRefusals      int `json:"drain_refusals"`
 	PartitionResponses int `json:"partition_responses"`
+
+	// Snapshot-read accounting (scheduled concurrent-read batches off MVCC
+	// versions). SnapshotStale is an oracle: it must stay zero.
+	SnapshotReads     int `json:"snapshot_reads"`
+	SnapshotEffective int `json:"snapshot_effective"`
+	SnapshotStale     int `json:"snapshot_stale"`
 
 	// ProbeEvents is the size of the balancer's (bounded) probe log at the
 	// end of the run; ProbeDropped counts entries the ring compaction
@@ -164,6 +173,9 @@ func (c *Cluster) report(sched Schedule) Report {
 
 	for _, nd := range c.nodes {
 		rep.DrainRefusals += nd.drainRefusals
+		rep.SnapshotReads += nd.snapshotReads
+		rep.SnapshotEffective += nd.snapshotEffective
+		rep.SnapshotStale += nd.snapshotStale
 		rep.Nodes = append(rep.Nodes, NodeReport{
 			Node:               nd.idx,
 			Accepted:           nd.accepted,
@@ -177,6 +189,9 @@ func (c *Cluster) report(sched Schedule) Report {
 			PhoenixRestarts:    nd.h.Stat.PhoenixRestarts,
 			OtherRestarts:      nd.h.Stat.OtherRestarts,
 			Checkpoints:        nd.h.Stat.CheckpointsTaken,
+			SnapshotReads:      nd.snapshotReads,
+			SnapshotEffective:  nd.snapshotEffective,
+			SnapshotStale:      nd.snapshotStale,
 			Counters:           nd.h.M.Counters.Snapshot(),
 		})
 	}

@@ -157,6 +157,33 @@ type Model struct {
 	// the dirty-scan/hash terms for detecting it — so the cutover window
 	// scales with the final delta, never with the shard size.
 	MigrateCutoverFixed time.Duration
+
+	// SnapshotCommitFixed is the fixed cost of committing one MVCC snapshot
+	// version: bumping the version sequence, freezing the mapping table, and
+	// publishing the version pointer under the store lock.
+	SnapshotCommitFixed time.Duration
+
+	// SnapshotCopyPerPage is the per-page cost of freezing one page changed
+	// since the previous version into the new snapshot (a page copy plus
+	// version bookkeeping); unchanged pages are shared with the predecessor
+	// and cost nothing, so commit cost tracks the write rate.
+	SnapshotCopyPerPage time.Duration
+
+	// ReaderSpawn is the per-reader fixed cost of standing up one concurrent
+	// snapshot reader for a batch: opening the latest version (a refcount
+	// under the store lock) plus scheduling.
+	ReaderSpawn time.Duration
+
+	// SnapshotReadCost is the mean cost of serving one read off an immutable
+	// snapshot: cheaper than RequestBase service because there is no
+	// dispatch through the writer path, no unsafe-region bracketing, and no
+	// rewind-domain bookkeeping — just the lock-free structure walk.
+	SnapshotReadCost time.Duration
+
+	// PreserveWorkerSpawn is the per-worker fixed cost of the parallel
+	// preserve path: forking one worker into the checksum/scan pool and
+	// joining it at the deterministic merge barrier.
+	PreserveWorkerSpawn time.Duration
 }
 
 // Default returns the calibrated model described in the package comment.
@@ -193,6 +220,12 @@ func Default() Model {
 		MigrateRoundFixed:   8 * time.Microsecond,
 		MigratePerPage:      900 * time.Nanosecond, // page read + wire + install at ~4.5 GB/s
 		MigrateCutoverFixed: 20 * time.Microsecond,
+
+		SnapshotCommitFixed: 2 * time.Microsecond,
+		SnapshotCopyPerPage: 500 * time.Nanosecond, // page copy + version bookkeeping
+		ReaderSpawn:         2 * time.Microsecond,
+		SnapshotReadCost:    3 * time.Microsecond,
+		PreserveWorkerSpawn: 5 * time.Microsecond,
 	}
 }
 
@@ -279,6 +312,47 @@ func (m Model) MigrateRound(scannedPages, hashedPages, shippedPages int) time.Du
 // function of the write rate during the last round, not of the shard size.
 func (m Model) MigrateCutover(scannedPages, hashedPages, shippedPages int) time.Duration {
 	return m.MigrateCutoverFixed + m.MigrateRound(scannedPages, hashedPages, shippedPages)
+}
+
+// SnapshotCommit returns the modelled duration of committing one MVCC
+// snapshot version with changedPages pages copied fresh (the rest shared
+// with the predecessor version).
+func (m Model) SnapshotCommit(changedPages int) time.Duration {
+	return m.SnapshotCommitFixed + time.Duration(changedPages)*m.SnapshotCopyPerPage
+}
+
+// ConcurrentReadBatch returns the modelled duration of serving reads requests
+// off an immutable snapshot with readers concurrent readers: each reader
+// pays its spawn cost, and the batch completes when the most loaded reader
+// finishes its ceil(reads/readers) share. This is the term that makes the
+// serving tier scale with readers — the snapshot store has no writer lock on
+// the read path.
+func (m Model) ConcurrentReadBatch(reads, readers int) time.Duration {
+	if readers < 1 {
+		readers = 1
+	}
+	perReader := (reads + readers - 1) / readers
+	return time.Duration(readers)*m.ReaderSpawn +
+		time.Duration(perReader)*m.SnapshotReadCost
+}
+
+// PreserveExecDeltaParallel returns the modelled duration of an incremental
+// preserve_exec whose checksum and dirty-scan walks are spread over a worker
+// pool: the serial PTE-move/copy spine of PreserveExec, plus the hash and
+// scan terms divided across workers (critical path = the most loaded
+// worker), plus the per-worker spawn/join overhead. With workers == 1 it
+// exceeds PreserveExecDelta by exactly one spawn, so the crossover where the
+// pool pays for itself is visible in the trajectory.
+func (m Model) PreserveExecDeltaParallel(movedPages, copiedPages, hashedPages, scannedPages, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	hashShare := (hashedPages + workers - 1) / workers
+	scanShare := (scannedPages + workers - 1) / workers
+	return m.PreserveExec(movedPages, copiedPages) +
+		time.Duration(hashShare)*m.ChecksumPerPage +
+		time.Duration(scanShare)*m.DirtyScanPerPage +
+		time.Duration(workers)*m.PreserveWorkerSpawn
 }
 
 // ForkCoW returns the modelled duration of a copy-on-write fork over a region

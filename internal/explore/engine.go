@@ -334,6 +334,8 @@ func runCluster(sch Schedule) (*registry.Observation, error) {
 			csched.Drains = append(csched.Drains, cluster.Window{From: at, To: at + dur, Node: ev.Node})
 		case KindPartition:
 			csched.Partitions = append(csched.Partitions, cluster.Window{From: at, To: at + dur, Node: ev.Node})
+		case KindSnapshotRead:
+			csched.SnapshotReads = append(csched.SnapshotReads, cluster.SnapshotRead{At: at, Node: ev.Node, Readers: ev.Readers})
 		case KindLinkFault:
 			inj.Disarm(ev.Site)
 			inj.ArmAfter(ev.Site, faultinject.OpFailure, ev.Skip)
@@ -390,6 +392,8 @@ func runShard(sch Schedule) (*registry.Observation, error) {
 			ssched.Moves = append(ssched.Moves, shard.Move{At: at, Shard: ev.Shard, Replica: ev.Replica})
 		case KindRingChange:
 			ssched.RingChanges = append(ssched.RingChanges, shard.RingChange{At: at, Shard: ev.Shard})
+		case KindSnapshotRead:
+			ssched.SnapshotReads = append(ssched.SnapshotReads, shard.SnapshotRead{At: at, Shard: ev.Shard, Replica: ev.Replica, Readers: ev.Readers})
 		default:
 			return nil, fmt.Errorf("explore: event %s invalid in shard mode", ev)
 		}

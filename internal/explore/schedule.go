@@ -58,6 +58,11 @@ const (
 	// only). Shard-mode kills reuse KindKill with (Shard, Replica) targets.
 	KindShardMove  = "shardmove"
 	KindRingChange = "ringchange"
+	// KindSnapshotRead runs one concurrent-read batch at AtUs against Node
+	// (cluster mode) or (Shard, Replica) (shard mode): the target commits an
+	// MVCC snapshot and serves the default batch size off it at Readers
+	// fan-out. The stale-snapshot oracle must stay at zero.
+	KindSnapshotRead = "snapshotread"
 )
 
 // Event is one element of a fault schedule. Field meaning depends on Kind;
@@ -73,6 +78,8 @@ type Event struct {
 	// Shard/Replica target shard-mode kills and moves.
 	Shard   int `json:"shard,omitempty"`
 	Replica int `json:"replica,omitempty"`
+	// Readers is the snapshot-read fan-out (snapshotread only).
+	Readers int `json:"readers,omitempty"`
 }
 
 func (e Event) String() string {
@@ -98,6 +105,11 @@ func (e Event) String() string {
 		return fmt.Sprintf("componentkill(%s)@%d", e.Site, e.At)
 	case KindDomainFault:
 		return fmt.Sprintf("domainfault(%s)@%d", e.Site, e.At)
+	case KindSnapshotRead:
+		if e.Shard > 0 || e.Replica > 0 {
+			return fmt.Sprintf("snapshotread(%d/%d x%d)@%dµs", e.Shard, e.Replica, e.Readers, e.AtUs)
+		}
+		return fmt.Sprintf("snapshotread(node%d x%d)@%dµs", e.Node, e.Readers, e.AtUs)
 	}
 	return e.Kind
 }
@@ -155,8 +167,10 @@ func kindRank(kind string) int {
 		return 8
 	case KindRingChange:
 		return 9
+	case KindSnapshotRead:
+		return 10
 	}
-	return 10
+	return 11
 }
 
 func sortEvents(evs []Event) {
@@ -358,9 +372,24 @@ func generateCluster(rng *rand.Rand, seed int64, app string) Schedule {
 			Skip: rng.Intn(200),
 		})
 	}
+	// Snapshot-read draws come last so their addition never shifts the draws
+	// above (older seeds keep their kill/drain/partition shapes).
+	snaps := rng.Intn(3)
+	for i := 0; i < snaps; i++ {
+		sch.Events = append(sch.Events, Event{
+			Kind:    KindSnapshotRead,
+			Node:    rng.Intn(sch.Replicas),
+			AtUs:    runUs/10 + rng.Int63n(runUs*7/10),
+			Readers: snapshotFanouts[rng.Intn(len(snapshotFanouts))],
+		})
+	}
 	sortEvents(sch.Events)
 	return sch
 }
+
+// snapshotFanouts are the reader widths the snapshot-read draw picks from —
+// the same 1/4/16 ladder the concurrency campaign measures.
+var snapshotFanouts = []int{1, 4, 16}
 
 // GenerateShard maps one seed to one shard-mode schedule: replica kills,
 // live shard moves, and ring changes landing mid-traffic on a sharded
@@ -411,6 +440,18 @@ func GenerateShard(seed int64, app string) Schedule {
 			Kind:  KindRingChange,
 			Shard: rng.Intn(sch.Shards),
 			AtUs:  window(),
+		})
+	}
+	// Snapshot-read draws come last (see generateCluster) so older seeds keep
+	// their kill/move/ring-change shapes.
+	snaps := rng.Intn(3)
+	for i := 0; i < snaps; i++ {
+		sch.Events = append(sch.Events, Event{
+			Kind:    KindSnapshotRead,
+			Shard:   rng.Intn(sch.Shards),
+			Replica: rng.Intn(sch.Replicas),
+			AtUs:    window(),
+			Readers: snapshotFanouts[rng.Intn(len(snapshotFanouts))],
 		})
 	}
 	sortEvents(sch.Events)

@@ -39,6 +39,10 @@ func TestGenerateShardDeterminism(t *testing.T) {
 			case KindShardMove:
 				moves++
 			case KindRingChange:
+			case KindSnapshotRead:
+				if ev.Readers != 1 && ev.Readers != 4 && ev.Readers != 16 {
+					t.Fatalf("seed %d: snapshot read fan-out off the ladder: %s", seed, ev)
+				}
 			default:
 				t.Fatalf("seed %d: unexpected kind %q", seed, ev.Kind)
 			}
@@ -66,7 +70,7 @@ func TestShardSweep(t *testing.T) {
 	if testing.Short() {
 		want = 40
 	}
-	var kills, movesDone, ledger int
+	var kills, movesDone, ledger, snapReads int
 	for seed := int64(1); seed <= want; seed++ {
 		sch := GenerateShard(seed, "")
 		obs, err := runShard(sch)
@@ -87,6 +91,7 @@ func TestShardSweep(t *testing.T) {
 		kills += obs.Shard.Kills
 		movesDone += obs.Shard.MovesCompleted
 		ledger += obs.Shard.LedgerChecked
+		snapReads += obs.Shard.SnapshotReads
 		if seed%50 == 1 {
 			// Replay through the public pipeline, twice: Run must dispatch
 			// shard mode, find no violations, and stay byte-deterministic.
@@ -122,5 +127,8 @@ func TestShardSweep(t *testing.T) {
 	}
 	if ledger == 0 {
 		t.Fatal("sweep audited no acked writes")
+	}
+	if snapReads == 0 {
+		t.Fatal("sweep ran no snapshot-read batches")
 	}
 }

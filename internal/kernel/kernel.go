@@ -96,6 +96,13 @@ type Machine struct {
 	// exploration campaigns can leave it on for every seed.
 	AuditIncremental bool
 
+	// PreserveWorkers is the worker-pool width for the parallel preserve
+	// walks (checksum staging, post-commit verification, migration delta
+	// scans). 0 takes one worker per host CPU; values are clamped to
+	// maxPreserveWorkers. The pool affects wall-clock time only — results
+	// and the simulated clock are identical for every width (see parallel.go).
+	PreserveWorkers int
+
 	nextPID int
 	rng     *rand.Rand
 }
@@ -523,27 +530,38 @@ func (p *Process) planMove(plan *preservePlan, lo, hi mem.VAddr) error {
 	pages := int((hi - lo) / mem.PageSize)
 	sums := make([]uint64, pages)
 	cached := make([]bool, pages)
+	hashed := make([]bool, pages)
 	var cache map[mem.PageNum]uint64
 	if p.preserved != nil {
 		cache = p.preserved.PageSums
 	}
-	for i := range sums {
-		pg := mem.PageOf(lo) + mem.PageNum(i)
-		// Reuse the cached sum only when it is provably current: the page was
-		// verified at the last commit, its frame is still resident (Unmap or a
-		// whole-page Zero since would have released it), and no write path has
-		// set its soft-dirty bit. Everything else is hashed fresh — which for
-		// a non-resident page is the O(1) zero-page sum, never a stale cache
-		// entry.
-		if c, ok := cache[pg]; ok && p.AS.PageResident(pg) && !p.AS.PageDirty(pg) {
-			sums[i] = c
-			cached[i] = true
-			plan.reused++
-		} else {
-			sums[i] = p.AS.PageChecksum(pg)
-			if p.AS.PageResident(pg) {
-				plan.hashed++
+	// The staging walk is pure per-page reads against the quiescent source,
+	// so it fans out over the preserve worker pool; every worker writes only
+	// its own index range and the counters are folded afterwards in page
+	// order, keeping the plan byte-identical for any pool width.
+	parallelRanges(pages, p.Machine.preserveWorkers(), func(wlo, whi int) {
+		for i := wlo; i < whi; i++ {
+			pg := mem.PageOf(lo) + mem.PageNum(i)
+			// Reuse the cached sum only when it is provably current: the page
+			// was verified at the last commit, its frame is still resident
+			// (Unmap or a whole-page Zero since would have released it), and no
+			// write path has set its soft-dirty bit. Everything else is hashed
+			// fresh — which for a non-resident page is the O(1) zero-page sum,
+			// never a stale cache entry.
+			if c, ok := cache[pg]; ok && p.AS.PageResident(pg) && !p.AS.PageDirty(pg) {
+				sums[i] = c
+				cached[i] = true
+			} else {
+				sums[i] = p.AS.PageChecksum(pg)
+				hashed[i] = p.AS.PageResident(pg)
 			}
+		}
+	})
+	for i := range sums {
+		if cached[i] {
+			plan.reused++
+		} else if hashed[i] {
+			plan.hashed++
 		}
 	}
 	plan.moves = append(plan.moves, pageMove{start: lo, pages: pages, sums: sums, cached: cached})
@@ -616,7 +634,7 @@ func (p *Process) commitPreserve(np *Process, plan *preservePlan) error {
 	// holds. A mismatch rolls the whole transfer back — the successor must
 	// never boot from silently corrupted preserved state.
 	if !plan.skipVerify {
-		err := verifyChecksums(np.AS, plan)
+		err := verifyChecksums(np.AS, plan, m.preserveWorkers())
 		if m.AuditIncremental && err == nil {
 			if full := verifyFull(np.AS, plan); full != nil {
 				// The incremental walk validated less than the full walk
@@ -669,19 +687,41 @@ func (p *Process) injectCorruption(np *Process, plan *preservePlan) {
 // corruption since (including FlipBit, which goes through the MMU) would have
 // set its soft-dirty bit. Freshly-hashed pages, partial copies, and cached
 // pages that arrive dirty are always compared.
-func verifyChecksums(dst *mem.AddressSpace, plan *preservePlan) error {
+//
+// The re-hash fans out over the preserve worker pool; the staged per-page
+// results are then folded serially in page order, so the hashed count and
+// the first reported mismatch are identical to the serial walk's for every
+// pool width (a mismatch stops the fold exactly where the serial loop would
+// have returned).
+func verifyChecksums(dst *mem.AddressSpace, plan *preservePlan, workers int) error {
 	for _, mv := range plan.moves {
-		for i := 0; i < mv.pages; i++ {
-			addr := mv.start + mem.VAddr(i)*mem.PageSize
-			pg := mem.PageOf(addr)
-			if mv.cached[i] && !dst.PageDirty(pg) {
+		type pageCheck struct {
+			skip   bool
+			hashed bool
+			got    uint64
+		}
+		checks := make([]pageCheck, mv.pages)
+		parallelRanges(mv.pages, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pg := mem.PageOf(mv.start) + mem.PageNum(i)
+				if mv.cached[i] && !dst.PageDirty(pg) {
+					checks[i].skip = true
+					continue
+				}
+				checks[i].hashed = dst.PageResident(pg)
+				checks[i].got = dst.PageChecksum(pg)
+			}
+		})
+		for i, c := range checks {
+			if c.skip {
 				continue
 			}
-			if dst.PageResident(pg) {
+			if c.hashed {
 				plan.hashed++
 			}
-			if got := dst.PageChecksum(pg); got != mv.sums[i] {
-				return &IntegrityError{Addr: addr, Want: mv.sums[i], Got: got}
+			if c.got != mv.sums[i] {
+				addr := mv.start + mem.VAddr(i)*mem.PageSize
+				return &IntegrityError{Addr: addr, Want: mv.sums[i], Got: c.got}
 			}
 		}
 	}

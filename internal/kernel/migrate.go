@@ -182,25 +182,57 @@ func (mg *Migration) pageSet() (ExecSpec, []mem.PageNum, error) {
 
 // shipDelta runs one copy round over pages: stamp scan, re-hash of
 // stamp-changed pages, re-buffer of checksum-changed pages.
+//
+// The scan/hash/read stage fans out over the preserve worker pool — workers
+// only read the source space and the round's baseline maps and write staged
+// results at owned indices — and the merge then applies them serially in
+// page order, so the round's baseline updates and stats are byte-identical
+// to the serial walk for every pool width.
 func (mg *Migration) shipDelta(pages []mem.PageNum) RoundStats {
 	as := mg.src.AS
 	st := RoundStats{Scanned: len(pages)}
-	for _, p := range pages {
-		g := as.PageGen(p)
-		if got, ok := mg.gens[p]; ok && got == g {
+	type staged struct {
+		hashed   bool
+		ship     bool
+		gen      uint64
+		sum      uint64
+		resident bool
+		data     []byte
+	}
+	res := make([]staged, len(pages))
+	parallelRanges(len(pages), mg.src.Machine.preserveWorkers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pages[i]
+			g := as.PageGen(p)
+			if got, ok := mg.gens[p]; ok && got == g {
+				continue
+			}
+			res[i].hashed = true
+			res[i].gen = g
+			res[i].sum = as.PageChecksum(p)
+			if s, ok := mg.sums[p]; ok && s == res[i].sum {
+				continue // re-hashed, content unchanged: record the stamp only
+			}
+			res[i].ship = true
+			if res[i].resident = as.PageResident(p); res[i].resident {
+				res[i].data = as.ReadBytes(mem.VAddr(p)<<mem.PageShift, mem.PageSize)
+			}
+		}
+	})
+	for i, r := range res {
+		if !r.hashed {
 			continue
 		}
 		st.Hashed++
-		mg.gens[p] = g
-		sum := as.PageChecksum(p)
-		if s, ok := mg.sums[p]; ok && s == sum {
+		mg.gens[pages[i]] = r.gen
+		if !r.ship {
 			continue
 		}
-		mg.sums[p] = sum
-		if as.PageResident(p) {
-			mg.data[p] = as.ReadBytes(mem.VAddr(p)<<mem.PageShift, mem.PageSize)
+		mg.sums[pages[i]] = r.sum
+		if r.resident {
+			mg.data[pages[i]] = r.data
 		} else {
-			delete(mg.data, p) // reads as zeros on both sides
+			delete(mg.data, pages[i]) // reads as zeros on both sides
 		}
 		st.Shipped++
 	}

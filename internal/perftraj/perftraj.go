@@ -246,6 +246,53 @@ func MigrationRoundTrip(pages, dirty int) (MigrationCosts, error) {
 	return mc, nil
 }
 
+// SnapshotServeBatch measures one concurrent-serving cycle off the MVCC
+// snapshot store in simulated time: committing a dirty-delta version of a
+// pages-sized preserved set, then serving a read batch off the frozen view at
+// one reader fan-out. The commit term is O(dirty); the batch term amortises
+// across readers at the price of the reader spawns — collecting the same
+// batch at 1, 4, and 16 readers pins that curve.
+func SnapshotServeBatch(pages, dirty, reads, readers int) (time.Duration, error) {
+	m := kernel.NewMachine(1)
+	p, err := m.Spawn(nil)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.AS.Map(region, pages, mem.KindCustom, "state"); err != nil {
+		return 0, err
+	}
+	for i := 0; i < pages; i++ {
+		p.AS.WriteU64(region+mem.VAddr(i)*mem.PageSize, uint64(i)+1)
+	}
+	store := mem.NewSnapshotStore(p.AS)
+	store.Commit() // baseline full version, outside the measured window
+
+	// Rewrite dirty pages spread evenly, as PreserveCommit does.
+	stride := pages / dirty
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < dirty; i++ {
+		p.AS.WriteU64(region+mem.VAddr(i*stride%pages)*mem.PageSize, 0xD1D1)
+	}
+
+	t0 := m.Clock.Now()
+	v := store.Commit()
+	m.Clock.Advance(m.Model.SnapshotCommit(v.Changed()))
+	m.Clock.Advance(m.Model.ConcurrentReadBatch(reads, readers))
+	dur := m.Clock.Now() - t0
+	if v.Changed() != dirty {
+		return 0, fmt.Errorf("perftraj: serve commit copied %d pages, want %d", v.Changed(), dirty)
+	}
+	if err := v.CheckFrozen(); err != nil {
+		return 0, err
+	}
+	if got := v.View().ReadU64(region); got != 0xD1D1 {
+		return 0, fmt.Errorf("perftraj: frozen view reads %#x, want dirtied value", got)
+	}
+	return dur, nil
+}
+
 // RestartToFirstRequest measures the full optimistic-recovery critical path
 // in simulated time: PHOENIX restart of a process holding a pages-sized heap
 // state, re-initialisation in the successor, and the first read of preserved
@@ -357,6 +404,22 @@ func Collect() (Trajectory, error) {
 	add("dirty_scan", time.Duration(Pages)*model.DirtyScanPerPage)
 	add("checksum_hash", time.Duration(Pages)*model.ChecksumPerPage)
 	add("fork_cow_clean", model.ForkCoW(Pages, 0))
+
+	// Concurrent-serving trajectory: a 128-read batch served off a committed
+	// 1%-dirty MVCC version at each rung of the reader ladder — the curve the
+	// concurrency campaign's ≥2x-at-4-readers contract rides on.
+	for _, readers := range []int{1, 4, 16} {
+		d, err := SnapshotServeBatch(Pages, Pages/100, 128, readers)
+		if err != nil {
+			return t, err
+		}
+		add(fmt.Sprintf("serve_batch_128_x%d", readers), d)
+	}
+	// Preserve staging, serial vs a 4-worker pool, at the trajectory's full
+	// footprint (every page moved, hashed, and scanned): the parallel walk's
+	// win must survive cost-model changes.
+	add("preserve_stage_serial", model.PreserveExecDelta(Pages, 0, Pages, Pages))
+	add("preserve_stage_parallel_4w", model.PreserveExecDeltaParallel(Pages, 0, Pages, Pages, 4))
 	return t, nil
 }
 

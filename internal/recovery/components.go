@@ -40,14 +40,26 @@ type ComponentApp interface {
 	ArmComponentCrash(name string)
 }
 
-// RewindableApp marks applications whose request handlers touch only
-// simulated memory, so a rewind-domain discard rolls the whole request back.
-// Apps with Go-side per-request side effects (WAL appends, disk writes) must
-// not implement it — a domain discard cannot undo those.
+// RewindableApp marks applications whose request handlers a rewind-domain
+// discard rolls back completely. Handlers that touch only simulated memory
+// qualify as-is; handlers with Go-side per-request side effects (WAL appends,
+// disk writes, handle swaps) qualify only if they also implement
+// RewindObserver and repair those effects there — a domain discard alone
+// cannot undo them.
 type RewindableApp interface {
 	// Rewindable reports whether requests may run inside rewind domains in
 	// the app's current configuration.
 	Rewindable() bool
+}
+
+// RewindObserver is an optional extension for rewindable apps with Go-side
+// per-request effects. AfterRewind is called immediately after a rewind
+// domain's discard rolled simulated memory back to the top of the faulting
+// request (on both the rewind rung and the microreboot rung's pre-discard):
+// the app re-syncs its Go-side state with the restored memory — reopening
+// structure handles from preserved roots, undoing the request's disk appends.
+type RewindObserver interface {
+	AfterRewind()
 }
 
 // cascade returns the reboot set for a crash in component name: the component

@@ -9,6 +9,7 @@ import (
 	"phoenix/internal/faultinject"
 	"phoenix/internal/kernel"
 	"phoenix/internal/linker"
+	"phoenix/internal/mem"
 	"phoenix/internal/metrics"
 	"phoenix/internal/workload"
 )
@@ -263,6 +264,11 @@ type Harness struct {
 	criuImage *CRIUImage
 
 	sup *Supervisor
+
+	// snapStore holds the MVCC snapshot versions of the live process's
+	// address space (nil until the first SnapshotCommit; recreated when a
+	// restart or migration installs a new space).
+	snapStore *mem.SnapshotStore
 
 	pendingResume bool
 	pendingSwitch bool
@@ -644,6 +650,9 @@ func (h *Harness) rewindRecover() (bool, error) {
 	// without this, one rewound mid-region crash would poison IsSafe and
 	// turn every later process-level restart into an unsafe fallback.
 	h.rt.Unsafe().Reset()
+	if ro, ok := h.App.(RewindObserver); ok {
+		ro.AfterRewind()
+	}
 	h.Stat.Rewinds++
 	h.M.Counters.Rewinds.Add(1)
 	h.event(EvRewind, fmt.Sprintf("%d pages restored", n))
@@ -665,6 +674,11 @@ func (h *Harness) microreboot(ci *kernel.CrashInfo) (bool, error) {
 	if h.proc.AS.DomainActive() {
 		if _, err := h.proc.DiscardRewindDomain(); err != nil {
 			return false, err
+		}
+		// The discard restored memory to the top of the request; Go-side
+		// handles must follow before any component reboot walks them.
+		if ro, ok := h.App.(RewindObserver); ok {
+			ro.AfterRewind()
 		}
 	}
 	if ci.Component == "" {

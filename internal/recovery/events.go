@@ -47,4 +47,11 @@ const (
 	// another machine: the shard-migration cutover handed it preserved pages
 	// under a Handoff, and Main booted down the PHOENIX recovery path.
 	EvAdopt EventKind = "adopt"
+	// EvSnapshotRead records one served concurrent-read batch: N reads at a
+	// reader fan-out off a committed MVCC snapshot version.
+	EvSnapshotRead EventKind = "snapshot-read"
+	// EvSnapshotStale records the stale-snapshot oracle firing: a frame in a
+	// served frozen view postdated its commit horizon, meaning a reader could
+	// have observed a post-snapshot write.
+	EvSnapshotStale EventKind = "snapshot-stale"
 )

@@ -159,6 +159,15 @@ func Run(cfg Config, mk recovery.AppFactory, sched Schedule) (Report, error) {
 		}
 		clk.AfterFunc(rc.At, func() { f.ringChange(rc.Shard) })
 	}
+	for _, sr := range sched.SnapshotReads {
+		sr := sr
+		if sr.Shard < 0 || sr.Shard >= cfg.Shards || sr.Replica < 0 || sr.Replica >= cfg.Replicas {
+			return Report{}, fmt.Errorf("shard: snapshot read targets (%d,%d) outside %dx%d", sr.Shard, sr.Replica, cfg.Shards, cfg.Replicas)
+		}
+		clk.AfterFunc(sr.At, func() {
+			f.nodes[f.router.placement[sr.Shard][sr.Replica]].snapshotRead(sr.Count, sr.Readers)
+		})
+	}
 
 	clk.Advance(cfg.Profile.RunFor + cfg.Profile.Settle)
 	if f.firstErr != nil {

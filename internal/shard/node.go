@@ -57,10 +57,13 @@ type node struct {
 	completion *simclock.Timer
 
 	// accounting
-	accepted      int
-	refused       int
-	kills         int
-	recoveryTotal time.Duration
+	accepted          int
+	refused           int
+	kills             int
+	recoveryTotal     time.Duration
+	snapshotReads     int
+	snapshotEffective int
+	snapshotStale     int
 }
 
 func (nd *node) handle(m netsim.Message) {
@@ -179,6 +182,35 @@ func (nd *node) kill() {
 			nd.startNext()
 		}
 	})
+}
+
+// snapshotRead executes one scheduled concurrent-read batch: commit an MVCC
+// snapshot of the node's live state and serve count reads off it at the
+// given fan-out. Only a serving owner runs the batch — spares and retired
+// sources own no state, and a down node has none to freeze. Apps without
+// snapshot support skip silently so mixed-system schedules stay replayable.
+func (nd *node) snapshotRead(count, readers int) {
+	if nd.state != stateServing {
+		return
+	}
+	if _, ok := nd.h.App.(recovery.SnapshotServer); !ok {
+		return
+	}
+	if count <= 0 {
+		count = 16
+	}
+	if readers <= 0 {
+		readers = 1
+	}
+	nd.syncClock()
+	eff, stale, err := nd.h.SnapshotReadBatch(count, readers)
+	if err != nil {
+		nd.f.fail(fmt.Errorf("shard: node %d snapshot read: %w", nd.idx, err))
+		return
+	}
+	nd.snapshotReads++
+	nd.snapshotEffective += eff
+	nd.snapshotStale += stale
 }
 
 // retire marks a migration source dead-for-good after its cutover. Any

@@ -199,12 +199,27 @@ type RingChange struct {
 	Shard int
 }
 
+// SnapshotRead schedules one concurrent-read batch against a shard replica:
+// the owning node commits an MVCC snapshot of its live state and serves
+// Count reads (default 16) off the frozen version at Readers fan-out
+// (default 1). Like kills, the slot is resolved to whichever node owns it
+// when the batch fires, so a batch after a completed move lands on the new
+// owner.
+type SnapshotRead struct {
+	At      time.Duration
+	Shard   int
+	Replica int
+	Count   int
+	Readers int
+}
+
 // Schedule is the fault-and-rebalance script one run executes; the same
 // schedule replays against every recovery mode under comparison.
 type Schedule struct {
-	Kills       []Kill
-	Moves       []Move
-	RingChanges []RingChange
+	Kills         []Kill
+	Moves         []Move
+	RingChanges   []RingChange
+	SnapshotReads []SnapshotRead
 }
 
 // DefaultSchedule kills two shards' primaries around the first half of the

@@ -1,0 +1,27 @@
+package simds
+
+import (
+	"phoenix/internal/costmodel"
+	"phoenix/internal/mem"
+)
+
+// MVCC snapshot support: the structures in this package are read through a
+// Ctx, and their read paths (Dict.Get, Skiplist lookups, List walks) never
+// allocate or mutate — so reading a structure from a frozen snapshot view is
+// just a Ctx whose AS is the view. SnapshotCtx builds that context.
+//
+// The lifecycle is mem.SnapshotStore's: a single writer mutates the live
+// structures and Commits a version; any number of readers Open the latest
+// version and walk the same roots (Open* with the preserved root address)
+// against the immutable view, lock-free. Writes through a SnapshotCtx are a
+// bug — the structures would fault or silently diverge — so the constructor
+// deliberately attaches no heap: any mutating operation that needs an
+// allocation panics on the nil heap before it can touch the frozen pages.
+
+// SnapshotCtx returns a read-only context over a frozen MVCC snapshot view.
+// The clock is nil — snapshot readers are charged at the batch level (see
+// costmodel.ConcurrentReadBatch), not per structure step, so the returned
+// context is safe to share across reader goroutines.
+func SnapshotCtx(view *mem.AddressSpace, model costmodel.Model) *Ctx {
+	return &Ctx{AS: view, Model: model}
+}
