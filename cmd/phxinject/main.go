@@ -26,7 +26,11 @@
 // measures the recovery-granularity windows — the simulated unavailability of
 // the same mid-request fault recovered by request rewind, component
 // microreboot, PHOENIX preserve_exec, builtin restart, and vanilla restart —
-// and requires each finer granularity to strictly beat the coarser ones.
+// and requires each finer granularity to strictly beat the coarser ones;
+// "lint" runs the phoenixlint static contract suite (snapshot-purity,
+// dirty-bit soundness, cost-charging, determinism) over the module and fails
+// on any finding not covered by the checked-in baseline of accepted
+// exceptions.
 //
 // Usage:
 //
@@ -45,6 +49,8 @@
 //	phxinject -campaign vet -seeds 50 -app kvstore -json
 //	phxinject -campaign microreboot               # granularity windows, all apps
 //	phxinject -campaign microreboot -app boost -json
+//	phxinject -campaign lint                      # static contract suite
+//	phxinject -campaign lint -json
 package main
 
 import (
@@ -59,6 +65,7 @@ import (
 	"phoenix/internal/cluster"
 	"phoenix/internal/explore"
 	"phoenix/internal/ir"
+	"phoenix/internal/lint"
 	"phoenix/internal/recovery"
 	"phoenix/internal/shard"
 )
@@ -68,7 +75,7 @@ func main() {
 		runs     = flag.Int("runs", 200, "number of injection runs (ir campaign)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		v        = flag.Bool("v", false, "print per-run outcomes")
-		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, shard, explore, vet, microreboot")
+		campaign = flag.String("campaign", "ir", "campaign to run: ir, atomicity, escalation, cluster, shard, explore, vet, microreboot, concurrency, lint")
 		app      = flag.String("app", "", "restrict system-level campaigns to one application (default: all)")
 		crashes  = flag.Int("crashes", 0, "escalation campaign: corruption-armed crash cycles (0 = default)")
 		jsonOut  = flag.Bool("json", false, "cluster/explore/vet campaigns: emit the full report as deterministic JSON")
@@ -109,13 +116,18 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "lint":
+		if err := runLintCampaign(*jsonOut); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	case "concurrency":
 		if err := runConcurrencyCampaign(*app, *seed, *jsonOut); err != nil {
 			fatalf("%v", err)
 		}
 		return
 	default:
-		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, shard, explore, vet, microreboot, or concurrency)", *campaign)
+		fatalf("unknown campaign %q (want ir, atomicity, escalation, cluster, shard, explore, vet, microreboot, concurrency, or lint)", *campaign)
 	}
 
 	mod := ir.MustParse(analysis.KVModel)
@@ -454,6 +466,38 @@ func dictConsistent(in *ir.Interp) bool {
 		}
 	}
 	return n == count
+}
+
+// runLintCampaign runs the static contract suite (phoenixlint) over the
+// enclosing module: every registered analyzer, baseline applied, failing when
+// any finding survives the baseline. The JSON report is deterministic and
+// double-run-compared in CI like every other campaign's.
+func runLintCampaign(jsonOut bool) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := lint.FindRoot(cwd)
+	if err != nil {
+		return err
+	}
+	rep, err := lint.Campaign(root)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Print(lint.FmtReport(rep))
+	}
+	if !rep.Clean {
+		return fmt.Errorf("lint campaign: %d finding(s) beyond baseline", len(rep.Findings))
+	}
+	return nil
 }
 
 func fatalf(format string, args ...interface{}) {

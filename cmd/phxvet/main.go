@@ -1,7 +1,7 @@
 // Command phxvet runs the whole-program preservation-safety verifier: an
 // Andersen-style points-to / escape analysis over the mini-IR that
 // classifies every abstract object as preserved-reachable or transient and
-// reports three position-carrying finding kinds:
+// reports position-carrying finding kinds:
 //
 //   - dangling-reference: a store may make preserved-reachable memory point
 //     at a transient (talloc) allocation site — the word dangles once a
@@ -10,6 +10,13 @@
 //     taint instrumentation cannot see (e.g. a preserved pointer stashed in
 //     transient scratch and reloaded), leaving it outside every unsafe
 //     region;
+//   - cross-domain-store: a component-assigned function stores into
+//     preserved state owned by another component, escaping its rewind
+//     domain and defeating the sub-process recovery rungs;
+//   - rewind-escape (flow-sensitive): a store publishes a pointer to
+//     preserved state allocated during the current request into transient
+//     state the rewind rung's undo journal does not cover — after a domain
+//     discard the transient word dangles into unwound heap;
 //   - icall-resolution (informational): points-to narrowed an indirect
 //     call's target set below the arity-matched candidate merge.
 //

@@ -446,17 +446,27 @@ type IRCrossMutant struct {
 	Off    int64
 }
 
+// IRRewindMutant names a rewind-escape to plant with ir.InsertRewindEscape:
+// the NthAlloc (0-based, layout order) of Fn gets a talloc'd scratch word
+// publishing the fresh allocation into the transient arena — state the
+// rewind rung's undo journal does not cover.
+type IRRewindMutant struct {
+	Fn       string
+	NthAlloc int
+}
+
 // IRApp bundles one application model for phxvet: the IR source, its setup
 // function, the serving entry points (roots for the static verifier and the
 // dynamic drivers), and the seeded mutants the differential campaign plants.
 type IRApp struct {
-	Name         string
-	Src          string
-	Setup        string
-	Entries      []string
-	Calls        []IRCall
-	Mutants      []IRMutant
-	CrossMutants []IRCrossMutant
+	Name          string
+	Src           string
+	Setup         string
+	Entries       []string
+	Calls         []IRCall
+	Mutants       []IRMutant
+	CrossMutants  []IRCrossMutant
+	RewindMutants []IRRewindMutant
 }
 
 // IRApps returns the model registry in deterministic (name) order.
@@ -479,8 +489,9 @@ func IRApps() []IRApp {
 				{Fn: "handler", NArgs: 2, ArgMax: 8},
 				{Fn: "reader", NArgs: 1, ArgMax: 8},
 			},
-			Mutants:      []IRMutant{{Fn: "link", NthStore: 1}},                     // store b, 0, node
-			CrossMutants: []IRCrossMutant{{Fn: "reader", Global: "table", Off: 16}}, // reader bumps writer's count
+			Mutants:       []IRMutant{{Fn: "link", NthStore: 1}},                     // store b, 0, node
+			CrossMutants:  []IRCrossMutant{{Fn: "reader", Global: "table", Off: 16}}, // reader bumps writer's count
+			RewindMutants: []IRRewindMutant{{Fn: "insert", NthAlloc: 0}},             // node = alloc 32 published transiently
 		},
 		{
 			Name:    "lsmdb",
@@ -491,8 +502,9 @@ func IRApps() []IRApp {
 				{Fn: "put", NArgs: 2, ArgMax: 8},
 				{Fn: "get", NArgs: 1, ArgMax: 8},
 			},
-			Mutants:      []IRMutant{{Fn: "flush", NthStore: 0}},             // store e, 0, l0
-			CrossMutants: []IRCrossMutant{{Fn: "get", Global: "db", Off: 8}}, // get scribbles writer's memtable count
+			Mutants:       []IRMutant{{Fn: "flush", NthStore: 0}},             // store e, 0, l0
+			CrossMutants:  []IRCrossMutant{{Fn: "get", Global: "db", Off: 8}}, // get scribbles writer's memtable count
+			RewindMutants: []IRRewindMutant{{Fn: "put", NthAlloc: 0}},         // node = alloc 32 published transiently
 		},
 		{
 			Name:    "particle",
@@ -511,8 +523,9 @@ func IRApps() []IRApp {
 				{Fn: "get", NArgs: 1, ArgMax: 8},
 				{Fn: "evict", NArgs: 0, ArgMax: 1},
 			},
-			Mutants:      []IRMutant{{Fn: "link_front", NthStore: 0}},             // store e, 0, head
-			CrossMutants: []IRCrossMutant{{Fn: "find", Global: "cache", Off: 16}}, // find bumps index's hit counter
+			Mutants:       []IRMutant{{Fn: "link_front", NthStore: 0}},             // store e, 0, head
+			CrossMutants:  []IRCrossMutant{{Fn: "find", Global: "cache", Off: 16}}, // find bumps index's hit counter
+			RewindMutants: []IRRewindMutant{{Fn: "get", NthAlloc: 0}},              // e2 = alloc 32 published transiently
 		},
 	}
 }

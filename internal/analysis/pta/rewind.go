@@ -1,0 +1,233 @@
+package pta
+
+import (
+	"fmt"
+
+	"phoenix/internal/ir"
+)
+
+// The rewind-escape pass. Unlike the Andersen solution — which is
+// flow-INsensitive and cannot say when a pointer was created relative to a
+// store — this pass runs a forward, per-program-point dataflow over each
+// serving-reachable function's CFG, tracking which registers may hold a
+// pointer to preserved state allocated *during the current request* (a
+// "domain-fresh" pointer). The rewind rung's undo journal covers the
+// preserved arena only; the transient arena models state outside the
+// simulated address space (Go-side handles, the WAL on the simulated disk)
+// that a domain discard cannot rewind. A store that publishes a domain-fresh
+// pointer into transient state therefore leaves, after a discard, a live
+// word aiming into unwound heap — the bug class ir.(*Interp).DomainDiscard
+// audits dynamically.
+//
+// Soundness caveats (documented, mutant-validated for the covered flows):
+// the taint is register-level — it does not flow through memory (a fresh
+// pointer stored to scratch and reloaded is untracked; the Andersen
+// dangling/gap checks cover stash-and-reload patterns) and does not flow
+// into callee parameters (a callee storing its argument transiently is
+// untracked). Returns ARE tracked: a function whose return value may be
+// domain-fresh taints its callers' result registers, via an interprocedural
+// summary fixpoint.
+
+// taintState maps register name → may hold a domain-fresh preserved pointer.
+type taintState map[string]bool
+
+// clone copies a taint state.
+func (t taintState) clone() taintState {
+	n := make(taintState, len(t))
+	for k, v := range t {
+		if v {
+			n[k] = true
+		}
+	}
+	return n
+}
+
+// join unions src into dst, reporting whether dst changed.
+func (t taintState) join(src taintState) bool {
+	changed := false
+	for k, v := range src {
+		if v && !t[k] {
+			t[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// successors returns the labels a block can branch to.
+func successors(b *ir.Block) []string {
+	var out []string
+	for i := range b.Instrs {
+		switch b.Instrs[i].Op {
+		case ir.OpBr:
+			out = append(out, b.Instrs[i].L1)
+		case ir.OpCbr:
+			out = append(out, b.Instrs[i].L1, b.Instrs[i].L2)
+		}
+	}
+	return out
+}
+
+// rewindEscapes runs the pass over every serving-reachable function and
+// returns the findings (unsorted; Vet merges and sorts).
+func (a *Analysis) rewindEscapes(reachable map[string]bool) []Finding {
+	m := a.Mod
+
+	// Interprocedural summary fixpoint: retFresh[f] — f may return a
+	// domain-fresh pointer. Only reachable functions allocate inside a
+	// domain, but summaries are computed for every function so indirect
+	// targets resolve uniformly.
+	retFresh := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range m.Order {
+			fresh := a.fnDataflow(name, retFresh, nil)
+			if fresh && !retFresh[name] {
+				retFresh[name] = true
+				changed = true
+			}
+		}
+	}
+
+	var findings []Finding
+	for _, name := range m.Order {
+		if !reachable[name] {
+			continue
+		}
+		fn := name
+		a.fnDataflow(fn, retFresh, func(in *ir.Instr, t taintState) {
+			if in.Op != ir.OpStore || !t[in.Val] {
+				return
+			}
+			var tgtTransient []Obj
+			for _, o := range a.PointsTo(fn, in.A) {
+				if a.objs[o].Kind == ObjTalloc {
+					tgtTransient = append(tgtTransient, o)
+				}
+			}
+			if len(tgtTransient) == 0 {
+				return
+			}
+			// Name the freshest value object the Andersen solution agrees on.
+			valObj := ""
+			for _, o := range a.PointsTo(fn, in.Val) {
+				if a.objs[o].Kind == ObjAlloc {
+					valObj = a.Info(o).String()
+					break
+				}
+			}
+			if valObj == "" {
+				valObj = "preserved allocation"
+			}
+			findings = append(findings, Finding{
+				Kind: KindRewindEscape, Fn: fn, Line: in.Pos.Line, Col: in.Pos.Col,
+				Msg: fmt.Sprintf("store publishes domain-fresh %s into transient %s, which outlives a rewind-domain discard",
+					valObj, a.Info(tgtTransient[0])),
+			})
+		})
+	}
+	return findings
+}
+
+// fnDataflow runs the forward taint dataflow over fn's CFG. It returns
+// whether fn may return a domain-fresh pointer under the given summaries.
+// When visit is non-nil it is called for every instruction with the taint
+// state holding immediately before it (called once per instruction, after
+// the block-entry states have converged).
+func (a *Analysis) fnDataflow(fn string, retFresh map[string]bool, visit func(*ir.Instr, taintState)) bool {
+	f := a.Mod.Funcs[fn]
+	if f == nil || len(f.Blocks) == 0 {
+		return false
+	}
+	blockByLabel := map[string]*ir.Block{}
+	entryIn := map[string]taintState{}
+	for _, b := range f.Blocks {
+		blockByLabel[b.Label] = b
+		entryIn[b.Label] = taintState{}
+	}
+
+	returnsFresh := false
+	// transfer interprets one block from state t, returning the out state.
+	transfer := func(b *ir.Block, t taintState, emit bool) taintState {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if emit && visit != nil {
+				visit(in, t)
+			}
+			switch in.Op {
+			case ir.OpAlloc:
+				t[in.Dst] = true
+			case ir.OpTalloc, ir.OpConst, ir.OpLoad, ir.OpFuncRef:
+				delete(t, in.Dst)
+			case ir.OpGetField:
+				t[in.Dst] = t[in.A]
+				if !t[in.Dst] {
+					delete(t, in.Dst)
+				}
+			case ir.OpBin:
+				// Pointer arithmetic rides add/sub in this IR; other
+				// operators produce scalars.
+				if (in.Bin == ir.BinAdd || in.Bin == ir.BinSub) && (t[in.A] || t[in.B]) {
+					t[in.Dst] = true
+				} else {
+					delete(t, in.Dst)
+				}
+			case ir.OpCall:
+				if in.Dst != "" {
+					if retFresh[in.Fn] {
+						t[in.Dst] = true
+					} else {
+						delete(t, in.Dst)
+					}
+				}
+			case ir.OpICall:
+				if in.Dst != "" {
+					fresh := false
+					for _, tgt := range a.ICallTargets(fn, in) {
+						if retFresh[tgt] {
+							fresh = true
+						}
+					}
+					if fresh {
+						t[in.Dst] = true
+					} else {
+						delete(t, in.Dst)
+					}
+				}
+			case ir.OpRet:
+				if in.Val != "" && t[in.Val] {
+					returnsFresh = true
+				}
+			}
+		}
+		return t
+	}
+
+	// Worklist to a fixpoint over block-entry states.
+	work := []string{f.Blocks[0].Label}
+	inWork := map[string]bool{f.Blocks[0].Label: true}
+	for len(work) > 0 {
+		label := work[0]
+		work = work[1:]
+		inWork[label] = false
+		b := blockByLabel[label]
+		if b == nil {
+			continue
+		}
+		out := transfer(b, entryIn[label].clone(), false)
+		for _, s := range successors(b) {
+			if st, ok := entryIn[s]; ok && st.join(out) && !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Emission pass: layout block order, converged entry states.
+	if visit != nil {
+		for _, b := range f.Blocks {
+			transfer(b, entryIn[b.Label].clone(), true)
+		}
+	}
+	return returnsFresh
+}

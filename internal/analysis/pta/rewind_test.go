@@ -1,0 +1,166 @@
+package pta
+
+import (
+	"strings"
+	"testing"
+
+	"phoenix/internal/analysis"
+	"phoenix/internal/ir"
+)
+
+// rewindVetSrc exercises the flow-sensitive pass's transfer rules: direct
+// publication, publication through pointer arithmetic, publication of a
+// callee's fresh return value, and the two benign patterns (stash of a
+// pre-existing pointer, scalar staging).
+const rewindVetSrc = `
+global g
+
+func mknode(x) {
+entry:
+  n = alloc 16
+  store n, 8, x
+  ret n
+}
+
+func direct(x) {
+entry:
+  n = alloc 16
+  t = talloc 16
+  store t, 0, n
+  ret
+}
+
+func arith(x) {
+entry:
+  n = alloc 32
+  off = const 8
+  p = add n, off
+  t = talloc 16
+  store t, 0, p
+  ret
+}
+
+func viacall(x) {
+entry:
+  n = call mknode(x)
+  t = talloc 16
+  store t, 0, n
+  ret
+}
+
+func stash(x) {
+entry:
+  p = load g, 0
+  t = talloc 16
+  store t, 0, p
+  ret
+}
+
+func scalars(x) {
+entry:
+  t = talloc 32
+  s = mul x, 7
+  store t, 0, s
+  store t, 8, x
+  ret
+}
+`
+
+func rewindFindings(t *testing.T, src string, entries ...string) []Finding {
+	t.Helper()
+	m := ir.MustParse(src)
+	rep, err := Vet(m, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == KindRewindEscape {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestRewindEscapeFlags(t *testing.T) {
+	for _, entry := range []string{"direct", "arith", "viacall"} {
+		fs := rewindFindings(t, rewindVetSrc, entry)
+		if len(fs) != 1 {
+			t.Errorf("%s: %d rewind-escape finding(s), want 1: %v", entry, len(fs), fs)
+			continue
+		}
+		if fs[0].Fn != entry {
+			t.Errorf("%s: finding in %s", entry, fs[0].Fn)
+		}
+		if !strings.Contains(fs[0].Msg, "transient") {
+			t.Errorf("%s: msg %q does not name the transient target", entry, fs[0].Msg)
+		}
+	}
+}
+
+func TestRewindEscapeCleanPatterns(t *testing.T) {
+	for _, entry := range []string{"stash", "scalars"} {
+		if fs := rewindFindings(t, rewindVetSrc, entry); len(fs) != 0 {
+			t.Errorf("%s: unexpected rewind-escape finding(s): %v", entry, fs)
+		}
+	}
+}
+
+// TestRewindEscapeScopedToReachable: the same store outside the serving
+// entries' reach is not a request-time publication and must not be flagged.
+func TestRewindEscapeScopedToReachable(t *testing.T) {
+	if fs := rewindFindings(t, rewindVetSrc, "stash"); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+	// direct is unreachable from stash, so its escape is not reported above;
+	// sanity-check it IS reported when rooted there.
+	if fs := rewindFindings(t, rewindVetSrc, "direct"); len(fs) != 1 {
+		t.Fatalf("direct not flagged when reachable: %v", fs)
+	}
+}
+
+// TestRewindEscapeMutantsOnModels plants an InsertRewindEscape mutant into
+// every application model that allocates on a serving path and asserts the
+// verifier flags it at exactly the planted position — and that the clean
+// models carry no rewind-escape findings at all.
+func TestRewindEscapeMutantsOnModels(t *testing.T) {
+	for _, app := range analysis.IRApps() {
+		m, err := ir.Parse(app.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		rep, err := Vet(m, app.Entries)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		for _, f := range rep.Findings {
+			if f.Kind == KindRewindEscape {
+				t.Errorf("%s: clean model has rewind-escape finding: %+v", app.Name, f)
+			}
+		}
+		for _, rm := range app.RewindMutants {
+			ref, err := ir.FindAlloc(m, rm.Fn, rm.NthAlloc)
+			if err != nil {
+				t.Fatalf("%s mutant: %v", app.Name, err)
+			}
+			mut, pos, err := ir.InsertRewindEscape(m, rm.Fn, ref)
+			if err != nil {
+				t.Fatalf("%s mutant: %v", app.Name, err)
+			}
+			mrep, err := Vet(mut, app.Entries)
+			if err != nil {
+				t.Fatalf("%s mutant vet: %v", app.Name, err)
+			}
+			flagged := false
+			for _, f := range mrep.Findings {
+				if f.Kind == KindRewindEscape && f.Fn == rm.Fn && f.Line == pos.Line && f.Col == pos.Col {
+					flagged = true
+				}
+			}
+			if !flagged {
+				t.Errorf("%s: planted rewind escape in %s not flagged at %d:%d (findings %v)",
+					app.Name, rm.Fn, pos.Line, pos.Col, mrep.Findings)
+			}
+		}
+	}
+}

@@ -28,6 +28,12 @@ const (
 	// microrebooting the writer's component cannot undo it, so the
 	// sub-process recovery rungs are unsound for this module.
 	KindCrossDomain = "cross-domain-store"
+	// KindRewindEscape: a flow-sensitive finding (rewind.go) — a store
+	// publishes a pointer to preserved state allocated during the current
+	// request (domain-fresh) into transient state, which the rewind rung's
+	// undo journal does not cover. After a domain discard the transient word
+	// dangles into unwound heap.
+	KindRewindEscape = "rewind-escape"
 )
 
 // Finding is one position-carrying verifier result. The JSON encoding is
@@ -267,6 +273,7 @@ func Vet(m *ir.Module, entries []string) (*Report, error) {
 			}
 		})
 	}
+	findings = append(findings, a.rewindEscapes(reachable)...)
 	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Line != b.Line {

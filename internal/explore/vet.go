@@ -27,7 +27,13 @@ import (
 //   - every seeded cross-domain mutant must be flagged statically (kind
 //     cross-domain-store, at exactly the planted position). These mutants
 //     target scalar counters, so no dynamic manifestation is required — the
-//     sweep only asserts the mutant module still executes without error.
+//     sweep only asserts the mutant module still executes without error;
+//   - every seeded rewind-escape mutant must be flagged statically (kind
+//     rewind-escape, at exactly the planted alloc's position) AND manifest
+//     dynamically: the drivers bracket a deterministic subset of calls in
+//     rewind domains, and DomainDiscard's escape audit must catch the
+//     published pointer. Clean models must show zero escapes over the whole
+//     sweep.
 
 // VetOptions parameterises CheckVet.
 type VetOptions struct {
@@ -74,6 +80,20 @@ type VetCrossMutantResult struct {
 	Dynamic int `json:"dynamic"`
 }
 
+// VetRewindMutantResult records one planted rewind-escape's contract: the
+// verifier must flag it (kind rewind-escape) at exactly the anchor position
+// returned by ir.InsertRewindEscape, and the domain-bracketed sweep must
+// observe at least one dynamic escape.
+type VetRewindMutantResult struct {
+	Fn       string `json:"fn"`
+	NthAlloc int    `json:"nth_alloc"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Flagged  bool   `json:"flagged"`
+	// Dynamic: DomainDiscard escape-audit records over the sweep.
+	Dynamic int `json:"dynamic"`
+}
+
 // VetModelResult is one model's differential outcome.
 type VetModelResult struct {
 	Model    string         `json:"model"`
@@ -87,10 +107,14 @@ type VetModelResult struct {
 	// faults on the unmutated model (agreement requires 0 when Clean).
 	Dangling int `json:"dangling"`
 	// ChecksumMismatches counts preserved-checksum changes across restarts.
-	ChecksumMismatches int                    `json:"checksum_mismatches"`
-	Mutants            []VetMutantResult      `json:"mutants"`
-	CrossMutants       []VetCrossMutantResult `json:"cross_mutants"`
-	Agreement          bool                   `json:"agreement"`
+	ChecksumMismatches int `json:"checksum_mismatches"`
+	// RewindEscapes counts DomainDiscard escape-audit records on the
+	// unmutated model (agreement requires 0 when Clean).
+	RewindEscapes int                     `json:"rewind_escapes"`
+	Mutants       []VetMutantResult       `json:"mutants"`
+	CrossMutants  []VetCrossMutantResult  `json:"cross_mutants"`
+	RewindMutants []VetRewindMutantResult `json:"rewind_mutants"`
+	Agreement     bool                    `json:"agreement"`
 }
 
 // VetSummary is the campaign's deterministic JSON report.
@@ -104,16 +128,19 @@ type VetSummary struct {
 
 // vetDrive runs one randomized serving schedule against a fresh interpreter:
 // setup, then ops serving calls with 1–3 restarts at random op indices and a
-// final restart, counting dynamic violations. Everything derives from the
-// seeded rng, so the same (model, seed) pair replays identically.
-func vetDrive(app analysis.IRApp, m *ir.Module, seed int64) (calls, restarts, dangling, checksumBad int, err error) {
+// final restart, counting dynamic violations. Roughly a quarter of the calls
+// are bracketed in a rewind domain, half of those discarded — exercising the
+// sub-process rewind rung and its escape audit alongside whole-process
+// restarts. Everything derives from the seeded rng, so the same (model, seed)
+// pair replays identically.
+func vetDrive(app analysis.IRApp, m *ir.Module, seed int64) (calls, restarts, dangling, checksumBad, escapes int, err error) {
 	h := fnv.New64a()
 	h.Write([]byte(app.Name))
 	rng := rand.New(rand.NewSource(mix(seed ^ int64(h.Sum64()))))
 
 	in := ir.NewInterp(m)
 	if _, err = in.Call(app.Setup); err != nil {
-		return 0, 0, 0, 0, fmt.Errorf("setup: %w", err)
+		return 0, 0, 0, 0, 0, fmt.Errorf("setup: %w", err)
 	}
 	ops := 20 + rng.Intn(40)
 	restartAt := map[int]bool{}
@@ -134,13 +161,33 @@ func vetDrive(app analysis.IRApp, m *ir.Module, seed int64) (calls, restarts, da
 		for j := range args {
 			args[j] = rng.Int63n(c.ArgMax)
 		}
+		// Draw the domain decisions unconditionally so the rng stream — and
+		// therefore the schedule — is identical across clean and mutant runs.
+		inDomain := rng.Intn(4) == 0
+		discard := rng.Intn(2) == 0
+		if inDomain {
+			if derr := in.DomainBegin(); derr != nil {
+				return calls, restarts, dangling, checksumBad, escapes, derr
+			}
+		}
 		if _, cerr := in.Call(c.Fn, args...); cerr != nil {
 			var de *ir.ErrDangling
 			if !errors.As(cerr, &de) {
-				return calls, restarts, dangling, checksumBad,
+				return calls, restarts, dangling, checksumBad, escapes,
 					fmt.Errorf("%s%v: %w", c.Fn, args, cerr)
 			}
-			dangling++ // post-restart access through a dangling pointer
+			dangling++ // access through a dangling pointer
+		}
+		if inDomain {
+			if discard {
+				esc, derr := in.DomainDiscard()
+				if derr != nil {
+					return calls, restarts, dangling, checksumBad, escapes, derr
+				}
+				escapes += len(esc)
+			} else if derr := in.DomainCommit(); derr != nil {
+				return calls, restarts, dangling, checksumBad, escapes, derr
+			}
 		}
 		calls++
 		if restartAt[i] {
@@ -148,7 +195,7 @@ func vetDrive(app analysis.IRApp, m *ir.Module, seed int64) (calls, restarts, da
 		}
 	}
 	restart()
-	return calls, restarts, dangling, checksumBad, nil
+	return calls, restarts, dangling, checksumBad, escapes, nil
 }
 
 // CheckVet runs the differential campaign and returns the summary plus the
@@ -190,16 +237,17 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 			return sum, fmt.Errorf("model %s: vet: %w", app.Name, err)
 		}
 		res := VetModelResult{
-			Model:        app.Name,
-			Entries:      rep.Entries,
-			Findings:     rep.Counts(),
-			Clean:        rep.Clean(),
-			Seeds:        o.Seeds,
-			Mutants:      []VetMutantResult{},
-			CrossMutants: []VetCrossMutantResult{},
+			Model:         app.Name,
+			Entries:       rep.Entries,
+			Findings:      rep.Counts(),
+			Clean:         rep.Clean(),
+			Seeds:         o.Seeds,
+			Mutants:       []VetMutantResult{},
+			CrossMutants:  []VetCrossMutantResult{},
+			RewindMutants: []VetRewindMutantResult{},
 		}
 		for i := 0; i < o.Seeds; i++ {
-			calls, restarts, dangling, checksumBad, err := vetDrive(app, m, o.Start+int64(i))
+			calls, restarts, dangling, checksumBad, escapes, err := vetDrive(app, m, o.Start+int64(i))
 			if err != nil {
 				return sum, fmt.Errorf("model %s seed %d: %w", app.Name, o.Start+int64(i), err)
 			}
@@ -207,12 +255,13 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 			res.Restarts += restarts
 			res.Dangling += dangling
 			res.ChecksumMismatches += checksumBad
+			res.RewindEscapes += escapes
 		}
 		res.Agreement = true
-		if res.Clean && (res.Dangling > 0 || res.ChecksumMismatches > 0) {
+		if res.Clean && (res.Dangling > 0 || res.ChecksumMismatches > 0 || res.RewindEscapes > 0) {
 			res.Agreement = false
-			fail(fmt.Errorf("model %s: statically clean but %d dangling + %d checksum violations dynamically",
-				app.Name, res.Dangling, res.ChecksumMismatches))
+			fail(fmt.Errorf("model %s: statically clean but %d dangling + %d checksum + %d rewind-escape violations dynamically",
+				app.Name, res.Dangling, res.ChecksumMismatches, res.RewindEscapes))
 		}
 		if !res.Clean {
 			res.Agreement = false
@@ -239,7 +288,7 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 				}
 			}
 			for i := 0; i < mutantSeeds; i++ {
-				_, _, dangling, checksumBad, err := vetDrive(app, mut, o.Start+int64(i))
+				_, _, dangling, checksumBad, _, err := vetDrive(app, mut, o.Start+int64(i))
 				if err != nil {
 					return sum, fmt.Errorf("model %s mutant seed %d: %w", app.Name, o.Start+int64(i), err)
 				}
@@ -274,7 +323,7 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 				}
 			}
 			for i := 0; i < mutantSeeds; i++ {
-				_, _, dangling, checksumBad, err := vetDrive(app, mut, o.Start+int64(i))
+				_, _, dangling, checksumBad, _, err := vetDrive(app, mut, o.Start+int64(i))
 				if err != nil {
 					return sum, fmt.Errorf("model %s cross mutant seed %d: %w", app.Name, o.Start+int64(i), err)
 				}
@@ -287,12 +336,51 @@ func CheckVet(o VetOptions) (VetSummary, error) {
 			}
 			res.CrossMutants = append(res.CrossMutants, cres)
 		}
+
+		for _, rm := range app.RewindMutants {
+			ref, err := ir.FindAlloc(m, rm.Fn, rm.NthAlloc)
+			if err != nil {
+				return sum, fmt.Errorf("model %s rewind mutant: %w", app.Name, err)
+			}
+			mut, pos, err := ir.InsertRewindEscape(m, rm.Fn, ref)
+			if err != nil {
+				return sum, fmt.Errorf("model %s rewind mutant: %w", app.Name, err)
+			}
+			rres := VetRewindMutantResult{Fn: rm.Fn, NthAlloc: rm.NthAlloc, Line: pos.Line, Col: pos.Col}
+			mrep, err := pta.Vet(mut, app.Entries)
+			if err != nil {
+				return sum, fmt.Errorf("model %s rewind mutant vet: %w", app.Name, err)
+			}
+			for _, f := range mrep.Findings {
+				if f.Kind == pta.KindRewindEscape && f.Fn == rm.Fn && f.Line == pos.Line && f.Col == pos.Col {
+					rres.Flagged = true
+				}
+			}
+			for i := 0; i < mutantSeeds; i++ {
+				_, _, _, _, escapes, err := vetDrive(app, mut, o.Start+int64(i))
+				if err != nil {
+					return sum, fmt.Errorf("model %s rewind mutant seed %d: %w", app.Name, o.Start+int64(i), err)
+				}
+				rres.Dynamic += escapes
+			}
+			if !rres.Flagged {
+				res.Agreement = false
+				fail(fmt.Errorf("model %s: rewind mutant %s#%d not flagged statically at %s",
+					app.Name, rm.Fn, rm.NthAlloc, pos))
+			}
+			if rres.Dynamic == 0 {
+				res.Agreement = false
+				fail(fmt.Errorf("model %s: rewind mutant %s#%d flagged statically but never escaped dynamically",
+					app.Name, rm.Fn, rm.NthAlloc))
+			}
+			res.RewindMutants = append(res.RewindMutants, rres)
+		}
 		if res.Agreement {
-			logf("model %-10s clean=%v %6d calls %5d restarts, %d mutant(s) + %d cross mutant(s) agree",
-				res.Model, res.Clean, res.Calls, res.Restarts, len(res.Mutants), len(res.CrossMutants))
+			logf("model %-10s clean=%v %6d calls %5d restarts, %d mutant(s) + %d cross + %d rewind agree",
+				res.Model, res.Clean, res.Calls, res.Restarts, len(res.Mutants), len(res.CrossMutants), len(res.RewindMutants))
 		} else {
-			logf("model %-10s DISAGREEMENT clean=%v dangling=%d checksum=%d",
-				res.Model, res.Clean, res.Dangling, res.ChecksumMismatches)
+			logf("model %-10s DISAGREEMENT clean=%v dangling=%d checksum=%d escapes=%d",
+				res.Model, res.Clean, res.Dangling, res.ChecksumMismatches, res.RewindEscapes)
 		}
 		sum.Models = append(sum.Models, res)
 	}
@@ -315,8 +403,8 @@ func FmtVetSummary(s VetSummary) string {
 		b = append(b, ": DISAGREEMENT\n"...)
 	}
 	for _, m := range s.Models {
-		b = append(b, fmt.Sprintf("  %-10s clean=%-5v findings=%v calls=%d restarts=%d dangling=%d checksum_bad=%d\n",
-			m.Model, m.Clean, m.Findings, m.Calls, m.Restarts, m.Dangling, m.ChecksumMismatches)...)
+		b = append(b, fmt.Sprintf("  %-10s clean=%-5v findings=%v calls=%d restarts=%d dangling=%d checksum_bad=%d escapes=%d\n",
+			m.Model, m.Clean, m.Findings, m.Calls, m.Restarts, m.Dangling, m.ChecksumMismatches, m.RewindEscapes)...)
 		for _, mu := range m.Mutants {
 			b = append(b, fmt.Sprintf("    mutant %s#%d @%d:%d flagged=%v dynamic=%d\n",
 				mu.Fn, mu.NthStore, mu.Line, mu.Col, mu.Flagged, mu.Dynamic)...)
@@ -324,6 +412,10 @@ func FmtVetSummary(s VetSummary) string {
 		for _, cm := range m.CrossMutants {
 			b = append(b, fmt.Sprintf("    cross-mutant %s->%s+%d @%d:%d flagged=%v dynamic=%d\n",
 				cm.Fn, cm.Global, cm.Off, cm.Line, cm.Col, cm.Flagged, cm.Dynamic)...)
+		}
+		for _, rm := range m.RewindMutants {
+			b = append(b, fmt.Sprintf("    rewind-mutant %s#%d @%d:%d flagged=%v dynamic=%d\n",
+				rm.Fn, rm.NthAlloc, rm.Line, rm.Col, rm.Flagged, rm.Dynamic)...)
 		}
 	}
 	return string(b)

@@ -27,6 +27,10 @@ type Interp struct {
 	// stack is the live state stack.
 	stack []*Frame
 
+	// domain is the open rewind domain's undo journal, nil when none
+	// (rewind.go).
+	domain *domainJournal
+
 	// Steps counts executed instructions (fuel limiting).
 	Steps   int
 	MaxStep int
@@ -266,7 +270,7 @@ func (in *Interp) PreserveRestart() []Dangling {
 func (in *Interp) PreservedChecksum() uint64 {
 	h := uint64(14695981039346656037)
 	for _, a := range in.allocs {
-		if a.transient {
+		if a.transient || a.discarded {
 			continue
 		}
 		for off := int64(0); off < a.size; off += 8 {
@@ -383,6 +387,7 @@ func (in *Interp) Call(fn string, args ...int64) (int64, error) {
 			if err := in.checkAccess(addr, frame, instr); err != nil {
 				return 0, err
 			}
+			in.journalStore(addr)
 			in.mem[addr] = in.reg(frame, instr.Val)
 		case OpGetField:
 			frame.regs[instr.Dst] = in.reg(frame, instr.A) + instr.Imm

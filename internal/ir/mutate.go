@@ -99,6 +99,62 @@ func InsertCrossDomainStore(m *Module, fn, global string, off int64) (*Module, P
 	return nm, anchor, nil
 }
 
+// FindAlloc returns the InstrRef of the nth preserved-arena alloc
+// instruction (0-based, in layout order) of fn.
+func FindAlloc(m *Module, fn string, nth int) (InstrRef, error) {
+	f, ok := m.Funcs[fn]
+	if !ok {
+		return InstrRef{}, fmt.Errorf("ir: FindAlloc: unknown function %q", fn)
+	}
+	seen := 0
+	var found InstrRef
+	ok = false
+	f.ForEachInstr(func(ref InstrRef, in *Instr) {
+		if in.Op != OpAlloc {
+			return
+		}
+		if seen == nth && !ok {
+			found, ok = ref, true
+		}
+		seen++
+	})
+	if !ok {
+		return InstrRef{}, fmt.Errorf("ir: FindAlloc: %s has %d alloc(s), want index %d", fn, seen, nth)
+	}
+	return found, nil
+}
+
+// InsertRewindEscape returns a copy of m in which the preserved-arena alloc
+// at (fn, ref) is immediately followed by a talloc'd scratch word holding a
+// pointer to the fresh allocation — publishing domain-transient preserved
+// state into the transient arena, which a rewind-domain discard cannot
+// unwind. The injected instructions carry the original alloc's source
+// position, which is also returned: a verifier that reports the planted bug
+// must report it at exactly this position, and the interpreter's
+// DomainDiscard escape audit reports the unwound span at the same position.
+func InsertRewindEscape(m *Module, fn string, ref InstrRef) (*Module, Pos, error) {
+	nm := m.Clone()
+	f, ok := nm.Funcs[fn]
+	if !ok {
+		return nil, Pos{}, fmt.Errorf("ir: InsertRewindEscape: unknown function %q", fn)
+	}
+	if ref.Block >= len(f.Blocks) || ref.Index >= len(f.Blocks[ref.Block].Instrs) {
+		return nil, Pos{}, fmt.Errorf("ir: InsertRewindEscape: ref out of range")
+	}
+	b := f.Blocks[ref.Block]
+	orig := b.Instrs[ref.Index]
+	if orig.Op != OpAlloc {
+		return nil, Pos{}, fmt.Errorf("ir: InsertRewindEscape: instruction at %s b%d:%d is not an alloc", fn, ref.Block, ref.Index)
+	}
+	const reg = "__rew"
+	tall := Instr{Op: OpTalloc, Dst: reg, Imm: 16, Pos: orig.Pos}
+	esc := Instr{Op: OpStore, A: reg, Imm: 0, Val: orig.Dst, Pos: orig.Pos}
+	// Insert talloc then the escaping store directly after the alloc.
+	b.Instrs = insertInstr(b.Instrs, ref.Index+1, tall)
+	b.Instrs = insertInstr(b.Instrs, ref.Index+2, esc)
+	return nm, orig.Pos, nil
+}
+
 func insertInstr(instrs []Instr, i int, in Instr) []Instr {
 	instrs = append(instrs, Instr{})
 	copy(instrs[i+1:], instrs[i:])

@@ -1,0 +1,159 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Per-request rewind domains at the IR level, mirroring the runtime's
+// CoW undo log (mem.BeginDomain / kernel.DomainBegin): a domain brackets one
+// serving-entry invocation, journalling every write to the *preserved* arena
+// so a discard can restore it byte-exactly, and rolling back preserved
+// allocations made inside the bracket.
+//
+// Crucially — and this is what makes the rewind-escape bug class expressible
+// — the transient arena is NOT covered by the journal. At the IR level the
+// transient arena models the state that lives outside the simulated address
+// space in the real system (Go-side handles, the WAL on the simulated disk):
+// state a domain discard cannot rewind. A request that publishes a pointer to
+// domain-created preserved state into transient state therefore leaves, after
+// a discard, a live word aiming into unwound heap — exactly the bug class the
+// lsmdb RewindObserver papered over dynamically in the concurrent-serving PR,
+// and the dynamic ground truth for phxvet's rewind-escape finding.
+
+// RewindEscape is one audit record from DomainDiscard: a word of transient
+// (domain-surviving) memory that points into a preserved span the discard is
+// about to unwind.
+type RewindEscape struct {
+	Addr   int64  `json:"addr"`   // transient word holding the pointer
+	Target int64  `json:"target"` // where it points (inside a domain-created preserved span)
+	Fn     string `json:"fn"`     // function that allocated the unwound span
+	Line   int    `json:"line"`   // alloc site position
+	Col    int    `json:"col"`
+}
+
+// domainJournal is one open rewind domain's undo state.
+type domainJournal struct {
+	// words maps each preserved address written inside the domain to its
+	// pre-domain value; present records whether the word existed at all (the
+	// interpreter's memory is sparse, so "absent" and "zero" differ for the
+	// restore).
+	words   map[int64]int64
+	present map[int64]bool
+	// allocWatermark is nextPtr at DomainBegin: preserved spans with
+	// start >= allocWatermark were created inside the domain and are unwound
+	// (poisoned) by a discard.
+	allocWatermark int64
+}
+
+// DomainBegin opens a rewind domain. Domains do not nest — the runtime's
+// per-request bracket is flat — so opening a second one is an error.
+func (in *Interp) DomainBegin() error {
+	if in.domain != nil {
+		return fmt.Errorf("ir: DomainBegin: a rewind domain is already open")
+	}
+	in.domain = &domainJournal{
+		words:          make(map[int64]int64),
+		present:        make(map[int64]bool),
+		allocWatermark: in.nextPtr,
+	}
+	return nil
+}
+
+// DomainOpen reports whether a rewind domain is currently open.
+func (in *Interp) DomainOpen() bool { return in.domain != nil }
+
+// journalStore records the pre-write state of a preserved word, first write
+// wins. Transient-arena words are deliberately not journalled (see the file
+// comment).
+func (in *Interp) journalStore(addr int64) {
+	if in.domain == nil || addr >= transientBase {
+		return
+	}
+	if _, seen := in.domain.present[addr]; seen {
+		return
+	}
+	v, ok := in.mem[addr]
+	in.domain.present[addr] = ok
+	if ok {
+		in.domain.words[addr] = v
+	}
+}
+
+// DomainCommit closes the open domain keeping every effect, like the
+// runtime's CommitDomain.
+func (in *Interp) DomainCommit() error {
+	if in.domain == nil {
+		return fmt.Errorf("ir: DomainCommit: no open rewind domain")
+	}
+	in.domain = nil
+	return nil
+}
+
+// DomainDiscard rolls the open domain back: preserved words are restored to
+// their pre-domain values and preserved spans allocated inside the domain are
+// poisoned (subsequent access faults with ErrDangling, like discarded
+// transient spans after a PreserveRestart). Before unwinding it audits the
+// transient arena — every live transient word pointing into a span the
+// discard is about to unwind is returned as a RewindEscape, in deterministic
+// (Addr, Target) order.
+func (in *Interp) DomainDiscard() ([]RewindEscape, error) {
+	d := in.domain
+	if d == nil {
+		return nil, fmt.Errorf("ir: DomainDiscard: no open rewind domain")
+	}
+	in.domain = nil
+
+	// Audit first, while the domain's stores are still visible: scan every
+	// live transient span's words for pointers into domain-created preserved
+	// spans.
+	var out []RewindEscape
+	for _, a := range in.allocs {
+		if !a.transient || a.discarded {
+			continue
+		}
+		for off := int64(0); off < a.size; off += 8 {
+			addr := a.start + off
+			v, ok := in.mem[addr]
+			if !ok || v == 0 {
+				continue
+			}
+			j := in.findSpan(v)
+			if j < 0 {
+				continue
+			}
+			t := in.allocs[j]
+			if !t.transient && !t.discarded && t.start >= d.allocWatermark {
+				out = append(out, RewindEscape{Addr: addr, Target: v, Fn: t.fn, Line: t.pos.Line, Col: t.pos.Col})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Target < out[j].Target
+	})
+
+	// Restore journalled preserved words.
+	for addr, was := range d.present {
+		if was {
+			in.mem[addr] = d.words[addr]
+		} else {
+			delete(in.mem, addr)
+		}
+	}
+	// Poison preserved spans created inside the domain: delete their words
+	// and mark them discarded so any surviving pointer faults on use.
+	for i := range in.allocs {
+		a := &in.allocs[i]
+		if a.transient || a.discarded || a.start < d.allocWatermark {
+			continue
+		}
+		for off := int64(0); off < a.size; off += 8 {
+			delete(in.mem, a.start+off)
+		}
+		a.discarded = true
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package ir
+
+import "testing"
+
+// rewindSrc is a minimal serving module: req links a freshly allocated node
+// into the preserved global, escape additionally publishes the fresh node
+// into a talloc'd scratch word (the rewind-escape bug class), and stash
+// stores a *pre-existing* preserved pointer into transient scratch (the
+// benign pattern a discard leaves behind harmlessly).
+const rewindSrc = `
+global g
+
+func req(x) {
+entry:
+  n = alloc 16
+  store n, 8, x
+  store g, 0, n
+  ret
+}
+
+func escape(x) {
+entry:
+  n = alloc 16
+  store n, 8, x
+  store g, 0, n
+  t = talloc 16
+  store t, 0, n
+  ret
+}
+
+func stash() {
+entry:
+  p = load g, 0
+  t = talloc 16
+  store t, 0, p
+  ret
+}
+
+func deref() {
+entry:
+  p = load g, 0
+  v = load p, 8
+  ret v
+}
+`
+
+func TestDomainDiscardRestoresPreservedState(t *testing.T) {
+	m := MustParse(rewindSrc)
+	in := NewInterp(m)
+	if _, err := in.Call("req", 7); err != nil {
+		t.Fatal(err)
+	}
+	before := in.MemorySnapshot()
+	sum := in.PreservedChecksum()
+
+	if err := in.DomainBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if !in.DomainOpen() {
+		t.Fatal("DomainOpen = false inside a domain")
+	}
+	if _, err := in.Call("req", 9); err != nil {
+		t.Fatal(err)
+	}
+	if in.PreservedChecksum() == sum {
+		t.Fatal("call inside domain did not change preserved state")
+	}
+	esc, err := in.DomainDiscard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(esc) != 0 {
+		t.Fatalf("clean request reported %d escape(s): %v", len(esc), esc)
+	}
+	if got := in.PreservedChecksum(); got != sum {
+		t.Fatalf("preserved checksum after discard = %#x, want %#x", got, sum)
+	}
+	// Every preserved word must be byte-identical; transient scratch from the
+	// discarded request may survive (it models unjournalled native state).
+	after := in.MemorySnapshot()
+	for addr, v := range before {
+		if addr >= int64(1)<<44 {
+			continue
+		}
+		if after[addr] != v {
+			t.Fatalf("preserved word %#x = %d after discard, want %d", addr, after[addr], v)
+		}
+	}
+}
+
+func TestDomainCommitKeepsEffects(t *testing.T) {
+	m := MustParse(rewindSrc)
+	in := NewInterp(m)
+	if err := in.DomainBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("req", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DomainCommit(); err != nil {
+		t.Fatal(err)
+	}
+	node := in.Load(in.Global("g"))
+	if node == 0 {
+		t.Fatal("committed domain lost the linked node")
+	}
+	if got := in.Load(node + 8); got != 5 {
+		t.Fatalf("node payload = %d, want 5", got)
+	}
+}
+
+func TestDomainDiscardAuditsEscapes(t *testing.T) {
+	m := MustParse(rewindSrc)
+	in := NewInterp(m)
+	if err := in.DomainBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("escape", 3); err != nil {
+		t.Fatal(err)
+	}
+	esc, err := in.DomainDiscard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(esc) != 1 {
+		t.Fatalf("got %d escape(s), want 1: %v", len(esc), esc)
+	}
+	if esc[0].Fn != "escape" {
+		t.Fatalf("escape allocated in %q, want escape", esc[0].Fn)
+	}
+	if esc[0].Line == 0 {
+		t.Fatal("escape record carries no alloc position")
+	}
+	// The published pointer aims at an unwound span: dereferencing it must
+	// fault, like any dangling pointer into discarded memory.
+	in.Store(in.Global("g"), esc[0].Target) // the native side hands the stale pointer back
+	if _, err := in.Call("deref"); err == nil {
+		t.Fatal("dereferencing the escaped pointer after discard succeeded")
+	} else if _, ok := err.(*ErrDangling); !ok {
+		t.Fatalf("deref failed with %v, want *ErrDangling", err)
+	}
+}
+
+func TestDomainStashOfPreexistingPointerIsNotAnEscape(t *testing.T) {
+	m := MustParse(rewindSrc)
+	in := NewInterp(m)
+	if _, err := in.Call("req", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DomainBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("stash"); err != nil {
+		t.Fatal(err)
+	}
+	esc, err := in.DomainDiscard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(esc) != 0 {
+		t.Fatalf("stash of a pre-domain pointer reported %d escape(s): %v", len(esc), esc)
+	}
+}
+
+func TestDomainBracketErrors(t *testing.T) {
+	in := NewInterp(MustParse(rewindSrc))
+	if _, err := in.DomainDiscard(); err == nil {
+		t.Fatal("DomainDiscard without open domain succeeded")
+	}
+	if err := in.DomainCommit(); err == nil {
+		t.Fatal("DomainCommit without open domain succeeded")
+	}
+	if err := in.DomainBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DomainBegin(); err == nil {
+		t.Fatal("nested DomainBegin succeeded")
+	}
+	if err := in.DomainCommit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRewindEscapeMutant(t *testing.T) {
+	m := MustParse(rewindSrc)
+	ref, err := FindAlloc(m, "req", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, pos, err := InsertRewindEscape(m, "req", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Line == 0 {
+		t.Fatal("anchor position is zero")
+	}
+	// Original module untouched.
+	if n := len(m.Funcs["req"].Entry().Instrs); n != len(mut.Funcs["req"].Entry().Instrs)-2 {
+		t.Fatalf("mutation leaked into the original module (orig %d instrs)", n)
+	}
+	in := NewInterp(mut)
+	if err := in.DomainBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("req", 4); err != nil {
+		t.Fatal(err)
+	}
+	esc, err := in.DomainDiscard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(esc) != 1 {
+		t.Fatalf("planted mutant produced %d escape(s), want 1: %v", len(esc), esc)
+	}
+	if esc[0].Line != pos.Line || esc[0].Col != pos.Col {
+		t.Fatalf("escape at %d:%d, want anchor %d:%d", esc[0].Line, esc[0].Col, pos.Line, pos.Col)
+	}
+
+	if _, err := FindAlloc(m, "req", 5); err == nil {
+		t.Fatal("FindAlloc out of range succeeded")
+	}
+	if _, err := FindAlloc(m, "nosuch", 0); err == nil {
+		t.Fatal("FindAlloc on unknown function succeeded")
+	}
+	storeRef, err := FindStore(m, "req", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := InsertRewindEscape(m, "req", storeRef); err == nil {
+		t.Fatal("InsertRewindEscape on a non-alloc instruction succeeded")
+	}
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoCampaignClean is the static-contract gate over the real module:
+// every analyzer runs on the enclosing repository, and any finding not
+// covered by the checked-in baseline fails the build. New accepted
+// exceptions belong in baseline.json with a one-line justification.
+func TestRepoCampaignClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check; skipped in -short")
+	}
+	root, err := FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Campaign(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		for _, d := range rep.Findings {
+			t.Errorf("finding beyond baseline: %s", d)
+		}
+	}
+	// The baseline must stay live: an entry that no longer suppresses
+	// anything is stale and should be deleted, not carried.
+	base, err := LoadBaseline(filepath.Join(root, filepath.FromSlash(BaselinePath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range base {
+		matched := false
+		for _, d := range rep.Suppressed {
+			if d.Analyzer == e.Analyzer && d.File == e.File && d.Msg == e.Msg {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("stale baseline entry (suppresses nothing): %s / %s / %q", e.Analyzer, e.File, e.Msg)
+		}
+	}
+}

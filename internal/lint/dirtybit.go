@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The dirty-bit soundness analyzer guards the invariant that makes
+// incremental preservation's delta checksums trustworthy: every content
+// mutation of a frame-backed buffer must leave tracking evidence — the
+// soft-dirty bit and the write-generation stamp — or the preserve machinery
+// will checksum-skip a page whose bytes changed. At runtime the invariant is
+// only audited probabilistically (AuditIncremental shadow checksums); this
+// analyzer checks the write paths themselves.
+//
+// Scope: packages named mem and kernel (the only owners of Frame buffers).
+// A hazard is a statement that can change bytes reachable from a Frame's
+// Data field:
+//
+//   - an indexed assignment whose base is f.Data (or a local derived from it
+//     in the same function);
+//   - copy() with such a buffer as destination;
+//   - assignment to the Data field itself.
+//
+// A function containing hazards must also contain sanction evidence that it
+// participates in tracking: a call to the materialize/write/stamp funnels,
+// an explicit assignment to a Dirty or Gen field, or construction of a
+// Frame composite literal with an explicit Dirty field (the snapshot paths
+// that copy tracking state wholesale). Evidence is per-function — the
+// funnels themselves carry their own evidence, so the rule bottoms out.
+//
+// Caveat (documented in DESIGN.md): the derived-buffer taint is local and
+// syntactic; a Data slice smuggled through a field, channel, or call
+// argument is not tracked. AuditIncremental remains the dynamic backstop.
+var dirtyBitAnalyzer = &Analyzer{
+	Name: "dirty-bit",
+	Doc:  "frame-backed buffer writes in mem/kernel must flow through materialize/dirty-marking paths",
+	Run:  runDirtyBit,
+}
+
+func runDirtyBit(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range r.Pkgs {
+		if name := pkg.Types.Name(); name != "mem" && name != "kernel" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, dirtyBitInFunc(r, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// isFrameType reports whether t (after pointer deref) is a named struct
+// "Frame" with Data []byte and Dirty bool fields — structural detection, so
+// the check works on any package laying out frames this way.
+func isFrameType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Frame" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasData, hasDirty bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "Data":
+			if s, ok := f.Type().(*types.Slice); ok {
+				if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+					hasData = true
+				}
+			}
+		case "Dirty":
+			if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Bool {
+				hasDirty = true
+			}
+		}
+	}
+	return hasData && hasDirty
+}
+
+// frameDataSel reports whether e is a selector f.Data (possibly sliced or
+// indexed) on a Frame-typed base, returning the selector when so.
+func frameDataSel(info *types.Info, e ast.Expr) *ast.SelectorExpr {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "Data" && isFrameType(info.TypeOf(x.X)) {
+			return x
+		}
+	case *ast.SliceExpr:
+		return frameDataSel(info, x.X)
+	case *ast.IndexExpr:
+		return frameDataSel(info, x.X)
+	}
+	return nil
+}
+
+func dirtyBitInFunc(r *Repo, pkg *Pkg, fd *ast.FuncDecl) []Diagnostic {
+	info := pkg.Info
+
+	// Pass 1: local taint (vars bound to a Frame's Data buffer) and sanction
+	// evidence.
+	tainted := map[types.Object]bool{}
+	evidence := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) == len(node.Rhs) {
+				for i, lhs := range node.Lhs {
+					if frameDataSel(info, node.Rhs[i]) == nil {
+						continue
+					}
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := objOf(info, id); obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+			// Explicit tracking-state management counts as evidence.
+			for _, lhs := range node.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if (sel.Sel.Name == "Dirty" || sel.Sel.Name == "Gen") && isFrameType(info.TypeOf(sel.X)) {
+						evidence = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if isFrameType(info.TypeOf(node)) {
+				for _, el := range node.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Dirty" {
+							evidence = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeOf(info, node); fn != nil && fn.Pkg() == pkg.Types {
+				switch fn.Name() {
+				case "materialize", "write", "stamp":
+					evidence = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: hazards.
+	var out []Diagnostic
+	add := func(pos token.Pos, msg string) {
+		file, line, col := r.Position(pos)
+		out = append(out, Diagnostic{Analyzer: "dirty-bit", File: file, Line: line, Col: col, Msg: msg})
+	}
+	isFrameBuf := func(e ast.Expr) bool {
+		if frameDataSel(info, e) != nil {
+			return true
+		}
+		if id := rootIdent(ast.Unparen(e)); id != nil {
+			if obj := objOf(info, id); obj != nil && tainted[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	hazard := func(pos token.Pos, what string) {
+		if evidence {
+			return
+		}
+		add(pos, fmt.Sprintf("%s %s without materialize/dirty-marking evidence; delta checksums will skip the change", fd.Name.Name, what))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				switch t := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					if isFrameBuf(t.X) {
+						hazard(lhs.Pos(), "writes into a frame-backed buffer")
+					}
+				case *ast.SelectorExpr:
+					if t.Sel.Name == "Data" && isFrameType(info.TypeOf(t.X)) {
+						hazard(lhs.Pos(), "replaces a frame's Data buffer")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "copy" && len(node.Args) == 2 {
+					if isFrameBuf(node.Args[0]) {
+						hazard(node.Pos(), "copies into a frame-backed buffer")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// errImporter rejects every import; combined with a tolerant Error hook the
+// type checker still produces a (partial) package, which is exactly the
+// degraded input the walker must survive.
+type errImporter struct{}
+
+func (errImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("fuzz: no imports")
+}
+
+// fuzzRepo type-checks one source string tolerantly into a single-package
+// Repo. Parse failures and fully unusable inputs return ok=false.
+func fuzzRepo(src string) (*Repo, bool) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, false
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Error: func(error) {}, Importer: errImporter{}, FakeImportC: true}
+	tp, _ := conf.Check("fuzz", fset, []*ast.File{f}, info)
+	if tp == nil {
+		return nil, false
+	}
+	pkg := &Pkg{Path: "fuzz", Dir: ".", Files: []*ast.File{f}, Types: tp, Info: info}
+	repo := &Repo{Root: "/", Module: "fuzz", Fset: fset, Pkgs: []*Pkg{pkg}, funcDecls: map[*types.Func]*FuncSrc{}}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+			repo.funcDecls[fn] = &FuncSrc{Decl: fd, Pkg: pkg}
+		}
+	}
+	return repo, true
+}
+
+// FuzzPurityWalker throws arbitrary (often ill-typed) Go source at the purity
+// reachability walker. The property is robustness, not precision: the walker
+// must terminate without panicking on any parseable input — including call
+// cycles, methods without bodies, shadowed receivers, and type errors that
+// leave identifiers unresolved.
+func FuzzPurityWalker(f *testing.F) {
+	f.Add("package p\n")
+	f.Add(`package p
+type T struct{ n int }
+func (t *T) OpenSnapshotReader(v int) func(uint64) bool {
+	return func(a uint64) bool { t.n++; return a > 0 }
+}
+`)
+	f.Add(`package p
+var g int
+type T struct{}
+func (T) OpenSnapshotReader(v int) func(uint64) bool {
+	return func(a uint64) bool { g++; return loop(a) > 0 }
+}
+func loop(a uint64) uint64 { return loop(a) }
+`)
+	f.Add(`package p
+type T struct{}
+func (T) OpenSnapshotReader() func() bool {
+	return (func() bool)(nil)
+}
+func OpenSnapshotReader() {}
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		repo, ok := fuzzRepo(src)
+		if !ok {
+			return
+		}
+		// The walker must return (no panic, no unbounded recursion); the
+		// diagnostics themselves are unconstrained on arbitrary input.
+		_ = runPurity(repo)
+	})
+}

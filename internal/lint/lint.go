@@ -41,24 +41,35 @@ func (i Issue) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", i.File, i.Line, i.Rule, i.Msg)
 }
 
-// CheckDir lints every non-test .go file in dir (non-recursive) and returns
-// the issues sorted by (file, line).
+// CheckDir lints every non-test .go file under dir, descending into nested
+// packages but skipping testdata (fixture mutants exist to violate the
+// rules), vendor, and hidden directories. Issues come back sorted by
+// (file, line).
 func CheckDir(dir string) ([]Issue, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
 	var issues []Issue
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		fi, err := checkFile(filepath.Join(dir, name))
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
-			return nil, err
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		fi, err := checkFile(path)
+		if err != nil {
+			return err
 		}
 		issues = append(issues, fi...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(issues, func(i, j int) bool {
 		if issues[i].File != issues[j].File {

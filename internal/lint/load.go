@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one parsed, fully type-checked package of the repository under
+// analysis. Files holds the non-test files only: the contract analyzers gate
+// production code, and tests legitimately use wall clocks, scratch heaps, and
+// uncharged page loops.
+type Pkg struct {
+	Path  string      // module-qualified import path, e.g. "phoenix/internal/mem"
+	Dir   string      // absolute directory
+	Files []*ast.File // non-test files, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncSrc pairs a function declaration with the package it was found in.
+type FuncSrc struct {
+	Decl *ast.FuncDecl
+	Pkg  *Pkg
+}
+
+// Repo is a loaded module tree. All packages share one FileSet and one
+// type-checking universe: a module-internal import resolves to the same
+// *types.Package the importee was checked into, so *types.Func identities
+// are stable across packages and analyzers can chase calls cross-package.
+type Repo struct {
+	Root   string // absolute module root (the directory holding go.mod)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+	Pkgs   []*Pkg // sorted by Path
+
+	funcDecls map[*types.Func]*FuncSrc
+}
+
+// FindRoot ascends from dir to the nearest directory containing go.mod.
+func FindRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// moduleName extracts the module path from a go.mod file.
+func moduleName(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: %s has no module line", gomod)
+}
+
+// LoadRepo parses and type-checks every non-test package under root,
+// skipping testdata, vendor, and hidden directories. Module-internal imports
+// resolve to the repository's own source; standard-library imports are
+// type-checked from source (the repo is stdlib-only, so no other resolution
+// is needed).
+func LoadRepo(root string) (*Repo, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := moduleName(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	im := &repoImporter{
+		root:    root,
+		module:  mod,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Pkg{},
+		loading: map[string]bool{},
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := mod
+		if rel != "." {
+			path = mod + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := im.load(path, dir); err != nil {
+			return nil, err
+		}
+	}
+
+	repo := &Repo{Root: root, Module: mod, Fset: fset, funcDecls: map[*types.Func]*FuncSrc{}}
+	for _, p := range im.pkgs {
+		repo.Pkgs = append(repo.Pkgs, p)
+	}
+	sort.Slice(repo.Pkgs, func(i, j int) bool { return repo.Pkgs[i].Path < repo.Pkgs[j].Path })
+	for _, p := range repo.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					repo.funcDecls[fn] = &FuncSrc{Decl: fd, Pkg: p}
+				}
+			}
+		}
+	}
+	return repo, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test .go
+// file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && goSource(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func goSource(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// FuncDecl returns the declaration of fn, or nil when fn has no body in the
+// loaded tree (stdlib functions, interface methods).
+func (r *Repo) FuncDecl(fn *types.Func) *FuncSrc { return r.funcDecls[fn] }
+
+// Position renders pos as a repo-relative forward-slash path plus line and
+// column, the canonical coordinates of a Diagnostic.
+func (r *Repo) Position(pos token.Pos) (file string, line, col int) {
+	p := r.Fset.Position(pos)
+	file = p.Filename
+	if rel, err := filepath.Rel(r.Root, p.Filename); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return file, p.Line, p.Column
+}
+
+// NumFiles returns the total number of loaded source files.
+func (r *Repo) NumFiles() int {
+	n := 0
+	for _, p := range r.Pkgs {
+		n += len(p.Files)
+	}
+	return n
+}
+
+// repoImporter resolves module-internal import paths against the repository
+// source (recursively type-checking and memoizing) and everything else with
+// the stdlib source importer.
+type repoImporter struct {
+	root, module string
+	fset         *token.FileSet
+	std          types.Importer
+	pkgs         map[string]*Pkg
+	loading      map[string]bool
+}
+
+func (im *repoImporter) Import(path string) (*types.Package, error) {
+	if path == im.module || strings.HasPrefix(path, im.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, im.module), "/")
+		p, err := im.load(path, filepath.Join(im.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *repoImporter) load(path, dir string) (*Pkg, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && goSource(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: %s: no Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: im, FakeImportC: true}
+	tp, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	p := &Pkg{Path: path, Dir: dir, Files: files, Types: tp, Info: info}
+	im.pkgs[path] = p
+	return p, nil
+}

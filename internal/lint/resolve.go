@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves the static callee of a call expression to a *types.Func,
+// covering package-level functions (fmt.Sprintf), methods (c.Clock.Advance),
+// and locally referenced functions (helper()). Builtins, conversions, and
+// calls through function-typed values resolve to nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package defining fn ("" for
+// builtins and error.Error).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// inPackage reports whether fn is defined in a package whose import path is
+// exactly suffix or ends in "/"+suffix. Matching by suffix keeps the
+// analyzers valid both on the real module ("phoenix/internal/mem") and on
+// the self-contained testdata module mirroring the same layout.
+func inPackage(fn *types.Func, suffix string) bool {
+	p := pkgPathOf(fn)
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// receiverNamed returns the name of fn's receiver's base named type, or ""
+// for package-level functions.
+func receiverNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isMethodOf reports whether fn is the named method on the named receiver
+// type defined in a package matching pkgSuffix.
+func isMethodOf(fn *types.Func, pkgSuffix, recv, name string) bool {
+	return fn != nil && fn.Name() == name && receiverNamed(fn) == recv && inPackage(fn, pkgSuffix)
+}
+
+// isPkgFunc reports whether fn is the named package-level function of the
+// package with the exact import path pkg (used for stdlib: "time",
+// "math/rand").
+func isPkgFunc(fn *types.Func, pkg, name string) bool {
+	if fn == nil || fn.Name() != name || pkgPathOf(fn) != pkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// rootIdent unwraps selector/index/slice/star/paren chains to the base
+// identifier: kv.stats[i].n → kv. Expressions rooted at a call or literal
+// return nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isPackageLevel reports whether obj is a package-scope variable.
+func isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

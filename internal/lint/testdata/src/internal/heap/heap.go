@@ -1,0 +1,14 @@
+// Package heap is the fixture mirror of the simulated allocator: just enough
+// surface for the purity analyzer's Alloc/Free detection.
+package heap
+
+type Heap struct {
+	next uint64
+}
+
+func (h *Heap) Alloc(n uint64) uint64 {
+	h.next += n
+	return h.next - n
+}
+
+func (h *Heap) Free(addr uint64) {}

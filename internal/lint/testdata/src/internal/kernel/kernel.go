@@ -1,0 +1,58 @@
+// Package kernel is the fixture mirror of the machine layer, laid out so
+// each cost-charging outcome appears exactly once: charged, uncharged,
+// conditionally charged, and charged through an unexported callee.
+package kernel
+
+import (
+	"fixture/internal/mem"
+	"fixture/internal/simclock"
+)
+
+type Machine struct {
+	Clock *simclock.Clock
+	AS    *mem.AddressSpace
+}
+
+// GoodSweep does per-page work and charges unconditionally at top level.
+func (m *Machine) GoodSweep() int {
+	n := m.AS.DirtyPages()
+	m.Clock.Advance(uint64(n))
+	return n
+}
+
+// BadSweep is the uncharged mutant: per-page work, no charge anywhere.
+func (m *Machine) BadSweep() int {
+	return m.AS.DirtyPages()
+}
+
+// CondSweep is the conditional-charge mutant: the charge exists but only on
+// one branch.
+func (m *Machine) CondSweep(charge bool) int {
+	n := m.AS.DirtyPages()
+	if charge {
+		m.Clock.Advance(uint64(n))
+	}
+	return n
+}
+
+// GoodTransitive reaches per-page work and the top-level charge through the
+// same unexported callee; the transitive fold must see both.
+func (m *Machine) GoodTransitive() int {
+	return m.sweepAndCharge()
+}
+
+func (m *Machine) sweepAndCharge() int {
+	n := m.AS.DirtyPages()
+	m.Clock.Advance(uint64(n))
+	return n
+}
+
+// BadTransitive reaches per-page work through an unexported callee that never
+// charges.
+func (m *Machine) BadTransitive() int {
+	return m.sweepOnly()
+}
+
+func (m *Machine) sweepOnly() int {
+	return m.AS.DirtyPages()
+}

@@ -1,0 +1,9 @@
+// Package simclock is the fixture mirror of the simulated clock.
+package simclock
+
+type Clock struct {
+	now uint64
+}
+
+func (c *Clock) Now() uint64      { return c.now }
+func (c *Clock) Advance(d uint64) { c.now += d }

@@ -1,0 +1,22 @@
+// Package simds is the fixture mirror of the charge context: Charge and
+// ChargeBytes are nil-Clock guarded, which is why the purity analyzer
+// whitelists them inside snapshot readers.
+package simds
+
+import "fixture/internal/simclock"
+
+type Ctx struct {
+	Clock *simclock.Clock
+}
+
+func (c *Ctx) Charge(d uint64) {
+	if c.Clock != nil {
+		c.Clock.Advance(d)
+	}
+}
+
+func (c *Ctx) ChargeBytes(n uint64) {
+	if c.Clock != nil {
+		c.Clock.Advance(n / 64)
+	}
+}

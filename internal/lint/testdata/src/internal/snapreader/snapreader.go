@@ -1,0 +1,99 @@
+// Package snapreader plants one snapshot-purity violation per receiver type,
+// each behind an OpenSnapshotReader method, plus one fully clean reader.
+package snapreader
+
+import (
+	"fixture/internal/heap"
+	"fixture/internal/mem"
+	"fixture/internal/simclock"
+	"fixture/internal/simds"
+)
+
+var served uint64
+
+// GlobalWriter's reader bumps a package-level counter.
+type GlobalWriter struct{}
+
+func (GlobalWriter) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	return func(addr uint64) bool {
+		served++
+		return view.DirtyPages() >= 0
+	}
+}
+
+// ReceiverWriter's reader mutates state on the structure that built it.
+type ReceiverWriter struct {
+	hits []uint64
+}
+
+func (r *ReceiverWriter) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	return func(addr uint64) bool {
+		r.hits = append(r.hits, addr)
+		return view.DirtyPages() >= 0
+	}
+}
+
+// CaptureWriter's reader mutates a local captured from the method body.
+type CaptureWriter struct{}
+
+func (CaptureWriter) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	count := 0
+	return func(addr uint64) bool {
+		count++
+		return count > 0
+	}
+}
+
+// Allocator's reader allocates simulated memory.
+type Allocator struct {
+	H *heap.Heap
+}
+
+func (a *Allocator) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	h := a.H
+	return func(addr uint64) bool {
+		return h.Alloc(8) != 0
+	}
+}
+
+// ClockReader's reader reaches the clock through a helper two calls deep.
+type ClockReader struct {
+	C *simclock.Clock
+}
+
+func (c *ClockReader) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	clk := c.C
+	return func(addr uint64) bool {
+		return stampOf(clk) > addr
+	}
+}
+
+func stampOf(c *simclock.Clock) uint64 { return timeOf(c) }
+
+func timeOf(c *simclock.Clock) uint64 { return c.Now() }
+
+// ViewMutator's reader writes into the frozen view.
+type ViewMutator struct{}
+
+func (ViewMutator) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	return func(addr uint64) bool {
+		view.WriteU8(addr, 1)
+		return true
+	}
+}
+
+// Clean's reader only reads the view and charges through the whitelisted
+// nil-Clock-guarded context; the analyzer must stay silent on it.
+type Clean struct {
+	Ctx *simds.Ctx
+}
+
+func (c *Clean) OpenSnapshotReader(view *mem.AddressSpace) func(uint64) bool {
+	ctx := c.Ctx
+	limit := view.DirtyPages()
+	return func(addr uint64) bool {
+		ctx.Charge(1)
+		local := addr % mem.PageSize
+		return int(local) <= limit
+	}
+}

@@ -184,8 +184,8 @@ func TestZeroReleasesFullyZeroedFrames(t *testing.T) {
 func TestDirtyBitTransfer(t *testing.T) {
 	as := NewAddressSpace()
 	mapOne(t, as, dirtyBase, 4, "src")
-	as.WriteU64(dirtyBase, 1)             // page 0: dirty
-	as.WriteU64(dirtyBase+2*PageSize, 2)  // page 2: dirty, then cleaned
+	as.WriteU64(dirtyBase, 1)            // page 0: dirty
+	as.WriteU64(dirtyBase+2*PageSize, 2) // page 2: dirty, then cleaned
 	as.ClearDirty(dirtyBase+2*PageSize, 1)
 
 	dst := NewAddressSpace()

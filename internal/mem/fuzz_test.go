@@ -162,7 +162,7 @@ func captureMappings(as *AddressSpace) []mappingState {
 func FuzzMoveUnmoveRoundTrip(f *testing.F) {
 	f.Add([]byte("phoenix"), uint32(0), uint32(9), uint32(0), uint32(0))
 	f.Add(bytes.Repeat([]byte{0xEE}, 5000), uint32(1), uint32(6), uint32(2*PageSize), uint32(7*PageSize+3))
-	f.Add([]byte{1}, uint32(4), uint32(2), uint32(PageSize), uint32(0))     // inside middle mapping
+	f.Add([]byte{1}, uint32(4), uint32(2), uint32(PageSize), uint32(0))    // inside middle mapping
 	f.Add([]byte{}, uint32(2), uint32(4), uint32(3*PageSize), uint32(100)) // straddles all three
 
 	f.Fuzz(func(t *testing.T, data []byte, startPg, numPg, zeroOff, flipOff uint32) {
